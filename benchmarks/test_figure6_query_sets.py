@@ -1,0 +1,74 @@
+"""Benchmark / reproduction of Figure 6 - query time under varying distances.
+
+Figure 6 plots, per dataset, the mean query time of HC2L, H2H, PHL and HL
+over ten query sets Q1..Q10 whose pair distances grow geometrically from
+``l_min`` to the network diameter.  The reproduced series are written to
+``results/figure6.txt``.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.experiments.figures import Figure6Result
+from repro.experiments.harness import query_time_per_set
+from repro.experiments.report import render_figure6
+from repro.experiments.workloads import distance_stratified_query_sets
+
+METHODS = ["HC2L", "H2H", "PHL", "HL"]
+NUM_SETS = 10
+PAIRS_PER_SET = 100
+
+
+def test_reproduce_figure6(benchmark, distance_evaluation):
+    """Regenerate the Figure 6 series from the shared evaluation's indexes."""
+
+    def build_series() -> Figure6Result:
+        result = Figure6Result(datasets=list(distance_evaluation.datasets), methods=list(METHODS))
+        for dataset in distance_evaluation.datasets:
+            graph = distance_evaluation.graphs[dataset]
+            workload = distance_stratified_query_sets(
+                graph, num_sets=NUM_SETS, pairs_per_set=PAIRS_PER_SET, seed=23
+            )
+            result.set_sizes[dataset] = [len(qs) for qs in workload.query_sets]
+            result.series[dataset] = {}
+            for method in METHODS:
+                index = distance_evaluation.indexes[(dataset, method)]
+                result.series[dataset][method] = query_time_per_set(index, workload.query_sets)
+        return result
+
+    result = benchmark.pedantic(build_series, rounds=1, iterations=1)
+
+    for dataset in result.datasets:
+        series = result.series[dataset]
+        assert all(len(values) == NUM_SETS for values in series.values())
+        # HC2L should win (or tie) on average across the query sets, which is
+        # the visual take-away of Figure 6
+        populated = [i for i, size in enumerate(result.set_sizes[dataset]) if size > 0]
+        hc2l_mean = _mean([series["HC2L"][i] for i in populated])
+        for method in ("H2H", "PHL"):
+            assert hc2l_mean <= 1.5 * _mean([series[method][i] for i in populated])
+
+    write_result("figure6", render_figure6(result))
+
+
+def _mean(values):
+    values = [v for v in values if v > 0]
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_local_query_latency(benchmark, distance_evaluation, bench_datasets):
+    """Micro-benchmark: HC2L latency on the most local query set (Q1-style)."""
+    dataset = bench_datasets[0]
+    graph = distance_evaluation.graphs[dataset]
+    index = distance_evaluation.indexes[(dataset, "HC2L")]
+    workload = distance_stratified_query_sets(graph, num_sets=10, pairs_per_set=200, seed=5)
+    local_pairs = next((qs for qs in workload.query_sets if qs), [])
+
+    def run_batch():
+        total = 0.0
+        for s, t in local_pairs:
+            total += index.distance(s, t)
+        return total
+
+    assert benchmark(run_batch) >= 0.0

@@ -1,0 +1,42 @@
+"""Benchmark / reproduction of Figure 7 - balance threshold sweep.
+
+Figure 7 varies the balance parameter beta between 0.15 and 0.35 and plots
+HC2L's average query time and average cut size.  The paper selects
+beta = 0.2 as the operating point.  The reproduced sweep is written to
+``results/figure7.txt``.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.experiments.figures import FIGURE7_BETAS, figure7
+from repro.experiments.report import render_figure7
+
+#: the sweep rebuilds HC2L once per (dataset, beta); keep it to a subset of
+#: the benchmark datasets so the suite stays quick
+SWEEP_DATASET_LIMIT = 3
+
+
+def test_reproduce_figure7(benchmark, bench_datasets):
+    """Rebuild HC2L across the beta grid and record query time and cut size."""
+    datasets = bench_datasets[:SWEEP_DATASET_LIMIT]
+
+    result = benchmark.pedantic(
+        lambda: figure7(datasets=datasets, betas=FIGURE7_BETAS, num_queries=600),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert result.betas == FIGURE7_BETAS
+    for dataset in datasets:
+        times = result.query_time_us[dataset]
+        cuts = result.avg_cut_size[dataset]
+        assert len(times) == len(FIGURE7_BETAS)
+        assert all(t > 0 for t in times)
+        assert all(c > 0 for c in cuts)
+        # query time should not vary wildly across the sweep (the paper sees
+        # mild variation with a dip around 0.2)
+        assert max(times) <= 5 * min(times)
+
+    write_result("figure7", render_figure7(result))

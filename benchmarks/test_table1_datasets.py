@@ -1,0 +1,33 @@
+"""Benchmark / reproduction of Table 1 - dataset summary.
+
+The paper's Table 1 lists |V|, |E|, diameter and on-disk size for the ten
+road networks.  Here the synthetic stand-ins are generated and summarised;
+the benchmark measures generation + summary time and the reproduced rows
+are written to ``results/table1.txt``.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.experiments.datasets import clear_dataset_cache, dataset_summary
+from repro.experiments.report import render_table
+
+
+def test_table1_dataset_summary(benchmark, bench_datasets):
+    """Generate every benchmark dataset and render the Table 1 rows."""
+
+    def build_summary():
+        clear_dataset_cache()
+        return dataset_summary(bench_datasets)
+
+    rows = benchmark.pedantic(build_summary, rounds=1, iterations=1)
+    assert [row["dataset"] for row in rows] == bench_datasets
+    for row in rows:
+        assert row["num_vertices"] > 0
+        assert row["num_edges"] > 0
+        assert row["diameter_estimate"] > 0
+
+    text = render_table(rows, title="Table 1 - dataset summary (synthetic stand-ins)")
+    path = write_result("table1", text)
+    assert path.exists()

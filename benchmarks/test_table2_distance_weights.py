@@ -1,0 +1,55 @@
+"""Benchmark / reproduction of Table 2 - distance weights.
+
+Table 2 of the paper compares query time, labelling size and construction
+time of HC2L (sequential and parallel) against H2H, PHL and HL with
+physical distances as edge weights.  The shared session evaluation builds
+every index; this module
+
+* benchmarks the per-query latency of each method on the primary dataset
+  (the pytest-benchmark numbers are the "Query Time" column), and
+* writes the full reproduced table to ``results/table2.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table2
+
+QUERY_METHODS = ["HC2L", "H2H", "PHL", "HL"]
+
+
+@pytest.mark.parametrize("method", QUERY_METHODS)
+def test_query_time(benchmark, method, distance_evaluation, bench_datasets):
+    """Mean distance-query latency of one method on the smallest dataset."""
+    dataset = bench_datasets[0]
+    index = distance_evaluation.indexes[(dataset, method)]
+    graph = distance_evaluation.graphs[dataset]
+    from repro.experiments.workloads import random_pairs
+
+    pairs = random_pairs(graph, 500, seed=99)
+
+    def run_batch():
+        total = 0.0
+        for s, t in pairs:
+            total += index.distance(s, t)
+        return total
+
+    result = benchmark(run_batch)
+    assert result >= 0.0
+
+
+def test_reproduce_table2(benchmark, distance_evaluation):
+    """Assemble the Table 2 rows from the shared evaluation and persist them."""
+    rows = benchmark.pedantic(lambda: table2(evaluation=distance_evaluation), rounds=1, iterations=1)
+    assert len(rows) == len(distance_evaluation.datasets)
+    for row in rows:
+        # the paper's headline: HC2L answers queries faster than every baseline
+        assert row["query_us_HC2L"] <= 1.5 * row["query_us_H2H"]
+        assert row["query_us_HC2L"] <= 1.5 * row["query_us_PHL"]
+        assert row["label_bytes_HC2L"] <= row["label_bytes_H2H"]
+    text = render_table(rows, title="Table 2 - query time / label size / construction (distance weights)")
+    write_result("table2", text)

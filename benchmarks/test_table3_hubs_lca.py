@@ -1,0 +1,47 @@
+"""Benchmark / reproduction of Table 3 - LCA storage and average hub size.
+
+Table 3 compares (a) the memory needed for constant-time LCA computation
+(HC2L's bitstrings vs H2H's Euler-tour/RMQ tables) and (b) the average
+number of hubs inspected per query across methods.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table3
+
+
+def test_reproduce_table3(benchmark, distance_evaluation):
+    """Assemble Table 3 from the shared evaluation and check its shape."""
+    rows = benchmark.pedantic(
+        lambda: table3(evaluation=distance_evaluation), rounds=1, iterations=1
+    )
+    assert len(rows) == len(distance_evaluation.datasets)
+    for row in rows:
+        # HC2L's bitstring LCA index is dramatically smaller than H2H's RMQ
+        assert row["lca_bytes_HC2L"] < row["lca_bytes_H2H"]
+        # and HC2L inspects fewer hubs per query than every baseline
+        assert row["ahs_HC2L"] <= row["ahs_H2H"] + 1
+        assert row["ahs_HC2L"] <= row["ahs_HL"] + 1
+        assert row["ahs_HC2L"] <= row["ahs_PHL"] + 1
+    text = render_table(rows, title="Table 3 - LCA storage and average hub size")
+    write_result("table3", text)
+
+
+def test_lca_query_overhead(benchmark, distance_evaluation, bench_datasets):
+    """Micro-benchmark of the O(1) LCA-depth computation itself."""
+    dataset = bench_datasets[0]
+    index = distance_evaluation.indexes[(dataset, "HC2L")]
+    hierarchy = index.hierarchy
+    n = index.contraction.core.num_vertices
+    pairs = [(i % n, (i * 7 + 3) % n) for i in range(1000)]
+
+    def run_lca_batch():
+        total = 0
+        for s, t in pairs:
+            total += hierarchy.lca_depth(s, t)
+        return total
+
+    assert benchmark(run_lca_batch) >= 0

@@ -1,0 +1,28 @@
+"""Benchmark / reproduction of Table 4 - travel-time weights.
+
+Table 4 repeats the Table 2 comparison with travel times as edge weights;
+the paper observes that PHL and HL shrink considerably under travel times
+(better orderings / pruning) while HC2L stays roughly stable.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table4
+
+
+def test_reproduce_table4(benchmark, travel_time_evaluation):
+    """Assemble the Table 4 rows from the travel-time evaluation."""
+    rows = benchmark.pedantic(
+        lambda: table4(evaluation=travel_time_evaluation), rounds=1, iterations=1
+    )
+    assert len(rows) == len(travel_time_evaluation.datasets)
+    for row in rows:
+        assert row["weighting"] == "travel_time"
+        # HC2L remains the fastest query method under travel times as well
+        assert row["query_us_HC2L"] <= 1.5 * row["query_us_H2H"]
+        assert row["query_us_HC2L"] <= 1.5 * row["query_us_PHL"]
+    text = render_table(rows, title="Table 4 - query time / label size / construction (travel times)")
+    write_result("table4", text)

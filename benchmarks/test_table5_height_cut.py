@@ -1,0 +1,41 @@
+"""Benchmark / reproduction of Table 5 - tree height and maximum cut size.
+
+Table 5 contrasts the balanced tree hierarchy of HC2L (shallow, small
+cuts) with the tree decompositions used by H2H/P2H (hundreds of levels,
+large widths).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table5
+
+
+def test_reproduce_table5(benchmark, distance_evaluation):
+    """Assemble Table 5 from the shared evaluation and check the paper's shape."""
+    rows = benchmark.pedantic(
+        lambda: table5(evaluation=distance_evaluation), rounds=1, iterations=1
+    )
+    assert len(rows) == len(distance_evaluation.datasets)
+    for row in rows:
+        # the headline of Table 5: HC2L hierarchies are far shallower than
+        # tree decompositions, with smaller cuts than bags
+        assert row["height_HC2L"] < row["height_H2H"]
+        assert row["max_cut_HC2L"] <= 2 * row["width_H2H"]
+    text = render_table(rows, title="Table 5 - tree height and max cut size / width")
+    write_result("table5", text)
+
+
+def test_hierarchy_construction_time(benchmark, primary_dataset):
+    """Construction-time micro-benchmark for the balanced tree hierarchy alone."""
+    _, _, graph, _ = primary_dataset
+    from repro.core.construction import HC2LBuilder
+
+    def build():
+        return HC2LBuilder(beta=0.2).build(graph)
+
+    hierarchy, labelling, stats = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert hierarchy.height() > 0
+    assert labelling.total_entries() > 0

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compare HC2L against every baseline on one dataset (a miniature Table 2).
+
+Builds HC2L, H2H, PHL, HL, PLL and bidirectional Dijkstra on the same
+synthetic road network and prints query time, index size, construction
+time and average hub count per method - the comparison at the heart of the
+paper's evaluation.
+
+Run with::
+
+    python examples/compare_methods.py [dataset]
+
+where ``dataset`` is one of the paper's dataset names (NY, BAY, COL, ...);
+the synthetic stand-in of that dataset is used.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.datasets import load_dataset
+from repro.experiments.harness import run_cell
+from repro.experiments.methods import METHOD_BUILDERS
+from repro.experiments.report import render_table
+from repro.experiments.workloads import random_pairs
+
+METHODS = ["HC2L", "HC2L_p", "H2H", "PHL", "HL", "PLL", "BiDijkstra"]
+
+
+def main(dataset: str = "NY") -> None:
+    network = load_dataset(dataset)
+    graph = network.distance_graph
+    print(f"Dataset {dataset} (synthetic stand-in): "
+          f"{graph.num_vertices} vertices, {graph.num_edges} edges")
+    pairs = random_pairs(graph, 2000, seed=5)
+
+    rows = []
+    for method_name in METHODS:
+        spec = METHOD_BUILDERS[method_name]
+        print(f"  building {method_name} ...")
+        cell = run_cell(spec, graph, pairs, dataset_name=dataset)
+        rows.append(
+            {
+                "method": cell.method,
+                "query_us": round(cell.query_microseconds, 3),
+                "label_size_bytes": cell.label_size_bytes,
+                "construction_s": round(cell.construction_seconds, 3),
+                "avg_hubs": round(cell.average_hubs, 1),
+            }
+        )
+
+    print()
+    print(render_table(rows, title=f"Method comparison on {dataset} (distance weights)"))
+    fastest = min(rows, key=lambda r: r["query_us"])
+    print(f"Fastest query method: {fastest['method']} at {fastest['query_us']} us/query")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "NY")

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+This is the heavyweight example: it runs the full experiment harness
+(Tables 1-5, Figures 6-7) on the synthetic stand-in datasets and writes
+the rendered text to stdout and to ``results/``.
+
+Runtime is controlled by the same environment variables the benchmark
+suite uses:
+
+* ``REPRO_BENCH_DATASETS`` - comma-separated dataset subset
+  (default NY,BAY,COL,FLA,CAL),
+* ``REPRO_BENCH_SCALE`` - dataset size multiplier (default 1).
+
+Run with::
+
+    python examples/reproduce_tables.py [--quick]
+
+``--quick`` restricts the run to the two smallest datasets and fewer
+queries so it finishes in well under a minute.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments import report
+from repro.experiments.datasets import bench_dataset_names
+from repro.experiments.evaluation import run_evaluation
+from repro.experiments.figures import figure6, figure7
+from repro.experiments.tables import TABLE2_METHODS, table1, table2, table3, table4, table5
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def main(quick: bool = False) -> None:
+    datasets = bench_dataset_names()
+    num_queries = 2000
+    if quick:
+        datasets = datasets[:2]
+        num_queries = 400
+    print(f"Datasets: {', '.join(datasets)} ({num_queries} random queries each)\n")
+
+    sections: dict[str, str] = {}
+
+    sections["table1"] = report.render_table(table1(datasets), title="Table 1 - dataset summary")
+
+    print("Running the distance-weighted evaluation (Tables 2, 3, 5, Figure 6) ...")
+    distance_eval = run_evaluation(
+        datasets=datasets, methods=TABLE2_METHODS, weighting="distance",
+        num_queries=num_queries, keep_indexes=False,
+    )
+    sections["table2"] = report.render_table(
+        table2(evaluation=distance_eval), title="Table 2 - distance weights"
+    )
+    sections["table3"] = report.render_table(
+        table3(datasets=datasets, num_queries=num_queries), title="Table 3 - LCA storage / average hub size"
+    )
+    sections["table5"] = report.render_table(
+        table5(evaluation=distance_eval), title="Table 5 - tree height and max cut size"
+    )
+
+    print("Running the travel-time evaluation (Table 4) ...")
+    travel_eval = run_evaluation(
+        datasets=datasets, methods=TABLE2_METHODS, weighting="travel_time",
+        num_queries=num_queries, keep_indexes=False,
+    )
+    sections["table4"] = report.render_table(
+        table4(evaluation=travel_eval), title="Table 4 - travel-time weights"
+    )
+
+    print("Running Figure 6 (distance-stratified query sets) ...")
+    sections["figure6"] = report.render_figure6(
+        figure6(datasets=datasets, pairs_per_set=50 if quick else 100)
+    )
+    print("Running Figure 7 (balance threshold sweep) ...")
+    sections["figure7"] = report.render_figure7(
+        figure7(datasets=datasets[: min(3, len(datasets))], num_queries=num_queries // 2)
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for name, text in sections.items():
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    print(f"All sections also written to {RESULTS_DIR}/")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

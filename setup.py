@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment for this reproduction has no network access, so
+``pip install -e .`` must not attempt to download build dependencies into
+an isolated build environment.  Providing a ``setup.py`` (alongside the
+declarative ``pyproject.toml``) lets pip fall back to the legacy editable
+install path, which uses the already-installed setuptools.
+"""
+
+from setuptools import setup
+
+setup()

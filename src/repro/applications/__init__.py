@@ -1,0 +1,25 @@
+"""Application-level helpers built on top of distance indexes.
+
+The paper motivates HC2L with latency-critical applications that issue
+huge batches of distance queries: ride hailing (match thousands of cars to
+customers each second), k-nearest point-of-interest recommendation and
+delivery-route planning.  This package provides those building blocks on
+top of *any* index exposing ``distance(s, t)``:
+
+* :class:`KNearestNeighbours` - k nearest POIs to a query vertex,
+* :func:`distance_matrix` / :func:`nearest_assignment` - many-to-many
+  batches such as the "1k cars x 10k customers" workload of the
+  introduction,
+* :class:`RoutePlanner` - greedy multi-stop route planning over an index.
+"""
+
+from repro.applications.knn import KNearestNeighbours
+from repro.applications.matrix import distance_matrix, nearest_assignment
+from repro.applications.routing import RoutePlanner
+
+__all__ = [
+    "KNearestNeighbours",
+    "distance_matrix",
+    "nearest_assignment",
+    "RoutePlanner",
+]

@@ -1,0 +1,65 @@
+"""k-nearest point-of-interest queries on top of a distance index.
+
+The paper's introduction cites k-nearest POI recommendation as one of the
+query-heavy applications that need microsecond distance lookups.  Given a
+set of POI vertices and any distance index (HC2L or a baseline), the class
+below answers "which k POIs are closest to this vertex" by evaluating one
+distance query per POI - exactly the access pattern whose per-query cost
+the paper optimises.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Protocol, Sequence, Tuple
+
+
+class DistanceIndex(Protocol):
+    """Anything that can answer exact distance queries."""
+
+    def distance(self, s: int, t: int) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class KNearestNeighbours:
+    """k-nearest-POI queries over a fixed POI set.
+
+    Parameters
+    ----------
+    index:
+        A distance index (e.g. :class:`repro.HC2LIndex`).
+    pois:
+        The candidate vertices (taxis, restaurants, charging stations, ...).
+    """
+
+    def __init__(self, index: DistanceIndex, pois: Iterable[int]) -> None:
+        self.index = index
+        self.pois: List[int] = list(dict.fromkeys(pois))
+        if not self.pois:
+            raise ValueError("at least one POI is required")
+
+    def query(self, vertex: int, k: int = 1) -> List[Tuple[int, float]]:
+        """The ``k`` POIs nearest to ``vertex`` as ``(poi, distance)`` pairs.
+
+        Unreachable POIs (infinite distance) are excluded; fewer than ``k``
+        results are returned when not enough POIs are reachable.
+        """
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        distances = [(self.index.distance(vertex, poi), poi) for poi in self.pois]
+        reachable = [(d, poi) for d, poi in distances if d != float("inf")]
+        nearest = heapq.nsmallest(k, reachable)
+        return [(poi, d) for d, poi in nearest]
+
+    def within_radius(self, vertex: int, radius: float) -> List[Tuple[int, float]]:
+        """All POIs within ``radius`` of ``vertex``, nearest first."""
+        hits = [
+            (self.index.distance(vertex, poi), poi)
+            for poi in self.pois
+        ]
+        selected = sorted((d, poi) for d, poi in hits if d <= radius)
+        return [(poi, d) for d, poi in selected]
+
+    def batch_query(self, vertices: Sequence[int], k: int = 1) -> List[List[Tuple[int, float]]]:
+        """k-nearest POIs for every vertex in ``vertices`` (one list per vertex)."""
+        return [self.query(vertex, k) for vertex in vertices]

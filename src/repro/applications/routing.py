@@ -1,0 +1,99 @@
+"""Multi-stop route planning on top of a distance index.
+
+Another application the paper's introduction motivates: optimising
+delivery routes with multiple pick-up and drop-off points that change
+dynamically.  The planner below solves the classic "visit all stops,
+return (optionally) to the depot" problem with the nearest-neighbour
+heuristic plus 2-opt improvement - every evaluation is a distance-index
+query, so better indexes directly translate into faster planning.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.applications.knn import DistanceIndex
+
+INF = float("inf")
+
+
+class RoutePlanner:
+    """Heuristic multi-stop route planning over a distance index."""
+
+    def __init__(self, index: DistanceIndex) -> None:
+        self.index = index
+
+    # ------------------------------------------------------------------ #
+    def route(
+        self,
+        depot: int,
+        stops: Sequence[int],
+        return_to_depot: bool = True,
+        two_opt_rounds: int = 2,
+    ) -> Tuple[List[int], float]:
+        """Plan a route from ``depot`` through every stop.
+
+        Returns ``(ordered_vertices, total_length)``; the route starts at
+        the depot and ends at the depot when ``return_to_depot`` is set.
+        Unreachable stops raise ``ValueError`` - the caller should filter
+        them out (e.g. with :class:`KNearestNeighbours.within_radius`).
+        """
+        unique_stops = [s for s in dict.fromkeys(stops) if s != depot]
+        if not unique_stops:
+            path = [depot, depot] if return_to_depot else [depot]
+            return path, 0.0
+        order = self._nearest_neighbour_order(depot, unique_stops)
+        for _ in range(max(0, two_opt_rounds)):
+            improved, order = self._two_opt_pass(depot, order, return_to_depot)
+            if not improved:
+                break
+        route = [depot] + order + ([depot] if return_to_depot else [])
+        return route, self.route_length(route)
+
+    def route_length(self, route: Sequence[int]) -> float:
+        """Total length of a vertex sequence under the index's metric."""
+        total = 0.0
+        for a, b in zip(route, route[1:]):
+            leg = self.index.distance(a, b)
+            if leg == INF:
+                raise ValueError(f"stop {b} is unreachable from {a}")
+            total += leg
+        return total
+
+    # ------------------------------------------------------------------ #
+    def _nearest_neighbour_order(self, depot: int, stops: Sequence[int]) -> List[int]:
+        remaining = list(stops)
+        order: List[int] = []
+        current = depot
+        while remaining:
+            best: Optional[Tuple[float, int]] = None
+            for stop in remaining:
+                d = self.index.distance(current, stop)
+                if best is None or d < best[0]:
+                    best = (d, stop)
+            assert best is not None
+            if best[0] == INF:
+                raise ValueError(f"stop {best[1]} is unreachable from {current}")
+            order.append(best[1])
+            remaining.remove(best[1])
+            current = best[1]
+        return order
+
+    def _two_opt_pass(
+        self, depot: int, order: List[int], return_to_depot: bool
+    ) -> Tuple[bool, List[int]]:
+        """One pass of 2-opt segment reversal; returns (improved, new order)."""
+        route = [depot] + order + ([depot] if return_to_depot else [])
+        best_length = self.route_length(route)
+        n = len(order)
+        improved = False
+        for i in range(n - 1):
+            for j in range(i + 1, n):
+                candidate = order[:i] + list(reversed(order[i : j + 1])) + order[j + 1 :]
+                candidate_route = [depot] + candidate + ([depot] if return_to_depot else [])
+                length = self.route_length(candidate_route)
+                if length + 1e-12 < best_length:
+                    order = candidate
+                    best_length = length
+                    improved = True
+        return improved, order

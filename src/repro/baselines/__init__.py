@@ -1,0 +1,51 @@
+"""Baseline distance-query methods the paper compares against.
+
+Every baseline exposes the same minimal interface as
+:class:`repro.HC2LIndex`:
+
+``build(graph, ...)``
+    classmethod constructing the index, recording ``construction_seconds``.
+``distance(s, t)``
+    exact shortest-path distance (``inf`` for disconnected pairs).
+``label_size_bytes()``
+    approximate index size, used for the Table 2/4 columns.
+``distance_with_hub_count(s, t)``
+    distance plus the number of label entries inspected, which feeds the
+    "Average Hub Size" column of Table 3.
+
+Implemented baselines:
+
+* :class:`DijkstraOracle` and :class:`BidirectionalDijkstra` - search-based
+  references (and the ground truth for tests).
+* :class:`ContractionHierarchy` (CH) - search-based baseline and the
+  vertex-ordering substrate for hub labelling.
+* :class:`PrunedLandmarkLabelling` (PLL) - generic 2-hop labelling.
+* :class:`HubLabelling` (HL) - hierarchical hub labelling using the CH
+  contraction order.
+* :class:`PrunedHighwayLabelling` (PHL) - highway (shortest-path)
+  decomposition labels.
+* :class:`H2HIndex` (H2H) - tree-decomposition labelling with RMQ-based
+  LCA.
+"""
+
+from repro.baselines.dijkstra import BidirectionalDijkstra, DijkstraOracle
+from repro.baselines.ch import ContractionHierarchy
+from repro.baselines.pll import PrunedLandmarkLabelling
+from repro.baselines.hub_labelling import HubLabelling
+from repro.baselines.phl import PrunedHighwayLabelling
+from repro.baselines.tree_decomposition import TreeDecomposition, tree_decomposition
+from repro.baselines.h2h import H2HIndex
+from repro.baselines.lca import EulerTourLCA
+
+__all__ = [
+    "DijkstraOracle",
+    "BidirectionalDijkstra",
+    "ContractionHierarchy",
+    "PrunedLandmarkLabelling",
+    "HubLabelling",
+    "PrunedHighwayLabelling",
+    "TreeDecomposition",
+    "tree_decomposition",
+    "H2HIndex",
+    "EulerTourLCA",
+]

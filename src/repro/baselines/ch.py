@@ -1,0 +1,225 @@
+"""Contraction Hierarchies (Geisberger et al. 2008).
+
+CH serves two roles in this reproduction, mirroring its roles in the
+literature the paper builds on:
+
+1. a search-based baseline (bidirectional upward Dijkstra over the
+   shortcut-augmented graph), and
+2. the vertex-importance order consumed by the hub labelling baseline
+   (hierarchical hub labellings are defined relative to a CH-style order).
+
+The node order is computed with the standard lazy-update heuristic
+combining *edge difference* (shortcuts added minus edges removed) and the
+*deleted neighbours* term.  Witness searches are hop/size limited; an
+inconclusive witness search simply adds the shortcut, which affects index
+size but never correctness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.utils.priority_queue import AddressablePriorityQueue
+from repro.utils.validation import check_vertex
+
+INF = float("inf")
+
+
+@dataclass
+class ContractionHierarchy:
+    """A built contraction hierarchy."""
+
+    graph: Graph
+    #: contraction rank of each vertex (0 = contracted first / least important)
+    rank: List[int]
+    #: upward adjacency: for each vertex, (neighbour, weight) with higher rank
+    upward: List[List[Tuple[int, float]]]
+    num_shortcuts: int = 0
+    construction_seconds: float = 0.0
+    witness_settle_limit: int = 60
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, graph: Graph, witness_settle_limit: int = 60) -> "ContractionHierarchy":
+        """Build the hierarchy with the lazy edge-difference node order."""
+        start = time.perf_counter()
+        n = graph.num_vertices
+        remaining: List[Dict[int, float]] = [dict(graph.neighbors(v)) for v in range(n)]
+        deleted_neighbours = [0] * n
+        rank = [-1] * n
+        shortcuts: List[Tuple[int, int, float]] = []
+
+        def simulate_contraction(v: int, record: bool) -> int:
+            """Count (and optionally record) the shortcuts contracting ``v`` needs."""
+            neighbours = list(remaining[v].items())
+            added = 0
+            for i, (u, wu) in enumerate(neighbours):
+                for w, ww in neighbours[i + 1 :]:
+                    via = wu + ww
+                    if _has_witness(remaining, u, w, v, via, witness_settle_limit):
+                        continue
+                    added += 1
+                    if record:
+                        shortcuts.append((u, w, via))
+                        current = remaining[u].get(w)
+                        if current is None or via < current:
+                            remaining[u][w] = via
+                            remaining[w][u] = via
+            return added
+
+        def priority(v: int) -> float:
+            edge_count = len(remaining[v])
+            return float(simulate_contraction(v, record=False) - edge_count + 2 * deleted_neighbours[v])
+
+        queue = AddressablePriorityQueue()
+        for v in range(n):
+            queue.push(v, priority(v))
+
+        next_rank = 0
+        while queue:
+            v, prio = queue.pop()
+            # lazy update: recompute and re-insert if the priority became stale
+            current = priority(v)
+            if queue and current > queue.peek()[1]:
+                queue.push(v, current)
+                continue
+            simulate_contraction(v, record=True)
+            rank[v] = next_rank
+            next_rank += 1
+            for u in list(remaining[v].keys()):
+                del remaining[u][v]
+                deleted_neighbours[u] += 1
+                if u in queue:
+                    queue.push(u, priority(u))
+            remaining[v].clear()
+
+        upward: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        for u, v, w in graph.edges():
+            if rank[u] < rank[v]:
+                upward[u].append((v, w))
+            else:
+                upward[v].append((u, w))
+        for u, v, w in shortcuts:
+            if rank[u] < rank[v]:
+                upward[u].append((v, w))
+            else:
+                upward[v].append((u, w))
+
+        index = cls(
+            graph=graph,
+            rank=rank,
+            upward=upward,
+            num_shortcuts=len(shortcuts),
+            witness_settle_limit=witness_settle_limit,
+        )
+        index.construction_seconds = time.perf_counter() - start
+        return index
+
+    # ------------------------------------------------------------------ #
+    def distance(self, s: int, t: int) -> float:
+        """Exact distance via bidirectional upward Dijkstra."""
+        check_vertex(s, self.graph.num_vertices, "s")
+        check_vertex(t, self.graph.num_vertices, "t")
+        if s == t:
+            return 0.0
+        forward = self._upward_search(s)
+        backward = self._upward_search(t)
+        best = INF
+        small, large = (forward, backward) if len(forward) <= len(backward) else (backward, forward)
+        for v, d in small.items():
+            other = large.get(v)
+            if other is not None and d + other < best:
+                best = d + other
+        return best
+
+    def distance_with_hub_count(self, s: int, t: int) -> Tuple[float, int]:
+        """Distance plus the size of the two upward search spaces."""
+        check_vertex(s, self.graph.num_vertices, "s")
+        check_vertex(t, self.graph.num_vertices, "t")
+        if s == t:
+            return 0.0, 0
+        forward = self._upward_search(s)
+        backward = self._upward_search(t)
+        best = INF
+        for v, d in forward.items():
+            other = backward.get(v)
+            if other is not None and d + other < best:
+                best = d + other
+        return best, len(forward) + len(backward)
+
+    def _upward_search(self, source: int) -> Dict[int, float]:
+        """Dijkstra restricted to upward edges; returns settled distances."""
+        dist: Dict[int, float] = {source: 0.0}
+        settled: Dict[int, float] = {}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, v = heapq.heappop(heap)
+            if v in settled:
+                continue
+            settled[v] = d
+            for w, weight in self.upward[v]:
+                nd = d + weight
+                if nd < dist.get(w, INF):
+                    dist[w] = nd
+                    heapq.heappush(heap, (nd, w))
+        return settled
+
+    # ------------------------------------------------------------------ #
+    def importance_order(self) -> List[int]:
+        """Vertices from most to least important (input order for hub labelling)."""
+        return sorted(self.graph.vertices(), key=lambda v: -self.rank[v])
+
+    def label_size_bytes(self) -> int:
+        """Size of the upward graph (the only structure CH queries need)."""
+        arcs = sum(len(edges) for edges in self.upward)
+        return arcs * 12 + 8 * self.graph.num_vertices
+
+    def average_search_space(self, sample_pairs: Optional[List[Tuple[int, int]]] = None) -> float:
+        """Mean number of settled vertices per query over ``sample_pairs``."""
+        if not sample_pairs:
+            return 0.0
+        total = 0
+        for s, t in sample_pairs:
+            total += len(self._upward_search(s)) + len(self._upward_search(t))
+        return total / len(sample_pairs)
+
+
+def _has_witness(
+    adjacency: List[Dict[int, float]],
+    source: int,
+    target: int,
+    skip: int,
+    limit: float,
+    settle_limit: int,
+) -> bool:
+    """Bounded witness search: is there a path <= ``limit`` avoiding ``skip``?
+
+    Inconclusive searches (budget exhausted) return ``False`` so the caller
+    adds a possibly redundant shortcut - conservative but correct.
+    """
+    if source == target:
+        return True
+    dist: Dict[int, float] = {source: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled = 0
+    while heap and settled < settle_limit:
+        d, v = heapq.heappop(heap)
+        if d > dist.get(v, INF):
+            continue
+        if v == target:
+            return d <= limit
+        if d > limit:
+            return False
+        settled += 1
+        for w, weight in adjacency[v].items():
+            if w == skip:
+                continue
+            nd = d + weight
+            if nd < dist.get(w, INF) and nd <= limit:
+                dist[w] = nd
+                heapq.heappush(heap, (nd, w))
+    return dist.get(target, INF) <= limit

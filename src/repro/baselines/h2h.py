@@ -1,0 +1,166 @@
+"""H2H - Hierarchical 2-Hop labelling over a tree decomposition (Ouyang et al. 2018).
+
+The H2H baseline stores, for every vertex ``v``,
+
+* a *distance array* holding the exact distance from ``v`` to each of its
+  ancestors in the tree decomposition (and to itself), and
+* a *position array* holding the ancestor-depth indices of the members of
+  ``v``'s bag ``X(v)``.
+
+A query ``(s, t)`` finds ``w = LCA(s, t)`` with an RMQ structure and takes
+the minimum of ``dist_s[i] + dist_t[i]`` over the positions ``i`` recorded
+for ``w`` (Equation 3 of the paper) - correct because ``X(w)`` separates
+``s`` from ``t`` in the graph.
+
+The distance arrays are filled top-down with the standard dynamic program:
+all bag members of ``v`` are ancestors of ``v``, so the distance from ``v``
+to any ancestor ``a`` is the minimum over bag members ``x`` of
+``w(v, x) + d(x, a)``, where ``d(x, a)`` is already available either in
+``x``'s own array (when ``a`` is an ancestor of ``x``) or in ``a``'s array
+(when ``x`` is an ancestor of ``a``).  The implementation vectorises this
+with numpy by maintaining the distance arrays of the current root-to-node
+path in a matrix.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.lca import EulerTourLCA
+from repro.baselines.tree_decomposition import TreeDecomposition, tree_decomposition
+from repro.graph.graph import Graph
+from repro.utils.validation import check_vertex
+
+INF = float("inf")
+
+
+@dataclass
+class H2HIndex:
+    """A built H2H index."""
+
+    graph: Graph
+    decomposition: TreeDecomposition
+    lca: EulerTourLCA
+    #: per vertex: distances to ancestors (root first) and to itself (last)
+    dist_arrays: List[np.ndarray] = field(default_factory=list)
+    #: per vertex: ancestor-depth positions of the bag members + own depth
+    pos_arrays: List[List[int]] = field(default_factory=list)
+    construction_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, graph: Graph, decomposition: Optional[TreeDecomposition] = None) -> "H2HIndex":
+        """Build the H2H index (computing the tree decomposition if needed)."""
+        start = time.perf_counter()
+        decomposition = decomposition or tree_decomposition(graph)
+        lca = EulerTourLCA(decomposition.parent)
+        index = cls(graph=graph, decomposition=decomposition, lca=lca)
+        index._build_labels()
+        index.construction_seconds = time.perf_counter() - start
+        return index
+
+    def _build_labels(self) -> None:
+        n = self.graph.num_vertices
+        decomposition = self.decomposition
+        depth = decomposition.depth
+        children = decomposition.children()
+        self.dist_arrays = [np.zeros(0)] * n
+        self.pos_arrays = [[] for _ in range(n)]
+
+        max_depth = (max(depth) + 1) if n else 0
+        # path_matrix[d] holds the distance array (padded with +inf) of the
+        # ancestor at depth d on the DFS path currently being explored.
+        path_matrix = np.full((max_depth + 1, max_depth + 1), INF, dtype=float)
+
+        for root in decomposition.roots():
+            stack: List[int] = [root]
+            while stack:
+                v = stack.pop()
+                d_v = depth[v]
+                bag = decomposition.bags[v]
+                if not bag:
+                    array = np.zeros(1)
+                else:
+                    best = np.full(d_v, INF, dtype=float)
+                    for x, weight in bag:
+                        d_x = depth[x]
+                        # distances from x to the ancestors of v at depths
+                        # 0..d_v-1: prefix from x's own array, suffix gathered
+                        # from the deeper ancestors' arrays at position d_x.
+                        contribution = np.empty(d_v, dtype=float)
+                        contribution[: d_x + 1] = self.dist_arrays[x]
+                        if d_x + 1 < d_v:
+                            contribution[d_x + 1 :] = path_matrix[d_x + 1 : d_v, d_x]
+                        candidate = weight + contribution
+                        np.minimum(best, candidate, out=best)
+                    array = np.concatenate([best, [0.0]])
+                self.dist_arrays[v] = array
+                path_matrix[d_v, : d_v + 1] = array
+                self.pos_arrays[v] = sorted({depth[x] for x, _ in bag} | {d_v})
+                stack.extend(children[v])
+
+    # ------------------------------------------------------------------ #
+    def distance(self, s: int, t: int) -> float:
+        """Exact distance between ``s`` and ``t`` (Equation 3)."""
+        return self.distance_with_hub_count(s, t)[0]
+
+    def distance_with_hub_count(self, s: int, t: int) -> Tuple[float, int]:
+        """Distance plus the number of label positions inspected."""
+        check_vertex(s, self.graph.num_vertices, "s")
+        check_vertex(t, self.graph.num_vertices, "t")
+        if s == t:
+            return 0.0, 0
+        ancestor = self.lca.lca(s, t)
+        if ancestor < 0:
+            return INF, 0
+        dist_s = self.dist_arrays[s]
+        dist_t = self.dist_arrays[t]
+        positions = self.pos_arrays[ancestor]
+        best = INF
+        for i in positions:
+            candidate = dist_s[i] + dist_t[i]
+            if candidate < best:
+                best = candidate
+        return float(best), len(positions)
+
+    # ------------------------------------------------------------------ #
+    # metrics (Tables 2-5)
+    # ------------------------------------------------------------------ #
+    def total_entries(self) -> int:
+        """Total number of stored distance values."""
+        return int(sum(len(a) for a in self.dist_arrays))
+
+    def label_size_bytes(self) -> int:
+        """Distance arrays (8 bytes/entry) plus position arrays (4 bytes/entry)."""
+        distances = self.total_entries() * 8
+        positions = sum(len(p) for p in self.pos_arrays) * 4
+        return distances + positions + 8 * self.graph.num_vertices
+
+    def lca_storage_bytes(self) -> int:
+        """Size of the RMQ/LCA structure (Table 3)."""
+        return self.lca.storage_bytes()
+
+    def average_label_size(self) -> float:
+        """Mean distance-array length (ancestor count) per vertex."""
+        n = self.graph.num_vertices
+        return self.total_entries() / n if n else 0.0
+
+    def tree_height(self) -> int:
+        """Height of the tree decomposition (Table 5)."""
+        return self.decomposition.height()
+
+    def tree_width(self) -> int:
+        """Width (largest bag) of the tree decomposition (Table 5)."""
+        return self.decomposition.width()
+
+    def average_hub_positions(self) -> float:
+        """Mean number of positions stored per vertex (the per-query scan size)."""
+        n = self.graph.num_vertices
+        if n == 0:
+            return 0.0
+        return sum(len(p) for p in self.pos_arrays) / n
+

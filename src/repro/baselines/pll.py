@@ -1,0 +1,167 @@
+"""Pruned Landmark Labelling (Akiba, Iwata, Yoshida - SIGMOD 2013).
+
+PLL is the generic 2-hop labelling machinery underlying both the HL and
+PHL baselines in the paper: process vertices in a fixed importance order
+and run a *pruned* Dijkstra from each, adding an entry ``(hub, distance)``
+to the label of every vertex whose distance is not already covered by the
+labels built so far.
+
+The label of a vertex stores ``(hub_rank, distance)`` pairs sorted by hub
+rank, so a query merges two sorted arrays - the classic 2-hop evaluation
+(Equation 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph
+from repro.utils.validation import check_vertex
+
+INF = float("inf")
+
+
+def degree_order(graph: Graph) -> List[int]:
+    """Vertices sorted by decreasing degree (ties: smaller id first).
+
+    The standard ordering heuristic for PLL on road networks when no
+    contraction-hierarchy order is available.
+    """
+    return sorted(graph.vertices(), key=lambda v: (-graph.degree(v), v))
+
+
+@dataclass
+class PrunedLandmarkLabelling:
+    """A pruned 2-hop labelling over a fixed vertex order."""
+
+    graph: Graph
+    order: List[int]
+    #: per vertex: ascending list of hub ranks
+    label_hubs: List[List[int]] = field(default_factory=list)
+    #: per vertex: distances aligned with ``label_hubs``
+    label_dists: List[List[float]] = field(default_factory=list)
+    construction_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, graph: Graph, order: Optional[Sequence[int]] = None) -> "PrunedLandmarkLabelling":
+        """Build the labelling; ``order`` defaults to decreasing degree."""
+        start = time.perf_counter()
+        vertex_order = list(order) if order is not None else degree_order(graph)
+        if len(vertex_order) != graph.num_vertices:
+            raise ValueError("order must contain every vertex exactly once")
+        index = cls(
+            graph=graph,
+            order=vertex_order,
+            label_hubs=[[] for _ in range(graph.num_vertices)],
+            label_dists=[[] for _ in range(graph.num_vertices)],
+        )
+        index._construct()
+        index.construction_seconds = time.perf_counter() - start
+        return index
+
+    def _construct(self) -> None:
+        graph = self.graph
+        label_hubs = self.label_hubs
+        label_dists = self.label_dists
+        for rank, root in enumerate(self.order):
+            dist: dict[int, float] = {root: 0.0}
+            heap: List[Tuple[float, int]] = [(0.0, root)]
+            settled: set[int] = set()
+            while heap:
+                d, v = heapq.heappop(heap)
+                if v in settled:
+                    continue
+                settled.add(v)
+                # prune if the existing labels already certify d(root, v) <= d
+                # (the root itself is never pruned - it must receive its own
+                # zero-distance entry for the 2-hop cover to hold)
+                if v != root and self._query_upper_bound(root, v) <= d:
+                    continue
+                label_hubs[v].append(rank)
+                label_dists[v].append(d)
+                for w, weight in graph.neighbors(v):
+                    nd = d + weight
+                    if nd < dist.get(w, INF):
+                        dist[w] = nd
+                        heapq.heappush(heap, (nd, w))
+
+    def _query_upper_bound(self, u: int, v: int) -> float:
+        """2-hop upper bound between ``u`` and ``v`` from the labels built so far."""
+        if u == v:
+            return 0.0
+        return _merge_min(
+            self.label_hubs[u], self.label_dists[u], self.label_hubs[v], self.label_dists[v]
+        )[0]
+
+    # ------------------------------------------------------------------ #
+    def distance(self, s: int, t: int) -> float:
+        """Exact distance between ``s`` and ``t`` (Equation 1)."""
+        check_vertex(s, self.graph.num_vertices, "s")
+        check_vertex(t, self.graph.num_vertices, "t")
+        if s == t:
+            return 0.0
+        return _merge_min(
+            self.label_hubs[s], self.label_dists[s], self.label_hubs[t], self.label_dists[t]
+        )[0]
+
+    def distance_with_hub_count(self, s: int, t: int) -> Tuple[float, int]:
+        """Distance plus the number of label entries touched by the merge."""
+        check_vertex(s, self.graph.num_vertices, "s")
+        check_vertex(t, self.graph.num_vertices, "t")
+        if s == t:
+            return 0.0, 0
+        return _merge_min(
+            self.label_hubs[s], self.label_dists[s], self.label_hubs[t], self.label_dists[t]
+        )
+
+    # ------------------------------------------------------------------ #
+    def total_entries(self) -> int:
+        """Total number of (hub, distance) pairs stored."""
+        return sum(len(hubs) for hubs in self.label_hubs)
+
+    def average_label_size(self) -> float:
+        """Mean label length per vertex."""
+        n = self.graph.num_vertices
+        return self.total_entries() / n if n else 0.0
+
+    def label_size_bytes(self) -> int:
+        """Approximate size: 4 bytes per hub id + 8 bytes per distance."""
+        return self.total_entries() * 12 + 8 * self.graph.num_vertices
+
+    def hubs_of(self, vertex: int) -> List[Tuple[int, float]]:
+        """The label of ``vertex`` as ``(hub_vertex, distance)`` pairs."""
+        return [
+            (self.order[rank], dist)
+            for rank, dist in zip(self.label_hubs[vertex], self.label_dists[vertex])
+        ]
+
+
+def _merge_min(
+    hubs_a: List[int],
+    dists_a: List[float],
+    hubs_b: List[int],
+    dists_b: List[float],
+) -> Tuple[float, int]:
+    """Sorted-merge min-plus over two labels; returns (distance, entries touched)."""
+    best = INF
+    i = j = 0
+    len_a, len_b = len(hubs_a), len(hubs_b)
+    touched = 0
+    while i < len_a and j < len_b:
+        ha, hb = hubs_a[i], hubs_b[j]
+        touched += 1
+        if ha == hb:
+            candidate = dists_a[i] + dists_b[j]
+            if candidate < best:
+                best = candidate
+            i += 1
+            j += 1
+        elif ha < hb:
+            i += 1
+        else:
+            j += 1
+    return best, touched

@@ -1,0 +1,199 @@
+"""Command line interface for the HC2L reproduction.
+
+Four subcommands cover the typical workflow of a downstream user:
+
+``build``
+    Build an HC2L index from a DIMACS ``.gr`` file (or a synthetic
+    dataset) and save it to disk.
+``query``
+    Load a saved index and answer source/target queries.
+``compare``
+    Build HC2L and selected baselines on a dataset and print the
+    comparison table (a miniature Table 2).
+``generate``
+    Write a synthetic road network to a DIMACS ``.gr`` file so it can be
+    used with external tools.
+
+Run ``python -m repro.cli --help`` for the full option listing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.index import HC2LIndex
+from repro.graph.generators import RoadNetworkSpec, synthetic_road_network
+from repro.graph.graph import Graph
+from repro.graph.io import read_dimacs, write_dimacs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hierarchical Cut 2-Hop Labelling (HC2L) command line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser("build", help="build an HC2L index and save it")
+    _add_graph_source_arguments(build)
+    build.add_argument("--output", "-o", required=True, help="path for the saved index")
+    build.add_argument("--beta", type=float, default=0.2, help="balance parameter (default 0.2)")
+    build.add_argument("--leaf-size", type=int, default=12, help="recursion cut-off (default 12)")
+    build.add_argument("--no-tail-pruning", action="store_true", help="disable tail pruning")
+    build.add_argument("--no-contraction", action="store_true", help="disable degree-one contraction")
+    build.add_argument("--workers", type=int, default=0, help=">=2 uses the parallel builder")
+
+    query = subparsers.add_parser("query", help="answer distance queries from a saved index")
+    query.add_argument("index", help="path to an index written by 'repro build'")
+    query.add_argument("pairs", nargs="*", help="queries as s,t pairs (e.g. 3,17 42,7)")
+    query.add_argument("--stdin", action="store_true", help="read 's t' pairs from standard input")
+
+    compare = subparsers.add_parser("compare", help="compare HC2L against baselines on one graph")
+    _add_graph_source_arguments(compare)
+    compare.add_argument(
+        "--methods",
+        default="HC2L,H2H,HL",
+        help="comma separated methods (HC2L, HC2L_p, H2H, PHL, HL, PLL, BiDijkstra)",
+    )
+    compare.add_argument("--queries", type=int, default=1000, help="random query count (default 1000)")
+
+    generate = subparsers.add_parser("generate", help="write a synthetic road network as DIMACS")
+    generate.add_argument("--vertices", type=int, default=1000, help="approximate vertex count")
+    generate.add_argument("--seed", type=int, default=7, help="generator seed")
+    generate.add_argument("--weighting", choices=["distance", "travel_time"], default="distance")
+    generate.add_argument("--output", "-o", required=True, help="path of the .gr file to write")
+
+    return parser
+
+
+def _add_graph_source_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--graph", help="path to a DIMACS .gr file")
+    source.add_argument("--synthetic", type=int, metavar="N", help="generate a synthetic network with ~N vertices")
+    parser.add_argument("--seed", type=int, default=7, help="seed for --synthetic (default 7)")
+    parser.add_argument(
+        "--weighting",
+        choices=["distance", "travel_time"],
+        default="distance",
+        help="weighting used when --synthetic is given",
+    )
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if getattr(args, "graph", None):
+        return read_dimacs(args.graph)
+    network = synthetic_road_network(
+        RoadNetworkSpec("cli", num_vertices=args.synthetic, seed=args.seed)
+    )
+    return network.graph(args.weighting)
+
+
+# --------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------- #
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    print(f"building HC2L on {graph.num_vertices} vertices / {graph.num_edges} edges ...")
+    index = HC2LIndex.build(
+        graph,
+        beta=args.beta,
+        leaf_size=args.leaf_size,
+        tail_pruning=not args.no_tail_pruning,
+        contract=not args.no_contraction,
+        num_workers=args.workers,
+    )
+    index.save(args.output)
+    summary = index.describe()
+    print(f"saved to {args.output}")
+    print(
+        f"  construction {summary['construction_seconds']:.2f}s, "
+        f"labels {summary['label_size_bytes'] / 1024:.1f} KB, "
+        f"height {int(summary['tree_height'])}, max cut {int(summary['max_cut_size'])}"
+    )
+    return 0
+
+
+def _parse_pairs(args: argparse.Namespace) -> List[tuple[int, int]]:
+    pairs: List[tuple[int, int]] = []
+    for chunk in args.pairs:
+        s, t = chunk.replace(",", " ").split()
+        pairs.append((int(s), int(t)))
+    if args.stdin:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            s, t = line.replace(",", " ").split()[:2]
+            pairs.append((int(s), int(t)))
+    return pairs
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = HC2LIndex.load(args.index)
+    pairs = _parse_pairs(args)
+    if not pairs:
+        print("no query pairs given (pass s,t arguments or --stdin)", file=sys.stderr)
+        return 2
+    for s, t in pairs:
+        print(f"{s}\t{t}\t{index.distance(s, t)}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import run_cell
+    from repro.experiments.methods import METHOD_BUILDERS
+    from repro.experiments.report import render_table
+    from repro.experiments.workloads import random_pairs
+
+    graph = _load_graph(args)
+    methods = [name.strip() for name in args.methods.split(",") if name.strip()]
+    unknown = [name for name in methods if name not in METHOD_BUILDERS]
+    if unknown:
+        print(f"unknown methods: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    pairs = random_pairs(graph, args.queries, seed=17)
+    rows = []
+    for name in methods:
+        cell = run_cell(METHOD_BUILDERS[name], graph, pairs, dataset_name="cli")
+        rows.append(
+            {
+                "method": name,
+                "query_us": round(cell.query_microseconds, 3),
+                "label_size_bytes": cell.label_size_bytes,
+                "construction_s": round(cell.construction_seconds, 3),
+                "avg_hubs": round(cell.average_hubs, 1),
+            }
+        )
+    print(render_table(rows, title=f"comparison on {graph.num_vertices} vertices"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    network = synthetic_road_network(
+        RoadNetworkSpec("generated", num_vertices=args.vertices, seed=args.seed)
+    )
+    graph = network.graph(args.weighting)
+    write_dimacs(graph, args.output, comment=f"synthetic road network seed={args.seed}")
+    print(f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges to {args.output}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro.cli`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "compare": _cmd_compare,
+        "generate": _cmd_generate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())
+

@@ -1,0 +1,212 @@
+"""Dynamic edge-weight updates (Section 5.4 of the paper).
+
+The paper's closing remarks observe that the balanced tree hierarchy does
+not depend on edge weights - only the shortcut weights and the distance
+values do - so when travel times change (road closures, congestion) the
+hierarchy can be preserved and only the labels need refreshing.  This
+module implements exactly that: :func:`relabel` re-runs the labelling pass
+of the construction over an *existing* hierarchy with new edge weights,
+skipping the expensive balanced-cut computations entirely.
+
+Topology changes (adding or removing edges/vertices) are out of scope, as
+in the paper; :class:`DynamicHC2LIndex` raises for them and a full rebuild
+is required.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.core.construction import ConstructionStats
+from repro.core.index import HC2LIndex, HC2LParameters
+from repro.core.labelling import HC2LLabelling, node_distance_arrays
+from repro.core.ranking import CutRanking, rank_cut_vertices
+from repro.graph.contraction import ContractedGraph, contract_degree_one
+from repro.graph.graph import Graph
+from repro.hierarchy.tree import BalancedTreeHierarchy, TreeNode
+from repro.partition.shortcuts import child_adjacency, compute_shortcuts
+from repro.partition.working_graph import WorkingAdjacency, working_graph_from
+
+
+def relabel(index: HC2LIndex, new_graph: Graph) -> HC2LIndex:
+    """Rebuild the labels of ``index`` for ``new_graph`` reusing its hierarchy.
+
+    ``new_graph`` must have exactly the same vertices and edges as the
+    graph the index was built from - only edge weights may differ.  The
+    balanced tree hierarchy (which cuts exist and which subtree every
+    vertex belongs to) is preserved; cut-vertex ranks, shortcuts and all
+    distance arrays are recomputed under the new weights.
+    """
+    _check_same_topology(index.graph, new_graph)
+    start = time.perf_counter()
+
+    if index.parameters.contract:
+        contraction = contract_degree_one(new_graph)
+        _check_same_contraction(index.contraction, contraction)
+    else:
+        from repro.core.index import _identity_contraction
+
+        contraction = _identity_contraction(new_graph)
+
+    hierarchy = index.hierarchy
+    core = contraction.core
+    labelling = HC2LLabelling(core.num_vertices)
+    stats = ConstructionStats()
+    adjacency = working_graph_from(core)
+
+    new_hierarchy = _copy_hierarchy_structure(hierarchy)
+    roots = [node for node in hierarchy.nodes if node.parent is None]
+    for root in roots:
+        _relabel_node(
+            index, root, adjacency, new_hierarchy, labelling, stats, index.parameters
+        )
+
+    elapsed = time.perf_counter() - start
+    return HC2LIndex(
+        graph=new_graph,
+        parameters=index.parameters,
+        contraction=contraction,
+        hierarchy=new_hierarchy,
+        labelling=labelling,
+        stats=stats,
+        construction_seconds=elapsed,
+    )
+
+
+def _relabel_node(
+    index: HC2LIndex,
+    node: TreeNode,
+    adjacency: WorkingAdjacency,
+    new_hierarchy: BalancedTreeHierarchy,
+    labelling: HC2LLabelling,
+    stats: ConstructionStats,
+    parameters: HC2LParameters,
+) -> None:
+    """Recompute ranking, labels and shortcuts for one node of the old tree."""
+    old_hierarchy = index.hierarchy
+    with stats.timer.measure("labelling"):
+        ranking: CutRanking = rank_cut_vertices(adjacency, node.cut)
+        arrays, cut_distances = node_distance_arrays(adjacency, ranking, parameters.tail_pruning)
+    new_node = new_hierarchy.nodes[node.index]
+    new_node.cut = list(ranking.ordered)
+    for vertex in ranking.ordered:
+        new_hierarchy.vertex_node[vertex] = new_node.index
+        new_hierarchy.vertex_depth[vertex] = new_node.depth
+        new_hierarchy.vertex_bits[vertex] = new_node.bits
+    for vertex in adjacency:
+        labelling.append_level(vertex, arrays[vertex])
+    stats.num_nodes += 1
+    if node.is_leaf:
+        stats.num_leaves += 1
+        return
+
+    for child_index in (node.left, node.right):
+        if child_index is None:
+            continue
+        child_node = old_hierarchy.nodes[child_index]
+        child_vertices = old_hierarchy.subtree_vertices(child_index)
+        with stats.timer.measure("shortcuts"):
+            shortcuts = compute_shortcuts(adjacency, ranking.ordered, child_vertices, cut_distances)
+            child_adj = child_adjacency(adjacency, child_vertices, shortcuts)
+        stats.num_shortcuts += len(shortcuts)
+        _relabel_node(index, child_node, child_adj, new_hierarchy, labelling, stats, parameters)
+
+
+def _copy_hierarchy_structure(hierarchy: BalancedTreeHierarchy) -> BalancedTreeHierarchy:
+    """Clone the tree skeleton (nodes, bits, parent/child links) without labels."""
+    clone = BalancedTreeHierarchy(hierarchy.num_vertices)
+    clone.vertex_node = list(hierarchy.vertex_node)
+    clone.vertex_depth = list(hierarchy.vertex_depth)
+    clone.vertex_bits = list(hierarchy.vertex_bits)
+    for node in hierarchy.nodes:
+        clone.nodes.append(
+            TreeNode(
+                index=node.index,
+                depth=node.depth,
+                bits=node.bits,
+                cut=list(node.cut),
+                parent=node.parent,
+                left=node.left,
+                right=node.right,
+                subtree_size=node.subtree_size,
+                is_leaf=node.is_leaf,
+            )
+        )
+    return clone
+
+
+def _check_same_topology(old: Graph, new: Graph) -> None:
+    """Both graphs must have identical vertex and edge sets."""
+    if old.num_vertices != new.num_vertices:
+        raise ValueError(
+            f"relabel requires identical topology; vertex counts differ "
+            f"({old.num_vertices} vs {new.num_vertices})"
+        )
+    if old.num_edges != new.num_edges:
+        raise ValueError(
+            f"relabel requires identical topology; edge counts differ "
+            f"({old.num_edges} vs {new.num_edges})"
+        )
+    for u, v, _ in old.edges():
+        if not new.has_edge(u, v):
+            raise ValueError(f"relabel requires identical topology; edge ({u}, {v}) is missing")
+
+
+def _check_same_contraction(old: ContractedGraph, new: ContractedGraph) -> None:
+    """The degree-one contraction is purely topological, so it must not change."""
+    if old.core_to_original != new.core_to_original:
+        raise ValueError("contraction changed between the old and new graph; rebuild required")
+
+
+class DynamicHC2LIndex:
+    """An HC2L index that supports edge-weight updates without full rebuilds.
+
+    Weight updates are buffered and applied lazily: queries trigger a
+    relabelling pass (hierarchy preserved) when pending updates exist.
+    This mirrors the strategy sketched in Section 5.4: construction of the
+    hierarchy is weight-independent, so only distance values are refreshed.
+    """
+
+    def __init__(self, graph: Graph, parameters: Optional[HC2LParameters] = None, **overrides: object) -> None:
+        self._graph = graph.copy()
+        self._index = HC2LIndex.build(self._graph, parameters, **overrides)
+        self._pending: Dict[Tuple[int, int], float] = {}
+        self.relabel_count = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def index(self) -> HC2LIndex:
+        """The current (possibly stale) underlying index."""
+        return self._index
+
+    def update_edge_weight(self, u: int, v: int, weight: float) -> None:
+        """Schedule a weight change for the existing edge ``(u, v)``."""
+        if not self._graph.has_edge(u, v):
+            raise KeyError(f"edge ({u}, {v}) does not exist; topology changes require a rebuild")
+        if weight <= 0:
+            raise ValueError(f"edge weights must stay positive, got {weight}")
+        self._pending[(min(u, v), max(u, v))] = float(weight)
+
+    def pending_updates(self) -> int:
+        """Number of buffered weight changes not yet applied."""
+        return len(self._pending)
+
+    def flush(self) -> None:
+        """Apply all pending weight changes by relabelling over the old hierarchy."""
+        if not self._pending:
+            return
+        self._graph = self._graph.reweighted(self._pending)
+        self._index = relabel(self._index, self._graph)
+        self._pending.clear()
+        self.relabel_count += 1
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact distance under the most recent weights (flushes lazily)."""
+        self.flush()
+        return self._index.distance(s, t)
+
+    def label_size_bytes(self) -> int:
+        """Size of the current labelling."""
+        return self._index.label_size_bytes()
+

@@ -1,0 +1,247 @@
+"""The public HC2L index facade.
+
+:class:`HC2LIndex` is what applications use: build it once from a road
+network, then answer exact shortest-path distance queries in microseconds
+(well, in Python: in a few label-array scans).  It combines
+
+* the degree-one contraction (Section 4.2.2),
+* the balanced tree hierarchy and tail-pruned labelling over the core
+  graph (Sections 4.1-4.2, built by :class:`repro.core.construction.HC2LBuilder`
+  or its parallel variant), and
+* the O(1)-LCA query procedure (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.construction import ConstructionStats, HC2LBuilder
+from repro.core.labelling import HC2LLabelling
+from repro.core.query import core_distance, core_distance_with_stats
+from repro.graph.contraction import ContractedGraph, contract_degree_one
+from repro.graph.graph import Graph
+from repro.hierarchy.tree import BalancedTreeHierarchy
+from repro.utils.validation import check_balance_parameter, check_vertex
+
+INF = float("inf")
+
+
+@dataclass(frozen=True)
+class HC2LParameters:
+    """Construction parameters for :class:`HC2LIndex`.
+
+    Attributes
+    ----------
+    beta:
+        Balance parameter (Definition 4.1); the paper selects 0.2.
+    leaf_size:
+        Recursion cut-off - subgraphs of at most this size become leaves.
+    tail_pruning:
+        Whether to apply tail pruning (Definition 4.18).  Disabling it
+        yields the naive upper-bound labelling (ablation of Section 5.1.2).
+    contract:
+        Whether to run the degree-one contraction before labelling.
+    num_workers:
+        0 or 1 builds sequentially (HC2L); >= 2 uses the parallel builder
+        (HC2L_p, Section 4.4).
+    """
+
+    beta: float = 0.2
+    leaf_size: int = 12
+    tail_pruning: bool = True
+    contract: bool = True
+    num_workers: int = 0
+
+    def __post_init__(self) -> None:
+        check_balance_parameter(self.beta)
+        if self.leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+
+
+def _identity_contraction(graph: Graph) -> ContractedGraph:
+    """A no-op contraction mapping every vertex to itself."""
+    n = graph.num_vertices
+    return ContractedGraph(
+        core=graph,
+        core_to_original=list(range(n)),
+        original_to_core=list(range(n)),
+        root=list(range(n)),
+        parent=list(range(n)),
+        dist_to_parent=[0.0] * n,
+        dist_to_root=[0.0] * n,
+        depth=[0] * n,
+        num_original=n,
+    )
+
+
+@dataclass
+class HC2LIndex:
+    """A built hierarchical cut 2-hop labelling index."""
+
+    graph: Graph
+    parameters: HC2LParameters
+    contraction: ContractedGraph
+    hierarchy: BalancedTreeHierarchy
+    labelling: HC2LLabelling
+    stats: ConstructionStats
+    construction_seconds: float = 0.0
+    _extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        parameters: Optional[HC2LParameters] = None,
+        **overrides: object,
+    ) -> "HC2LIndex":
+        """Build an index for ``graph``.
+
+        ``parameters`` may be given as an :class:`HC2LParameters` instance
+        or through keyword overrides, e.g. ``HC2LIndex.build(g, beta=0.25)``.
+        """
+        import time
+
+        if parameters is None:
+            parameters = HC2LParameters(**overrides)  # type: ignore[arg-type]
+        elif overrides:
+            raise ValueError("pass either a parameters object or keyword overrides, not both")
+
+        start = time.perf_counter()
+        if parameters.contract:
+            contraction = contract_degree_one(graph)
+        else:
+            contraction = _identity_contraction(graph)
+
+        core = contraction.core
+        if parameters.num_workers >= 2:
+            from repro.core.parallel import ParallelHC2LBuilder
+
+            builder: HC2LBuilder = ParallelHC2LBuilder(
+                beta=parameters.beta,
+                leaf_size=parameters.leaf_size,
+                tail_pruning=parameters.tail_pruning,
+                num_workers=parameters.num_workers,
+            )
+        else:
+            builder = HC2LBuilder(
+                beta=parameters.beta,
+                leaf_size=parameters.leaf_size,
+                tail_pruning=parameters.tail_pruning,
+            )
+        hierarchy, labelling, stats = builder.build(core)
+        elapsed = time.perf_counter() - start
+        return cls(
+            graph=graph,
+            parameters=parameters,
+            contraction=contraction,
+            hierarchy=hierarchy,
+            labelling=labelling,
+            stats=stats,
+            construction_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def distance(self, s: int, t: int) -> float:
+        """Exact shortest-path distance between ``s`` and ``t`` (original ids).
+
+        Returns ``inf`` for disconnected pairs.
+        """
+        n = self.contraction.num_original
+        check_vertex(s, n, "s")
+        check_vertex(t, n, "t")
+        resolved, core_s, core_t, offset = self.contraction.resolve_query(s, t)
+        if resolved is not None:
+            return resolved
+        return offset + core_distance(self.hierarchy, self.labelling, core_s, core_t)
+
+    #: Alias so the index can be swapped with the baseline oracles.
+    query = distance
+
+    def distance_with_hub_count(self, s: int, t: int) -> Tuple[float, int]:
+        """Distance plus the number of label entries scanned (Table 3 metric)."""
+        n = self.contraction.num_original
+        check_vertex(s, n, "s")
+        check_vertex(t, n, "t")
+        resolved, core_s, core_t, offset = self.contraction.resolve_query(s, t)
+        if resolved is not None:
+            return resolved, 0
+        value, hubs = core_distance_with_stats(self.hierarchy, self.labelling, core_s, core_t)
+        return offset + value, hubs
+
+    # ------------------------------------------------------------------ #
+    # metrics (feed Tables 2-5)
+    # ------------------------------------------------------------------ #
+    def label_size_bytes(self) -> int:
+        """Size of the distance labelling, including contracted-vertex records."""
+        contracted_overhead = self.contraction.num_contracted * 16
+        return self.labelling.size_bytes() + contracted_overhead
+
+    def lca_storage_bytes(self) -> int:
+        """Size of the auxiliary structure needed for O(1) LCA queries."""
+        return self.hierarchy.lca_storage_bytes()
+
+    def tree_height(self) -> int:
+        """Height of the balanced tree hierarchy (Table 5)."""
+        return self.hierarchy.height()
+
+    def max_cut_size(self) -> int:
+        """Largest cut in the hierarchy (Table 5)."""
+        return self.hierarchy.max_cut_size()
+
+    def average_cut_size(self) -> float:
+        """Average internal cut size (Figure 7)."""
+        return self.hierarchy.average_cut_size()
+
+    def average_label_entries(self) -> float:
+        """Average number of stored distances per core vertex."""
+        return self.labelling.average_label_entries()
+
+    def contraction_ratio(self) -> float:
+        """Fraction of vertices removed by the degree-one contraction."""
+        return self.contraction.contraction_ratio()
+
+    def describe(self) -> Dict[str, float]:
+        """One-stop summary used by the experiment harness and examples."""
+        summary: Dict[str, float] = {
+            "num_vertices": float(self.graph.num_vertices),
+            "num_edges": float(self.graph.num_edges),
+            "core_vertices": float(self.contraction.core.num_vertices),
+            "contraction_ratio": self.contraction_ratio(),
+            "construction_seconds": self.construction_seconds,
+            "label_size_bytes": float(self.label_size_bytes()),
+            "lca_storage_bytes": float(self.lca_storage_bytes()),
+            "tree_height": float(self.tree_height()),
+            "max_cut_size": float(self.max_cut_size()),
+            "avg_cut_size": self.average_cut_size(),
+            "avg_label_entries": self.average_label_entries(),
+            "num_shortcuts": float(self.stats.num_shortcuts),
+        }
+        summary.update(self._extra)
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise the index to ``path`` (pickle format)."""
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "HC2LIndex":
+        """Load an index previously written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            index = pickle.load(handle)
+        if not isinstance(index, cls):
+            raise TypeError(f"{path} does not contain an HC2LIndex")
+        return index

@@ -1,0 +1,143 @@
+"""Hierarchical cut 2-hop labels (Section 4.2).
+
+The labelling assigns every vertex one *distance array per ancestor cut*
+in the balanced tree hierarchy.  Within an array, positions follow the
+per-node rank order of the cut vertices; only the distance values are
+stored (no hub identifiers), which halves the storage compared to generic
+2-hop labels.  Tail pruning (Algorithm 5) truncates each array to the
+prefix required for correctness.
+
+This module holds
+
+* :func:`node_distance_arrays` - Algorithm 5 for a single tree node
+  (both the tail-pruned and the naive variant used as the upper bound of
+  Section 4.2.1), and
+* :class:`HC2LLabelling` - the per-vertex container plus size metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.pruned_dijkstra import PrunedDistances, dist_and_prune
+from repro.core.ranking import CutRanking
+from repro.partition.working_graph import WorkingAdjacency
+
+INF = float("inf")
+
+
+def node_distance_arrays(
+    adjacency: WorkingAdjacency,
+    ranking: CutRanking,
+    tail_pruning: bool = True,
+) -> Tuple[Dict[int, List[float]], Dict[int, Mapping[int, float]]]:
+    """Compute the per-vertex distance arrays for one tree node (Algorithm 5).
+
+    Parameters
+    ----------
+    adjacency:
+        Working adjacency of the node's (distance-preserving) subgraph.
+    ranking:
+        The ranked cut vertices of the node (Equation 6 order).
+    tail_pruning:
+        When ``False`` the full (naive) arrays are kept; this is the upper
+        bound labelling of Section 4.2.1 used by the ablation benchmark.
+
+    Returns
+    -------
+    (arrays, cut_distances)
+        ``arrays`` maps every vertex of the subgraph to its (possibly
+        tail-pruned) distance array for this node.  ``cut_distances`` maps
+        each cut vertex to its full single-source distance map, which the
+        shortcut computation (Algorithm 3) reuses.
+    """
+    ordered_cut = ranking.ordered
+    vertices = adjacency.keys()
+    if not ordered_cut:
+        return {v: [] for v in vertices}, {}
+
+    searches: List[PrunedDistances] = []
+    for i, cut_vertex in enumerate(ordered_cut):
+        lower_ranked = ordered_cut[:i]
+        searches.append(dist_and_prune(adjacency, cut_vertex, lower_ranked))
+
+    cut_distances: Dict[int, Mapping[int, float]] = {
+        ordered_cut[i]: searches[i].distance for i in range(len(ordered_cut))
+    }
+
+    arrays: Dict[int, List[float]] = {}
+    for v in vertices:
+        if tail_pruning:
+            keep = 0
+            for i, search in enumerate(searches):
+                _, pruneable = search.get(v)
+                if not pruneable:
+                    keep = i
+            length = keep + 1
+        else:
+            length = len(ordered_cut)
+        arrays[v] = [searches[i].distance.get(v, INF) for i in range(length)]
+    return arrays, cut_distances
+
+
+@dataclass
+class HC2LLabelling:
+    """Per-vertex hierarchical cut 2-hop labels.
+
+    ``labels[v]`` is a list of distance arrays, one per level of the
+    root-to-node path of ``v`` in the hierarchy (index = node depth).
+    """
+
+    num_vertices: int
+    labels: List[List[List[float]]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            self.labels = [[] for _ in range(self.num_vertices)]
+
+    def append_level(self, vertex: int, array: Sequence[float]) -> None:
+        """Append the distance array of the next level for ``vertex``."""
+        self.labels[vertex].append(list(array))
+
+    def level_array(self, vertex: int, depth: int) -> List[float]:
+        """Distance array of ``vertex`` at hierarchy depth ``depth``."""
+        return self.labels[vertex][depth]
+
+    def num_levels(self, vertex: int) -> int:
+        """Number of levels stored for ``vertex`` (= node depth + 1)."""
+        return len(self.labels[vertex])
+
+    # ------------------------------------------------------------------ #
+    # size metrics (Tables 2-4)
+    # ------------------------------------------------------------------ #
+    def total_entries(self) -> int:
+        """Total number of stored distance values."""
+        return sum(len(array) for levels in self.labels for array in levels)
+
+    def entries_of(self, vertex: int) -> int:
+        """Number of distance values stored for one vertex."""
+        return sum(len(array) for array in self.labels[vertex])
+
+    def size_bytes(self) -> int:
+        """Approximate labelling size in bytes.
+
+        Each distance value costs 8 bytes; each per-level array carries a
+        2-byte length prefix; each vertex carries an 8-byte offset into the
+        label storage.  Hub identifiers are *not* stored (Section 4.2.2).
+        """
+        entries = self.total_entries()
+        level_overhead = sum(len(levels) * 2 for levels in self.labels)
+        return entries * 8 + level_overhead + 8 * self.num_vertices
+
+    def average_label_entries(self) -> float:
+        """Mean number of stored distance values per vertex."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.total_entries() / self.num_vertices
+
+    def max_label_entries(self) -> int:
+        """Largest per-vertex label, in distance values."""
+        if self.num_vertices == 0:
+            return 0
+        return max(self.entries_of(v) for v in range(self.num_vertices))

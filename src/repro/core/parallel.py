@@ -1,0 +1,172 @@
+"""Parallel HC2L construction (HC2L_p, Section 4.4).
+
+The paper parallelises two things: (a) the two sides of every balanced cut
+are processed by separate threads, and (b) within a node, the per-cut /
+per-border Dijkstra searches run in parallel.  This module mirrors (a)
+with a :class:`concurrent.futures.ThreadPoolExecutor`: whenever a child
+subgraph is large enough, its recursion is submitted as a task instead of
+being processed inline.
+
+A note on expectations: the reference implementation is C++ where threads
+run truly concurrently.  Under CPython's GIL the pure-Python searches do
+not overlap, so the measured speed-up is modest; the benchmark in
+``benchmarks/test_parallel_construction.py`` reports whatever is achieved
+and EXPERIMENTS.md discusses the gap.  The code path, the work splitting
+and the determinism of the result are the same as in the paper.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from typing import List, Optional
+
+from repro.core.construction import ConstructionStats, HC2LBuilder
+from repro.core.labelling import HC2LLabelling, node_distance_arrays
+from repro.core.ranking import rank_cut_vertices
+from repro.graph.graph import Graph
+from repro.hierarchy.tree import BalancedTreeHierarchy
+from repro.partition.cut import balanced_cut
+from repro.partition.shortcuts import child_adjacency, compute_shortcuts
+from repro.partition.working_graph import WorkingAdjacency, working_graph_from
+
+
+class ParallelHC2LBuilder(HC2LBuilder):
+    """HC2L builder that fans the recursion out over a thread pool.
+
+    Parameters mirror :class:`HC2LBuilder`; ``num_workers`` sets the thread
+    pool size and ``parallel_threshold`` the minimum subgraph size for
+    which a child is handed to the pool rather than processed inline.
+    """
+
+    def __init__(
+        self,
+        beta: float = 0.2,
+        leaf_size: int = 12,
+        tail_pruning: bool = True,
+        max_depth: int = 60,
+        num_workers: int = 4,
+        parallel_threshold: int = 64,
+    ) -> None:
+        super().__init__(beta=beta, leaf_size=leaf_size, tail_pruning=tail_pruning, max_depth=max_depth)
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.parallel_threshold = parallel_threshold
+        self._lock = threading.Lock()
+        self._futures: List[Future] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    def build(self, graph: Graph):
+        """Build hierarchy + labelling using ``num_workers`` threads."""
+        stats = ConstructionStats()
+        hierarchy = BalancedTreeHierarchy(graph.num_vertices)
+        labelling = HC2LLabelling(graph.num_vertices)
+        if graph.num_vertices == 0:
+            return hierarchy, labelling, stats
+        adjacency = working_graph_from(graph)
+        self._futures = []
+        with ThreadPoolExecutor(max_workers=self.num_workers) as executor:
+            self._executor = executor
+            self._build_node(
+                adjacency,
+                depth=0,
+                bits=0,
+                parent=None,
+                side=None,
+                hierarchy=hierarchy,
+                labelling=labelling,
+                stats=stats,
+            )
+            # Drain nested tasks: new futures may be appended while we wait.
+            while True:
+                with self._lock:
+                    pending = [f for f in self._futures if not f.done()]
+                if not pending:
+                    break
+                wait(pending)
+            for future in self._futures:
+                future.result()  # surface exceptions from worker threads
+        self._executor = None
+        return hierarchy, labelling, stats
+
+    # ------------------------------------------------------------------ #
+    def _build_node(
+        self,
+        adjacency: WorkingAdjacency,
+        depth: int,
+        bits: int,
+        parent: Optional[int],
+        side: Optional[str],
+        hierarchy: BalancedTreeHierarchy,
+        labelling: HC2LLabelling,
+        stats: ConstructionStats,
+    ) -> Optional[int]:
+        vertices = sorted(adjacency)
+        n = len(vertices)
+        if n == 0:
+            return None
+        with self._lock:
+            stats.max_depth = max(stats.max_depth, depth)
+
+        force_leaf = n <= self.leaf_size or depth >= self.max_depth
+        cut_result = None
+        if not force_leaf:
+            with stats.timer.measure("hierarchy"):
+                cut_result = balanced_cut(adjacency, self.beta)
+            if not cut_result.part_a or not cut_result.part_b:
+                force_leaf = True
+
+        if force_leaf:
+            ranking = rank_cut_vertices(adjacency, vertices)
+            arrays, _ = node_distance_arrays(adjacency, ranking, self.tail_pruning)
+            with self._lock:
+                node = hierarchy.add_node(depth, bits, ranking.ordered, parent, side, is_leaf=True)
+                hierarchy.set_subtree_size(node.index, n)
+                stats.num_nodes += 1
+                stats.num_leaves += 1
+            for v in vertices:
+                labelling.append_level(v, arrays[v])
+            return node.index
+
+        assert cut_result is not None
+        ranking = rank_cut_vertices(adjacency, cut_result.cut)
+        arrays, cut_distances = node_distance_arrays(adjacency, ranking, self.tail_pruning)
+        with self._lock:
+            node = hierarchy.add_node(depth, bits, ranking.ordered, parent, side, is_leaf=False)
+            hierarchy.set_subtree_size(node.index, n)
+            stats.num_nodes += 1
+            if not ranking.ordered:
+                stats.num_empty_cuts += 1
+        for v in vertices:
+            labelling.append_level(v, arrays[v])
+
+        children = (
+            (cut_result.part_a, "left", 0),
+            (cut_result.part_b, "right", 1),
+        )
+        for child_vertices, child_side, child_bit in children:
+            if not child_vertices:
+                continue
+            shortcuts = compute_shortcuts(adjacency, ranking.ordered, child_vertices, cut_distances)
+            child = child_adjacency(adjacency, child_vertices, shortcuts)
+            with self._lock:
+                stats.num_shortcuts += len(shortcuts)
+            args = (
+                child,
+                depth + 1,
+                (bits << 1) | child_bit,
+                node.index,
+                child_side,
+                hierarchy,
+                labelling,
+                stats,
+            )
+            if self._executor is not None and len(child_vertices) >= self.parallel_threshold:
+                future = self._executor.submit(self._build_node, *args)
+                with self._lock:
+                    self._futures.append(future)
+            else:
+                self._build_node(*args)
+        return node.index

@@ -1,0 +1,96 @@
+"""Algorithm 4 - Dijkstra with pruneability tracking (DistAndPrune).
+
+A standard Dijkstra from a cut vertex, augmented with a boolean flag per
+settled vertex recording whether *some* shortest path from the root passes
+through a member of a given prune set ``P`` (the lower-ranked cut
+vertices).  The priority queue orders ties on distance so that flagged
+entries win, which makes the flag mean "there exists a shortest path
+through P" rather than "the particular tree path found goes through P" -
+exactly the semantics required by the tail-pruning rule (Definition 4.18).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.partition.working_graph import WorkingAdjacency
+
+INF = float("inf")
+
+
+@dataclass
+class PrunedDistances:
+    """Result of one DistAndPrune search.
+
+    ``distance`` maps every reached vertex to its shortest-path distance
+    from the root; ``through_prune_set`` records, per reached vertex,
+    whether a shortest path from the root passes through the prune set.
+    Unreached vertices are simply absent (callers treat them as infinity
+    and not pruneable).
+    """
+
+    root: int
+    distance: Dict[int, float]
+    through_prune_set: Dict[int, bool]
+
+    def get(self, vertex: int) -> Tuple[float, bool]:
+        """``(distance, pruneable)`` for ``vertex`` (``(inf, False)`` if unreached)."""
+        return self.distance.get(vertex, INF), self.through_prune_set.get(vertex, False)
+
+
+def dist_and_prune(
+    adjacency: WorkingAdjacency,
+    root: int,
+    prune_set: Iterable[int],
+) -> PrunedDistances:
+    """Run Algorithm 4 from ``root`` over a working adjacency.
+
+    Parameters
+    ----------
+    adjacency:
+        Working adjacency of the (distance-preserving) subgraph.
+    root:
+        The cut vertex the search starts from.
+    prune_set:
+        Vertices whose presence on a shortest path makes the target
+        pruneable (the lower-ranked cut vertices in Algorithm 5).  The
+        root itself is ignored if present.
+
+    Returns
+    -------
+    PrunedDistances
+        Distances and pruneability flags for every reachable vertex.
+    """
+    prune: Set[int] = set(prune_set)
+    prune.discard(root)
+
+    distance: Dict[int, float] = {}
+    through: Dict[int, bool] = {}
+    # Heap entries are (distance, not_pruneable, counter, vertex): among
+    # equal distances the flagged (pruneable) entry pops first, so the flag
+    # recorded at settle time is True as soon as any tied shortest path
+    # passes through the prune set.
+    heap: list[Tuple[float, int, int, int]] = [(0.0, 1, 0, root)]
+    counter = 1
+    while heap:
+        dist, not_pruneable, _, vertex = heapq.heappop(heap)
+        if vertex in distance:
+            continue
+        pruneable = not_pruneable == 0
+        distance[vertex] = dist
+        through[vertex] = pruneable
+        for neighbour, weight in adjacency[vertex].items():
+            if neighbour in distance:
+                continue
+            if vertex in prune:
+                child_flag = True
+            else:
+                child_flag = pruneable
+            heapq.heappush(
+                heap,
+                (dist + weight, 0 if child_flag else 1, counter, neighbour),
+            )
+            counter += 1
+    return PrunedDistances(root=root, distance=distance, through_prune_set=through)

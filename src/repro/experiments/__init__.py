@@ -1,0 +1,38 @@
+"""Experiment harness reproducing the paper's evaluation (Section 5).
+
+The modules here regenerate every table and figure of the paper on the
+synthetic stand-in datasets:
+
+* :mod:`repro.experiments.datasets` - the dataset registry (Table 1),
+* :mod:`repro.experiments.workloads` - random and distance-stratified
+  query workloads (the Q1..Q10 sets of Figure 6),
+* :mod:`repro.experiments.methods` - a uniform build/query wrapper around
+  HC2L and every baseline,
+* :mod:`repro.experiments.harness` - runs one (method, dataset) cell and
+  collects query time, label size, construction time and hub counts,
+* :mod:`repro.experiments.tables` / :mod:`repro.experiments.figures` -
+  assemble the rows/series of Tables 2-5 and Figures 6-7,
+* :mod:`repro.experiments.report` - plain-text rendering.
+"""
+
+from repro.experiments.datasets import DATASET_NAMES, dataset_summary, load_dataset
+from repro.experiments.methods import METHOD_BUILDERS, MethodSpec, available_methods
+from repro.experiments.workloads import distance_stratified_query_sets, random_pairs
+from repro.experiments.harness import CellResult, run_cell
+from repro.experiments import figures, report, tables
+
+__all__ = [
+    "DATASET_NAMES",
+    "load_dataset",
+    "dataset_summary",
+    "random_pairs",
+    "distance_stratified_query_sets",
+    "MethodSpec",
+    "METHOD_BUILDERS",
+    "available_methods",
+    "run_cell",
+    "CellResult",
+    "tables",
+    "figures",
+    "report",
+]

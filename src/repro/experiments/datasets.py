@@ -1,0 +1,116 @@
+"""Dataset registry for the evaluation (synthetic stand-ins for Table 1).
+
+The paper evaluates on ten DIMACS/PTV road networks.  Those graphs are far
+too large for pure-Python index construction, so the registry exposes
+synthetic road networks with the same *names* and the same relative size
+ordering, shrunk by roughly four orders of magnitude (see DESIGN.md for
+the substitution rationale).  Real DIMACS files can be used instead by
+pointing :func:`load_dataset` at a ``.gr`` file via the ``REPRO_DATA_DIR``
+environment variable.
+
+Two environment variables control benchmark weight:
+
+``REPRO_BENCH_SCALE``
+    multiplies every synthetic dataset size (default ``1``).
+``REPRO_BENCH_DATASETS``
+    comma-separated subset of dataset names to run (default: the five
+    smallest, so the bundled benchmark suite finishes in minutes).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.graph.generators import RoadNetwork, paper_dataset_specs, synthetic_road_network
+from repro.graph.graph import Graph
+from repro.graph.io import read_dimacs
+from repro.graph.search import eccentricity_estimate
+
+#: All dataset names, ordered as in Table 1 of the paper.
+DATASET_NAMES: List[str] = ["NY", "BAY", "COL", "FLA", "CAL", "E", "W", "CTR", "USA", "EUR"]
+
+#: The subset used by default in the bundled benchmarks (keeps runtimes sane).
+DEFAULT_BENCH_DATASETS: List[str] = ["NY", "BAY", "COL", "FLA", "CAL"]
+
+
+def bench_scale() -> float:
+    """The global size multiplier for synthetic datasets."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def bench_dataset_names() -> List[str]:
+    """Datasets the benchmark suite should cover (env-var overridable)."""
+    raw = os.environ.get("REPRO_BENCH_DATASETS")
+    if not raw:
+        return list(DEFAULT_BENCH_DATASETS)
+    names = [name.strip().upper() for name in raw.split(",") if name.strip()]
+    unknown = [name for name in names if name not in DATASET_NAMES]
+    if unknown:
+        raise ValueError(f"unknown dataset names in REPRO_BENCH_DATASETS: {unknown}")
+    return names
+
+
+@lru_cache(maxsize=32)
+def load_dataset(name: str, scale: Optional[float] = None) -> RoadNetwork:
+    """Load (generate) the synthetic stand-in for dataset ``name``.
+
+    When ``REPRO_DATA_DIR`` is set and contains ``<name>.gr`` (optionally
+    with ``<name>-t.gr`` for travel times), the real DIMACS graph is loaded
+    instead of a synthetic one.
+    """
+    name = name.upper()
+    if name not in DATASET_NAMES:
+        raise KeyError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+    data_dir = os.environ.get("REPRO_DATA_DIR")
+    if data_dir:
+        network = _load_dimacs_dataset(Path(data_dir), name)
+        if network is not None:
+            return network
+    scale = bench_scale() if scale is None else scale
+    spec = paper_dataset_specs(scale)[name]
+    return synthetic_road_network(spec)
+
+
+def _load_dimacs_dataset(data_dir: Path, name: str) -> Optional[RoadNetwork]:
+    """Load a real DIMACS dataset from disk when available."""
+    from repro.graph.generators import RoadNetworkSpec
+
+    distance_path = data_dir / f"{name}.gr"
+    if not distance_path.exists():
+        return None
+    distance_graph = read_dimacs(distance_path)
+    travel_path = data_dir / f"{name}-t.gr"
+    travel_graph = read_dimacs(travel_path) if travel_path.exists() else distance_graph
+    spec = RoadNetworkSpec(name=name, num_vertices=distance_graph.num_vertices, seed=0)
+    return RoadNetwork(
+        spec=spec,
+        distance_graph=distance_graph,
+        travel_time_graph=travel_graph,
+        coordinates={},
+    )
+
+
+def dataset_summary(names: Optional[List[str]] = None) -> List[Dict[str, object]]:
+    """Rows of Table 1: |V|, |E|, estimated diameter and memory per dataset."""
+    rows: List[Dict[str, object]] = []
+    for name in names or bench_dataset_names():
+        network = load_dataset(name)
+        graph: Graph = network.distance_graph
+        rows.append(
+            {
+                "dataset": name,
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "diameter_estimate": round(eccentricity_estimate(graph), 1),
+                "memory_bytes": graph.memory_bytes(),
+            }
+        )
+    return rows
+
+
+def clear_dataset_cache() -> None:
+    """Drop memoised datasets (used by tests that tweak the scale)."""
+    load_dataset.cache_clear()

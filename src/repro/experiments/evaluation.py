@@ -1,0 +1,86 @@
+"""End-to-end evaluation runs shared by the table and figure generators.
+
+Building every index is by far the most expensive part of regenerating the
+paper's evaluation, so :func:`run_evaluation` builds each (dataset, method)
+index exactly once and the table/figure modules slice the results they
+need out of the returned :class:`EvaluationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.datasets import bench_dataset_names, load_dataset
+from repro.experiments.harness import CellResult, run_cell
+from repro.experiments.methods import MethodSpec, available_methods
+from repro.experiments.workloads import random_pairs
+from repro.graph.graph import Graph
+
+CellKey = Tuple[str, str]  # (dataset, method)
+
+
+@dataclass
+class EvaluationResult:
+    """All measurements of one evaluation run."""
+
+    weighting: str
+    datasets: List[str]
+    methods: List[str]
+    cells: Dict[CellKey, CellResult] = field(default_factory=dict)
+    #: kept only when requested (figure 6 re-queries the built indexes)
+    indexes: Dict[CellKey, object] = field(default_factory=dict)
+    graphs: Dict[str, Graph] = field(default_factory=dict)
+
+    def cell(self, dataset: str, method: str) -> CellResult:
+        """The measurements of one (dataset, method) cell."""
+        return self.cells[(dataset, method)]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All cells flattened to dicts (one per dataset x method)."""
+        return [cell.as_dict() for cell in self.cells.values()]
+
+
+def run_evaluation(
+    datasets: Optional[List[str]] = None,
+    methods: Optional[List[str]] = None,
+    weighting: str = "distance",
+    num_queries: int = 2000,
+    seed: int = 17,
+    keep_indexes: bool = False,
+) -> EvaluationResult:
+    """Build every requested method on every requested dataset and measure it.
+
+    Parameters
+    ----------
+    datasets:
+        Dataset names (default: the benchmark subset from the environment).
+    methods:
+        Method names from :data:`repro.experiments.methods.METHOD_BUILDERS`
+        (default: the paper's table methods HC2L, H2H, PHL, HL).
+    weighting:
+        ``"distance"`` (Table 2) or ``"travel_time"`` (Table 4).
+    num_queries:
+        Number of random query pairs measured per dataset.
+    keep_indexes:
+        Retain the built indexes on the result (needed by Figure 6).
+    """
+    dataset_names = datasets or bench_dataset_names()
+    specs: List[MethodSpec] = available_methods(methods)
+    result = EvaluationResult(
+        weighting=weighting,
+        datasets=list(dataset_names),
+        methods=[spec.name for spec in specs],
+    )
+    for dataset in dataset_names:
+        network = load_dataset(dataset)
+        graph = network.graph(weighting)
+        result.graphs[dataset] = graph
+        pairs = random_pairs(graph, num_queries, seed=seed)
+        for spec in specs:
+            index = spec.builder(graph)
+            cell = run_cell(spec, graph, pairs, dataset_name=dataset, prebuilt_index=index)
+            result.cells[(dataset, spec.name)] = cell
+            if keep_indexes:
+                result.indexes[(dataset, spec.name)] = index
+    return result

@@ -1,0 +1,101 @@
+"""Generators for the paper's figures (Figures 6 and 7).
+
+The figures are returned as plain data series (dicts of lists) so they can
+be rendered as text tables, dumped to CSV, or plotted by downstream users;
+this repository deliberately avoids a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.index import HC2LIndex
+from repro.experiments.datasets import bench_dataset_names, load_dataset
+from repro.experiments.harness import measure_queries, query_time_per_set
+from repro.experiments.methods import available_methods
+from repro.experiments.workloads import distance_stratified_query_sets, random_pairs
+
+#: The balance thresholds swept in Figure 7.
+FIGURE7_BETAS = [0.15, 0.20, 0.25, 0.30, 0.35]
+#: The methods plotted in Figure 6.
+FIGURE6_METHODS = ["HC2L", "H2H", "PHL", "HL"]
+
+
+@dataclass
+class Figure6Result:
+    """Query time per distance-stratified query set, per dataset and method."""
+
+    datasets: List[str]
+    methods: List[str]
+    #: series[dataset][method] = [mean query time in us for Q1..Q10]
+    series: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    #: how many pairs each query set actually contains (small graphs may
+    #: leave the extreme buckets short)
+    set_sizes: Dict[str, List[int]] = field(default_factory=dict)
+
+
+def figure6(
+    datasets: Optional[List[str]] = None,
+    methods: Optional[List[str]] = None,
+    pairs_per_set: int = 100,
+    num_sets: int = 10,
+    seed: int = 23,
+) -> Figure6Result:
+    """Figure 6 - query performance under varying query distances."""
+    dataset_names = datasets or bench_dataset_names()
+    specs = available_methods(methods or FIGURE6_METHODS)
+    result = Figure6Result(datasets=list(dataset_names), methods=[s.name for s in specs])
+    for dataset in dataset_names:
+        graph = load_dataset(dataset).distance_graph
+        workload = distance_stratified_query_sets(
+            graph, num_sets=num_sets, pairs_per_set=pairs_per_set, seed=seed
+        )
+        result.set_sizes[dataset] = [len(qs) for qs in workload.query_sets]
+        result.series[dataset] = {}
+        for spec in specs:
+            index = spec.builder(graph)
+            result.series[dataset][spec.name] = query_time_per_set(index, workload.query_sets)
+    return result
+
+
+@dataclass
+class Figure7Result:
+    """Query time and average cut size under varying balance thresholds."""
+
+    datasets: List[str]
+    betas: List[float]
+    #: query_time_us[dataset] = [mean query time per beta]
+    query_time_us: Dict[str, List[float]] = field(default_factory=dict)
+    #: avg_cut_size[dataset] = [average internal cut size per beta]
+    avg_cut_size: Dict[str, List[float]] = field(default_factory=dict)
+    #: max_cut_size[dataset] = [largest cut per beta]
+    max_cut_size: Dict[str, List[float]] = field(default_factory=dict)
+
+
+def figure7(
+    datasets: Optional[List[str]] = None,
+    betas: Optional[List[float]] = None,
+    num_queries: int = 1000,
+    seed: int = 29,
+) -> Figure7Result:
+    """Figure 7 - HC2L query time and cut size as the balance threshold varies."""
+    dataset_names = datasets or bench_dataset_names()
+    beta_values = betas or list(FIGURE7_BETAS)
+    result = Figure7Result(datasets=list(dataset_names), betas=list(beta_values))
+    for dataset in dataset_names:
+        graph = load_dataset(dataset).distance_graph
+        pairs = random_pairs(graph, num_queries, seed=seed)
+        times: List[float] = []
+        avg_cuts: List[float] = []
+        max_cuts: List[float] = []
+        for beta in beta_values:
+            index = HC2LIndex.build(graph, beta=beta)
+            seconds, _ = measure_queries(index, pairs)
+            times.append(seconds * 1e6)
+            avg_cuts.append(index.average_cut_size())
+            max_cuts.append(float(index.max_cut_size()))
+        result.query_time_us[dataset] = times
+        result.avg_cut_size[dataset] = avg_cuts
+        result.max_cut_size[dataset] = max_cuts
+    return result

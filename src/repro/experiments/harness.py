@@ -1,0 +1,132 @@
+"""Run one (method, dataset, workload) cell of the evaluation.
+
+A *cell* is one table entry: build the index for one method on one graph,
+measure construction time and index size, then time a batch of distance
+queries and record the mean per-query latency and the mean number of label
+entries (hubs) inspected.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.methods import MethodSpec
+from repro.graph.graph import Graph
+
+QueryPair = Tuple[int, int]
+
+
+@dataclass
+class CellResult:
+    """Measurements for one method on one graph."""
+
+    method: str
+    dataset: str
+    num_vertices: int
+    num_edges: int
+    construction_seconds: float
+    label_size_bytes: int
+    query_seconds_mean: float
+    average_hubs: float
+    lca_storage_bytes: Optional[int] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def query_microseconds(self) -> float:
+        """Mean query latency in microseconds (the unit used in the paper)."""
+        return self.query_seconds_mean * 1e6
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten to a plain dict for the report renderer."""
+        row: Dict[str, object] = {
+            "method": self.method,
+            "dataset": self.dataset,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "construction_seconds": self.construction_seconds,
+            "label_size_bytes": self.label_size_bytes,
+            "query_microseconds": self.query_microseconds,
+            "average_hubs": self.average_hubs,
+        }
+        if self.lca_storage_bytes is not None:
+            row["lca_storage_bytes"] = self.lca_storage_bytes
+        row.update(self.extra)
+        return row
+
+
+def run_cell(
+    method: MethodSpec,
+    graph: Graph,
+    query_pairs: Sequence[QueryPair],
+    dataset_name: str = "?",
+    prebuilt_index: Optional[object] = None,
+) -> CellResult:
+    """Build (or reuse) the method's index on ``graph`` and measure queries."""
+    if prebuilt_index is None:
+        build_start = time.perf_counter()
+        index = method.builder(graph)
+        build_seconds = time.perf_counter() - build_start
+    else:
+        index = prebuilt_index
+        build_seconds = getattr(index, "construction_seconds", 0.0)
+
+    construction = getattr(index, "construction_seconds", None) or build_seconds
+    query_seconds, average_hubs = measure_queries(index, query_pairs)
+
+    lca_bytes: Optional[int] = None
+    if method.has_lca_storage and hasattr(index, "lca_storage_bytes"):
+        lca_bytes = int(index.lca_storage_bytes())
+
+    extra: Dict[str, float] = {}
+    if hasattr(index, "tree_height"):
+        extra["tree_height"] = float(index.tree_height())
+    if hasattr(index, "max_cut_size"):
+        extra["max_cut_size"] = float(index.max_cut_size())
+    if hasattr(index, "tree_width"):
+        extra["tree_width"] = float(index.tree_width())
+    if hasattr(index, "average_cut_size"):
+        extra["avg_cut_size"] = float(index.average_cut_size())
+
+    return CellResult(
+        method=method.name,
+        dataset=dataset_name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        construction_seconds=construction,
+        label_size_bytes=int(index.label_size_bytes()),
+        query_seconds_mean=query_seconds,
+        average_hubs=average_hubs,
+        lca_storage_bytes=lca_bytes,
+        extra=extra,
+    )
+
+
+def measure_queries(index: object, query_pairs: Sequence[QueryPair]) -> Tuple[float, float]:
+    """Mean per-query latency (seconds) and mean hubs scanned over ``query_pairs``."""
+    if not query_pairs:
+        return 0.0, 0.0
+    distance = index.distance  # type: ignore[attr-defined]
+    start = time.perf_counter()
+    for s, t in query_pairs:
+        distance(s, t)
+    elapsed = time.perf_counter() - start
+
+    total_hubs = 0
+    hub_counter = getattr(index, "distance_with_hub_count", None)
+    hub_samples = query_pairs[: min(len(query_pairs), 500)]
+    if hub_counter is not None:
+        for s, t in hub_samples:
+            total_hubs += hub_counter(s, t)[1]
+    average_hubs = total_hubs / len(hub_samples) if hub_samples else 0.0
+    return elapsed / len(query_pairs), average_hubs
+
+
+def query_time_per_set(index: object, query_sets: List[List[QueryPair]]) -> List[float]:
+    """Mean query latency (microseconds) per distance-stratified query set (Figure 6)."""
+    result: List[float] = []
+    for pairs in query_sets:
+        seconds, _ = measure_queries(index, pairs)
+        result.append(seconds * 1e6)
+    return result

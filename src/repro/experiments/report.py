@@ -1,0 +1,104 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+The renderers print the same rows/series the paper reports, with sizes
+shown in human-readable units and query times in microseconds, so the
+output of ``examples/reproduce_tables.py`` can be compared line by line
+against the published tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.experiments.figures import Figure6Result, Figure7Result
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (the paper mixes MB and GB)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} TB"
+
+
+def format_value(key: str, value: object) -> str:
+    """Format one table cell based on its column name."""
+    if isinstance(value, float):
+        if "bytes" in key:
+            return format_bytes(value)
+        if "seconds" in key or key.endswith("_s") or "_s_" in key:
+            return f"{value:.3f}"
+        if "us" in key:
+            return f"{value:.3f}"
+        return f"{value:.3f}"
+    if isinstance(value, int) and "bytes" in key:
+        return format_bytes(value)
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of row dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    formatted = [[format_value(col, row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), max(len(line[i]) for line in formatted)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in formatted:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines) + "\n"
+
+
+def render_figure6(result: Figure6Result) -> str:
+    """Render the Figure 6 series as one text block per dataset."""
+    blocks: List[str] = []
+    for dataset in result.datasets:
+        rows = []
+        for method in result.methods:
+            series = result.series[dataset][method]
+            row: Dict[str, object] = {"method": method}
+            for i, value in enumerate(series, start=1):
+                row[f"Q{i}_us"] = round(value, 3)
+            rows.append(row)
+        blocks.append(render_table(rows, title=f"Figure 6 - {dataset} (query time per query set)"))
+    return "\n".join(blocks)
+
+
+def render_figure7(result: Figure7Result) -> str:
+    """Render the Figure 7 beta sweep as one text block."""
+    rows = []
+    for dataset in result.datasets:
+        for i, beta in enumerate(result.betas):
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "beta": beta,
+                    "query_us": round(result.query_time_us[dataset][i], 3),
+                    "avg_cut": round(result.avg_cut_size[dataset][i], 2),
+                    "max_cut": int(result.max_cut_size[dataset][i]),
+                }
+            )
+    return render_table(rows, title="Figure 7 - balance threshold sweep")
+
+
+def render_all(tables: Dict[str, Iterable[Mapping[str, object]]]) -> str:
+    """Render a dict of named tables (as produced by ``tables.all_tables``)."""
+    blocks = []
+    for name, rows in tables.items():
+        blocks.append(render_table(list(rows), title=name.upper()))
+    return "\n".join(blocks)

@@ -1,0 +1,128 @@
+"""Generators for the paper's tables (Tables 1-5).
+
+Each function returns a list of row dictionaries; the plain-text rendering
+lives in :mod:`repro.experiments.report`.  The row structure mirrors the
+corresponding table of the paper so EXPERIMENTS.md can put the reproduced
+numbers side by side with the published ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.datasets import bench_dataset_names, dataset_summary
+from repro.experiments.evaluation import EvaluationResult, run_evaluation
+
+#: Methods shown in Tables 2 and 4 (query time / size / construction columns).
+TABLE2_METHODS = ["HC2L", "HC2L_p", "H2H", "PHL", "HL"]
+#: Methods shown in Table 3 (average hub size columns).
+TABLE3_METHODS = ["HC2L", "H2H", "PHL", "HL"]
+
+
+def table1(datasets: Optional[List[str]] = None) -> List[Dict[str, object]]:
+    """Table 1 - summary of the datasets used in the evaluation."""
+    return dataset_summary(datasets)
+
+
+def table2(
+    datasets: Optional[List[str]] = None,
+    num_queries: int = 2000,
+    evaluation: Optional[EvaluationResult] = None,
+) -> List[Dict[str, object]]:
+    """Table 2 - query time, labelling size and construction time (distance weights)."""
+    evaluation = evaluation or run_evaluation(
+        datasets=datasets, methods=TABLE2_METHODS, weighting="distance", num_queries=num_queries
+    )
+    return _comparison_rows(evaluation)
+
+
+def table4(
+    datasets: Optional[List[str]] = None,
+    num_queries: int = 2000,
+    evaluation: Optional[EvaluationResult] = None,
+) -> List[Dict[str, object]]:
+    """Table 4 - as Table 2 but with travel times as edge weights."""
+    evaluation = evaluation or run_evaluation(
+        datasets=datasets, methods=TABLE2_METHODS, weighting="travel_time", num_queries=num_queries
+    )
+    return _comparison_rows(evaluation)
+
+
+def table3(
+    datasets: Optional[List[str]] = None,
+    num_queries: int = 2000,
+    evaluation: Optional[EvaluationResult] = None,
+) -> List[Dict[str, object]]:
+    """Table 3 - LCA storage requirements and average hub size."""
+    evaluation = evaluation or run_evaluation(
+        datasets=datasets, methods=TABLE3_METHODS, weighting="distance", num_queries=num_queries
+    )
+    rows: List[Dict[str, object]] = []
+    for dataset in evaluation.datasets:
+        row: Dict[str, object] = {"dataset": dataset}
+        for method in evaluation.methods:
+            cell = evaluation.cell(dataset, method)
+            row[f"ahs_{method}"] = round(cell.average_hubs, 1)
+            if cell.lca_storage_bytes is not None:
+                row[f"lca_bytes_{method}"] = cell.lca_storage_bytes
+        rows.append(row)
+    return rows
+
+
+def table5(
+    datasets: Optional[List[str]] = None,
+    evaluation: Optional[EvaluationResult] = None,
+) -> List[Dict[str, object]]:
+    """Table 5 - tree height and maximum cut size / width, HC2L vs H2H."""
+    evaluation = evaluation or run_evaluation(
+        datasets=datasets, methods=["HC2L", "H2H"], weighting="distance", num_queries=200
+    )
+    rows: List[Dict[str, object]] = []
+    for dataset in evaluation.datasets:
+        hc2l = evaluation.cell(dataset, "HC2L")
+        h2h = evaluation.cell(dataset, "H2H")
+        rows.append(
+            {
+                "dataset": dataset,
+                "height_HC2L": int(hc2l.extra.get("tree_height", 0)),
+                "height_H2H": int(h2h.extra.get("tree_height", 0)),
+                "max_cut_HC2L": int(hc2l.extra.get("max_cut_size", 0)),
+                "width_H2H": int(h2h.extra.get("tree_width", 0)),
+            }
+        )
+    return rows
+
+
+def _comparison_rows(evaluation: EvaluationResult) -> List[Dict[str, object]]:
+    """Shared row assembly for Tables 2 and 4."""
+    rows: List[Dict[str, object]] = []
+    for dataset in evaluation.datasets:
+        row: Dict[str, object] = {"dataset": dataset, "weighting": evaluation.weighting}
+        for method in evaluation.methods:
+            cell = evaluation.cell(dataset, method)
+            # HC2L_p differs from HC2L only in construction time; the paper
+            # reports a single extra construction column for it.
+            if method != "HC2L_p":
+                row[f"query_us_{method}"] = round(cell.query_microseconds, 3)
+                row[f"label_bytes_{method}"] = cell.label_size_bytes
+            row[f"construction_s_{method}"] = round(cell.construction_seconds, 3)
+        rows.append(row)
+    return rows
+
+
+def all_tables(datasets: Optional[List[str]] = None, num_queries: int = 1000) -> Dict[str, List[Dict[str, object]]]:
+    """Regenerate every table (used by the ``examples/reproduce_tables.py`` script)."""
+    datasets = datasets or bench_dataset_names()
+    distance_eval = run_evaluation(
+        datasets=datasets, methods=TABLE2_METHODS, weighting="distance", num_queries=num_queries
+    )
+    travel_eval = run_evaluation(
+        datasets=datasets, methods=TABLE2_METHODS, weighting="travel_time", num_queries=num_queries
+    )
+    return {
+        "table1": table1(datasets),
+        "table2": table2(evaluation=distance_eval),
+        "table3": table3(datasets=datasets, num_queries=num_queries),
+        "table4": table4(evaluation=travel_eval),
+        "table5": table5(datasets=datasets),
+    }

@@ -1,0 +1,117 @@
+"""Query workload generation (Section 5, "Benchmark Generation").
+
+Two workloads are used in the paper:
+
+* uniformly random vertex pairs (1M pairs in the paper; the experiment
+  harness here defaults to a few thousand and scales with the dataset), and
+* ten *distance-stratified* query sets Q1..Q10 where the distance of each
+  pair falls into geometrically growing ranges between ``l_min`` and the
+  network diameter (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph
+from repro.graph.search import dijkstra, eccentricity_estimate
+from repro.utils.rng import Seed, make_rng
+
+INF = float("inf")
+
+QueryPair = Tuple[int, int]
+
+
+def random_pairs(graph: Graph, count: int, seed: Seed = None) -> List[QueryPair]:
+    """Uniformly random query pairs over ``V x V`` (self-pairs excluded)."""
+    rng = make_rng(seed)
+    n = graph.num_vertices
+    if n < 2:
+        return []
+    pairs: List[QueryPair] = []
+    while len(pairs) < count:
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        if s != t:
+            pairs.append((s, t))
+    return pairs
+
+
+@dataclass
+class StratifiedWorkload:
+    """The ten distance-stratified query sets of Figure 6."""
+
+    l_min: float
+    l_max: float
+    #: query_sets[i] holds the pairs whose distance lies in bucket i+1
+    query_sets: List[List[QueryPair]]
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """The distance range (exclusive lower, inclusive upper) of bucket ``index``."""
+        ratio = (self.l_max / self.l_min) ** (1.0 / len(self.query_sets))
+        lower = self.l_min * ratio ** index
+        upper = self.l_min * ratio ** (index + 1)
+        return lower, upper
+
+
+def distance_stratified_query_sets(
+    graph: Graph,
+    num_sets: int = 10,
+    pairs_per_set: int = 100,
+    l_min: Optional[float] = None,
+    seed: Seed = None,
+    max_source_samples: int = 400,
+) -> StratifiedWorkload:
+    """Generate the Q1..Q10 workloads of Figure 6.
+
+    The paper fixes ``l_min`` to 1000 metres and ``l_max`` to the network
+    diameter, then draws 10,000 pairs per range.  Here ``l_min`` defaults
+    to a small fraction of the estimated diameter (synthetic networks have
+    arbitrary units) and the pair counts are configurable.
+
+    Sampling works source-by-source: a full Dijkstra from each sampled
+    source distributes its targets into the distance buckets, stopping once
+    every bucket holds ``pairs_per_set`` pairs or the source budget is
+    exhausted (some buckets may stay short on very small graphs).
+    """
+    rng = make_rng(seed)
+    diameter = eccentricity_estimate(graph, seed_vertex=0)
+    if diameter <= 0:
+        return StratifiedWorkload(l_min=1.0, l_max=1.0, query_sets=[[] for _ in range(num_sets)])
+    if l_min is None:
+        l_min = max(diameter / 1000.0, 1e-9)
+    l_max = diameter
+    ratio = (l_max / l_min) ** (1.0 / num_sets)
+    bounds = [l_min * ratio ** i for i in range(num_sets + 1)]
+
+    query_sets: List[List[QueryPair]] = [[] for _ in range(num_sets)]
+    n = graph.num_vertices
+    for _ in range(max_source_samples):
+        if all(len(qs) >= pairs_per_set for qs in query_sets):
+            break
+        source = rng.randrange(n)
+        dist = dijkstra(graph, source)
+        # shuffle targets so early vertex ids are not over-represented
+        targets = list(range(n))
+        rng.shuffle(targets)
+        for target in targets:
+            d = dist[target]
+            if d == INF or target == source or d < bounds[0]:
+                continue
+            bucket = _bucket_of(d, bounds)
+            if bucket is None:
+                continue
+            if len(query_sets[bucket]) < pairs_per_set:
+                query_sets[bucket].append((source, target))
+    return StratifiedWorkload(l_min=l_min, l_max=l_max, query_sets=query_sets)
+
+
+def _bucket_of(distance: float, bounds: Sequence[float]) -> Optional[int]:
+    """Index of the bucket whose (lower, upper] range contains ``distance``."""
+    for i in range(len(bounds) - 1):
+        if bounds[i] < distance <= bounds[i + 1]:
+            return i
+    if distance > bounds[-1]:
+        return len(bounds) - 2
+    return None

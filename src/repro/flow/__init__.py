@@ -1,0 +1,18 @@
+"""Maximum-flow / minimum-vertex-cut substrate.
+
+The balanced cut step of the hierarchy construction (Algorithm 2 in the
+paper) reduces the minimal balanced vertex-separator problem to a minimum
+s-t *vertex* cut on the cut region, which in turn reduces to maximum flow
+on the standard split-vertex transformation and is solved with Dinitz's
+algorithm.  This package implements that machinery.
+"""
+
+from repro.flow.dinitz import DinitzMaxFlow, FlowNetwork
+from repro.flow.vertex_cut import MinVertexCutResult, minimum_st_vertex_cut
+
+__all__ = [
+    "FlowNetwork",
+    "DinitzMaxFlow",
+    "minimum_st_vertex_cut",
+    "MinVertexCutResult",
+]

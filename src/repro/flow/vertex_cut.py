@@ -1,0 +1,166 @@
+"""Minimum s-t vertex cuts via the split-vertex max-flow reduction.
+
+Given the cut region of a balanced partition, Algorithm 2 of the paper
+contracts the two initial partitions into virtual terminals ``S`` and ``T``
+and asks for a minimum set of *vertices* whose removal disconnects them.
+The classical reduction [Bondy & Murty 1976] splits every vertex ``v`` into
+``v_in`` and ``v_out`` joined by a unit-capacity "inner" edge, turns every
+original edge into two infinite-capacity "outer" edges, and runs max flow;
+saturated inner edges crossing the residual-reachability boundary are the
+cut vertices.
+
+The paper notes that the maximal flow admits two canonical vertex cuts: the
+one closest to ``S`` (inner edges whose tail is residual-reachable from S)
+and the one closest to ``T``.  Both are returned so the caller can pick the
+more balanced option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.flow.dinitz import DinitzMaxFlow, FlowNetwork
+
+WorkingAdjacency = Dict[int, Dict[int, float]]
+
+#: Capacity standing in for "infinite" on outer edges; any value larger than
+#: the number of vertices works because inner edges bound the flow.
+_OUTER_CAPACITY = float("inf")
+
+
+@dataclass
+class MinVertexCutResult:
+    """Result of a minimum s-t vertex cut computation.
+
+    Attributes
+    ----------
+    cut_size:
+        The max-flow value, i.e. the size of a minimum vertex cut.
+    cut_closest_to_source / cut_closest_to_sink:
+        The two canonical minimum vertex cuts extracted from the residual
+        graph.  Both have exactly ``cut_size`` vertices.
+    """
+
+    cut_size: int
+    cut_closest_to_source: List[int]
+    cut_closest_to_sink: List[int]
+
+    def candidate_cuts(self) -> List[List[int]]:
+        """Both canonical cuts, de-duplicated."""
+        cuts = [self.cut_closest_to_source]
+        if set(self.cut_closest_to_sink) != set(self.cut_closest_to_source):
+            cuts.append(self.cut_closest_to_sink)
+        return cuts
+
+
+def minimum_st_vertex_cut(
+    adjacency: WorkingAdjacency,
+    source_attached: Iterable[int],
+    sink_attached: Iterable[int],
+) -> MinVertexCutResult:
+    """Minimum vertex cut separating the virtual terminals S and T.
+
+    Parameters
+    ----------
+    adjacency:
+        Working adjacency of the flow subgraph (the cut region plus the
+        border vertices ``C_A``/``C_B`` of Algorithm 2).  Every vertex in
+        this mapping may become a cut vertex.
+    source_attached:
+        Vertices receiving an edge from the virtual source ``S``
+        (``N_S`` in Algorithm 2).
+    sink_attached:
+        Vertices receiving an edge to the virtual sink ``T`` (``N_T``).
+
+    Returns
+    -------
+    MinVertexCutResult
+        The cut size and both canonical cuts.  When S and T are already
+        disconnected inside the region the cut is empty.
+    """
+    vertices: List[int] = sorted(adjacency)
+    index = {v: i for i, v in enumerate(vertices)}
+    k = len(vertices)
+
+    def v_in(i: int) -> int:
+        return 2 * i
+
+    def v_out(i: int) -> int:
+        return 2 * i + 1
+
+    source_node = 2 * k
+    sink_node = 2 * k + 1
+    network = FlowNetwork(2 * k + 2)
+
+    inner_edges: List[int] = []
+    for i in range(k):
+        inner_edges.append(network.add_edge(v_in(i), v_out(i), 1.0))
+
+    for v in vertices:
+        vi = index[v]
+        for w in adjacency[v]:
+            wi = index.get(w)
+            if wi is None:
+                continue
+            # add each undirected edge once per direction of travel
+            network.add_edge(v_out(vi), v_in(wi), _OUTER_CAPACITY)
+
+    attached_to_source: Set[int] = {v for v in source_attached if v in index}
+    attached_to_sink: Set[int] = {v for v in sink_attached if v in index}
+    for v in attached_to_source:
+        network.add_edge(source_node, v_in(index[v]), _OUTER_CAPACITY)
+    for v in attached_to_sink:
+        network.add_edge(v_out(index[v]), sink_node, _OUTER_CAPACITY)
+
+    solver = DinitzMaxFlow(network, source_node, sink_node)
+    flow_value = solver.solve(flow_limit=float(k) + 1.0)
+    cut_size = int(round(flow_value))
+
+    source_side = solver.source_side()
+    sink_side = solver.sink_side()
+
+    cut_near_source = [
+        vertices[i]
+        for i in range(k)
+        if v_in(i) in source_side and v_out(i) not in source_side
+    ]
+    cut_near_sink = [
+        vertices[i]
+        for i in range(k)
+        if v_out(i) in sink_side and v_in(i) not in sink_side
+    ]
+    return MinVertexCutResult(
+        cut_size=cut_size,
+        cut_closest_to_source=sorted(cut_near_source),
+        cut_closest_to_sink=sorted(cut_near_sink),
+    )
+
+
+def is_vertex_cut(
+    adjacency: WorkingAdjacency,
+    cut: Sequence[int],
+    side_a: Iterable[int],
+    side_b: Iterable[int],
+) -> bool:
+    """Check that removing ``cut`` disconnects every ``side_a`` vertex from ``side_b``.
+
+    Used by tests and by debug assertions in the hierarchy builder.
+    """
+    cut_set = set(cut)
+    targets = {v for v in side_b if v not in cut_set}
+    if not targets:
+        return True
+    seen: Set[int] = set()
+    stack = [v for v in side_a if v not in cut_set]
+    seen.update(stack)
+    while stack:
+        v = stack.pop()
+        if v in targets:
+            return False
+        for w in adjacency.get(v, ()):
+            if w in cut_set or w in seen or w not in adjacency:
+                continue
+            seen.add(w)
+            stack.append(w)
+    return True

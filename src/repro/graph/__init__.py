@@ -1,0 +1,55 @@
+"""Road-network graph substrate.
+
+This package contains everything the labelling algorithms need from the
+underlying road network: the weighted graph container, synthetic network
+generators used in place of the DIMACS datasets, DIMACS file I/O, shortest
+path searches, connected components and the degree-one tree contraction
+described in Section 4.2.2 of the paper.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.builders import (
+    graph_from_edges,
+    grid_graph,
+    path_graph,
+    random_geometric_graph,
+    star_graph,
+)
+from repro.graph.generators import synthetic_road_network, RoadNetworkSpec
+from repro.graph.io import read_dimacs, write_dimacs, read_coordinates, write_coordinates
+from repro.graph.search import (
+    bfs_hops,
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_to_target,
+    eccentricity_estimate,
+    farthest_vertex,
+)
+from repro.graph.components import connected_components, largest_component, is_connected
+from repro.graph.contraction import ContractedGraph, contract_degree_one
+
+__all__ = [
+    "Graph",
+    "graph_from_edges",
+    "grid_graph",
+    "path_graph",
+    "star_graph",
+    "random_geometric_graph",
+    "synthetic_road_network",
+    "RoadNetworkSpec",
+    "read_dimacs",
+    "write_dimacs",
+    "read_coordinates",
+    "write_coordinates",
+    "dijkstra",
+    "dijkstra_to_target",
+    "bidirectional_dijkstra",
+    "bfs_hops",
+    "farthest_vertex",
+    "eccentricity_estimate",
+    "connected_components",
+    "largest_component",
+    "is_connected",
+    "ContractedGraph",
+    "contract_degree_one",
+]

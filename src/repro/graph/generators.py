@@ -1,0 +1,196 @@
+"""Synthetic road-network generator.
+
+The paper evaluates on ten real road networks (NY ... USA, EUR) with
+hundreds of thousands to tens of millions of vertices.  Building those
+indexes in pure Python is infeasible (the calibration notes flag exactly
+this), so the experiments in this repository run on *synthetic* road
+networks that preserve the structural features the algorithms care about:
+
+* planar-like topology with low average degree (~2.5-4),
+* high diameter relative to size,
+* a hierarchy of fast "highway" edges overlaid on a dense local street
+  grid (so that travel-time weights behave differently from distance
+  weights, as in Table 2 vs Table 4),
+* a sprinkling of degree-one appendages (dead-end streets) so the
+  degree-one contraction has something to do.
+
+:func:`synthetic_road_network` produces both a ``distance`` weighting and a
+correlated ``travel_time`` weighting for the same topology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.graph.builders import Coordinates, random_geometric_graph
+from repro.graph.graph import Graph
+from repro.utils.rng import Seed, make_rng
+
+
+@dataclass(frozen=True)
+class RoadNetworkSpec:
+    """Parameters of a synthetic road network.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name (the dataset registry uses the paper's names
+        with a ``-mini`` suffix).
+    num_vertices:
+        Approximate number of vertices (dead-end streets add a few
+        percent on top).
+    seed:
+        Deterministic seed for the generator.
+    highway_fraction:
+        Fraction of edges upgraded to "highway" speed class; these get a
+        large speed-up in the travel-time weighting, creating the highway
+        hierarchy that PHL and CH exploit.
+    deadend_fraction:
+        Fraction of vertices that receive an extra degree-one appendage.
+    """
+
+    name: str
+    num_vertices: int
+    seed: int = 7
+    highway_fraction: float = 0.12
+    deadend_fraction: float = 0.08
+    scale: float = 50_000.0
+
+
+@dataclass
+class RoadNetwork:
+    """A generated synthetic road network with two weightings."""
+
+    spec: RoadNetworkSpec
+    distance_graph: Graph
+    travel_time_graph: Graph
+    coordinates: Coordinates
+
+    def graph(self, weighting: str = "distance") -> Graph:
+        """Return the graph under the requested weighting.
+
+        ``weighting`` is ``"distance"`` or ``"travel_time"`` matching the
+        two dataset versions used in the paper.
+        """
+        if weighting == "distance":
+            return self.distance_graph
+        if weighting in ("travel_time", "time"):
+            return self.travel_time_graph
+        raise ValueError(f"unknown weighting {weighting!r}; use 'distance' or 'travel_time'")
+
+
+def synthetic_road_network(spec: RoadNetworkSpec) -> RoadNetwork:
+    """Generate a synthetic road network for ``spec``.
+
+    The topology is a connected random geometric graph (a reasonable model
+    of a road network after intersection collapsing) with three speed
+    classes: local streets, arterial roads and highways.  Distance weights
+    are Euclidean lengths; travel-time weights divide by the speed class,
+    so highways are disproportionately attractive under travel times.
+    """
+    rng = make_rng(spec.seed)
+    graph, coords = random_geometric_graph(spec.num_vertices, seed=rng, scale=spec.scale)
+    graph, coords = _attach_dead_ends(graph, coords, spec, rng)
+
+    distance_graph = Graph(graph.num_vertices)
+    travel_graph = Graph(graph.num_vertices)
+    for u, v, w in graph.edges():
+        speed = _speed_class(u, v, w, spec, rng)
+        length = max(w, 1.0)
+        distance_graph.add_edge(u, v, round(length, 3))
+        travel_graph.add_edge(u, v, round(length / speed, 3))
+    return RoadNetwork(
+        spec=spec,
+        distance_graph=distance_graph,
+        travel_time_graph=travel_graph,
+        coordinates=coords,
+    )
+
+
+def _speed_class(u: int, v: int, length: float, spec: RoadNetworkSpec, rng) -> float:
+    """Pick a speed multiplier for an edge.
+
+    Long edges are more likely to be highways (they connect distant
+    clusters), which yields a spatially coherent highway structure rather
+    than uniformly random fast edges.
+    """
+    roll = rng.random()
+    long_edge_bonus = min(0.35, length / (spec.scale * 0.2))
+    if roll < spec.highway_fraction + long_edge_bonus:
+        return rng.uniform(3.0, 4.0)  # motorway
+    if roll < 0.45:
+        return rng.uniform(1.6, 2.2)  # arterial road
+    return rng.uniform(0.8, 1.2)  # local street
+
+
+def _attach_dead_ends(
+    graph: Graph, coords: Coordinates, spec: RoadNetworkSpec, rng
+) -> Tuple[Graph, Coordinates]:
+    """Attach degree-one appendages (dead-end streets) to random vertices."""
+    num_deadends = int(graph.num_vertices * spec.deadend_fraction)
+    if num_deadends == 0:
+        return graph, coords
+    total = graph.num_vertices + num_deadends
+    extended = Graph(total)
+    for u, v, w in graph.edges():
+        extended.add_edge(u, v, w)
+    new_coords = dict(coords)
+    anchors = rng.sample(range(graph.num_vertices), num_deadends)
+    for offset, anchor in enumerate(anchors):
+        vid = graph.num_vertices + offset
+        length = rng.uniform(20.0, 400.0)
+        extended.add_edge(anchor, vid, length)
+        ax, ay = coords[anchor]
+        angle = rng.uniform(0, 2 * math.pi)
+        new_coords[vid] = (ax + length * math.cos(angle), ay + length * math.sin(angle))
+    return extended, new_coords
+
+
+def paper_dataset_specs(scale: float = 1.0) -> Dict[str, RoadNetworkSpec]:
+    """Synthetic stand-ins for the ten paper datasets (Table 1).
+
+    Sizes follow the same *relative* ordering as the paper (NY smallest,
+    USA/EUR largest) but are shrunk by roughly four orders of magnitude so
+    pure-Python index construction completes in seconds.  ``scale``
+    multiplies every size, so ``scale=4`` runs a heavier benchmark.
+    """
+    base_sizes = {
+        "NY": 400,
+        "BAY": 480,
+        "COL": 650,
+        "FLA": 900,
+        "CAL": 1200,
+        "E": 1600,
+        "W": 2100,
+        "CTR": 2800,
+        "USA": 3600,
+        "EUR": 3200,
+    }
+    specs = {}
+    for i, (name, size) in enumerate(base_sizes.items()):
+        specs[name] = RoadNetworkSpec(
+            name=name,
+            num_vertices=max(50, int(size * scale)),
+            seed=1000 + i,
+        )
+    return specs
+
+
+def generate_dataset(name: str, scale: float = 1.0, seed: Optional[int] = None) -> RoadNetwork:
+    """Generate the synthetic stand-in for one of the paper's datasets."""
+    specs = paper_dataset_specs(scale)
+    if name not in specs:
+        raise KeyError(f"unknown dataset {name!r}; available: {', '.join(specs)}")
+    spec = specs[name]
+    if seed is not None:
+        spec = RoadNetworkSpec(
+            name=spec.name,
+            num_vertices=spec.num_vertices,
+            seed=seed,
+            highway_fraction=spec.highway_fraction,
+            deadend_fraction=spec.deadend_fraction,
+            scale=spec.scale,
+        )
+    return synthetic_road_network(spec)

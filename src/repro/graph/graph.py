@@ -1,0 +1,215 @@
+"""Weighted undirected graph container used throughout the reproduction.
+
+Road networks in the paper are undirected graphs with positive edge weights
+(either physical distances or travel times).  Vertices are integers
+``0..n-1``.  Parallel edges collapse to the minimum weight, matching the
+behaviour of the DIMACS datasets where duplicate arcs occasionally appear.
+
+The container is adjacency-list based (a list of ``(neighbour, weight)``
+lists).  This is the representation every algorithm in the repository works
+against; the partitioning code additionally builds lightweight dict-of-dict
+"working graphs" when it needs to mutate subgraphs (see
+:mod:`repro.partition`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.utils.validation import check_non_negative_weight, check_vertex
+
+Edge = Tuple[int, int, float]
+
+
+class Graph:
+    """An undirected, positively weighted graph with integer vertex ids.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex ids are ``0..num_vertices-1``.
+
+    Notes
+    -----
+    * ``add_edge`` keeps the minimum weight for repeated edges.
+    * Self loops are ignored (they never lie on a shortest path).
+    * The structure is append-only; algorithms that need to delete vertices
+      (partitioning, contraction) operate on copies or on membership masks.
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices < 0:
+            raise ValueError(f"num_vertices must be non-negative, got {num_vertices}")
+        self._adj: List[Dict[int, float]] = [dict() for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the graph."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges in the graph."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def vertices(self) -> range:
+        """Iterate over all vertex ids."""
+        return range(len(self._adj))
+
+    def degree(self, v: int) -> int:
+        """Number of distinct neighbours of ``v``."""
+        return len(self._adj[v])
+
+    def neighbors(self, v: int) -> Iterator[Tuple[int, float]]:
+        """Iterate over ``(neighbour, weight)`` pairs of ``v``."""
+        return iter(self._adj[v].items())
+
+    def neighbor_ids(self, v: int) -> Iterable[int]:
+        """Iterate over the neighbour ids of ``v``."""
+        return self._adj[v].keys()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether an edge between ``u`` and ``v`` exists."""
+        return v in self._adj[u]
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of the edge ``(u, v)``.
+
+        Raises ``KeyError`` when the edge does not exist.
+        """
+        return self._adj[u][v]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over undirected edges once each as ``(u, v, weight)`` with u < v."""
+        for u, nbrs in enumerate(self._adj):
+            for v, w in nbrs.items():
+                if u < v:
+                    yield (u, v, w)
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the edge list representation.
+
+        Mirrors the "Memory" column of Table 1 in the paper: each directed
+        arc contributes a 4-byte endpoint and an 8-byte weight.
+        """
+        return self._num_edges * 2 * 12 + self.num_vertices * 8
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add an undirected edge, keeping the minimum weight on duplicates."""
+        n = self.num_vertices
+        check_vertex(u, n, "u")
+        check_vertex(v, n, "v")
+        weight = check_non_negative_weight(weight)
+        if u == v:
+            return
+        existing = self._adj[u].get(v)
+        if existing is None:
+            self._num_edges += 1
+            self._adj[u][v] = weight
+            self._adj[v][u] = weight
+        elif weight < existing:
+            self._adj[u][v] = weight
+            self._adj[v][u] = weight
+
+    def add_vertex(self) -> int:
+        """Append a fresh isolated vertex and return its id."""
+        self._adj.append(dict())
+        return len(self._adj) - 1
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        other = Graph(self.num_vertices)
+        for u, v, w in self.edges():
+            other.add_edge(u, v, w)
+        return other
+
+    def induced_subgraph(self, vertices: Sequence[int]) -> Tuple["Graph", List[int]]:
+        """Return the induced subgraph on ``vertices`` and the id mapping.
+
+        The returned graph uses fresh ids ``0..len(vertices)-1``; the second
+        element maps each fresh id back to the original vertex id.
+        """
+        ordered = list(vertices)
+        index = {v: i for i, v in enumerate(ordered)}
+        sub = Graph(len(ordered))
+        for v in ordered:
+            vi = index[v]
+            for w, weight in self._adj[v].items():
+                wi = index.get(w)
+                if wi is not None and vi < wi:
+                    sub.add_edge(vi, wi, weight)
+        return sub, ordered
+
+    def reweighted(self, weights: Dict[Tuple[int, int], float]) -> "Graph":
+        """Return a copy where every edge takes its weight from ``weights``.
+
+        ``weights`` is keyed by ``(min(u, v), max(u, v))``; edges missing
+        from the mapping keep their current weight.
+        """
+        other = Graph(self.num_vertices)
+        for u, v, w in self.edges():
+            other.add_edge(u, v, weights.get((u, v), w))
+        return other
+
+    def adjacency_dict(self, vertices: Optional[Iterable[int]] = None) -> Dict[int, Dict[int, float]]:
+        """Return a mutable dict-of-dicts view restricted to ``vertices``.
+
+        This is the "working graph" representation used by the hierarchy
+        builder, which needs to remove cut vertices and add shortcut edges
+        without touching the original :class:`Graph`.
+        """
+        if vertices is None:
+            member = None
+        else:
+            member = set(vertices)
+        result: Dict[int, Dict[int, float]] = {}
+        source = self.vertices() if member is None else member
+        for v in source:
+            nbrs = self._adj[v]
+            if member is None:
+                result[v] = dict(nbrs)
+            else:
+                result[v] = {w: wt for w, wt in nbrs.items() if w in member}
+        return result
+
+    # ------------------------------------------------------------------ #
+    # interop / debugging
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):  # pragma: no cover - thin conversion helper
+        """Convert to a ``networkx.Graph`` (used by tests for cross-checking)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.vertices())
+        g.add_weighted_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, nxg) -> "Graph":
+        """Build from a ``networkx`` graph whose nodes are ``0..n-1``."""
+        graph = cls(nxg.number_of_nodes())
+        for u, v, data in nxg.edges(data=True):
+            graph.add_edge(int(u), int(v), float(data.get("weight", 1.0)))
+        return graph
+
+    def __repr__(self) -> str:
+        return f"Graph(num_vertices={self.num_vertices}, num_edges={self.num_edges})"

@@ -1,0 +1,119 @@
+"""DIMACS road-network file I/O.
+
+The paper's datasets come from the 9th DIMACS Implementation Challenge in
+the ``.gr`` (graph) / ``.co`` (coordinates) format.  We implement readers
+and writers for both so the reproduction can be pointed at the real
+datasets when they are available, even though the bundled experiments use
+synthetic stand-ins.
+
+Format reference
+----------------
+``.gr``::
+
+    c comment lines
+    p sp <num_vertices> <num_arcs>
+    a <u> <v> <weight>        (1-based vertex ids, directed arcs)
+
+``.co``::
+
+    c comment lines
+    p aux sp co <num_vertices>
+    v <id> <x> <y>
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Dict, IO, Iterator, Tuple, Union
+
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike, mode: str = "rt") -> IO[str]:
+    """Open a possibly gzip-compressed text file."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)  # type: ignore[return-value]
+    return open(path, mode, encoding="utf-8")
+
+
+def read_dimacs(path: PathLike) -> Graph:
+    """Read a DIMACS ``.gr`` file into an undirected :class:`Graph`.
+
+    Directed arc pairs collapse into a single undirected edge with the
+    minimum of the two weights, matching how the paper treats the (almost
+    symmetric) USA road networks as undirected graphs.
+    """
+    graph: Graph | None = None
+    with _open_text(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            fields = line.split()
+            if fields[0] == "p":
+                if len(fields) < 4 or fields[1] != "sp":
+                    raise ValueError(f"{path}:{line_no}: malformed problem line: {line!r}")
+                graph = Graph(int(fields[2]))
+            elif fields[0] == "a":
+                if graph is None:
+                    raise ValueError(f"{path}:{line_no}: arc line before problem line")
+                if len(fields) != 4:
+                    raise ValueError(f"{path}:{line_no}: malformed arc line: {line!r}")
+                u, v, w = int(fields[1]) - 1, int(fields[2]) - 1, float(fields[3])
+                graph.add_edge(u, v, w)
+            else:
+                raise ValueError(f"{path}:{line_no}: unknown record type {fields[0]!r}")
+    if graph is None:
+        raise ValueError(f"{path}: no problem line found")
+    return graph
+
+
+def write_dimacs(graph: Graph, path: PathLike, comment: str = "written by repro") -> None:
+    """Write ``graph`` as a DIMACS ``.gr`` file (both arc directions)."""
+    with _open_text(path, "wt") as handle:
+        handle.write(f"c {comment}\n")
+        handle.write(f"p sp {graph.num_vertices} {graph.num_edges * 2}\n")
+        for u, v, w in graph.edges():
+            weight = int(w) if float(w).is_integer() else w
+            handle.write(f"a {u + 1} {v + 1} {weight}\n")
+            handle.write(f"a {v + 1} {u + 1} {weight}\n")
+
+
+def read_coordinates(path: PathLike) -> Dict[int, Tuple[float, float]]:
+    """Read a DIMACS ``.co`` coordinate file into ``{vertex: (x, y)}``."""
+    coords: Dict[int, Tuple[float, float]] = {}
+    with _open_text(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("c") or line.startswith("p"):
+                continue
+            fields = line.split()
+            if fields[0] != "v" or len(fields) != 4:
+                raise ValueError(f"{path}:{line_no}: malformed coordinate line: {line!r}")
+            coords[int(fields[1]) - 1] = (float(fields[2]), float(fields[3]))
+    return coords
+
+
+def write_coordinates(coords: Dict[int, Tuple[float, float]], path: PathLike) -> None:
+    """Write a coordinate map as a DIMACS ``.co`` file."""
+    with _open_text(path, "wt") as handle:
+        handle.write("c written by repro\n")
+        handle.write(f"p aux sp co {len(coords)}\n")
+        for vertex in sorted(coords):
+            x, y = coords[vertex]
+            handle.write(f"v {vertex + 1} {x:.0f} {y:.0f}\n")
+
+
+def iter_query_pairs(path: PathLike) -> Iterator[Tuple[int, int]]:
+    """Read a whitespace-separated query pair file (one ``s t`` pair per line)."""
+    with _open_text(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            s, t = line.split()[:2]
+            yield int(s), int(t)

@@ -1,0 +1,236 @@
+"""Shortest-path searches on :class:`repro.graph.Graph`.
+
+These routines are the workhorses of both the baselines (plain and
+bidirectional Dijkstra) and the HC2L construction (single-source searches
+from cut and border vertices, farthest-vertex selection for the balanced
+partitioning seeds).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph
+
+INF = float("inf")
+
+
+def dijkstra(
+    graph: Graph,
+    source: int,
+    targets: Optional[Iterable[int]] = None,
+    allowed: Optional[Iterable[int]] = None,
+) -> List[float]:
+    """Single-source shortest-path distances from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        The graph to search.
+    source:
+        The source vertex.
+    targets:
+        Optional set of targets; the search stops once all have been
+        settled.  The full distance array is still returned.
+    allowed:
+        Optional set of vertices the search may visit (the source must be
+        in the set).  Used to search induced subgraphs without copying.
+
+    Returns
+    -------
+    list of float
+        ``dist[v]`` for every vertex, ``inf`` where unreachable.
+    """
+    n = graph.num_vertices
+    dist = [INF] * n
+    dist[source] = 0.0
+    allowed_set = None if allowed is None else set(allowed)
+    remaining = None if targets is None else set(targets)
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        if remaining is not None:
+            remaining.discard(v)
+            if not remaining:
+                break
+        for w, weight in graph.neighbors(v):
+            if allowed_set is not None and w not in allowed_set:
+                continue
+            nd = d + weight
+            if nd < dist[w]:
+                dist[w] = nd
+                heapq.heappush(heap, (nd, w))
+    return dist
+
+
+def dijkstra_predecessors(graph: Graph, source: int) -> Tuple[List[float], List[int]]:
+    """Single-source distances and a shortest-path tree.
+
+    Returns ``(dist, parent)`` where ``parent[source] == source`` and
+    ``parent[v] == -1`` for unreachable vertices.  Used by the highway
+    decomposition in PHL to extract shortest paths.
+    """
+    n = graph.num_vertices
+    dist = [INF] * n
+    parent = [-1] * n
+    dist[source] = 0.0
+    parent[source] = source
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        for w, weight in graph.neighbors(v):
+            nd = d + weight
+            if nd < dist[w]:
+                dist[w] = nd
+                parent[w] = v
+                heapq.heappush(heap, (nd, w))
+    return dist, parent
+
+
+def dijkstra_to_target(graph: Graph, source: int, target: int) -> float:
+    """Distance between ``source`` and ``target``; early exit at the target."""
+    if source == target:
+        return 0.0
+    n = graph.num_vertices
+    dist = [INF] * n
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v == target:
+            return d
+        if d > dist[v]:
+            continue
+        for w, weight in graph.neighbors(v):
+            nd = d + weight
+            if nd < dist[w]:
+                dist[w] = nd
+                heapq.heappush(heap, (nd, w))
+    return INF
+
+
+def bidirectional_dijkstra(graph: Graph, source: int, target: int) -> float:
+    """Bidirectional Dijkstra between ``source`` and ``target``.
+
+    The classic meet-in-the-middle scheme [Pohl 1969] referenced in the
+    paper's related-work discussion.  Exact for non-negative weights.
+    """
+    if source == target:
+        return 0.0
+    n = graph.num_vertices
+    dist_f = [INF] * n
+    dist_b = [INF] * n
+    dist_f[source] = 0.0
+    dist_b[target] = 0.0
+    heap_f: List[Tuple[float, int]] = [(0.0, source)]
+    heap_b: List[Tuple[float, int]] = [(0.0, target)]
+    settled_f = [False] * n
+    settled_b = [False] * n
+    best = INF
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        # expand the side with the smaller frontier distance
+        if heap_f[0][0] <= heap_b[0][0]:
+            d, v = heapq.heappop(heap_f)
+            if settled_f[v] or d > dist_f[v]:
+                continue
+            settled_f[v] = True
+            if dist_b[v] < INF:
+                best = min(best, d + dist_b[v])
+            for w, weight in graph.neighbors(v):
+                nd = d + weight
+                if nd < dist_f[w]:
+                    dist_f[w] = nd
+                    heapq.heappush(heap_f, (nd, w))
+                if dist_b[w] < INF:
+                    best = min(best, nd + dist_b[w])
+        else:
+            d, v = heapq.heappop(heap_b)
+            if settled_b[v] or d > dist_b[v]:
+                continue
+            settled_b[v] = True
+            if dist_f[v] < INF:
+                best = min(best, d + dist_f[v])
+            for w, weight in graph.neighbors(v):
+                nd = d + weight
+                if nd < dist_b[w]:
+                    dist_b[w] = nd
+                    heapq.heappush(heap_b, (nd, w))
+                if dist_f[w] < INF:
+                    best = min(best, nd + dist_f[w])
+    return best
+
+
+def bfs_hops(graph: Graph, source: int, allowed: Optional[Iterable[int]] = None) -> List[int]:
+    """Hop counts (unweighted BFS distances) from ``source``; -1 when unreachable."""
+    n = graph.num_vertices
+    hops = [-1] * n
+    allowed_set = None if allowed is None else set(allowed)
+    hops[source] = 0
+    frontier = [source]
+    while frontier:
+        nxt: List[int] = []
+        for v in frontier:
+            for w in graph.neighbor_ids(v):
+                if allowed_set is not None and w not in allowed_set:
+                    continue
+                if hops[w] == -1:
+                    hops[w] = hops[v] + 1
+                    nxt.append(w)
+        frontier = nxt
+    return hops
+
+
+def farthest_vertex(
+    graph: Graph, source: int, allowed: Optional[Sequence[int]] = None
+) -> Tuple[int, float, List[float]]:
+    """The vertex farthest (by weighted distance) from ``source``.
+
+    Restricted to ``allowed`` when given; unreachable vertices are ignored.
+    Returns ``(vertex, distance, dist_array)``.  Ties break on the smaller
+    vertex id so the hierarchy construction stays deterministic.
+    """
+    dist = dijkstra(graph, source, allowed=allowed)
+    candidates = graph.vertices() if allowed is None else allowed
+    best_v, best_d = source, 0.0
+    for v in candidates:
+        d = dist[v]
+        if d == INF:
+            continue
+        if d > best_d or (d == best_d and v < best_v):
+            best_v, best_d = v, d
+    return best_v, best_d, dist
+
+
+def eccentricity_estimate(graph: Graph, seed_vertex: int = 0, sweeps: int = 2) -> float:
+    """Estimate the graph diameter by repeated double sweeps.
+
+    Used to populate the "diam." column of the dataset summary table and to
+    pick the ``l_max`` bound for the distance-stratified query workloads.
+    """
+    if graph.num_vertices == 0:
+        return 0.0
+    v = seed_vertex
+    best = 0.0
+    for _ in range(max(1, sweeps)):
+        v, d, _ = farthest_vertex(graph, v)
+        best = max(best, d)
+    return best
+
+
+def all_pairs_dijkstra(graph: Graph, sources: Optional[Iterable[int]] = None) -> Dict[int, List[float]]:
+    """Distance arrays from each source (all vertices by default).
+
+    Intended for small graphs in tests and for computing exact workload
+    statistics; quadratic in the graph size.
+    """
+    result: Dict[int, List[float]] = {}
+    for s in graph.vertices() if sources is None else sources:
+        result[s] = dijkstra(graph, s)
+    return result

@@ -1,0 +1,12 @@
+"""Balanced tree hierarchy (Definition 4.1).
+
+The hierarchy is a binary tree whose nodes carry vertex cuts; every graph
+vertex maps to exactly one node.  Node identities are bitstrings along the
+root-to-node path, so the *level* of the lowest common ancestor of two
+vertices is the length of the common prefix of their bitstrings - an O(1)
+operation, which is the paper's replacement for RMQ-based LCA indexes.
+"""
+
+from repro.hierarchy.tree import BalancedTreeHierarchy, TreeNode
+
+__all__ = ["BalancedTreeHierarchy", "TreeNode"]

@@ -1,0 +1,260 @@
+"""Balanced tree hierarchy data structure.
+
+A :class:`BalancedTreeHierarchy` is the ``H_G`` of the paper: a binary tree
+where each node holds an (ordered) vertex cut of the subgraph it was built
+from, and every vertex of the graph is mapped to exactly one node (the node
+whose cut it belongs to, or a leaf node).  The structure supports:
+
+* constant-time computation of the *depth* of the lowest common ancestor of
+  two vertices via bitstring comparison (Lemma 4.21),
+* the structural metrics reported in Table 5 (tree height, maximum /
+  average cut size) and Table 3 (LCA storage), and
+* validation helpers used by the property-based tests (balance condition
+  and the LCA cut-cover condition of Definition 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+@dataclass
+class TreeNode:
+    """One node of the balanced tree hierarchy.
+
+    Attributes
+    ----------
+    index:
+        Position of the node in :attr:`BalancedTreeHierarchy.nodes`.
+    depth:
+        Distance from the root (the root has depth 0).
+    bits:
+        The left/right path from the root encoded as an integer read
+        MSB-first; exactly ``depth`` bits are meaningful.
+    cut:
+        The ordered vertex cut stored at this node (rank order produced by
+        the tail-pruning ranking).  Leaf nodes store all their remaining
+        vertices here.
+    parent / left / right:
+        Node indices (``None`` when absent).
+    subtree_size:
+        Number of graph vertices mapped into the subtree rooted here.
+    is_leaf:
+        Whether the node terminated the recursion.
+    """
+
+    index: int
+    depth: int
+    bits: int
+    cut: List[int] = field(default_factory=list)
+    parent: Optional[int] = None
+    left: Optional[int] = None
+    right: Optional[int] = None
+    subtree_size: int = 0
+    is_leaf: bool = False
+
+
+class BalancedTreeHierarchy:
+    """The balanced tree hierarchy ``H_G`` over a graph with ``n`` vertices."""
+
+    def __init__(self, num_vertices: int) -> None:
+        self.num_vertices = num_vertices
+        self.nodes: List[TreeNode] = []
+        #: node index of each vertex (-1 until assigned)
+        self.vertex_node: List[int] = [-1] * num_vertices
+        #: depth of each vertex's node (duplicated for cache-friendly queries)
+        self.vertex_depth: List[int] = [0] * num_vertices
+        #: bitstring of each vertex's node
+        self.vertex_bits: List[int] = [0] * num_vertices
+
+    # ------------------------------------------------------------------ #
+    # construction API (used by the HC2L builder)
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        depth: int,
+        bits: int,
+        cut: Sequence[int],
+        parent: Optional[int] = None,
+        side: Optional[str] = None,
+        is_leaf: bool = False,
+    ) -> TreeNode:
+        """Append a node and map its cut vertices to it.
+
+        ``side`` is ``"left"`` or ``"right"`` for non-root nodes and
+        controls which child slot of the parent the new node occupies.
+        """
+        node = TreeNode(
+            index=len(self.nodes),
+            depth=depth,
+            bits=bits,
+            cut=list(cut),
+            parent=parent,
+            is_leaf=is_leaf,
+        )
+        self.nodes.append(node)
+        if parent is not None:
+            if side not in ("left", "right"):
+                raise ValueError("non-root nodes must specify side='left' or 'right'")
+            parent_node = self.nodes[parent]
+            if side == "left":
+                parent_node.left = node.index
+            else:
+                parent_node.right = node.index
+        for vertex in cut:
+            self.vertex_node[vertex] = node.index
+            self.vertex_depth[vertex] = depth
+            self.vertex_bits[vertex] = bits
+        return node
+
+    def set_subtree_size(self, node_index: int, size: int) -> None:
+        """Record how many vertices the subtree rooted at ``node_index`` holds."""
+        self.nodes[node_index].subtree_size = size
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def node_of(self, vertex: int) -> TreeNode:
+        """The tree node a vertex is mapped to."""
+        return self.nodes[self.vertex_node[vertex]]
+
+    def lca_depth(self, u: int, v: int) -> int:
+        """Depth of the lowest common ancestor of the nodes of ``u`` and ``v``.
+
+        Computed as the length of the common prefix of the two node
+        bitstrings (Section 4.3); O(1) time using integer operations.
+        """
+        depth_u = self.vertex_depth[u]
+        depth_v = self.vertex_depth[v]
+        bits_u = self.vertex_bits[u]
+        bits_v = self.vertex_bits[v]
+        if depth_u > depth_v:
+            bits_u >>= depth_u - depth_v
+            common = depth_v
+        elif depth_v > depth_u:
+            bits_v >>= depth_v - depth_u
+            common = depth_u
+        else:
+            common = depth_u
+        diff = bits_u ^ bits_v
+        if diff == 0:
+            return common
+        return common - diff.bit_length()
+
+    def lca_node(self, u: int, v: int) -> TreeNode:
+        """The lowest common ancestor node itself (walks up; used by tests)."""
+        target_depth = self.lca_depth(u, v)
+        node = self.node_of(u)
+        while node.depth > target_depth:
+            assert node.parent is not None
+            node = self.nodes[node.parent]
+        return node
+
+    def ancestors(self, vertex: int) -> Iterator[TreeNode]:
+        """Iterate the nodes on the root-to-node path of ``vertex`` (top-down)."""
+        chain: List[TreeNode] = []
+        node: Optional[TreeNode] = self.node_of(vertex)
+        while node is not None:
+            chain.append(node)
+            node = self.nodes[node.parent] if node.parent is not None else None
+        return iter(reversed(chain))
+
+    # ------------------------------------------------------------------ #
+    # metrics (Tables 3 and 5)
+    # ------------------------------------------------------------------ #
+    def height(self) -> int:
+        """Height of the hierarchy (number of levels; a single node counts 1)."""
+        if not self.nodes:
+            return 0
+        return max(node.depth for node in self.nodes) + 1
+
+    def cut_sizes(self, internal_only: bool = False) -> List[int]:
+        """Sizes of the cuts stored at the nodes."""
+        return [
+            len(node.cut)
+            for node in self.nodes
+            if not (internal_only and node.is_leaf)
+        ]
+
+    def max_cut_size(self) -> int:
+        """Largest cut size over all nodes (Table 5's "Max Cut Size")."""
+        sizes = self.cut_sizes()
+        return max(sizes) if sizes else 0
+
+    def average_cut_size(self) -> float:
+        """Mean cut size over internal (non-leaf) nodes (Figure 7)."""
+        sizes = self.cut_sizes(internal_only=True)
+        if not sizes:
+            sizes = self.cut_sizes()
+        if not sizes:
+            return 0.0
+        return sum(sizes) / len(sizes)
+
+    def lca_storage_bytes(self) -> int:
+        """Bytes needed to answer LCA-depth queries at query time.
+
+        HC2L only needs the per-vertex bitstring (stored as a 64-bit
+        integer whose low 6 bits encode the length - Section 4.2.2), i.e.
+        8 bytes per vertex.
+        """
+        return 8 * self.num_vertices
+
+    def num_internal_nodes(self) -> int:
+        """Number of non-leaf nodes."""
+        return sum(1 for node in self.nodes if not node.is_leaf)
+
+    # ------------------------------------------------------------------ #
+    # validation (used by tests)
+    # ------------------------------------------------------------------ #
+    def check_vertex_assignment(self) -> bool:
+        """Every vertex is mapped to exactly one node."""
+        return all(node_index >= 0 for node_index in self.vertex_node)
+
+    def check_balance(self, beta: float) -> bool:
+        """Condition (1) of Definition 4.1 for every internal node.
+
+        Leaf children and missing children count as empty subtrees.  The
+        bottleneck handling of Algorithm 1 can exceed the bound by the
+        (tiny) number of bottleneck vertices, so a slack of one vertex is
+        tolerated, plus whole-subtree slack for degenerate nodes whose
+        subgraph was too small to split evenly.
+        """
+        for node in self.nodes:
+            if node.is_leaf:
+                continue
+            subtree = node.subtree_size
+            if subtree <= 2:
+                continue
+            limit = (1.0 - beta) * subtree + 1.0
+            for child_index in (node.left, node.right):
+                if child_index is None:
+                    continue
+                if self.nodes[child_index].subtree_size > limit:
+                    return False
+        return True
+
+    def subtree_vertices(self, node_index: int) -> List[int]:
+        """All graph vertices mapped into the subtree rooted at ``node_index``."""
+        result: List[int] = []
+        stack = [node_index]
+        while stack:
+            index = stack.pop()
+            node = self.nodes[index]
+            result.extend(node.cut)
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return result
+
+    def describe(self) -> Dict[str, float]:
+        """Summary statistics bundle used by the experiment harness."""
+        return {
+            "height": float(self.height()),
+            "max_cut": float(self.max_cut_size()),
+            "avg_cut": float(self.average_cut_size()),
+            "nodes": float(len(self.nodes)),
+            "internal_nodes": float(self.num_internal_nodes()),
+            "lca_bytes": float(self.lca_storage_bytes()),
+        }

@@ -1,0 +1,37 @@
+"""Balanced partitioning, balanced vertex cuts and distance preservation.
+
+This package implements Section 4.1 of the paper:
+
+* :mod:`repro.partition.working_graph` - lightweight mutable dict-of-dict
+  subgraphs plus Dijkstra on them,
+* :mod:`repro.partition.partition` - Algorithm 1 (BalancedPartition),
+* :mod:`repro.partition.cut` - Algorithm 2 (BalancedCut), and
+* :mod:`repro.partition.shortcuts` - Algorithm 3 (AddShortcuts) together
+  with the redundancy elimination of Lemma 4.11.
+"""
+
+from repro.partition.working_graph import (
+    WorkingAdjacency,
+    dijkstra_adjacency,
+    farthest_vertex_adjacency,
+    restrict_adjacency,
+    working_graph_from,
+)
+from repro.partition.partition import BalancedPartitionResult, balanced_partition
+from repro.partition.cut import BalancedCutResult, balanced_cut
+from repro.partition.shortcuts import Shortcut, compute_shortcuts, is_distance_preserving
+
+__all__ = [
+    "WorkingAdjacency",
+    "working_graph_from",
+    "restrict_adjacency",
+    "dijkstra_adjacency",
+    "farthest_vertex_adjacency",
+    "balanced_partition",
+    "BalancedPartitionResult",
+    "balanced_cut",
+    "BalancedCutResult",
+    "compute_shortcuts",
+    "Shortcut",
+    "is_distance_preserving",
+]

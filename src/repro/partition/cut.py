@@ -1,0 +1,154 @@
+"""Algorithm 2 - BalancedCut.
+
+Takes the initial partitions produced by Algorithm 1, contracts them into
+virtual terminals, finds a minimum s-t vertex cut inside the cut region via
+the split-vertex max-flow reduction, and finally re-assigns the connected
+components of ``G \\ V_cut`` to the two sides while maximising balance.
+
+The paper extracts two canonical minimum cuts from the maximal flow (the
+one closest to ``S`` and the one closest to ``T``) and keeps whichever
+yields the more balanced final partition; this module does the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from repro.flow.vertex_cut import minimum_st_vertex_cut
+from repro.graph.components import components_of_adjacency
+from repro.partition.partition import balanced_partition
+from repro.partition.working_graph import WorkingAdjacency, restrict_adjacency
+
+
+@dataclass
+class BalancedCutResult:
+    """Outcome of Algorithm 2: a balanced cut ``(P_A, V_cut, P_B)``.
+
+    ``part_a`` and ``part_b`` are the final partitions, ``cut`` the vertex
+    cut separating them.  The three lists partition the vertex set of the
+    input subgraph; either partition may be empty for degenerate inputs
+    (very small subgraphs), in which case the caller typically stops
+    recursing and turns the remainder into a leaf node.
+    """
+
+    part_a: List[int]
+    cut: List[int]
+    part_b: List[int]
+
+    def balance(self) -> float:
+        """Size of the larger side divided by the number of non-cut vertices."""
+        total = len(self.part_a) + len(self.part_b)
+        if total == 0:
+            return 1.0
+        return max(len(self.part_a), len(self.part_b)) / total
+
+
+def balanced_cut(adjacency: WorkingAdjacency, beta: float = 0.2) -> BalancedCutResult:
+    """Compute a balanced vertex cut of a working adjacency (Algorithm 2)."""
+    partition = balanced_partition(adjacency, beta)
+    initial_a, cut_region, initial_b = (
+        partition.initial_a,
+        partition.cut_region,
+        partition.initial_b,
+    )
+    set_a, set_b, set_c = set(initial_a), set(initial_b), set(cut_region)
+
+    if not set_a or not set_b:
+        # Degenerate split (tiny or pathological subgraph): report the whole
+        # cut region as the cut so the caller can decide to stop recursing.
+        return BalancedCutResult(sorted(set_a), sorted(set_c), sorted(set_b))
+
+    # Lines 3-4: vertices incident to a cross-partition edge.
+    border_a = {v for v in set_a if any(w in set_b for w in adjacency[v])}
+    border_b = {v for v in set_b if any(w in set_a for w in adjacency[v])}
+
+    # Lines 5-11: build the flow subgraph over C union C_A union C_B and the
+    # terminal attachment sets N_S / N_T.
+    flow_vertices = set_c | border_a | border_b
+    flow_adjacency = restrict_adjacency(adjacency, flow_vertices)
+    attach_s = set(border_a)
+    attach_t = set(border_b)
+    interior_a = set_a - border_a
+    interior_b = set_b - border_b
+    for v in set_c:
+        neighbours = adjacency[v]
+        if any(w in interior_a for w in neighbours):
+            attach_s.add(v)
+        if any(w in interior_b for w in neighbours):
+            attach_t.add(v)
+
+    # Line 12: minimum s-t vertex cut via Dinitz on the split graph.
+    result = minimum_st_vertex_cut(flow_adjacency, attach_s, attach_t)
+
+    # Lines 13-15 for each canonical cut, then keep the more balanced one.
+    best: BalancedCutResult | None = None
+    for cut in result.candidate_cuts():
+        assignment = _assign_components(adjacency, cut, set_a, set_b)
+        if best is None or assignment.balance() < best.balance():
+            best = assignment
+    assert best is not None
+    return best
+
+
+def _assign_components(
+    adjacency: WorkingAdjacency,
+    cut: Sequence[int],
+    seed_a: Set[int],
+    seed_b: Set[int],
+) -> BalancedCutResult:
+    """Assign the components of ``G \\ cut`` to the two sides, maximising balance.
+
+    Following the paper, components are processed in order of decreasing
+    size and each is appended to the currently smaller side.  Components
+    containing seed vertices of both sides cannot occur (the cut separates
+    them); a component containing seeds of exactly one side is still
+    assigned purely by balance, as in the paper's pseudo-code.
+    """
+    cut_set = set(cut)
+    remaining = [v for v in adjacency if v not in cut_set]
+    sub = restrict_adjacency(adjacency, remaining)
+    components = components_of_adjacency(sub)
+    components.sort(key=lambda c: (-len(c), c[0]))
+
+    part_a: List[int] = []
+    part_b: List[int] = []
+    for component in components:
+        if len(part_a) <= len(part_b):
+            part_a.extend(component)
+        else:
+            part_b.extend(component)
+    return BalancedCutResult(sorted(part_a), sorted(cut_set), sorted(part_b))
+
+
+def cut_statistics(results: List[BalancedCutResult]) -> Dict[str, float]:
+    """Aggregate cut-size statistics used by the Figure 7 reproduction."""
+    sizes = [len(r.cut) for r in results]
+    if not sizes:
+        return {"max": 0.0, "avg": 0.0, "count": 0.0}
+    return {
+        "max": float(max(sizes)),
+        "avg": sum(sizes) / len(sizes),
+        "count": float(len(sizes)),
+    }
+
+
+def separates(adjacency: WorkingAdjacency, result: BalancedCutResult) -> bool:
+    """Whether ``result.cut`` disconnects ``part_a`` from ``part_b`` (test helper)."""
+    cut_set = set(result.cut)
+    target = set(result.part_b)
+    if not result.part_a or not target:
+        return True
+    seen = set(result.part_a)
+    stack = list(result.part_a)
+    while stack:
+        v = stack.pop()
+        if v in target:
+            return False
+        for w in adjacency[v]:
+            if w in cut_set or w in seen:
+                continue
+            seen.add(w)
+            stack.append(w)
+    return True
+

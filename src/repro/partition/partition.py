@@ -1,0 +1,164 @@
+"""Algorithm 1 - BalancedPartition.
+
+Splits a (sub)graph into two initial partitions ``P'_A`` and ``P'_B`` and a
+*cut region* ``C`` such that the initial partitions each hold roughly a
+``beta`` fraction of the vertices and are as far apart as possible.  The
+actual minimum vertex cut is found inside the cut region by Algorithm 2
+(:mod:`repro.partition.cut`).
+
+The implementation follows the paper's pseudo-code closely:
+
+1. Disconnected inputs are handled first: if the largest component is small
+   enough the split is already balanced with an empty cut; otherwise the
+   partitioning happens inside the largest component and every other
+   component joins the cut region.
+2. Two seed vertices ``v_A`` (far from an arbitrary vertex) and ``v_B``
+   (far from ``v_A``) are chosen; every vertex receives a partition weight
+   ``pw(v) = d(v_A, v) - d(v_B, v)``.
+3. The ``beta * |V|`` vertices with the smallest / largest partition
+   weights seed ``P'_A`` / ``P'_B``.  When the two boundary weights
+   coincide a *bottleneck* vertex funnels too many equivalence classes
+   through itself; it is removed temporarily, the partition recomputed on
+   the remainder and the bottleneck finally added to the cut region.
+4. Otherwise each initial partition is closed under its boundary weight so
+   whole equivalence classes stay together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.partition.working_graph import (
+    WorkingAdjacency,
+    dijkstra_adjacency,
+    farthest_vertex_adjacency,
+    restrict_adjacency,
+)
+from repro.graph.components import components_of_adjacency
+from repro.utils.validation import check_balance_parameter
+
+INF = float("inf")
+
+
+@dataclass
+class BalancedPartitionResult:
+    """Outcome of Algorithm 1.
+
+    ``initial_a`` and ``initial_b`` are the two initial partitions
+    (``P'_A`` / ``P'_B``); ``cut_region`` is the set of vertices between
+    them inside which Algorithm 2 searches for a minimum vertex cut.
+    The three lists partition the vertex set of the input subgraph.
+    """
+
+    initial_a: List[int]
+    cut_region: List[int]
+    initial_b: List[int]
+
+    def sizes(self) -> Tuple[int, int, int]:
+        """Sizes ``(|P'_A|, |C|, |P'_B|)``."""
+        return len(self.initial_a), len(self.cut_region), len(self.initial_b)
+
+
+def balanced_partition(
+    adjacency: WorkingAdjacency,
+    beta: float = 0.2,
+    _depth: int = 0,
+) -> BalancedPartitionResult:
+    """Compute a balanced partition of a working adjacency (Algorithm 1).
+
+    Parameters
+    ----------
+    adjacency:
+        Working adjacency of the subgraph to split (not modified).
+    beta:
+        Balance parameter from Definition 4.1, ``0 < beta <= 0.5``.
+
+    Returns
+    -------
+    BalancedPartitionResult
+        The two initial partitions and the cut region.
+    """
+    check_balance_parameter(beta)
+    vertices = sorted(adjacency)
+    n = len(vertices)
+    if n == 0:
+        return BalancedPartitionResult([], [], [])
+    if n == 1:
+        return BalancedPartitionResult([], list(vertices), [])
+
+    components = components_of_adjacency(adjacency)
+    if len(components) > 1:
+        return _partition_disconnected(adjacency, components, beta, n, _depth)
+
+    # --- connected case ----------------------------------------------- #
+    # Lines 11-12: pick seeds as far apart as possible.
+    arbitrary = vertices[0]
+    seed_a, _, _ = farthest_vertex_adjacency(adjacency, arbitrary)
+    seed_b, _, dist_a = farthest_vertex_adjacency(adjacency, seed_a)
+    dist_b = dijkstra_adjacency(adjacency, seed_b)
+
+    # Line 13: partition weights.
+    pw: Dict[int, float] = {v: dist_a.get(v, INF) - dist_b.get(v, INF) for v in vertices}
+    ordered = sorted(vertices, key=lambda v: (pw[v], v))
+
+    # Lines 14-15: initial partitions of size beta * |V|.
+    k = max(1, int(beta * n))
+    head = ordered[:k]
+    tail = ordered[-k:]
+    w_a = max(pw[v] for v in head)
+    w_b = min(pw[v] for v in tail)
+
+    if w_a == w_b:
+        # Lines 16-22: bottleneck handling - one equivalence class spans
+        # both boundaries; remove its member closest to seed_a and retry.
+        equivalence_class = [v for v in vertices if pw[v] == w_a]
+        bottleneck = min(equivalence_class, key=lambda v: (dist_a.get(v, INF), v))
+        remaining = [v for v in vertices if v != bottleneck]
+        reduced = restrict_adjacency(adjacency, remaining)
+        inner = balanced_partition(reduced, beta, _depth + 1)
+        return BalancedPartitionResult(
+            initial_a=inner.initial_a,
+            cut_region=sorted(inner.cut_region + [bottleneck]),
+            initial_b=inner.initial_b,
+        )
+
+    # Lines 23-25: close the initial partitions under their boundary weight
+    # so equivalence classes are never split.
+    initial_a = sorted(v for v in vertices if pw[v] <= w_a)
+    initial_b = sorted(v for v in vertices if pw[v] >= w_b)
+    in_a = set(initial_a)
+    in_b = set(initial_b)
+    cut_region = sorted(v for v in vertices if v not in in_a and v not in in_b)
+    return BalancedPartitionResult(initial_a, cut_region, initial_b)
+
+
+def _partition_disconnected(
+    adjacency: WorkingAdjacency,
+    components: List[List[int]],
+    beta: float,
+    n: int,
+    depth: int,
+) -> BalancedPartitionResult:
+    """Lines 2-10 of Algorithm 1: the input graph is disconnected."""
+    components = sorted(components, key=lambda c: (-len(c), c[0]))
+    largest = components[0]
+    if len(largest) > (1.0 - beta) * n:
+        # Partition inside the largest component; all other components join
+        # the cut region (they are cheap to separate later).
+        sub = restrict_adjacency(adjacency, largest)
+        inner = balanced_partition(sub, beta, depth + 1)
+        others = [v for comp in components[1:] for v in comp]
+        return BalancedPartitionResult(
+            initial_a=inner.initial_a,
+            cut_region=sorted(inner.cut_region + others),
+            initial_b=inner.initial_b,
+        )
+    second = components[1] if len(components) > 1 else []
+    used = set(largest) | set(second)
+    rest = sorted(v for v in adjacency if v not in used)
+    return BalancedPartitionResult(
+        initial_a=sorted(largest),
+        cut_region=rest,
+        initial_b=sorted(second),
+    )

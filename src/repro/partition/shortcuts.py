@@ -1,0 +1,181 @@
+"""Algorithm 3 - AddShortcuts (distance preservation).
+
+After a balanced cut ``(P_A, V_cut, P_B)``, the induced subgraphs on the
+two partitions are not necessarily distance preserving: a shortest path
+between two vertices of ``P_A`` may travel through the cut.  Lemma 4.8
+shows that such paths always enter and leave the partition through *border
+vertices* (vertices of the partition adjacent to the cut), so it suffices
+to add shortcut edges between border vertices whose true distance is
+shorter than their within-partition distance.  Lemma 4.11 identifies
+redundant shortcuts (those realisable through a third border vertex),
+which this module eliminates to keep the working graphs sparse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.partition.working_graph import (
+    WorkingAdjacency,
+    dijkstra_adjacency,
+    restrict_adjacency,
+)
+
+INF = float("inf")
+
+#: Relative tolerance used when comparing alternative path lengths; two
+#: floating point sums of the same edge weights can differ by a few ulps
+#: depending on the order of addition.
+_REL_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Shortcut:
+    """A shortcut edge ``(u, v)`` carrying the true graph distance."""
+
+    u: int
+    v: int
+    weight: float
+
+
+def border_vertices(
+    adjacency: WorkingAdjacency, partition: Iterable[int], cut: Iterable[int]
+) -> List[int]:
+    """Vertices of ``partition`` adjacent to at least one cut vertex (Definition 4.7)."""
+    cut_set = set(cut)
+    return sorted(v for v in partition if any(w in cut_set for w in adjacency[v]))
+
+
+def compute_shortcuts(
+    adjacency: WorkingAdjacency,
+    cut: Sequence[int],
+    partition: Sequence[int],
+    cut_distances: Mapping[int, Mapping[int, float]],
+) -> List[Shortcut]:
+    """Compute the non-redundant shortcuts for one partition (Algorithm 3).
+
+    Parameters
+    ----------
+    adjacency:
+        Working adjacency of the *parent* subgraph (partition + cut + the
+        other partition), which is distance preserving by induction.
+    cut:
+        The cut vertices separating the partitions.
+    partition:
+        The partition (list of vertices) receiving the shortcuts.
+    cut_distances:
+        For each cut vertex, its single-source distances over the parent
+        subgraph.  The labelling step computes these anyway (Algorithm 5),
+        so the caller passes them in rather than recomputing.
+
+    Returns
+    -------
+    list of Shortcut
+        Shortcuts to add to the child working graph for ``partition``.
+    """
+    partition_set = set(partition)
+    borders = border_vertices(adjacency, partition, cut)
+    if len(borders) < 2:
+        return []
+
+    # Lines 3-6: within-partition distances between border vertices.
+    within: Dict[int, Dict[int, float]] = {}
+    for b in borders:
+        dist = dijkstra_adjacency(adjacency, b, allowed=partition_set)
+        within[b] = dist
+
+    # Lines 7-8: true distances, allowing travel through the cut.
+    true_distance: Dict[Tuple[int, int], float] = {}
+    for i, b1 in enumerate(borders):
+        for b2 in borders[i + 1 :]:
+            d_in_partition = within[b1].get(b2, INF)
+            d_via_cut = INF
+            for c in cut:
+                dist_c = cut_distances[c]
+                candidate = dist_c.get(b1, INF) + dist_c.get(b2, INF)
+                if candidate < d_via_cut:
+                    d_via_cut = candidate
+            true_distance[(b1, b2)] = min(d_in_partition, d_via_cut)
+
+    def lookup(a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        return true_distance[(a, b)] if a < b else true_distance[(b, a)]
+
+    # Lines 9-16: keep only non-redundant shortcuts (Lemma 4.11).
+    shortcuts: List[Shortcut] = []
+    for (b1, b2), d_true in true_distance.items():
+        if d_true == INF:
+            continue
+        d_in_partition = within[b1].get(b2, INF)
+        if d_true >= d_in_partition:
+            continue  # condition (1): the partition already realises it
+        tolerance = _REL_EPS * max(1.0, d_true)
+        redundant = False
+        for b3 in borders:
+            if b3 == b1 or b3 == b2:
+                continue
+            if lookup(b1, b3) + lookup(b3, b2) <= d_true + tolerance:
+                redundant = True
+                break
+        if not redundant:
+            shortcuts.append(Shortcut(b1, b2, d_true))
+    return shortcuts
+
+
+def apply_shortcuts(child: WorkingAdjacency, shortcuts: Iterable[Shortcut]) -> int:
+    """Add ``shortcuts`` to a child working adjacency (keeping minima).
+
+    Returns the number of shortcut edges that actually changed the child
+    graph (new edge or improved weight), which the construction statistics
+    report.
+    """
+    added = 0
+    for shortcut in shortcuts:
+        u, v, weight = shortcut.u, shortcut.v, shortcut.weight
+        if u not in child or v not in child:
+            continue
+        current = child[u].get(v)
+        if current is None or weight < current:
+            child[u][v] = weight
+            child[v][u] = weight
+            added += 1
+    return added
+
+
+def is_distance_preserving(
+    parent: WorkingAdjacency,
+    child: WorkingAdjacency,
+    sample_vertices: Sequence[int] | None = None,
+    tolerance: float = 1e-6,
+) -> bool:
+    """Check Definition 4.5 on a child subgraph (test helper).
+
+    For every (sampled) vertex, distances inside the child must match the
+    distances in the parent working graph restricted to child vertices.
+    """
+    vertices = sorted(child)
+    sources = vertices if sample_vertices is None else [v for v in sample_vertices if v in child]
+    for source in sources:
+        in_child = dijkstra_adjacency(child, source)
+        in_parent = dijkstra_adjacency(parent, source)
+        for v in vertices:
+            dc = in_child.get(v, INF)
+            dp = in_parent.get(v, INF)
+            if dp == INF and dc == INF:
+                continue
+            if abs(dc - dp) > tolerance * max(1.0, abs(dp)):
+                return False
+    return True
+
+
+def child_adjacency(
+    adjacency: WorkingAdjacency,
+    partition: Sequence[int],
+    shortcuts: Iterable[Shortcut],
+) -> WorkingAdjacency:
+    """Build the shortcut-enhanced child working graph ``G<P>`` (Definition 4.9)."""
+    child = restrict_adjacency(adjacency, partition)
+    apply_shortcuts(child, shortcuts)
+    return child

@@ -1,0 +1,94 @@
+"""Mutable working subgraphs used during hierarchy construction.
+
+The recursive bisection repeatedly (a) restricts the graph to one side of a
+cut and (b) adds shortcut edges to keep it distance preserving.  Doing this
+on the immutable :class:`repro.graph.Graph` would require copying and
+re-indexing at every level, so the construction instead works on plain
+``dict[vertex, dict[neighbour, weight]]`` adjacency maps keyed by the
+*original* vertex ids.  This module provides the helpers for building,
+restricting and searching those maps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+
+WorkingAdjacency = Dict[int, Dict[int, float]]
+
+INF = float("inf")
+
+
+def working_graph_from(graph: Graph, vertices: Optional[Iterable[int]] = None) -> WorkingAdjacency:
+    """Build a working adjacency map from a :class:`Graph` (optionally induced)."""
+    return graph.adjacency_dict(vertices)
+
+
+def restrict_adjacency(adjacency: WorkingAdjacency, vertices: Iterable[int]) -> WorkingAdjacency:
+    """Induce a working adjacency on ``vertices`` (new dicts, originals untouched)."""
+    member = set(vertices)
+    return {
+        v: {w: weight for w, weight in adjacency[v].items() if w in member}
+        for v in member
+        if v in adjacency
+    }
+
+
+def add_edge(adjacency: WorkingAdjacency, u: int, v: int, weight: float) -> None:
+    """Add an undirected edge to a working adjacency, keeping the minimum weight."""
+    if u == v:
+        return
+    current = adjacency[u].get(v)
+    if current is None or weight < current:
+        adjacency[u][v] = weight
+        adjacency[v][u] = weight
+
+
+def num_edges(adjacency: WorkingAdjacency) -> int:
+    """Number of undirected edges in a working adjacency."""
+    return sum(len(nbrs) for nbrs in adjacency.values()) // 2
+
+
+def dijkstra_adjacency(
+    adjacency: WorkingAdjacency,
+    source: int,
+    allowed: Optional[Iterable[int]] = None,
+) -> Dict[int, float]:
+    """Dijkstra on a working adjacency; returns a dict of reached distances.
+
+    Vertices not present in the result are unreachable.  ``allowed``
+    restricts the search to a vertex subset (the source must belong to it).
+    """
+    allowed_set = None if allowed is None else set(allowed)
+    dist: Dict[int, float] = {source: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist.get(v, INF):
+            continue
+        for w, weight in adjacency[v].items():
+            if allowed_set is not None and w not in allowed_set:
+                continue
+            nd = d + weight
+            if nd < dist.get(w, INF):
+                dist[w] = nd
+                heapq.heappush(heap, (nd, w))
+    return dist
+
+
+def farthest_vertex_adjacency(
+    adjacency: WorkingAdjacency, source: int
+) -> Tuple[int, float, Dict[int, float]]:
+    """Vertex farthest from ``source`` within the working adjacency.
+
+    Ties break on the smaller vertex id for determinism.  Unreachable
+    vertices are ignored.  Returns ``(vertex, distance, dist_map)``.
+    """
+    dist = dijkstra_adjacency(adjacency, source)
+    best_v, best_d = source, 0.0
+    for v, d in dist.items():
+        if d > best_d or (d == best_d and d > 0 and v < best_v):
+            best_v, best_d = v, d
+    return best_v, best_d, dist

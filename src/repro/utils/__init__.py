@@ -1,0 +1,26 @@
+"""Small shared utilities used across the HC2L reproduction.
+
+The modules in this package deliberately contain no domain logic.  They
+provide the plumbing (timers, priority queues, validation helpers and
+deterministic random number handling) that the graph, partitioning and
+labelling packages build upon.
+"""
+
+from repro.utils.priority_queue import AddressablePriorityQueue
+from repro.utils.rng import make_rng
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import (
+    check_non_negative_weight,
+    check_probability,
+    check_vertex,
+)
+
+__all__ = [
+    "AddressablePriorityQueue",
+    "Timer",
+    "timed",
+    "make_rng",
+    "check_non_negative_weight",
+    "check_probability",
+    "check_vertex",
+]

@@ -1,0 +1,129 @@
+"""Priority queues used by the shortest-path and max-flow machinery.
+
+Dijkstra's algorithm in this code base uses the standard "lazy deletion"
+idiom on top of :mod:`heapq`.  Some callers (for example the contraction
+hierarchy node ordering) additionally need a queue whose priorities can be
+decreased and whose minimum can be peeked without popping, which is what
+:class:`AddressablePriorityQueue` provides.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Hashable, Iterator, Optional, Tuple
+
+
+class AddressablePriorityQueue:
+    """A min-priority queue with update-key and lazy deletion.
+
+    Items must be hashable.  Pushing an existing item updates its priority
+    (either up or down).  Popping returns the item with the smallest
+    priority; ties are broken by insertion order, which keeps behaviour
+    deterministic across runs.
+    """
+
+    _REMOVED = object()
+
+    def __init__(self) -> None:
+        self._heap: list[list[Any]] = []
+        self._entries: dict[Hashable, list[Any]] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._entries
+
+    def push(self, item: Hashable, priority: float) -> None:
+        """Insert ``item`` or update its priority if already present."""
+        if item in self._entries:
+            self._entries[item][2] = self._REMOVED
+        entry = [priority, next(self._counter), item]
+        self._entries[item] = entry
+        heapq.heappush(self._heap, entry)
+
+    def priority(self, item: Hashable) -> float:
+        """Return the current priority of ``item``.
+
+        Raises ``KeyError`` if the item is not in the queue.
+        """
+        return self._entries[item][0]
+
+    def pop(self) -> Tuple[Hashable, float]:
+        """Remove and return ``(item, priority)`` with the smallest priority."""
+        while self._heap:
+            priority, _, item = heapq.heappop(self._heap)
+            if item is not self._REMOVED:
+                del self._entries[item]
+                return item, priority
+        raise KeyError("pop from an empty priority queue")
+
+    def peek(self) -> Tuple[Hashable, float]:
+        """Return ``(item, priority)`` with the smallest priority without removing it."""
+        while self._heap:
+            priority, _, item = self._heap[0]
+            if item is self._REMOVED:
+                heapq.heappop(self._heap)
+                continue
+            return item, priority
+        raise KeyError("peek from an empty priority queue")
+
+    def remove(self, item: Hashable) -> None:
+        """Remove ``item`` from the queue if present."""
+        entry = self._entries.pop(item, None)
+        if entry is not None:
+            entry[2] = self._REMOVED
+
+    def items(self) -> Iterator[Tuple[Hashable, float]]:
+        """Iterate over ``(item, priority)`` pairs in arbitrary order."""
+        for item, entry in self._entries.items():
+            yield item, entry[0]
+
+
+class BucketQueue:
+    """A monotone bucket queue for small integer priorities.
+
+    Used by the degree-driven elimination orderings (tree decomposition and
+    contraction hierarchies) where priorities are small non-negative
+    integers that only need approximate ordering.  ``pop`` returns an item
+    with the currently smallest bucket.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, list[Hashable]] = {}
+        self._position: dict[Hashable, int] = {}
+        self._min_bucket: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._position)
+
+    def __bool__(self) -> bool:
+        return bool(self._position)
+
+    def push(self, item: Hashable, priority: int) -> None:
+        """Insert ``item`` with integer ``priority`` (replacing any old priority)."""
+        old = self._position.get(item)
+        if old is not None:
+            self._buckets[old].remove(item)
+        self._buckets.setdefault(priority, []).append(item)
+        self._position[item] = priority
+        if self._min_bucket is None or priority < self._min_bucket:
+            self._min_bucket = priority
+
+    def pop(self) -> Tuple[Hashable, int]:
+        """Remove and return ``(item, priority)`` from the smallest non-empty bucket."""
+        if not self._position:
+            raise KeyError("pop from an empty bucket queue")
+        bucket = self._min_bucket
+        assert bucket is not None
+        while not self._buckets.get(bucket):
+            bucket += 1
+        item = self._buckets[bucket].pop(0)
+        del self._position[item]
+        self._min_bucket = bucket
+        return item, bucket

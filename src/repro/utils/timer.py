@@ -1,0 +1,47 @@
+"""Wall-clock timing helpers for construction and query measurements."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock durations.
+
+    The experiment harness uses one :class:`Timer` per index build so that
+    the per-phase breakdown (hierarchy construction, shortcut insertion,
+    labelling) can be reported alongside the total.
+    """
+
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed time to ``durations[name]``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[name] = self.durations.get(name, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Total accumulated time across all named phases."""
+        return sum(self.durations.values())
+
+    def get(self, name: str) -> float:
+        """Accumulated time for ``name`` (0.0 when never measured)."""
+        return self.durations.get(name, 0.0)
+
+
+def timed(func: Callable[..., T], *args: object, **kwargs: object) -> Tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,43 @@
+"""Input validation helpers shared by the public API surface."""
+
+from __future__ import annotations
+
+
+def check_vertex(vertex: int, n: int, name: str = "vertex") -> int:
+    """Validate that ``vertex`` is an integer id within ``[0, n)``.
+
+    Returns the vertex so callers can use it inline.  Raises ``ValueError``
+    with a descriptive message otherwise; a clear error beats a silent
+    IndexError deep inside Dijkstra.
+    """
+    if not isinstance(vertex, int) or isinstance(vertex, bool):
+        raise ValueError(f"{name} must be an int, got {type(vertex).__name__}")
+    if vertex < 0 or vertex >= n:
+        raise ValueError(f"{name} {vertex} is out of range for a graph with {n} vertices")
+    return vertex
+
+
+def check_non_negative_weight(weight: float, name: str = "weight") -> float:
+    """Validate an edge weight: finite and non-negative."""
+    weight = float(weight)
+    if weight < 0:
+        raise ValueError(f"{name} must be non-negative, got {weight}")
+    if weight != weight or weight == float("inf"):
+        raise ValueError(f"{name} must be finite, got {weight}")
+    return weight
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_balance_parameter(beta: float) -> float:
+    """Validate the balance parameter beta from Definition 4.1 (0 < beta <= 0.5)."""
+    beta = float(beta)
+    if not 0.0 < beta <= 0.5:
+        raise ValueError(f"balance parameter beta must satisfy 0 < beta <= 0.5, got {beta}")
+    return beta

@@ -1,0 +1,152 @@
+"""Shared fixtures for the test suite.
+
+Most tests validate exact distances against a Dijkstra oracle on small
+synthetic road networks; the fixtures below provide a consistent set of
+graphs (path, grid, road-like, disconnected) so individual test modules
+stay focused on behaviour rather than setup.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.builders import graph_from_edges, grid_graph, path_graph
+from repro.graph.generators import RoadNetworkSpec, synthetic_road_network
+from repro.graph.graph import Graph
+from repro.graph.search import dijkstra
+
+INF = float("inf")
+
+
+# --------------------------------------------------------------------- #
+# graphs
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def paper_example_graph() -> Graph:
+    """A 16-vertex unit-weight graph shaped like the paper's running example.
+
+    Not the exact Figure 1 graph (the figure is hard to read precisely),
+    but the same flavour: a small sparse network with an obvious central
+    cut, used wherever a hand-checkable graph is convenient.
+    """
+    edges = [
+        (1, 2, 1), (2, 3, 1), (1, 9, 1), (2, 16, 1), (3, 7, 1),
+        (9, 12, 1), (9, 5, 1), (16, 15, 1), (16, 5, 1), (7, 14, 1),
+        (12, 8, 1), (12, 4, 1), (5, 13, 1), (15, 6, 1), (14, 13, 1),
+        (14, 8, 1), (4, 10, 1), (4, 11, 1), (13, 11, 1), (6, 11, 1),
+        (10, 11, 1), (15, 13, 1),
+    ]
+    return graph_from_edges([(u - 1, v - 1, w) for u, v, w in edges], num_vertices=16)
+
+
+@pytest.fixture(scope="session")
+def small_road_network():
+    """A ~200-vertex synthetic road network (distance + travel-time weights)."""
+    return synthetic_road_network(RoadNetworkSpec("test-small", num_vertices=180, seed=42))
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_road_network) -> Graph:
+    """The distance-weighted graph of the small road network."""
+    return small_road_network.distance_graph
+
+
+@pytest.fixture(scope="session")
+def medium_road_network():
+    """A ~450-vertex synthetic road network for integration tests."""
+    return synthetic_road_network(RoadNetworkSpec("test-medium", num_vertices=420, seed=7))
+
+
+@pytest.fixture(scope="session")
+def medium_graph(medium_road_network) -> Graph:
+    """The distance-weighted graph of the medium road network."""
+    return medium_road_network.distance_graph
+
+
+@pytest.fixture(scope="session")
+def uniform_grid() -> Graph:
+    """A 10x10 grid with uniform weights (many tied shortest paths)."""
+    graph, _ = grid_graph(10, 10, seed=3, weight_jitter=0.0)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def jittered_grid() -> Graph:
+    """A 12x12 grid with jittered weights (mostly unique shortest paths)."""
+    graph, _ = grid_graph(12, 12, seed=5, weight_jitter=0.3)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def disconnected_graph() -> Graph:
+    """Two components plus an isolated vertex."""
+    edges = [
+        (0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 3, 5.0),
+        (4, 5, 1.5), (5, 6, 2.5), (6, 4, 1.0),
+    ]
+    return graph_from_edges(edges, num_vertices=8)
+
+
+@pytest.fixture(scope="session")
+def line_graph() -> Graph:
+    """A 30-vertex path (worst case for balanced partitioning seeds)."""
+    return path_graph(30, weight=2.0)
+
+
+# --------------------------------------------------------------------- #
+# oracles and helpers
+# --------------------------------------------------------------------- #
+class ExactOracle:
+    """Caches full Dijkstra distance arrays for exact comparisons."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self._cache: dict[int, list[float]] = {}
+
+    def distance(self, s: int, t: int) -> float:
+        if s not in self._cache:
+            self._cache[s] = dijkstra(self.graph, s)
+        return self._cache[s][t]
+
+
+@pytest.fixture(scope="session")
+def small_oracle(small_graph) -> ExactOracle:
+    """Exact distances on the small road network."""
+    return ExactOracle(small_graph)
+
+
+@pytest.fixture(scope="session")
+def medium_oracle(medium_graph) -> ExactOracle:
+    """Exact distances on the medium road network."""
+    return ExactOracle(medium_graph)
+
+
+def assert_distance_equal(expected: float, actual: float, rel: float = 1e-6) -> None:
+    """Distances match up to floating-point path-recombination noise."""
+    if expected == INF or actual == INF:
+        assert expected == actual, f"expected {expected}, got {actual}"
+        return
+    assert abs(expected - actual) <= rel * max(1.0, abs(expected)), (
+        f"expected {expected}, got {actual}"
+    )
+
+
+def random_query_pairs(graph: Graph, count: int, seed: int = 0) -> list[tuple[int, int]]:
+    """Deterministic random query pairs (self-pairs allowed)."""
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+@pytest.fixture
+def query_pairs_small(small_graph):
+    """80 deterministic query pairs on the small network."""
+    return random_query_pairs(small_graph, 80, seed=11)
+
+
+@pytest.fixture
+def query_pairs_medium(medium_graph):
+    """60 deterministic query pairs on the medium network."""
+    return random_query_pairs(medium_graph, 60, seed=13)

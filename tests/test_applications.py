@@ -1,0 +1,173 @@
+"""Tests for the application layer (kNN, many-to-many, route planning)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.applications.knn import KNearestNeighbours
+from repro.applications.matrix import distance_matrix, nearest_assignment
+from repro.applications.routing import RoutePlanner
+from repro.baselines.dijkstra import DijkstraOracle
+from repro.core.index import HC2LIndex
+
+
+@pytest.fixture(scope="module")
+def hc2l_index(small_graph):
+    return HC2LIndex.build(small_graph)
+
+
+@pytest.fixture(scope="module")
+def oracle(small_graph):
+    return DijkstraOracle.build(small_graph, cache_size=512)
+
+
+class TestKNearestNeighbours:
+    def test_requires_pois(self, hc2l_index):
+        with pytest.raises(ValueError):
+            KNearestNeighbours(hc2l_index, [])
+
+    def test_k_must_be_positive(self, hc2l_index):
+        knn = KNearestNeighbours(hc2l_index, [1, 2, 3])
+        with pytest.raises(ValueError):
+            knn.query(0, k=0)
+
+    def test_nearest_poi_matches_oracle(self, hc2l_index, oracle, small_graph):
+        pois = list(range(0, small_graph.num_vertices, 9))
+        knn = KNearestNeighbours(hc2l_index, pois)
+        for vertex in range(0, small_graph.num_vertices, 23):
+            (poi, distance), = knn.query(vertex, k=1)
+            best = min(oracle.distance(vertex, p) for p in pois)
+            assert distance == pytest.approx(best, rel=1e-6)
+
+    def test_results_sorted_and_bounded(self, hc2l_index, small_graph):
+        pois = list(range(0, small_graph.num_vertices, 5))
+        knn = KNearestNeighbours(hc2l_index, pois)
+        results = knn.query(3, k=4)
+        assert len(results) == 4
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+
+    def test_duplicate_pois_deduplicated(self, hc2l_index):
+        knn = KNearestNeighbours(hc2l_index, [1, 1, 2, 2, 3])
+        assert knn.pois == [1, 2, 3]
+
+    def test_unreachable_pois_excluded(self, disconnected_graph):
+        index = HC2LIndex.build(disconnected_graph, leaf_size=2)
+        knn = KNearestNeighbours(index, [5, 6])
+        assert knn.query(0, k=2) == []
+
+    def test_within_radius(self, hc2l_index, oracle, small_graph):
+        pois = list(range(0, small_graph.num_vertices, 7))
+        knn = KNearestNeighbours(hc2l_index, pois)
+        radius = 5000.0
+        hits = knn.within_radius(2, radius)
+        for poi, distance in hits:
+            assert distance <= radius
+            assert distance == pytest.approx(oracle.distance(2, poi), rel=1e-6)
+        expected = {p for p in pois if oracle.distance(2, p) <= radius}
+        assert {poi for poi, _ in hits} == expected
+
+    def test_batch_query_shape(self, hc2l_index):
+        knn = KNearestNeighbours(hc2l_index, [0, 5, 9])
+        batch = knn.batch_query([1, 2, 3], k=2)
+        assert len(batch) == 3
+        assert all(len(item) <= 2 for item in batch)
+
+
+class TestDistanceMatrix:
+    def test_matches_oracle(self, hc2l_index, oracle):
+        sources = [0, 3, 7]
+        targets = [2, 11, 19, 30]
+        matrix = distance_matrix(hc2l_index, sources, targets)
+        assert matrix.shape == (3, 4)
+        for i, s in enumerate(sources):
+            for j, t in enumerate(targets):
+                assert matrix[i, j] == pytest.approx(oracle.distance(s, t), rel=1e-6)
+
+    def test_empty_inputs(self, hc2l_index):
+        assert distance_matrix(hc2l_index, [], []).shape == (0, 0)
+
+    def test_nearest_assignment_each_car_used_once(self, hc2l_index, small_graph):
+        cars = list(range(0, 40, 10))
+        customers = list(range(1, 60, 7))
+        assignments = nearest_assignment(hc2l_index, cars, customers)
+        used_cars = [car for _, car, _ in assignments]
+        assert len(used_cars) == len(set(used_cars))
+        assert len(assignments) == min(len(cars), len(customers))
+
+    def test_nearest_assignment_prefers_short_pickups(self, hc2l_index, oracle):
+        cars = [0, 50]
+        customers = [1, 51]
+        assignments = nearest_assignment(hc2l_index, cars, customers)
+        total = sum(d for _, _, d in assignments)
+        # swapping the two assignments must not improve the total
+        swapped = oracle.distance(1, 50) + oracle.distance(51, 0)
+        assert total <= swapped + 1e-6
+
+    def test_nearest_assignment_empty_cars(self, hc2l_index):
+        assert nearest_assignment(hc2l_index, [], [1, 2]) == []
+
+    def test_unreachable_customers_skipped(self, disconnected_graph):
+        index = HC2LIndex.build(disconnected_graph, leaf_size=2)
+        assignments = nearest_assignment(index, cars=[0], customers=[5])
+        assert assignments == []
+
+
+class TestRoutePlanner:
+    def test_route_visits_every_stop(self, hc2l_index):
+        planner = RoutePlanner(hc2l_index)
+        stops = [5, 11, 23, 42]
+        route, length = planner.route(0, stops)
+        assert route[0] == 0 and route[-1] == 0
+        assert set(stops) <= set(route)
+        assert length > 0
+
+    def test_route_without_return(self, hc2l_index):
+        planner = RoutePlanner(hc2l_index)
+        route, _ = planner.route(0, [7, 9], return_to_depot=False)
+        assert route[0] == 0
+        assert route[-1] in (7, 9)
+
+    def test_route_length_consistency(self, hc2l_index, oracle):
+        planner = RoutePlanner(hc2l_index)
+        route, length = planner.route(2, [8, 17, 31])
+        expected = sum(oracle.distance(a, b) for a, b in zip(route, route[1:]))
+        assert length == pytest.approx(expected, rel=1e-6)
+
+    def test_no_stops(self, hc2l_index):
+        planner = RoutePlanner(hc2l_index)
+        route, length = planner.route(4, [])
+        assert route == [4, 4]
+        assert length == 0.0
+
+    def test_duplicate_and_depot_stops_ignored(self, hc2l_index):
+        planner = RoutePlanner(hc2l_index)
+        route, _ = planner.route(4, [4, 9, 9])
+        assert route.count(9) == 1
+
+    def test_two_opt_never_hurts(self, hc2l_index):
+        planner = RoutePlanner(hc2l_index)
+        stops = [3, 19, 33, 47, 61]
+        _, greedy_length = planner.route(0, stops, two_opt_rounds=0)
+        _, improved_length = planner.route(0, stops, two_opt_rounds=3)
+        assert improved_length <= greedy_length + 1e-9
+
+    def test_unreachable_stop_raises(self, disconnected_graph):
+        index = HC2LIndex.build(disconnected_graph, leaf_size=2)
+        planner = RoutePlanner(index)
+        with pytest.raises(ValueError):
+            planner.route(0, [5])
+
+    def test_route_length_rejects_unreachable_leg(self, disconnected_graph):
+        index = HC2LIndex.build(disconnected_graph, leaf_size=2)
+        planner = RoutePlanner(index)
+        with pytest.raises(ValueError):
+            planner.route_length([0, 5])
+
+    def test_works_with_baseline_indexes_too(self, small_graph, oracle):
+        planner = RoutePlanner(oracle)
+        route, length = planner.route(1, [20, 40])
+        assert route[0] == 1
+        assert math.isfinite(length)

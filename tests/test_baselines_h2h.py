@@ -1,0 +1,191 @@
+"""Tests for tree decomposition, RMQ-LCA and the H2H baseline."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.h2h import H2HIndex
+from repro.baselines.lca import EulerTourLCA
+from repro.baselines.tree_decomposition import tree_decomposition
+from repro.graph.builders import path_graph
+
+from conftest import assert_distance_equal, random_query_pairs
+
+
+class TestTreeDecomposition:
+    @pytest.fixture(scope="class")
+    def decomposition(self, small_graph):
+        return tree_decomposition(small_graph)
+
+    def test_elimination_order_is_permutation(self, decomposition, small_graph):
+        assert sorted(decomposition.elimination_order) == list(range(small_graph.num_vertices))
+        for position, vertex in enumerate(decomposition.elimination_order):
+            assert decomposition.position[vertex] == position
+
+    def test_parents_eliminated_later(self, decomposition):
+        for v, parent in enumerate(decomposition.parent):
+            if parent >= 0:
+                assert decomposition.position[parent] > decomposition.position[v]
+
+    def test_bag_members_are_ancestors(self, decomposition):
+        assert decomposition.validate_bag_containment()
+
+    def test_bags_are_separators_in_elimination_graph(self, decomposition, small_graph):
+        # every original edge (u, v) must connect a vertex to a member of its
+        # bag (the defining property of elimination orderings)
+        for u, v, _ in small_graph.edges():
+            first = u if decomposition.position[u] < decomposition.position[v] else v
+            other = v if first == u else u
+            assert other in {w for w, _ in decomposition.bags[first]}
+
+    def test_width_and_height_positive(self, decomposition):
+        assert decomposition.width() >= 2
+        assert decomposition.height() >= 2
+        assert decomposition.height() == max(decomposition.depth) + 1
+
+    def test_path_graph_has_small_width(self):
+        decomposition = tree_decomposition(path_graph(50))
+        assert decomposition.width() <= 3
+
+    def test_roots_match_components(self, disconnected_graph):
+        decomposition = tree_decomposition(disconnected_graph)
+        assert len(decomposition.roots()) == 3
+
+    def test_children_are_consistent(self, decomposition):
+        children = decomposition.children()
+        for parent, kids in enumerate(children):
+            for child in kids:
+                assert decomposition.parent[child] == parent
+
+
+class TestEulerTourLCA:
+    def _balanced_parent_array(self):
+        #        0
+        #      /   \
+        #     1     2
+        #    / \   /
+        #   3   4 5
+        return [-1, 0, 0, 1, 1, 2]
+
+    def test_basic_lcas(self):
+        lca = EulerTourLCA(self._balanced_parent_array())
+        assert lca.lca(3, 4) == 1
+        assert lca.lca(3, 5) == 0
+        assert lca.lca(1, 3) == 1
+        assert lca.lca(2, 2) == 2
+        assert lca.lca(4, 2) == 0
+
+    def test_forest_cross_tree_returns_minus_one(self):
+        lca = EulerTourLCA([-1, 0, -1, 2])
+        assert lca.lca(1, 3) == -1
+        assert lca.lca(0, 1) == 0
+
+    def test_matches_naive_walk_on_random_tree(self):
+        rng = random.Random(11)
+        n = 60
+        parent = [-1] + [rng.randrange(i) for i in range(1, n)]
+        lca = EulerTourLCA(parent)
+
+        def naive(u, v):
+            ancestors = set()
+            x = u
+            while x >= 0:
+                ancestors.add(x)
+                x = parent[x]
+            x = v
+            while x not in ancestors:
+                x = parent[x]
+            return x
+
+        for _ in range(120):
+            u, v = rng.randrange(n), rng.randrange(n)
+            assert lca.lca(u, v) == naive(u, v)
+
+    def test_storage_bytes_positive_and_superlinear(self):
+        small = EulerTourLCA([-1] + [0] * 9)
+        large = EulerTourLCA([-1] + [i for i in range(200)])
+        assert small.storage_bytes() > 0
+        assert large.storage_bytes() > small.storage_bytes()
+
+    def test_invalid_vertex_rejected(self):
+        lca = EulerTourLCA([-1, 0])
+        with pytest.raises(ValueError):
+            lca.lca(0, 5)
+
+
+class TestH2H:
+    @pytest.fixture(scope="class")
+    def h2h(self, small_graph):
+        return H2HIndex.build(small_graph)
+
+    def test_matches_oracle(self, h2h, small_graph, small_oracle):
+        for s, t in random_query_pairs(small_graph, 80, seed=1):
+            assert_distance_equal(small_oracle.distance(s, t), h2h.distance(s, t))
+
+    def test_medium_network(self, medium_graph, medium_oracle):
+        h2h = H2HIndex.build(medium_graph)
+        for s, t in random_query_pairs(medium_graph, 60, seed=2):
+            assert_distance_equal(medium_oracle.distance(s, t), h2h.distance(s, t))
+
+    def test_uniform_grid(self, uniform_grid):
+        from repro.graph.search import dijkstra
+
+        h2h = H2HIndex.build(uniform_grid)
+        for s, t in random_query_pairs(uniform_grid, 50, seed=3):
+            assert_distance_equal(dijkstra(uniform_grid, s)[t], h2h.distance(s, t))
+
+    def test_disconnected(self, disconnected_graph):
+        h2h = H2HIndex.build(disconnected_graph)
+        assert math.isinf(h2h.distance(0, 6))
+        assert h2h.distance(0, 3) == pytest.approx(4.0)
+        assert h2h.distance(7, 7) == 0.0
+
+    def test_dist_array_lengths_match_depth(self, h2h):
+        depth = h2h.decomposition.depth
+        for v, array in enumerate(h2h.dist_arrays):
+            assert len(array) == depth[v] + 1
+            assert array[-1] == 0.0
+
+    def test_dist_arrays_hold_exact_ancestor_distances(self, h2h, small_graph, small_oracle):
+        decomposition = h2h.decomposition
+        rng = random.Random(5)
+        for _ in range(25):
+            v = rng.randrange(small_graph.num_vertices)
+            # walk up the ancestor chain and compare each stored distance
+            chain = []
+            a = decomposition.parent[v]
+            while a >= 0:
+                chain.append(a)
+                a = decomposition.parent[a]
+            chain.reverse()
+            for index, ancestor in enumerate(chain):
+                assert h2h.dist_arrays[v][index] == pytest.approx(
+                    small_oracle.distance(v, ancestor), rel=1e-6
+                )
+
+    def test_positions_reference_bag_depths(self, h2h):
+        decomposition = h2h.decomposition
+        for v in range(h2h.graph.num_vertices):
+            expected = sorted({decomposition.depth[x] for x, _ in decomposition.bags[v]} | {decomposition.depth[v]})
+            assert h2h.pos_arrays[v] == expected
+
+    def test_metrics(self, h2h, small_graph):
+        assert h2h.label_size_bytes() > 0
+        assert h2h.lca_storage_bytes() > 0
+        assert h2h.tree_height() > 1
+        assert h2h.tree_width() >= 2
+        assert h2h.average_label_size() > 1.0
+        assert h2h.average_hub_positions() >= 1.0
+        _, hubs = h2h.distance_with_hub_count(0, 5)
+        assert hubs >= 1
+
+    def test_h2h_lca_storage_exceeds_hc2l(self, small_graph):
+        from repro.core.index import HC2LIndex
+
+        h2h = H2HIndex.build(small_graph)
+        hc2l = HC2LIndex.build(small_graph)
+        # Table 3's headline: the RMQ machinery costs far more than bitstrings
+        assert h2h.lca_storage_bytes() > 2 * hc2l.lca_storage_bytes()

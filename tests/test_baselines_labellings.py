@@ -1,0 +1,187 @@
+"""Tests for the labelling baselines: PLL, HL and PHL."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.hub_labelling import HubLabelling
+from repro.baselines.phl import PrunedHighwayLabelling, highway_decomposition
+from repro.baselines.pll import PrunedLandmarkLabelling, degree_order
+
+from conftest import assert_distance_equal, random_query_pairs
+
+
+class TestPLL:
+    @pytest.fixture(scope="class")
+    def pll(self, small_graph):
+        return PrunedLandmarkLabelling.build(small_graph)
+
+    def test_matches_oracle(self, pll, small_graph, small_oracle):
+        for s, t in random_query_pairs(small_graph, 60, seed=1):
+            assert_distance_equal(small_oracle.distance(s, t), pll.distance(s, t))
+
+    def test_self_distance(self, pll):
+        assert pll.distance(3, 3) == 0.0
+
+    def test_degree_order_sorted(self, small_graph):
+        order = degree_order(small_graph)
+        degrees = [small_graph.degree(v) for v in order]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_rejects_incomplete_order(self, small_graph):
+        with pytest.raises(ValueError):
+            PrunedLandmarkLabelling.build(small_graph, order=[0, 1, 2])
+
+    def test_label_entries_sorted_by_rank(self, pll):
+        for hubs in pll.label_hubs:
+            assert hubs == sorted(hubs)
+
+    def test_every_vertex_has_self_entry(self, pll, small_graph):
+        for v in range(small_graph.num_vertices):
+            hubs = dict(pll.hubs_of(v))
+            assert hubs.get(v, None) == 0.0 or any(d == 0.0 for d in hubs.values())
+
+    def test_2hop_cover_property(self, pll, small_graph, small_oracle):
+        """For every sampled pair, some common hub lies on a shortest path."""
+        for s, t in random_query_pairs(small_graph, 30, seed=4):
+            expected = small_oracle.distance(s, t)
+            if math.isinf(expected) or s == t:
+                continue
+            hubs_s = dict(pll.hubs_of(s))
+            hubs_t = dict(pll.hubs_of(t))
+            best = min(
+                (hubs_s[h] + hubs_t[h] for h in hubs_s.keys() & hubs_t.keys()),
+                default=math.inf,
+            )
+            assert best == pytest.approx(expected, rel=1e-6)
+
+    def test_pruning_shrinks_labels(self, small_graph):
+        pll = PrunedLandmarkLabelling.build(small_graph)
+        assert pll.average_label_size() < small_graph.num_vertices / 2
+        assert pll.total_entries() == sum(len(h) for h in pll.label_hubs)
+        assert pll.label_size_bytes() > 0
+
+    def test_disconnected(self, disconnected_graph):
+        pll = PrunedLandmarkLabelling.build(disconnected_graph)
+        assert math.isinf(pll.distance(0, 5))
+        assert pll.distance(4, 6) == pytest.approx(1.0)
+
+    def test_hub_count_reporting(self, pll):
+        distance, touched = pll.distance_with_hub_count(0, 7)
+        assert touched >= 1
+        assert distance == pll.distance(0, 7)
+
+
+class TestHubLabelling:
+    def test_ch_order_matches_oracle(self, small_graph, small_oracle):
+        hl = HubLabelling.build(small_graph)
+        for s, t in random_query_pairs(small_graph, 50, seed=2):
+            assert_distance_equal(small_oracle.distance(s, t), hl.distance(s, t))
+
+    def test_degree_order_matches_oracle(self, small_graph, small_oracle):
+        hl = HubLabelling.build(small_graph, order_strategy="degree")
+        for s, t in random_query_pairs(small_graph, 40, seed=3):
+            assert_distance_equal(small_oracle.distance(s, t), hl.distance(s, t))
+
+    def test_explicit_order(self, uniform_grid):
+        from repro.graph.search import dijkstra
+
+        order = list(uniform_grid.vertices())
+        hl = HubLabelling.build(uniform_grid, order_strategy="given", order=order)
+        assert hl.distance(0, 99) == pytest.approx(dijkstra(uniform_grid, 0)[99])
+
+    def test_given_strategy_requires_order(self, uniform_grid):
+        with pytest.raises(ValueError):
+            HubLabelling.build(uniform_grid, order_strategy="given")
+
+    def test_unknown_strategy_rejected(self, uniform_grid):
+        with pytest.raises(ValueError):
+            HubLabelling.build(uniform_grid, order_strategy="nope")
+
+    def test_ch_order_gives_smaller_labels_than_degree_order(self, medium_graph):
+        ch_based = HubLabelling.build(medium_graph)
+        degree_based = HubLabelling.build(medium_graph, order_strategy="degree")
+        assert ch_based.average_label_size() <= degree_based.average_label_size()
+
+    def test_size_metrics(self, small_graph):
+        hl = HubLabelling.build(small_graph)
+        assert hl.total_entries() > small_graph.num_vertices  # at least the self entries
+        assert hl.label_size_bytes() == hl.labelling.label_size_bytes()
+
+
+class TestHighwayDecomposition:
+    def test_paths_are_disjoint_and_cover(self, small_graph):
+        paths = highway_decomposition(small_graph)
+        seen = [v for path in paths for v in path]
+        assert len(seen) == len(set(seen)) == small_graph.num_vertices
+
+    def test_paths_are_shortest_paths(self, small_graph, small_oracle):
+        paths = highway_decomposition(small_graph)
+        for path in paths[:10]:
+            if len(path) < 2:
+                continue
+            length = sum(
+                small_graph.edge_weight(a, b) for a, b in zip(path, path[1:])
+            )
+            assert length == pytest.approx(
+                small_oracle.distance(path[0], path[-1]), rel=1e-6
+            )
+
+    def test_isolated_vertices_become_singletons(self, disconnected_graph):
+        paths = highway_decomposition(disconnected_graph)
+        assert [7] in paths
+
+
+class TestPHL:
+    @pytest.fixture(scope="class")
+    def phl(self, small_graph):
+        return PrunedHighwayLabelling.build(small_graph)
+
+    def test_matches_oracle(self, phl, small_graph, small_oracle):
+        for s, t in random_query_pairs(small_graph, 60, seed=5):
+            assert_distance_equal(small_oracle.distance(s, t), phl.distance(s, t))
+
+    def test_grid_with_ties(self, uniform_grid):
+        from repro.graph.search import dijkstra
+
+        phl = PrunedHighwayLabelling.build(uniform_grid)
+        for s, t in random_query_pairs(uniform_grid, 40, seed=6):
+            assert_distance_equal(dijkstra(uniform_grid, s)[t], phl.distance(s, t))
+
+    def test_disconnected(self, disconnected_graph):
+        phl = PrunedHighwayLabelling.build(disconnected_graph)
+        assert math.isinf(phl.distance(0, 4))
+        assert phl.distance(0, 3) == pytest.approx(4.0)
+
+    def test_travel_time_weights(self, small_road_network):
+        from repro.graph.search import dijkstra
+
+        graph = small_road_network.travel_time_graph
+        phl = PrunedHighwayLabelling.build(graph)
+        for s, t in random_query_pairs(graph, 40, seed=7):
+            assert_distance_equal(dijkstra(graph, s)[t], phl.distance(s, t))
+
+    def test_entries_grouped_by_path(self, phl):
+        for entries in phl.labels:
+            path_ids = [p for p, _, _ in entries]
+            assert path_ids == sorted(path_ids)
+
+    def test_explicit_paths_accepted(self, uniform_grid):
+        from repro.graph.search import dijkstra
+
+        paths = highway_decomposition(uniform_grid)
+        phl = PrunedHighwayLabelling.build(uniform_grid, paths=paths)
+        assert phl.num_paths() == len(paths)
+        assert phl.distance(0, 55) == pytest.approx(dijkstra(uniform_grid, 0)[55])
+
+    def test_size_metrics(self, phl, small_graph):
+        assert phl.total_entries() >= small_graph.num_vertices
+        assert phl.average_label_size() == phl.total_entries() / small_graph.num_vertices
+        assert phl.label_size_bytes() == phl.total_entries() * 16 + 8 * small_graph.num_vertices
+
+    def test_hub_count_reporting(self, phl):
+        distance, touched = phl.distance_with_hub_count(1, 9)
+        assert distance == phl.distance(1, 9)
+        assert touched >= 1

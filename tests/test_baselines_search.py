@@ -1,0 +1,116 @@
+"""Tests for the search-based baselines (Dijkstra oracle, bidirectional, CH)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.ch import ContractionHierarchy
+from repro.baselines.dijkstra import BidirectionalDijkstra, DijkstraOracle, exact_distance
+
+from conftest import assert_distance_equal, random_query_pairs
+
+
+class TestDijkstraOracle:
+    def test_matches_exact_distance(self, small_graph, small_oracle):
+        oracle = DijkstraOracle.build(small_graph)
+        for s, t in random_query_pairs(small_graph, 40, seed=1):
+            assert_distance_equal(small_oracle.distance(s, t), oracle.distance(s, t))
+
+    def test_cache_eviction_keeps_answers_correct(self, small_graph, small_oracle):
+        oracle = DijkstraOracle.build(small_graph, cache_size=2)
+        sources = [0, 5, 9, 0, 5]
+        for s in sources:
+            assert_distance_equal(small_oracle.distance(s, 3), oracle.distance(s, 3))
+        assert len(oracle._cache) <= 2
+
+    def test_distances_from_returns_copy(self, small_graph):
+        oracle = DijkstraOracle.build(small_graph)
+        array = oracle.distances_from(0)
+        array[1] = -1.0
+        assert oracle.distance(0, 1) >= 0.0
+
+    def test_invalid_vertex_rejected(self, small_graph):
+        oracle = DijkstraOracle.build(small_graph)
+        with pytest.raises(ValueError):
+            oracle.distance(0, 10_000)
+
+    def test_label_size_is_graph_size(self, small_graph):
+        oracle = DijkstraOracle.build(small_graph)
+        assert oracle.label_size_bytes() == small_graph.memory_bytes()
+
+    def test_exact_distance_helper(self, small_graph, small_oracle):
+        assert_distance_equal(small_oracle.distance(0, 7), exact_distance(small_graph, 0, 7))
+
+
+class TestBidirectionalBaseline:
+    def test_matches_oracle(self, medium_graph, medium_oracle):
+        baseline = BidirectionalDijkstra.build(medium_graph)
+        for s, t in random_query_pairs(medium_graph, 40, seed=2):
+            assert_distance_equal(medium_oracle.distance(s, t), baseline.distance(s, t))
+
+    def test_disconnected(self, disconnected_graph):
+        baseline = BidirectionalDijkstra.build(disconnected_graph)
+        assert math.isinf(baseline.distance(0, 6))
+
+    def test_hub_count_is_graph_bound(self, small_graph):
+        baseline = BidirectionalDijkstra.build(small_graph)
+        _, hubs = baseline.distance_with_hub_count(0, 1)
+        assert hubs == small_graph.num_vertices
+
+
+class TestContractionHierarchy:
+    @pytest.fixture(scope="class")
+    def ch(self, small_graph):
+        return ContractionHierarchy.build(small_graph)
+
+    def test_matches_oracle(self, ch, small_graph, small_oracle):
+        for s, t in random_query_pairs(small_graph, 60, seed=3):
+            assert_distance_equal(small_oracle.distance(s, t), ch.distance(s, t))
+
+    def test_grid_with_ties(self, uniform_grid):
+        from repro.graph.search import dijkstra
+
+        ch = ContractionHierarchy.build(uniform_grid)
+        rng = random.Random(7)
+        for _ in range(40):
+            s = rng.randrange(uniform_grid.num_vertices)
+            t = rng.randrange(uniform_grid.num_vertices)
+            assert_distance_equal(dijkstra(uniform_grid, s)[t], ch.distance(s, t))
+
+    def test_disconnected(self, disconnected_graph):
+        ch = ContractionHierarchy.build(disconnected_graph)
+        assert math.isinf(ch.distance(0, 4))
+        assert ch.distance(0, 2) == 3.0
+
+    def test_rank_is_a_permutation(self, ch, small_graph):
+        assert sorted(ch.rank) == list(range(small_graph.num_vertices))
+
+    def test_upward_edges_point_upward(self, ch):
+        for v, edges in enumerate(ch.upward):
+            for w, _ in edges:
+                assert ch.rank[w] > ch.rank[v]
+
+    def test_importance_order(self, ch, small_graph):
+        order = ch.importance_order()
+        assert len(order) == small_graph.num_vertices
+        assert ch.rank[order[0]] == small_graph.num_vertices - 1
+        assert ch.rank[order[-1]] == 0
+
+    def test_search_space_far_smaller_than_graph(self, ch, small_graph):
+        pairs = random_query_pairs(small_graph, 20, seed=5)
+        average = ch.average_search_space(pairs)
+        assert 0 < average < small_graph.num_vertices
+
+    def test_hub_count_and_label_size(self, ch, small_graph):
+        distance, hubs = ch.distance_with_hub_count(0, 5)
+        assert distance < math.inf
+        assert hubs > 0
+        assert ch.label_size_bytes() > 0
+
+    def test_shortcut_count_reported(self, ch):
+        assert ch.num_shortcuts >= 0
+        total_upward = sum(len(edges) for edges in ch.upward)
+        assert total_upward >= ch.graph.num_edges

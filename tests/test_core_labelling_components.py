@@ -1,0 +1,156 @@
+"""Unit tests for the labelling building blocks (Algorithms 4-5, Equation 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labelling import HC2LLabelling, node_distance_arrays
+from repro.core.pruned_dijkstra import dist_and_prune
+from repro.core.ranking import rank_cut_vertices
+from repro.graph.builders import graph_from_edges, path_graph
+from repro.partition.working_graph import dijkstra_adjacency, working_graph_from
+
+INF = float("inf")
+
+
+@pytest.fixture()
+def path_adjacency():
+    # 0 - 1 - 2 - 3 - 4 with unit weights
+    return working_graph_from(path_graph(5))
+
+
+class TestDistAndPrune:
+    def test_distances_match_dijkstra(self, jittered_grid):
+        adjacency = working_graph_from(jittered_grid)
+        result = dist_and_prune(adjacency, 0, prune_set=[])
+        expected = dijkstra_adjacency(adjacency, 0)
+        for v, d in expected.items():
+            assert result.distance[v] == pytest.approx(d)
+
+    def test_empty_prune_set_never_flags(self, path_adjacency):
+        result = dist_and_prune(path_adjacency, 0, prune_set=[])
+        assert not any(result.through_prune_set.values())
+
+    def test_flag_set_beyond_prune_vertex(self, path_adjacency):
+        result = dist_and_prune(path_adjacency, 0, prune_set=[2])
+        # vertices strictly beyond 2 are reached through it
+        assert result.through_prune_set[3] is True
+        assert result.through_prune_set[4] is True
+        # the prune vertex itself and everything before it are not flagged
+        assert result.through_prune_set[2] is False
+        assert result.through_prune_set[1] is False
+
+    def test_root_in_prune_set_is_ignored(self, path_adjacency):
+        result = dist_and_prune(path_adjacency, 0, prune_set=[0, 2])
+        assert result.through_prune_set[1] is False
+        assert result.through_prune_set[3] is True
+
+    def test_tied_paths_prefer_flagged(self):
+        # two equal-length paths 0->3: via 1 (in prune set) and via 2 (not)
+        graph = graph_from_edges([(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0)])
+        adjacency = working_graph_from(graph)
+        result = dist_and_prune(adjacency, 0, prune_set=[1])
+        assert result.distance[3] == 2.0
+        assert result.through_prune_set[3] is True
+
+    def test_unreachable_vertices_absent(self, disconnected_graph):
+        adjacency = working_graph_from(disconnected_graph)
+        result = dist_and_prune(adjacency, 0, prune_set=[])
+        assert 5 not in result.distance
+        assert result.get(5) == (INF, False)
+
+
+class TestRanking:
+    def test_single_cut_vertex(self, path_adjacency):
+        ranking = rank_cut_vertices(path_adjacency, [2])
+        assert ranking.ordered == [2]
+        assert ranking.coverage == {2: 0}
+
+    def test_empty_cut(self, path_adjacency):
+        ranking = rank_cut_vertices(path_adjacency, [])
+        assert ranking.ordered == []
+
+    def test_covered_vertex_ranks_last(self):
+        # line 0-1-2-3-4-5; cut {1, 3}: from 3, the far side (0) is covered
+        # via 1; from 1, only vertices {4,5} are covered via 3 - symmetric,
+        # but with an extra appendage on 1's side the coverage differs.
+        graph = graph_from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0), (0, 6, 1.0), (6, 7, 1.0)]
+        )
+        adjacency = working_graph_from(graph)
+        ranking = rank_cut_vertices(adjacency, [1, 3])
+        # vertex 3 reaches {0, 6, 7} only through 1 => coverage(3) = 4 incl. 0-side
+        # vertex 1 reaches {4, 5} only through 3 => coverage(1) = 2
+        assert ranking.coverage[3] > ranking.coverage[1]
+        assert ranking.ordered == [1, 3]
+
+    def test_ordering_is_deterministic(self, medium_graph):
+        adjacency = working_graph_from(medium_graph)
+        cut = sorted(adjacency)[:6]
+        first = rank_cut_vertices(adjacency, cut).ordered
+        second = rank_cut_vertices(adjacency, cut).ordered
+        assert first == second
+
+
+class TestNodeDistanceArrays:
+    def test_arrays_store_exact_distances(self, jittered_grid):
+        adjacency = working_graph_from(jittered_grid)
+        cut = [0, 7, 77]
+        ranking = rank_cut_vertices(adjacency, cut)
+        arrays, cut_distances = node_distance_arrays(adjacency, ranking, tail_pruning=False)
+        assert set(cut_distances) == set(cut)
+        for v, array in arrays.items():
+            assert len(array) == len(cut)
+            for i, c in enumerate(ranking.ordered):
+                assert array[i] == pytest.approx(dijkstra_adjacency(adjacency, c).get(v, INF))
+
+    def test_tail_pruning_only_truncates(self, jittered_grid):
+        adjacency = working_graph_from(jittered_grid)
+        cut = [0, 7, 77, 140]
+        ranking = rank_cut_vertices(adjacency, cut)
+        full, _ = node_distance_arrays(adjacency, ranking, tail_pruning=False)
+        pruned, _ = node_distance_arrays(adjacency, ranking, tail_pruning=True)
+        for v in full:
+            assert len(pruned[v]) <= len(full[v])
+            assert pruned[v] == full[v][: len(pruned[v])]
+            assert len(pruned[v]) >= 1
+
+    def test_tail_pruning_shrinks_total_size(self, medium_graph):
+        adjacency = working_graph_from(medium_graph)
+        cut = sorted(adjacency)[:8]
+        ranking = rank_cut_vertices(adjacency, cut)
+        full, _ = node_distance_arrays(adjacency, ranking, tail_pruning=False)
+        pruned, _ = node_distance_arrays(adjacency, ranking, tail_pruning=True)
+        assert sum(map(len, pruned.values())) < sum(map(len, full.values()))
+
+    def test_empty_cut_produces_empty_arrays(self, path_adjacency):
+        ranking = rank_cut_vertices(path_adjacency, [])
+        arrays, cut_distances = node_distance_arrays(path_adjacency, ranking)
+        assert cut_distances == {}
+        assert all(array == [] for array in arrays.values())
+
+
+class TestLabellingContainer:
+    def test_append_and_access(self):
+        labelling = HC2LLabelling(3)
+        labelling.append_level(0, [1.0, 2.0])
+        labelling.append_level(0, [3.0])
+        labelling.append_level(1, [])
+        assert labelling.num_levels(0) == 2
+        assert labelling.level_array(0, 1) == [3.0]
+        assert labelling.entries_of(0) == 3
+        assert labelling.total_entries() == 3
+
+    def test_size_accounting(self):
+        labelling = HC2LLabelling(2)
+        labelling.append_level(0, [1.0, 2.0, 3.0])
+        labelling.append_level(1, [4.0])
+        assert labelling.size_bytes() == 4 * 8 + 2 * 2 + 2 * 8
+        assert labelling.average_label_entries() == 2.0
+        assert labelling.max_label_entries() == 3
+
+    def test_empty_labelling(self):
+        labelling = HC2LLabelling(0)
+        assert labelling.total_entries() == 0
+        assert labelling.average_label_entries() == 0.0
+        assert labelling.max_label_entries() == 0

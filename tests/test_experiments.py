@@ -1,0 +1,224 @@
+"""Tests for the experiment harness (datasets, workloads, tables, figures)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.datasets import (
+    DATASET_NAMES,
+    bench_dataset_names,
+    clear_dataset_cache,
+    dataset_summary,
+    load_dataset,
+)
+from repro.experiments.evaluation import run_evaluation
+from repro.experiments.figures import figure6, figure7
+from repro.experiments.harness import measure_queries, run_cell
+from repro.experiments.methods import METHOD_BUILDERS, available_methods
+from repro.experiments.tables import table1, table2, table3, table5
+from repro.experiments.workloads import distance_stratified_query_sets, random_pairs
+from repro.graph.search import dijkstra
+
+TINY = ["NY"]  # the smallest synthetic dataset keeps these tests quick
+
+
+class TestDatasets:
+    def test_all_names_resolve(self):
+        assert len(DATASET_NAMES) == 10
+        network = load_dataset("NY")
+        assert network.distance_graph.num_vertices > 100
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("MARS")
+
+    def test_datasets_are_cached(self):
+        clear_dataset_cache()
+        first = load_dataset("NY")
+        second = load_dataset("NY")
+        assert first is second
+
+    def test_sizes_follow_paper_ordering(self):
+        small = load_dataset("NY").distance_graph.num_vertices
+        large = load_dataset("CAL").distance_graph.num_vertices
+        assert small < large
+
+    def test_env_subset_controls_bench_datasets(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DATASETS", "NY, BAY")
+        assert bench_dataset_names() == ["NY", "BAY"]
+        monkeypatch.setenv("REPRO_BENCH_DATASETS", "NY, NOPE")
+        with pytest.raises(ValueError):
+            bench_dataset_names()
+
+    def test_dataset_summary_rows(self):
+        rows = dataset_summary(["NY", "BAY"])
+        assert [row["dataset"] for row in rows] == ["NY", "BAY"]
+        for row in rows:
+            assert row["num_edges"] > row["num_vertices"] * 0.8
+            assert row["diameter_estimate"] > 0
+            assert row["memory_bytes"] > 0
+
+    def test_dimacs_override(self, tmp_path, monkeypatch):
+        from repro.graph.io import write_dimacs
+        from repro.graph.builders import path_graph
+
+        write_dimacs(path_graph(7), tmp_path / "NY.gr")
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+        clear_dataset_cache()
+        network = load_dataset("NY")
+        assert network.distance_graph.num_vertices == 7
+        monkeypatch.delenv("REPRO_DATA_DIR")
+        clear_dataset_cache()
+
+
+class TestWorkloads:
+    def test_random_pairs_bounds_and_determinism(self, small_graph):
+        pairs = random_pairs(small_graph, 50, seed=3)
+        assert len(pairs) == 50
+        assert all(0 <= s < small_graph.num_vertices and s != t for s, t in pairs)
+        assert pairs == random_pairs(small_graph, 50, seed=3)
+
+    def test_random_pairs_tiny_graph(self):
+        from repro.graph.graph import Graph
+
+        assert random_pairs(Graph(1), 5) == []
+
+    def test_stratified_sets_respect_buckets(self, small_graph):
+        workload = distance_stratified_query_sets(
+            small_graph, num_sets=6, pairs_per_set=20, seed=5
+        )
+        assert len(workload.query_sets) == 6
+        for index, pairs in enumerate(workload.query_sets):
+            lower, upper = workload.bucket_bounds(index)
+            for s, t in pairs:
+                d = dijkstra(small_graph, s)[t]
+                assert lower < d <= upper * (1 + 1e-9)
+
+    def test_stratified_sets_nonempty_in_middle(self, medium_graph):
+        workload = distance_stratified_query_sets(
+            medium_graph, num_sets=10, pairs_per_set=15, seed=7
+        )
+        filled = sum(1 for pairs in workload.query_sets if pairs)
+        assert filled >= 6  # extreme buckets may stay short on small graphs
+
+    def test_stratified_sets_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        workload = distance_stratified_query_sets(Graph(3), num_sets=4, pairs_per_set=5)
+        assert all(not pairs for pairs in workload.query_sets)
+
+
+class TestHarness:
+    def test_available_methods_validation(self):
+        specs = available_methods(["HC2L", "HL"])
+        assert [s.name for s in specs] == ["HC2L", "HL"]
+        with pytest.raises(KeyError):
+            available_methods(["HC2L", "NOPE"])
+        assert set(METHOD_BUILDERS) >= {"HC2L", "HC2L_p", "H2H", "PHL", "HL", "PLL", "BiDijkstra"}
+
+    def test_run_cell_records_metrics(self, small_graph):
+        spec = METHOD_BUILDERS["HC2L"]
+        pairs = random_pairs(small_graph, 100, seed=1)
+        cell = run_cell(spec, small_graph, pairs, dataset_name="unit")
+        assert cell.method == "HC2L"
+        assert cell.dataset == "unit"
+        assert cell.construction_seconds > 0
+        assert cell.label_size_bytes > 0
+        assert cell.query_microseconds > 0
+        assert cell.average_hubs > 0
+        assert cell.lca_storage_bytes is not None
+        row = cell.as_dict()
+        assert "query_microseconds" in row and "tree_height" in row
+
+    def test_measure_queries_empty(self, small_graph):
+        from repro.core.index import HC2LIndex
+
+        index = HC2LIndex.build(small_graph)
+        assert measure_queries(index, []) == (0.0, 0.0)
+
+    def test_run_evaluation_shapes(self):
+        evaluation = run_evaluation(
+            datasets=TINY, methods=["HC2L", "HL"], num_queries=150, keep_indexes=True
+        )
+        assert set(evaluation.cells) == {("NY", "HC2L"), ("NY", "HL")}
+        assert ("NY", "HC2L") in evaluation.indexes
+        assert evaluation.rows()
+
+
+class TestTablesAndFigures:
+    def test_table1_contains_requested_datasets(self):
+        rows = table1(["NY", "BAY"])
+        assert [row["dataset"] for row in rows] == ["NY", "BAY"]
+
+    def test_table2_and_table3_shapes(self):
+        evaluation = run_evaluation(
+            datasets=TINY,
+            methods=["HC2L", "HC2L_p", "H2H", "PHL", "HL"],
+            num_queries=150,
+        )
+        rows2 = table2(evaluation=evaluation)
+        assert len(rows2) == 1
+        row = rows2[0]
+        for method in ("HC2L", "H2H", "PHL", "HL"):
+            assert f"query_us_{method}" in row
+            assert f"label_bytes_{method}" in row
+        assert "construction_s_HC2L_p" in row
+
+        rows3 = table3(datasets=TINY, num_queries=100)
+        assert "ahs_HC2L" in rows3[0] and "lca_bytes_H2H" in rows3[0]
+
+    def test_table5_shape_and_ordering(self):
+        rows = table5(datasets=TINY)
+        row = rows[0]
+        assert row["height_HC2L"] < row["height_H2H"]
+        assert row["max_cut_HC2L"] > 0 and row["width_H2H"] > 0
+
+    def test_figure6_series_lengths(self):
+        result = figure6(datasets=TINY, methods=["HC2L", "HL"], pairs_per_set=20, num_sets=5)
+        assert result.datasets == TINY
+        series = result.series["NY"]
+        assert set(series) == {"HC2L", "HL"}
+        assert all(len(values) == 5 for values in series.values())
+        assert all(v >= 0 for values in series.values() for v in values)
+
+    def test_figure7_beta_sweep(self):
+        result = figure7(datasets=TINY, betas=[0.2, 0.3], num_queries=100)
+        assert result.betas == [0.2, 0.3]
+        assert len(result.query_time_us["NY"]) == 2
+        assert len(result.avg_cut_size["NY"]) == 2
+        assert all(v > 0 for v in result.query_time_us["NY"])
+
+
+class TestReport:
+    def test_format_bytes(self):
+        assert report.format_bytes(512) == "512 B"
+        assert report.format_bytes(2048) == "2.0 KB"
+        assert report.format_bytes(3 * 1024 ** 3) == "3.0 GB"
+
+    def test_render_table_alignment(self):
+        rows = [{"dataset": "NY", "label_size_bytes": 1024}, {"dataset": "BAY", "label_size_bytes": 2048}]
+        text = report.render_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "dataset" in lines[1]
+        assert "1.0 KB" in text
+
+    def test_render_empty_table(self):
+        assert "(no rows)" in report.render_table([], title="empty")
+
+    def test_render_figures(self):
+        fig6 = figure6(datasets=TINY, methods=["HC2L"], pairs_per_set=10, num_sets=3)
+        text6 = report.render_figure6(fig6)
+        assert "Q1_us" in text6 and "HC2L" in text6
+        fig7 = figure7(datasets=TINY, betas=[0.2], num_queries=50)
+        text7 = report.render_figure7(fig7)
+        assert "beta" in text7 and "avg_cut" in text7
+
+    def test_render_all(self):
+        rows = table1(["NY"])
+        text = report.render_all({"table1": rows})
+        assert "TABLE1" in text
+        assert not math.isnan(len(text))

@@ -1,0 +1,148 @@
+"""Unit tests for the elementary builders and the road-network generator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.builders import (
+    complete_graph,
+    cycle_graph,
+    graph_from_edges,
+    grid_graph,
+    path_graph,
+    random_geometric_graph,
+    star_graph,
+)
+from repro.graph.components import is_connected
+from repro.graph.generators import (
+    RoadNetworkSpec,
+    generate_dataset,
+    paper_dataset_specs,
+    synthetic_road_network,
+)
+
+
+class TestBuilders:
+    def test_graph_from_edges_infers_size(self):
+        graph = graph_from_edges([(0, 1, 1.0), (4, 2, 2.0)])
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 2
+
+    def test_graph_from_edges_explicit_size(self):
+        graph = graph_from_edges([(0, 1, 1.0)], num_vertices=10)
+        assert graph.num_vertices == 10
+
+    def test_path_graph(self):
+        graph = path_graph(5, weight=2.0)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+        assert graph.edge_weight(1, 2) == 2.0
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert graph.num_edges == 5
+        assert all(graph.degree(v) == 2 for v in graph.vertices())
+
+    def test_star_graph(self):
+        graph = star_graph(6)
+        assert graph.degree(0) == 5
+        assert all(graph.degree(v) == 1 for v in range(1, 6))
+
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 10
+
+    def test_grid_graph_shape(self):
+        graph, coords = grid_graph(4, 6)
+        assert graph.num_vertices == 24
+        assert graph.num_edges == 4 * 5 + 3 * 6  # horizontal + vertical
+        assert len(coords) == 24
+
+    def test_grid_graph_jitter_determinism(self):
+        g1, _ = grid_graph(5, 5, seed=9, weight_jitter=0.2)
+        g2, _ = grid_graph(5, 5, seed=9, weight_jitter=0.2)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_grid_graph_jitter_changes_weights(self):
+        flat, _ = grid_graph(5, 5, seed=9, weight_jitter=0.0)
+        jittered, _ = grid_graph(5, 5, seed=9, weight_jitter=0.4)
+        assert sorted(w for _, _, w in flat.edges()) != sorted(
+            w for _, _, w in jittered.edges()
+        )
+
+    def test_random_geometric_graph_connected(self):
+        graph, coords = random_geometric_graph(150, seed=4)
+        assert graph.num_vertices == 150
+        assert is_connected(graph)
+        assert len(coords) == 150
+
+    def test_random_geometric_graph_weights_match_geometry(self):
+        graph, coords = random_geometric_graph(80, seed=2)
+        for u, v, w in graph.edges():
+            assert w == pytest.approx(max(math.dist(coords[u], coords[v]), 1e-9))
+
+    def test_random_geometric_graph_deterministic(self):
+        g1, _ = random_geometric_graph(60, seed=8)
+        g2, _ = random_geometric_graph(60, seed=8)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+
+class TestRoadNetworkGenerator:
+    def test_generator_produces_both_weightings(self):
+        network = synthetic_road_network(RoadNetworkSpec("t", num_vertices=120, seed=1))
+        assert network.distance_graph.num_vertices == network.travel_time_graph.num_vertices
+        assert network.distance_graph.num_edges == network.travel_time_graph.num_edges
+
+    def test_graph_accessor(self):
+        network = synthetic_road_network(RoadNetworkSpec("t", num_vertices=100, seed=2))
+        assert network.graph("distance") is network.distance_graph
+        assert network.graph("travel_time") is network.travel_time_graph
+        assert network.graph("time") is network.travel_time_graph
+        with pytest.raises(ValueError):
+            network.graph("bogus")
+
+    def test_travel_times_differ_from_distances(self):
+        network = synthetic_road_network(RoadNetworkSpec("t", num_vertices=150, seed=3))
+        distance_weights = sorted(w for _, _, w in network.distance_graph.edges())
+        travel_weights = sorted(w for _, _, w in network.travel_time_graph.edges())
+        assert distance_weights != travel_weights
+
+    def test_deadends_create_degree_one_vertices(self):
+        network = synthetic_road_network(
+            RoadNetworkSpec("t", num_vertices=150, seed=4, deadend_fraction=0.2)
+        )
+        graph = network.distance_graph
+        degree_one = sum(1 for v in graph.vertices() if graph.degree(v) == 1)
+        assert degree_one >= 0.1 * graph.num_vertices
+
+    def test_generator_is_deterministic(self):
+        spec = RoadNetworkSpec("t", num_vertices=100, seed=11)
+        a = synthetic_road_network(spec)
+        b = synthetic_road_network(spec)
+        assert sorted(a.distance_graph.edges()) == sorted(b.distance_graph.edges())
+
+    def test_network_is_connected_apart_from_nothing(self):
+        network = synthetic_road_network(RoadNetworkSpec("t", num_vertices=200, seed=5))
+        assert is_connected(network.distance_graph)
+
+    def test_paper_dataset_specs_ordering(self):
+        specs = paper_dataset_specs()
+        assert list(specs) == ["NY", "BAY", "COL", "FLA", "CAL", "E", "W", "CTR", "USA", "EUR"]
+        assert specs["NY"].num_vertices < specs["USA"].num_vertices
+
+    def test_paper_dataset_specs_scaling(self):
+        base = paper_dataset_specs(1.0)["NY"].num_vertices
+        doubled = paper_dataset_specs(2.0)["NY"].num_vertices
+        assert doubled == pytest.approx(2 * base, rel=0.1)
+
+    def test_generate_dataset_unknown_name(self):
+        with pytest.raises(KeyError):
+            generate_dataset("NOPE")
+
+    def test_generate_dataset_known_name(self):
+        network = generate_dataset("NY", scale=0.5)
+        assert network.spec.name == "NY"
+        assert network.distance_graph.num_vertices > 100

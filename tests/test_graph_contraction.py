@@ -1,0 +1,123 @@
+"""Unit tests for the degree-one tree contraction (Section 4.2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builders import graph_from_edges, path_graph, star_graph
+from repro.graph.contraction import contract_degree_one
+from repro.graph.search import dijkstra
+
+
+class TestContractionStructure:
+    def test_no_degree_one_vertices_is_identity(self, uniform_grid):
+        contracted = contract_degree_one(uniform_grid)
+        assert contracted.num_contracted == 0
+        assert contracted.core.num_vertices == uniform_grid.num_vertices
+        assert contracted.contraction_ratio() == 0.0
+
+    def test_pendant_vertex_removed(self):
+        graph = graph_from_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 5.0)])
+        contracted = contract_degree_one(graph)
+        assert contracted.num_contracted == 1
+        assert not contracted.is_core(3)
+        assert contracted.root[3] == 2
+        assert contracted.dist_to_root[3] == 5.0
+
+    def test_chain_contracts_iteratively(self):
+        # triangle with a 3-vertex tail hanging off vertex 2
+        graph = graph_from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0), (3, 4, 2.0), (4, 5, 3.0)]
+        )
+        contracted = contract_degree_one(graph, iterative=True)
+        assert contracted.num_contracted == 3
+        assert contracted.root[5] == 2
+        assert contracted.dist_to_root[5] == 6.0
+        assert contracted.depth[5] == 3
+
+    def test_non_iterative_only_removes_original_degree_one(self):
+        graph = graph_from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0), (3, 4, 2.0), (4, 5, 3.0)]
+        )
+        contracted = contract_degree_one(graph, iterative=False)
+        # only vertex 5 has degree one in the original graph
+        assert contracted.num_contracted == 1
+        assert not contracted.is_core(5)
+        assert contracted.is_core(4)
+
+    def test_iterative_contracts_more_than_non_iterative(self, small_graph):
+        iterative = contract_degree_one(small_graph, iterative=True)
+        single_pass = contract_degree_one(small_graph, iterative=False)
+        assert iterative.num_contracted >= single_pass.num_contracted
+
+    def test_star_keeps_centre(self):
+        contracted = contract_degree_one(star_graph(6))
+        assert contracted.core.num_vertices == 1
+        assert contracted.is_core(0)
+        assert all(contracted.root[v] == 0 for v in range(1, 6))
+        assert all(contracted.dist_to_root[v] == 1.0 for v in range(1, 6))
+
+    def test_path_contracts_to_single_vertex(self):
+        contracted = contract_degree_one(path_graph(10))
+        assert contracted.core.num_vertices == 1
+
+    def test_isolated_vertices_stay_core(self):
+        graph = graph_from_edges([(0, 1, 1.0)], num_vertices=4)
+        contracted = contract_degree_one(graph)
+        assert contracted.is_core(2)
+        assert contracted.is_core(3)
+
+    def test_core_ids_are_consistent(self, small_graph):
+        contracted = contract_degree_one(small_graph)
+        for core_id, original in enumerate(contracted.core_to_original):
+            assert contracted.original_to_core[original] == core_id
+        assert contracted.num_original == small_graph.num_vertices
+
+
+class TestContractionDistances:
+    def test_tree_lca_distance_on_shared_root(self):
+        # root 0 (part of a cycle), tree: 0-1-2 and 0-1-3 (1 is contracted too)
+        graph = graph_from_edges(
+            [(0, 4, 1.0), (4, 5, 1.0), (5, 0, 1.0), (0, 1, 2.0), (1, 2, 3.0), (1, 3, 4.0)]
+        )
+        contracted = contract_degree_one(graph)
+        assert contracted.root[2] == 0 and contracted.root[3] == 0
+        # distance 2 -> 3 goes through their LCA (vertex 1): 3 + 4
+        assert contracted.tree_lca_distance(2, 3) == 7.0
+        # distance 2 -> 1 walks up one edge
+        assert contracted.tree_lca_distance(2, 1) == 3.0
+
+    def test_resolve_query_same_vertex(self, small_graph):
+        contracted = contract_degree_one(small_graph)
+        answer, _, _, _ = contracted.resolve_query(3, 3)
+        assert answer == 0.0
+
+    def test_resolve_query_cross_root_offsets(self, small_graph, small_oracle):
+        contracted = contract_degree_one(small_graph)
+        core = contracted.core
+        # reconstruct full distances through the core and compare to Dijkstra
+        checked = 0
+        for v in range(small_graph.num_vertices):
+            if contracted.is_core(v):
+                continue
+            for w in range(0, small_graph.num_vertices, 17):
+                answer, core_s, core_t, offset = contracted.resolve_query(v, w)
+                expected = small_oracle.distance(v, w)
+                if answer is not None:
+                    assert answer == pytest.approx(expected, rel=1e-6)
+                else:
+                    core_distance = dijkstra(
+                        core, core_s, targets=[core_t]
+                    )[core_t]
+                    assert offset + core_distance == pytest.approx(expected, rel=1e-6)
+                checked += 1
+        assert checked > 0
+
+    def test_core_distances_preserved(self, small_graph, small_oracle):
+        contracted = contract_degree_one(small_graph)
+        core = contracted.core
+        originals = contracted.core_to_original
+        dist = dijkstra(core, 0)
+        for core_id in range(0, core.num_vertices, 11):
+            expected = small_oracle.distance(originals[0], originals[core_id])
+            assert dist[core_id] == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,123 @@
+"""Unit tests for the shortest-path search routines (vs networkx)."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph.builders import graph_from_edges, grid_graph
+from repro.graph.search import (
+    all_pairs_dijkstra,
+    bfs_hops,
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_predecessors,
+    dijkstra_to_target,
+    eccentricity_estimate,
+    farthest_vertex,
+)
+
+INF = float("inf")
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    graph, _ = grid_graph(7, 7, seed=13, weight_jitter=0.35)
+    return graph
+
+
+@pytest.fixture(scope="module")
+def nx_distances(weighted_graph):
+    nxg = weighted_graph.to_networkx()
+    return dict(nx.all_pairs_dijkstra_path_length(nxg))
+
+
+class TestDijkstra:
+    def test_matches_networkx(self, weighted_graph, nx_distances):
+        for source in range(0, weighted_graph.num_vertices, 7):
+            dist = dijkstra(weighted_graph, source)
+            for target in range(weighted_graph.num_vertices):
+                assert dist[target] == pytest.approx(nx_distances[source][target])
+
+    def test_source_distance_zero(self, weighted_graph):
+        assert dijkstra(weighted_graph, 5)[5] == 0.0
+
+    def test_unreachable_is_inf(self, disconnected_graph):
+        dist = dijkstra(disconnected_graph, 0)
+        assert dist[4] == INF
+        assert dist[7] == INF
+        assert dist[2] == 3.0
+
+    def test_allowed_restricts_search(self, weighted_graph):
+        allowed = list(range(7))  # the first grid row
+        dist = dijkstra(weighted_graph, 0, allowed=allowed)
+        assert dist[6] < INF
+        assert dist[7] == INF  # outside the allowed set
+
+    def test_targets_early_exit_still_correct(self, weighted_graph, nx_distances):
+        dist = dijkstra(weighted_graph, 0, targets=[3])
+        assert dist[3] == pytest.approx(nx_distances[0][3])
+
+    def test_dijkstra_to_target(self, weighted_graph, nx_distances):
+        assert dijkstra_to_target(weighted_graph, 2, 40) == pytest.approx(nx_distances[2][40])
+        assert dijkstra_to_target(weighted_graph, 4, 4) == 0.0
+
+    def test_dijkstra_to_target_unreachable(self, disconnected_graph):
+        assert dijkstra_to_target(disconnected_graph, 0, 5) == INF
+
+    def test_predecessors_form_shortest_path_tree(self, weighted_graph, nx_distances):
+        dist, parent = dijkstra_predecessors(weighted_graph, 0)
+        assert parent[0] == 0
+        for v in range(1, weighted_graph.num_vertices):
+            p = parent[v]
+            assert p >= 0
+            # tree edge consistency: dist[v] = dist[parent] + w(parent, v)
+            assert dist[v] == pytest.approx(dist[p] + weighted_graph.edge_weight(p, v))
+            assert dist[v] == pytest.approx(nx_distances[0][v])
+
+
+class TestBidirectional:
+    def test_matches_plain_dijkstra(self, weighted_graph, nx_distances):
+        for s, t in [(0, 48), (3, 45), (10, 11), (20, 20), (6, 42)]:
+            expected = nx_distances[s][t] if s != t else 0.0
+            assert bidirectional_dijkstra(weighted_graph, s, t) == pytest.approx(expected)
+
+    def test_disconnected(self, disconnected_graph):
+        assert bidirectional_dijkstra(disconnected_graph, 0, 5) == INF
+        assert math.isinf(bidirectional_dijkstra(disconnected_graph, 1, 7))
+
+
+class TestAuxiliarySearches:
+    def test_bfs_hops(self):
+        graph = graph_from_edges([(0, 1, 10.0), (1, 2, 10.0), (0, 3, 1.0)])
+        hops = bfs_hops(graph, 0)
+        assert hops == [0, 1, 2, 1]
+
+    def test_bfs_hops_unreachable(self, disconnected_graph):
+        hops = bfs_hops(disconnected_graph, 0)
+        assert hops[5] == -1
+
+    def test_farthest_vertex(self):
+        graph = graph_from_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 5.0)])
+        vertex, distance, dist = farthest_vertex(graph, 0)
+        assert vertex == 3
+        assert distance == 7.0
+        assert dist[2] == 2.0
+
+    def test_farthest_vertex_ignores_unreachable(self, disconnected_graph):
+        vertex, distance, _ = farthest_vertex(disconnected_graph, 0)
+        assert vertex in {0, 1, 2, 3}
+        assert distance < INF
+
+    def test_eccentricity_estimate_reasonable(self, weighted_graph, nx_distances):
+        true_diameter = max(max(row.values()) for row in nx_distances.values())
+        estimate = eccentricity_estimate(weighted_graph)
+        assert estimate <= true_diameter + 1e-9
+        assert estimate >= 0.5 * true_diameter
+
+    def test_all_pairs_dijkstra_subset(self, weighted_graph, nx_distances):
+        result = all_pairs_dijkstra(weighted_graph, sources=[0, 5])
+        assert set(result) == {0, 5}
+        assert result[5][0] == pytest.approx(nx_distances[5][0])

@@ -1,0 +1,146 @@
+"""Unit tests for the balanced tree hierarchy data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construction import HC2LBuilder
+from repro.graph.search import dijkstra
+from repro.hierarchy.tree import BalancedTreeHierarchy
+
+
+def build_manual_hierarchy() -> BalancedTreeHierarchy:
+    """Root cut {0,1}; left leaf {2,3}; right internal {4}; right-left leaf {5}."""
+    hierarchy = BalancedTreeHierarchy(6)
+    root = hierarchy.add_node(0, 0b0, [0, 1], parent=None)
+    hierarchy.add_node(1, 0b0, [2, 3], parent=root.index, side="left", is_leaf=True)
+    right = hierarchy.add_node(1, 0b1, [4], parent=root.index, side="right")
+    hierarchy.add_node(2, 0b10, [5], parent=right.index, side="left", is_leaf=True)
+    hierarchy.set_subtree_size(root.index, 6)
+    hierarchy.set_subtree_size(1, 2)
+    hierarchy.set_subtree_size(right.index, 2)
+    hierarchy.set_subtree_size(3, 1)
+    return hierarchy
+
+
+class TestManualHierarchy:
+    def test_vertex_assignment(self):
+        hierarchy = build_manual_hierarchy()
+        assert hierarchy.check_vertex_assignment()
+        assert hierarchy.node_of(0).depth == 0
+        assert hierarchy.node_of(3).is_leaf
+        assert hierarchy.node_of(5).depth == 2
+
+    def test_non_root_requires_side(self):
+        hierarchy = BalancedTreeHierarchy(2)
+        root = hierarchy.add_node(0, 0, [0], parent=None)
+        with pytest.raises(ValueError):
+            hierarchy.add_node(1, 0, [1], parent=root.index)
+
+    def test_lca_depth_same_node(self):
+        hierarchy = build_manual_hierarchy()
+        assert hierarchy.lca_depth(2, 3) == 1
+        assert hierarchy.lca_depth(0, 1) == 0
+
+    def test_lca_depth_ancestor_pair(self):
+        hierarchy = build_manual_hierarchy()
+        # vertex 0 sits at the root; any pair involving it meets at depth 0
+        assert hierarchy.lca_depth(0, 5) == 0
+        # vertex 4 (depth 1) is an ancestor node of vertex 5 (depth 2)
+        assert hierarchy.lca_depth(4, 5) == 1
+
+    def test_lca_depth_cross_subtrees(self):
+        hierarchy = build_manual_hierarchy()
+        assert hierarchy.lca_depth(2, 5) == 0
+        assert hierarchy.lca_depth(3, 4) == 0
+
+    def test_lca_node_matches_depth(self):
+        hierarchy = build_manual_hierarchy()
+        node = hierarchy.lca_node(2, 5)
+        assert node.depth == 0
+        assert node.cut == [0, 1]
+
+    def test_ancestors_iteration(self):
+        hierarchy = build_manual_hierarchy()
+        path = [node.depth for node in hierarchy.ancestors(5)]
+        assert path == [0, 1, 2]
+
+    def test_height_and_cut_metrics(self):
+        hierarchy = build_manual_hierarchy()
+        assert hierarchy.height() == 3
+        assert hierarchy.max_cut_size() == 2
+        assert hierarchy.num_internal_nodes() == 2
+        assert hierarchy.average_cut_size() == pytest.approx(1.5)
+        assert hierarchy.lca_storage_bytes() == 8 * 6
+
+    def test_subtree_vertices(self):
+        hierarchy = build_manual_hierarchy()
+        assert sorted(hierarchy.subtree_vertices(0)) == [0, 1, 2, 3, 4, 5]
+        assert sorted(hierarchy.subtree_vertices(2)) == [4, 5]
+
+    def test_describe_keys(self):
+        hierarchy = build_manual_hierarchy()
+        summary = hierarchy.describe()
+        assert {"height", "max_cut", "avg_cut", "nodes", "internal_nodes", "lca_bytes"} <= set(summary)
+
+
+class TestBuiltHierarchyProperties:
+    @pytest.fixture(scope="class")
+    def built(self, medium_graph):
+        builder = HC2LBuilder(beta=0.2, leaf_size=10)
+        hierarchy, labelling, stats = builder.build(medium_graph)
+        return medium_graph, hierarchy, labelling
+
+    def test_every_vertex_assigned(self, built):
+        _, hierarchy, _ = built
+        assert hierarchy.check_vertex_assignment()
+
+    def test_balance_condition(self, built):
+        _, hierarchy, _ = built
+        assert hierarchy.check_balance(0.2)
+
+    def test_height_bound(self, built):
+        graph, hierarchy, _ = built
+        import math
+
+        # Lemma 4.2: height <= log_{1/(1-beta)}(n) plus the leaf level slack
+        bound = math.log(max(graph.num_vertices, 2)) / math.log(1 / 0.8) + 2
+        assert hierarchy.height() <= bound
+
+    def test_lca_cover_property_on_samples(self, built, medium_oracle):
+        """Definition 4.1 condition 2: LCA(s,t) holds a vertex on a shortest path."""
+        graph, hierarchy, _ = built
+        import random
+
+        rng = random.Random(3)
+        for _ in range(40):
+            s = rng.randrange(graph.num_vertices)
+            t = rng.randrange(graph.num_vertices)
+            if s == t:
+                continue
+            expected = medium_oracle.distance(s, t)
+            if expected == float("inf"):
+                continue
+            node = hierarchy.lca_node(s, t)
+            via = min(
+                (medium_oracle.distance(s, c) + medium_oracle.distance(c, t) for c in node.cut),
+                default=float("inf"),
+            )
+            assert via == pytest.approx(expected, rel=1e-6)
+
+    def test_bits_are_consistent_with_depth(self, built):
+        _, hierarchy, _ = built
+        for node in hierarchy.nodes:
+            assert node.bits < (1 << max(node.depth, 1))
+            for vertex in node.cut:
+                assert hierarchy.vertex_bits[vertex] == node.bits
+                assert hierarchy.vertex_depth[vertex] == node.depth
+
+    def test_parent_child_links(self, built):
+        _, hierarchy, _ = built
+        for node in hierarchy.nodes:
+            for child_index in (node.left, node.right):
+                if child_index is not None:
+                    child = hierarchy.nodes[child_index]
+                    assert child.parent == node.index
+                    assert child.depth == node.depth + 1

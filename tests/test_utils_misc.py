@@ -1,0 +1,95 @@
+"""Unit tests for timers, RNG helpers and validation."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.utils.rng import derive_rng, make_rng
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import (
+    check_balance_parameter,
+    check_non_negative_weight,
+    check_probability,
+    check_vertex,
+)
+
+
+class TestTimer:
+    def test_measure_accumulates(self):
+        timer = Timer()
+        with timer.measure("phase"):
+            time.sleep(0.001)
+        with timer.measure("phase"):
+            time.sleep(0.001)
+        assert timer.get("phase") >= 0.002
+        assert timer.total() == pytest.approx(timer.get("phase"))
+
+    def test_missing_phase_is_zero(self):
+        assert Timer().get("nothing") == 0.0
+
+    def test_timed_returns_result_and_elapsed(self):
+        result, elapsed = timed(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0.0
+
+
+class TestRng:
+    def test_default_seed_is_deterministic(self):
+        assert make_rng().random() == make_rng().random()
+
+    def test_integer_seed(self):
+        assert make_rng(5).random() == make_rng(5).random()
+        assert make_rng(5).random() != make_rng(6).random()
+
+    def test_passthrough_of_random_instance(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_derive_rng_changes_stream(self):
+        base = make_rng(3)
+        a = derive_rng(base, 1).random()
+        base2 = make_rng(3)
+        b = derive_rng(base2, 2).random()
+        assert a != b
+
+
+class TestValidation:
+    def test_check_vertex_accepts_valid(self):
+        assert check_vertex(3, 10) == 3
+
+    @pytest.mark.parametrize("vertex", [-1, 10, 100])
+    def test_check_vertex_rejects_out_of_range(self, vertex):
+        with pytest.raises(ValueError):
+            check_vertex(vertex, 10)
+
+    @pytest.mark.parametrize("vertex", [1.5, "3", True, None])
+    def test_check_vertex_rejects_non_int(self, vertex):
+        with pytest.raises(ValueError):
+            check_vertex(vertex, 10)
+
+    def test_check_weight_accepts_positive(self):
+        assert check_non_negative_weight(2.5) == 2.5
+        assert check_non_negative_weight(0) == 0.0
+
+    @pytest.mark.parametrize("weight", [-1.0, float("inf"), float("nan")])
+    def test_check_weight_rejects_bad_values(self, weight):
+        with pytest.raises(ValueError):
+            check_non_negative_weight(weight)
+
+    def test_check_probability(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+
+    def test_check_balance_parameter(self):
+        assert check_balance_parameter(0.2) == 0.2
+        assert check_balance_parameter(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_balance_parameter(0.0)
+        with pytest.raises(ValueError):
+            check_balance_parameter(0.6)

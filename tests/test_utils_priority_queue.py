@@ -1,0 +1,111 @@
+"""Unit tests for the priority queue utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.priority_queue import AddressablePriorityQueue, BucketQueue
+
+
+class TestAddressablePriorityQueue:
+    def test_empty_queue_is_falsy(self):
+        queue = AddressablePriorityQueue()
+        assert not queue
+        assert len(queue) == 0
+
+    def test_pop_returns_minimum(self):
+        queue = AddressablePriorityQueue()
+        queue.push("a", 3.0)
+        queue.push("b", 1.0)
+        queue.push("c", 2.0)
+        assert queue.pop() == ("b", 1.0)
+        assert queue.pop() == ("c", 2.0)
+        assert queue.pop() == ("a", 3.0)
+
+    def test_push_updates_priority(self):
+        queue = AddressablePriorityQueue()
+        queue.push("a", 5.0)
+        queue.push("a", 1.0)
+        assert len(queue) == 1
+        assert queue.pop() == ("a", 1.0)
+        assert not queue
+
+    def test_priority_can_increase(self):
+        queue = AddressablePriorityQueue()
+        queue.push("a", 1.0)
+        queue.push("b", 2.0)
+        queue.push("a", 3.0)
+        assert queue.pop() == ("b", 2.0)
+        assert queue.pop() == ("a", 3.0)
+
+    def test_peek_does_not_remove(self):
+        queue = AddressablePriorityQueue()
+        queue.push("x", 4.0)
+        assert queue.peek() == ("x", 4.0)
+        assert len(queue) == 1
+
+    def test_contains_and_priority_lookup(self):
+        queue = AddressablePriorityQueue()
+        queue.push(7, 0.5)
+        assert 7 in queue
+        assert 8 not in queue
+        assert queue.priority(7) == 0.5
+
+    def test_remove(self):
+        queue = AddressablePriorityQueue()
+        queue.push("a", 1.0)
+        queue.push("b", 2.0)
+        queue.remove("a")
+        assert "a" not in queue
+        assert queue.pop() == ("b", 2.0)
+
+    def test_pop_empty_raises(self):
+        queue = AddressablePriorityQueue()
+        with pytest.raises(KeyError):
+            queue.pop()
+
+    def test_peek_empty_raises(self):
+        queue = AddressablePriorityQueue()
+        with pytest.raises(KeyError):
+            queue.peek()
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = AddressablePriorityQueue()
+        queue.push("first", 1.0)
+        queue.push("second", 1.0)
+        assert queue.pop()[0] == "first"
+        assert queue.pop()[0] == "second"
+
+    def test_items_iteration(self):
+        queue = AddressablePriorityQueue()
+        queue.push("a", 1.0)
+        queue.push("b", 2.0)
+        assert dict(queue.items()) == {"a": 1.0, "b": 2.0}
+
+
+class TestBucketQueue:
+    def test_pop_minimum_bucket(self):
+        queue = BucketQueue()
+        queue.push("a", 3)
+        queue.push("b", 1)
+        assert queue.pop() == ("b", 1)
+        assert queue.pop() == ("a", 3)
+
+    def test_update_priority(self):
+        queue = BucketQueue()
+        queue.push("a", 5)
+        queue.push("a", 2)
+        assert len(queue) == 1
+        assert queue.pop() == ("a", 2)
+
+    def test_pop_empty_raises(self):
+        queue = BucketQueue()
+        with pytest.raises(KeyError):
+            queue.pop()
+
+    def test_monotone_pops_after_min_bucket_drains(self):
+        queue = BucketQueue()
+        for item, priority in [("a", 0), ("b", 0), ("c", 4), ("d", 2)]:
+            queue.push(item, priority)
+        popped = [queue.pop() for _ in range(4)]
+        assert [p for _, p in popped] == [0, 0, 2, 4]
