@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Query throughput benchmark: single-pair loop vs the batch engine.
+
+Builds an HC2L index on a generated road-like graph, times the same random
+query workload through (a) the per-pair ``HC2LIndex.distance`` loop and
+(b) the vectorised ``HC2LIndex.distances`` batch path, verifies the
+results are identical, and writes the numbers to ``BENCH_query.json`` so
+future PRs can track the performance trajectory.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_query_throughput.py \
+        [--vertices 3000] [--queries 10000] [--output BENCH_query.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+from repro import HC2LIndex, RoadNetworkSpec, synthetic_road_network
+
+
+def run_benchmark(num_vertices: int, num_queries: int, seed: int = 2024) -> dict:
+    """Build, query both ways and return the result record."""
+    network = synthetic_road_network(
+        RoadNetworkSpec("bench-query", num_vertices=num_vertices, seed=seed)
+    )
+    graph = network.distance_graph
+
+    build_start = time.perf_counter()
+    index = HC2LIndex.build(graph)
+    build_seconds = time.perf_counter() - build_start
+
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(num_queries)]
+
+    # build the lazy flat-label engine outside both timed regions
+    index.distances(pairs[:1])
+
+    single_start = time.perf_counter()
+    single = [index.distance(s, t) for s, t in pairs]
+    single_seconds = time.perf_counter() - single_start
+
+    batch_start = time.perf_counter()
+    batch = index.distances(pairs)
+    batch_seconds = time.perf_counter() - batch_start
+
+    if single != batch.tolist():
+        raise AssertionError("batch results diverged from the single-pair path")
+
+    return {
+        "benchmark": "query_throughput",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "num_queries": num_queries,
+        "build_seconds": round(build_seconds, 4),
+        "single_queries_per_second": round(num_queries / single_seconds, 1),
+        "batch_queries_per_second": round(num_queries / batch_seconds, 1),
+        "single_microseconds_per_query": round(single_seconds / num_queries * 1e6, 3),
+        "batch_microseconds_per_query": round(batch_seconds / num_queries * 1e6, 3),
+        "batch_speedup": round(single_seconds / batch_seconds, 2),
+        "label_size_bytes": index.label_size_bytes(),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=3000)
+    parser.add_argument("--queries", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_query.json",
+    )
+    args = parser.parse_args()
+
+    record = run_benchmark(args.vertices, args.queries, args.seed)
+    args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

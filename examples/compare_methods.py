@@ -27,32 +27,38 @@ from repro.experiments.workloads import random_pairs
 METHODS = ["HC2L", "HC2L_p", "H2H", "PHL", "HL", "PLL", "BiDijkstra"]
 
 
-def main(dataset: str = "NY") -> None:
+def main(dataset: str = "NY", num_pairs: int = 2000, methods: list[str] | None = None) -> None:
     network = load_dataset(dataset)
     graph = network.distance_graph
     print(f"Dataset {dataset} (synthetic stand-in): "
           f"{graph.num_vertices} vertices, {graph.num_edges} edges")
-    pairs = random_pairs(graph, 2000, seed=5)
+    pairs = random_pairs(graph, num_pairs, seed=5)
 
     rows = []
-    for method_name in METHODS:
+    for method_name in methods or METHODS:
         spec = METHOD_BUILDERS[method_name]
         print(f"  building {method_name} ...")
         cell = run_cell(spec, graph, pairs, dataset_name=dataset)
-        rows.append(
-            {
-                "method": cell.method,
-                "query_us": round(cell.query_microseconds, 3),
-                "label_size_bytes": cell.label_size_bytes,
-                "construction_s": round(cell.construction_seconds, 3),
-                "avg_hubs": round(cell.average_hubs, 1),
-            }
-        )
+        row = {
+            "method": cell.method,
+            "query_us": round(cell.query_microseconds, 3),
+            "label_size_bytes": cell.label_size_bytes,
+            "construction_s": round(cell.construction_seconds, 3),
+            "avg_hubs": round(cell.average_hubs, 1),
+        }
+        # methods exposing the batch API also report batched throughput
+        if "batch_query_microseconds" in cell.extra:
+            row["batch_us"] = round(cell.extra["batch_query_microseconds"], 3)
+        rows.append(row)
 
     print()
     print(render_table(rows, title=f"Method comparison on {dataset} (distance weights)"))
     fastest = min(rows, key=lambda r: r["query_us"])
     print(f"Fastest query method: {fastest['method']} at {fastest['query_us']} us/query")
+    batched = [r for r in rows if "batch_us" in r]
+    if batched:
+        best = min(batched, key=lambda r: r["batch_us"])
+        print(f"Fastest batch method: {best['method']} at {best['batch_us']} us/query (batched)")
 
 
 if __name__ == "__main__":

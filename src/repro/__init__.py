@@ -26,6 +26,8 @@ Quickstart
 
 from repro.core.index import HC2LIndex, HC2LParameters
 from repro.core.construction import HC2LBuilder
+from repro.core.engine import QueryEngine
+from repro.core.flat import FlatLabelling
 from repro.core.parallel import ParallelHC2LBuilder
 from repro.graph.graph import Graph
 from repro.graph.generators import (
@@ -44,6 +46,8 @@ __all__ = [
     "HC2LParameters",
     "HC2LBuilder",
     "ParallelHC2LBuilder",
+    "QueryEngine",
+    "FlatLabelling",
     "Graph",
     "RoadNetwork",
     "RoadNetworkSpec",

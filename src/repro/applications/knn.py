@@ -38,25 +38,29 @@ class KNearestNeighbours:
         if not self.pois:
             raise ValueError("at least one POI is required")
 
+    def _poi_distances(self, vertex: int) -> List[float]:
+        from repro.applications.batching import one_to_many_distances
+
+        return one_to_many_distances(self.index, vertex, self.pois)
+
     def query(self, vertex: int, k: int = 1) -> List[Tuple[int, float]]:
         """The ``k`` POIs nearest to ``vertex`` as ``(poi, distance)`` pairs.
 
-        Unreachable POIs (infinite distance) are excluded; fewer than ``k``
-        results are returned when not enough POIs are reachable.
+        All POI distances are evaluated in one batched call when the index
+        supports it.  Unreachable POIs (infinite distance) are excluded;
+        fewer than ``k`` results are returned when not enough POIs are
+        reachable.
         """
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
-        distances = [(self.index.distance(vertex, poi), poi) for poi in self.pois]
+        distances = zip(self._poi_distances(vertex), self.pois)
         reachable = [(d, poi) for d, poi in distances if d != float("inf")]
         nearest = heapq.nsmallest(k, reachable)
         return [(poi, d) for d, poi in nearest]
 
     def within_radius(self, vertex: int, radius: float) -> List[Tuple[int, float]]:
         """All POIs within ``radius`` of ``vertex``, nearest first."""
-        hits = [
-            (self.index.distance(vertex, poi), poi)
-            for poi in self.pois
-        ]
+        hits = zip(self._poi_distances(vertex), self.pois)
         selected = sorted((d, poi) for d, poi in hits if d <= radius)
         return [(poi, d) for d, poi in selected]
 

@@ -22,13 +22,21 @@ def distance_matrix(
 ) -> np.ndarray:
     """The ``len(sources) x len(targets)`` matrix of exact distances.
 
-    Every entry is one index query; with HC2L each query touches only the
-    LCA cut of the pair, which is what makes large batches practical.
+    Indexes exposing ``many_to_many`` evaluate the whole cross product in
+    one vectorised call; otherwise each row goes through the batching
+    helpers (``one_to_many`` when available, a per-pair loop when not),
+    with identical results either way.
     """
+    if not len(sources) or not len(targets):
+        return np.empty((len(sources), len(targets)), dtype=float)
+    many = getattr(index, "many_to_many", None)
+    if many is not None:
+        return np.asarray(many(sources, targets), dtype=float)
+    from repro.applications.batching import one_to_many_distances
+
     matrix = np.empty((len(sources), len(targets)), dtype=float)
     for i, s in enumerate(sources):
-        for j, t in enumerate(targets):
-            matrix[i, j] = index.distance(s, t)
+        matrix[i, :] = one_to_many_distances(index, s, targets)
     return matrix
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.applications.batching import batch_distances, one_to_many_distances
 from repro.applications.knn import DistanceIndex
 
 INF = float("inf")
@@ -51,10 +52,14 @@ class RoutePlanner:
         return route, self.route_length(route)
 
     def route_length(self, route: Sequence[int]) -> float:
-        """Total length of a vertex sequence under the index's metric."""
+        """Total length of a vertex sequence under the index's metric.
+
+        All legs are evaluated in one batched call when the index supports
+        the batch API.
+        """
+        legs = batch_distances(self.index, list(zip(route, route[1:])))
         total = 0.0
-        for a, b in zip(route, route[1:]):
-            leg = self.index.distance(a, b)
+        for (a, b), leg in zip(zip(route, route[1:]), legs):
             if leg == INF:
                 raise ValueError(f"stop {b} is unreachable from {a}")
             total += leg
@@ -67,8 +72,7 @@ class RoutePlanner:
         current = depot
         while remaining:
             best: Optional[Tuple[float, int]] = None
-            for stop in remaining:
-                d = self.index.distance(current, stop)
+            for d, stop in zip(one_to_many_distances(self.index, current, remaining), remaining):
                 if best is None or d < best[0]:
                     best = (d, stop)
             assert best is not None

@@ -50,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("index", help="path to an index written by 'repro build'")
     query.add_argument("pairs", nargs="*", help="queries as s,t pairs (e.g. 3,17 42,7)")
     query.add_argument("--stdin", action="store_true", help="read 's t' pairs from standard input")
+    query.add_argument(
+        "--allow-pickle",
+        action="store_true",
+        help="also accept legacy pickle index files (runs arbitrary code; trusted files only)",
+    )
 
     compare = subparsers.add_parser("compare", help="compare HC2L against baselines on one graph")
     _add_graph_source_arguments(compare)
@@ -132,13 +137,13 @@ def _parse_pairs(args: argparse.Namespace) -> List[tuple[int, int]]:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = HC2LIndex.load(args.index)
+    index = HC2LIndex.load(args.index, allow_pickle=args.allow_pickle)
     pairs = _parse_pairs(args)
     if not pairs:
         print("no query pairs given (pass s,t arguments or --stdin)", file=sys.stderr)
         return 2
-    for s, t in pairs:
-        print(f"{s}\t{t}\t{index.distance(s, t)}")
+    for (s, t), value in zip(pairs, index.distances(pairs).tolist()):
+        print(f"{s}\t{t}\t{value}")
     return 0
 
 

@@ -24,6 +24,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.core.flat import FlatWorkingGraph
 from repro.core.labelling import HC2LLabelling, node_distance_arrays
 from repro.core.ranking import CutRanking, rank_cut_vertices
 from repro.graph.graph import Graph
@@ -155,8 +156,11 @@ class HC2LBuilder:
 
         assert cut_result is not None
         with stats.timer.measure("labelling"):
-            ranking = rank_cut_vertices(adjacency, cut_result.cut)
-            arrays, cut_distances = node_distance_arrays(adjacency, ranking, self.tail_pruning)
+            flat = FlatWorkingGraph(adjacency)
+            ranking = rank_cut_vertices(adjacency, cut_result.cut, flat=flat)
+            arrays, cut_distances = node_distance_arrays(
+                adjacency, ranking, self.tail_pruning, flat=flat
+            )
         node = hierarchy.add_node(depth, bits, ranking.ordered, parent, side, is_leaf=False)
         hierarchy.set_subtree_size(node.index, n)
         stats.num_nodes += 1
@@ -205,8 +209,9 @@ class HC2LBuilder:
     ) -> int:
         """Terminate the recursion: every remaining vertex joins the node's cut."""
         with stats.timer.measure("labelling"):
-            ranking: CutRanking = rank_cut_vertices(adjacency, vertices)
-            arrays, _ = node_distance_arrays(adjacency, ranking, self.tail_pruning)
+            flat = FlatWorkingGraph(adjacency)
+            ranking: CutRanking = rank_cut_vertices(adjacency, vertices, flat=flat)
+            arrays, _ = node_distance_arrays(adjacency, ranking, self.tail_pruning, flat=flat)
         node = hierarchy.add_node(depth, bits, ranking.ordered, parent, side, is_leaf=True)
         hierarchy.set_subtree_size(node.index, len(vertices))
         stats.num_nodes += 1

@@ -86,8 +86,13 @@ def _relabel_node(
     """Recompute ranking, labels and shortcuts for one node of the old tree."""
     old_hierarchy = index.hierarchy
     with stats.timer.measure("labelling"):
-        ranking: CutRanking = rank_cut_vertices(adjacency, node.cut)
-        arrays, cut_distances = node_distance_arrays(adjacency, ranking, parameters.tail_pruning)
+        from repro.core.flat import FlatWorkingGraph
+
+        flat = FlatWorkingGraph(adjacency)
+        ranking: CutRanking = rank_cut_vertices(adjacency, node.cut, flat=flat)
+        arrays, cut_distances = node_distance_arrays(
+            adjacency, ranking, parameters.tail_pruning, flat=flat
+        )
     new_node = new_hierarchy.nodes[node.index]
     new_node.cut = list(ranking.ordered)
     for vertex in ranking.ordered:

@@ -1,0 +1,245 @@
+"""Flat, contiguous storage for HC2L labels and working subgraphs.
+
+The paper's C++ implementation owes much of its query speed to the label
+layout: per-vertex distance arrays are contiguous ``double`` buffers with
+no hub identifiers, so a query is a linear scan over two cache-resident
+slabs.  The original reproduction stored labels as nested Python lists
+(``List[List[List[float]]]``), which scatters every distance value behind
+three pointer indirections.  This module provides the flat counterparts:
+
+* :class:`FlatLabelling` - all per-vertex, per-level distance arrays
+  packed into a single ``float64`` buffer plus two integer index arrays,
+  with a lossless round-trip from/to :class:`~repro.core.labelling.HC2LLabelling`.
+  It is the storage backend the batch :class:`~repro.core.engine.QueryEngine`
+  vectorises over and the payload of the versioned on-disk format.
+* :class:`FlatWorkingGraph` - a CSR snapshot of a construction-time
+  working adjacency with dense local ids, shared by the per-cut-vertex
+  Dijkstra searches of the ranking and labelling passes (which repeatedly
+  traverse the same subgraph).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (labelling imports us)
+    from repro.core.labelling import HC2LLabelling
+
+from repro.partition.working_graph import WorkingAdjacency
+
+INF = float("inf")
+
+
+class FlatLabelling:
+    """HC2L labels packed into one contiguous distance buffer.
+
+    Layout
+    ------
+    ``values``
+        One ``float64`` array holding every stored distance.  The arrays of
+        one vertex are contiguous, ordered by hierarchy depth.
+    ``level_indptr``
+        ``int64`` array; the distance array of *global level* ``k`` (see
+        below) is ``values[level_indptr[k]:level_indptr[k + 1]]``.
+    ``vertex_indptr``
+        ``int64`` array of length ``num_vertices + 1``; vertex ``v`` owns
+        global levels ``vertex_indptr[v] .. vertex_indptr[v + 1] - 1``, one
+        per hierarchy depth starting at depth 0.
+
+    The array of ``(v, depth)`` therefore starts at
+    ``level_indptr[vertex_indptr[v] + depth]``.  This mirrors the storage
+    model the paper costs out in Section 4.2.2 (values + per-array length
+    + per-vertex offset, no hub ids).
+    """
+
+    __slots__ = ("num_vertices", "values", "level_indptr", "vertex_indptr")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        values: np.ndarray,
+        level_indptr: np.ndarray,
+        vertex_indptr: np.ndarray,
+    ) -> None:
+        if len(vertex_indptr) != num_vertices + 1:
+            raise ValueError(
+                f"vertex_indptr must have num_vertices + 1 entries, "
+                f"got {len(vertex_indptr)} for {num_vertices} vertices"
+            )
+        self.num_vertices = num_vertices
+        self.values = np.ascontiguousarray(values, dtype=np.float64)
+        self.level_indptr = np.ascontiguousarray(level_indptr, dtype=np.int64)
+        self.vertex_indptr = np.ascontiguousarray(vertex_indptr, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_labelling(cls, labelling: "HC2LLabelling") -> "FlatLabelling":
+        """Pack a nested :class:`HC2LLabelling` into flat buffers (lossless)."""
+        n = labelling.num_vertices
+        vertex_indptr = np.empty(n + 1, dtype=np.int64)
+        vertex_indptr[0] = 0
+        lengths: List[int] = []
+        for v, levels in enumerate(labelling.labels):
+            for array in levels:
+                lengths.append(len(array))
+            vertex_indptr[v + 1] = len(lengths)
+        level_indptr = np.zeros(len(lengths) + 1, dtype=np.int64)
+        level_indptr[1:] = np.cumsum(np.asarray(lengths, dtype=np.int64))
+        values = np.empty(int(level_indptr[-1]), dtype=np.float64)
+        position = 0
+        for levels in labelling.labels:
+            for array in levels:
+                values[position : position + len(array)] = array
+                position += len(array)
+        return cls(n, values, level_indptr, vertex_indptr)
+
+    def to_labelling(self) -> "HC2LLabelling":
+        """Unpack into the nested list representation (lossless round-trip)."""
+        from repro.core.labelling import HC2LLabelling
+
+        values = self.values.tolist()
+        level_indptr = self.level_indptr.tolist()
+        vertex_indptr = self.vertex_indptr.tolist()
+        labels: List[List[List[float]]] = []
+        for v in range(self.num_vertices):
+            levels: List[List[float]] = []
+            for k in range(vertex_indptr[v], vertex_indptr[v + 1]):
+                levels.append(values[level_indptr[k] : level_indptr[k + 1]])
+            labels.append(levels)
+        return HC2LLabelling(num_vertices=self.num_vertices, labels=labels)
+
+    # ------------------------------------------------------------------ #
+    # element access (mirrors HC2LLabelling)
+    # ------------------------------------------------------------------ #
+    def num_levels(self, vertex: int) -> int:
+        """Number of levels stored for ``vertex`` (= node depth + 1)."""
+        return int(self.vertex_indptr[vertex + 1] - self.vertex_indptr[vertex])
+
+    def level_array(self, vertex: int, depth: int) -> List[float]:
+        """Distance array of ``vertex`` at hierarchy depth ``depth`` (a copy)."""
+        return self.level_view(vertex, depth).tolist()
+
+    def level_view(self, vertex: int, depth: int) -> np.ndarray:
+        """Zero-copy view of the distance array of ``(vertex, depth)``."""
+        k = int(self.vertex_indptr[vertex]) + depth
+        if k >= self.vertex_indptr[vertex + 1]:
+            raise IndexError(f"vertex {vertex} has no level {depth}")
+        return self.values[int(self.level_indptr[k]) : int(self.level_indptr[k + 1])]
+
+    # ------------------------------------------------------------------ #
+    # size metrics (mirror HC2LLabelling so either backend feeds Tables 2-4)
+    # ------------------------------------------------------------------ #
+    def total_entries(self) -> int:
+        """Total number of stored distance values."""
+        return int(self.values.shape[0])
+
+    def entries_of(self, vertex: int) -> int:
+        """Number of distance values stored for one vertex."""
+        start = self.level_indptr[self.vertex_indptr[vertex]]
+        end = self.level_indptr[self.vertex_indptr[vertex + 1]]
+        return int(end - start)
+
+    def size_bytes(self) -> int:
+        """Approximate labelling size in bytes (same model as the nested form)."""
+        level_overhead = 2 * (len(self.level_indptr) - 1)
+        return self.total_entries() * 8 + level_overhead + 8 * self.num_vertices
+
+    def average_label_entries(self) -> float:
+        """Mean number of stored distance values per vertex."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.total_entries() / self.num_vertices
+
+    def max_label_entries(self) -> int:
+        """Largest per-vertex label, in distance values."""
+        if self.num_vertices == 0:
+            return 0
+        starts = self.level_indptr[self.vertex_indptr[:-1]]
+        ends = self.level_indptr[self.vertex_indptr[1:]]
+        return int((ends - starts).max())
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlatLabelling):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and np.array_equal(self.vertex_indptr, other.vertex_indptr)
+            and np.array_equal(self.level_indptr, other.level_indptr)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatLabelling(num_vertices={self.num_vertices}, "
+            f"entries={self.total_entries()})"
+        )
+
+
+class FlatWorkingGraph:
+    """CSR snapshot of a working adjacency with dense local ids.
+
+    The ranking and labelling passes run one Dijkstra per cut vertex over
+    the *same* working subgraph; flattening the dict-of-dicts once lets all
+    of those searches iterate plain lists with dense integer ids instead of
+    hashing original vertex ids on every edge relaxation.
+    """
+
+    __slots__ = ("vertices", "dense_id", "indptr", "indices", "weights")
+
+    def __init__(self, adjacency: WorkingAdjacency) -> None:
+        #: dense id -> original vertex id, in sorted original-id order
+        self.vertices: List[int] = sorted(adjacency)
+        #: original vertex id -> dense id
+        self.dense_id: Dict[int, int] = {v: i for i, v in enumerate(self.vertices)}
+        indptr = [0]
+        indices: List[int] = []
+        weights: List[float] = []
+        dense_id = self.dense_id
+        for v in self.vertices:
+            for w, weight in adjacency[v].items():
+                indices.append(dense_id[w])
+                weights.append(weight)
+            indptr.append(len(indices))
+        self.indptr: List[int] = indptr
+        self.indices: List[int] = indices
+        self.weights: List[float] = weights
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def dense_ids(self, vertices: Sequence[int]) -> List[int]:
+        """Dense ids of a sequence of original vertex ids."""
+        dense_id = self.dense_id
+        return [dense_id[v] for v in vertices]
+
+    def dijkstra(self, source: int) -> List[float]:
+        """Single-source distances over the CSR arrays (dense ids).
+
+        Returns the full dense distance array with ``inf`` for unreached
+        vertices; the flat counterpart of
+        :func:`repro.partition.working_graph.dijkstra_adjacency`.
+        """
+        import heapq
+
+        indptr, indices, weights = self.indptr, self.indices, self.weights
+        dist = [INF] * len(self.vertices)
+        dist[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            d, v = pop(heap)
+            if d > dist[v]:
+                continue
+            for i in range(indptr[v], indptr[v + 1]):
+                w = indices[i]
+                nd = d + weights[i]
+                if nd < dist[w]:
+                    dist[w] = nd
+                    push(heap, (nd, w))
+        return dist

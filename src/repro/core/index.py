@@ -13,14 +13,17 @@ network, then answer exact shortest-path distance queries in microseconds
 
 from __future__ import annotations
 
-import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.construction import ConstructionStats, HC2LBuilder
+from repro.core.engine import QueryEngine
+from repro.core.flat import FlatLabelling
 from repro.core.labelling import HC2LLabelling
-from repro.core.query import core_distance, core_distance_with_stats
+from repro.core.query import core_distance_with_stats
 from repro.graph.contraction import ContractedGraph, contract_degree_one
 from repro.graph.graph import Graph
 from repro.hierarchy.tree import BalancedTreeHierarchy
@@ -91,6 +94,9 @@ class HC2LIndex:
     stats: ConstructionStats
     construction_seconds: float = 0.0
     _extra: Dict[str, float] = field(default_factory=dict)
+    #: lazily created flat storage + batch query engine (see flat_labelling/engine)
+    _flat: Optional[FlatLabelling] = field(default=None, repr=False, compare=False)
+    _engine: Optional[QueryEngine] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -149,6 +155,26 @@ class HC2LIndex:
         )
 
     # ------------------------------------------------------------------ #
+    # flat storage / batch engine
+    # ------------------------------------------------------------------ #
+    def flat_labelling(self) -> FlatLabelling:
+        """The labels as one contiguous buffer (cached; lossless conversion)."""
+        flat = getattr(self, "_flat", None)
+        if flat is None:
+            flat = FlatLabelling.from_labelling(self.labelling)
+            self._flat = flat
+        return flat
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The batch query engine over the flat label storage (cached)."""
+        engine = getattr(self, "_engine", None)
+        if engine is None:
+            engine = QueryEngine.from_index(self)
+            self._engine = engine
+        return engine
+
+    # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def distance(self, s: int, t: int) -> float:
@@ -156,13 +182,24 @@ class HC2LIndex:
 
         Returns ``inf`` for disconnected pairs.
         """
-        n = self.contraction.num_original
-        check_vertex(s, n, "s")
-        check_vertex(t, n, "t")
-        resolved, core_s, core_t, offset = self.contraction.resolve_query(s, t)
-        if resolved is not None:
-            return resolved
-        return offset + core_distance(self.hierarchy, self.labelling, core_s, core_t)
+        return self.engine.distance(s, t)
+
+    def distances(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Exact distances for a batch of ``(s, t)`` pairs (vectorised).
+
+        Bit-identical to calling :meth:`distance` per pair, but the
+        contraction bookkeeping, LCA computation and min-plus label scans
+        run over the whole batch at once.
+        """
+        return self.engine.distances(pairs)
+
+    def one_to_many(self, s: int, targets: Sequence[int]) -> np.ndarray:
+        """Distances from ``s`` to every vertex of ``targets`` (batched)."""
+        return self.engine.one_to_many(s, targets)
+
+    def many_to_many(self, sources: Sequence[int], targets: Sequence[int]) -> np.ndarray:
+        """The ``len(sources) x len(targets)`` distance matrix (batched)."""
+        return self.engine.many_to_many(sources, targets)
 
     #: Alias so the index can be swapped with the baseline oracles.
     query = distance
@@ -233,15 +270,24 @@ class HC2LIndex:
     # persistence
     # ------------------------------------------------------------------ #
     def save(self, path: Union[str, Path]) -> None:
-        """Serialise the index to ``path`` (pickle format)."""
-        with open(path, "wb") as handle:
-            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        """Serialise the index to ``path`` (versioned ``.npz`` format).
+
+        The archive stores the flat label buffers plus typed arrays for the
+        graph, contraction and hierarchy; see :mod:`repro.core.persistence`.
+        """
+        from repro.core.persistence import save_index
+
+        save_index(self, path)
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "HC2LIndex":
-        """Load an index previously written by :meth:`save`."""
-        with open(path, "rb") as handle:
-            index = pickle.load(handle)
-        if not isinstance(index, cls):
-            raise TypeError(f"{path} does not contain an HC2LIndex")
-        return index
+    def load(cls, path: Union[str, Path], allow_pickle: bool = False) -> "HC2LIndex":
+        """Load an index previously written by :meth:`save`.
+
+        Raises ``ValueError`` for files that are not compatible HC2L
+        archives.  ``allow_pickle=True`` additionally accepts legacy pickle
+        files (pickle can execute arbitrary code - only enable it for
+        trusted files).
+        """
+        from repro.core.persistence import load_index
+
+        return load_index(path, allow_pickle=allow_pickle)

@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
-from repro.core.pruned_dijkstra import PrunedDistances, dist_and_prune
+from repro.core.flat import FlatWorkingGraph
+from repro.core.pruned_dijkstra import dist_and_prune_dense
 from repro.core.ranking import CutRanking
 from repro.partition.working_graph import WorkingAdjacency
 
@@ -31,6 +32,7 @@ def node_distance_arrays(
     adjacency: WorkingAdjacency,
     ranking: CutRanking,
     tail_pruning: bool = True,
+    flat: "FlatWorkingGraph | None" = None,
 ) -> Tuple[Dict[int, List[float]], Dict[int, Mapping[int, float]]]:
     """Compute the per-vertex distance arrays for one tree node (Algorithm 5).
 
@@ -43,6 +45,9 @@ def node_distance_arrays(
     tail_pruning:
         When ``False`` the full (naive) arrays are kept; this is the upper
         bound labelling of Section 4.2.1 used by the ablation benchmark.
+    flat:
+        Optional pre-built CSR snapshot of ``adjacency`` (the construction
+        builds one per node and shares it with the ranking pass).
 
     Returns
     -------
@@ -53,31 +58,40 @@ def node_distance_arrays(
         shortcut computation (Algorithm 3) reuses.
     """
     ordered_cut = ranking.ordered
-    vertices = adjacency.keys()
     if not ordered_cut:
-        return {v: [] for v in vertices}, {}
+        return {v: [] for v in adjacency.keys()}, {}
 
-    searches: List[PrunedDistances] = []
-    for i, cut_vertex in enumerate(ordered_cut):
-        lower_ranked = ordered_cut[:i]
-        searches.append(dist_and_prune(adjacency, cut_vertex, lower_ranked))
+    # One CSR snapshot shared by all |cut| searches of this node.
+    if flat is None:
+        flat = FlatWorkingGraph(adjacency)
+    cut_dense = flat.dense_ids(ordered_cut)
+    dists: List[List[float]] = []
+    prunes: List[List[bool]] = []
+    for i, cut_id in enumerate(cut_dense):
+        d, p = dist_and_prune_dense(flat, cut_id, cut_dense[:i])
+        dists.append(d)
+        prunes.append(p)
 
+    vertices = flat.vertices
     cut_distances: Dict[int, Mapping[int, float]] = {
-        ordered_cut[i]: searches[i].distance for i in range(len(ordered_cut))
+        ordered_cut[i]: {
+            vertices[j]: d for j, d in enumerate(dists[i]) if d != INF
+        }
+        for i in range(len(ordered_cut))
     }
 
+    num_searches = len(cut_dense)
     arrays: Dict[int, List[float]] = {}
-    for v in vertices:
+    for j, v in enumerate(vertices):
         if tail_pruning:
             keep = 0
-            for i, search in enumerate(searches):
-                _, pruneable = search.get(v)
-                if not pruneable:
+            for i in range(num_searches):
+                if not prunes[i][j]:
                     keep = i
             length = keep + 1
         else:
-            length = len(ordered_cut)
-        arrays[v] = [searches[i].distance.get(v, INF) for i in range(length)]
+            length = num_searches
+        arrays[v] = [dists[i][j] for i in range(length)]
     return arrays, cut_distances
 
 

@@ -1,0 +1,291 @@
+"""Versioned on-disk format for :class:`~repro.core.index.HC2LIndex`.
+
+The original reproduction pickled the whole index object, which (a)
+executes arbitrary code on load, (b) breaks whenever an internal class
+changes shape, and (c) stores the nested label lists at Python-object
+prices.  The format here is a single ``.npz`` archive (the standard numpy
+zip container) holding
+
+* a JSON header with an explicit format name + version, the construction
+  parameters, statistics and metadata, and
+* typed arrays for the graph edges, the degree-one contraction, the tree
+  hierarchy and the flat label buffers of
+  :class:`~repro.core.flat.FlatLabelling`.
+
+Loading validates the header first and raises a clear ``ValueError`` on
+anything that is not a compatible archive.  Pre-existing pickle files can
+still be read, but only when the caller explicitly opts in with
+``allow_pickle=True`` (pickle can execute arbitrary code).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Union
+
+import numpy as np
+
+from repro.core.construction import ConstructionStats
+from repro.core.flat import FlatLabelling
+from repro.graph.contraction import ContractedGraph
+from repro.graph.graph import Graph
+from repro.hierarchy.tree import BalancedTreeHierarchy, TreeNode
+from repro.utils.timer import Timer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.index import HC2LIndex
+
+FORMAT_NAME = "hc2l-index"
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# save
+# --------------------------------------------------------------------- #
+def save_index(index: "HC2LIndex", path: Union[str, Path]) -> None:
+    """Serialise ``index`` to ``path`` in the versioned ``.npz`` format."""
+    parameters = index.parameters
+    stats = index.stats
+    header = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "parameters": {
+            "beta": parameters.beta,
+            "leaf_size": parameters.leaf_size,
+            "tail_pruning": parameters.tail_pruning,
+            "contract": parameters.contract,
+            "num_workers": parameters.num_workers,
+        },
+        "construction_seconds": index.construction_seconds,
+        "extra": dict(index._extra),
+        "stats": {
+            "num_nodes": stats.num_nodes,
+            "num_leaves": stats.num_leaves,
+            "num_shortcuts": stats.num_shortcuts,
+            "num_empty_cuts": stats.num_empty_cuts,
+            "max_depth": stats.max_depth,
+            "timer": dict(stats.timer.durations),
+        },
+        "graph_num_vertices": index.graph.num_vertices,
+        "core_num_vertices": index.contraction.core.num_vertices,
+        "num_original": index.contraction.num_original,
+    }
+
+    arrays: Dict[str, np.ndarray] = {}
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    _pack_graph(arrays, "graph", index.graph)
+    _pack_contraction(arrays, index.contraction)
+    _pack_hierarchy(arrays, index.hierarchy)
+    flat = index.flat_labelling()
+    arrays["label_values"] = flat.values
+    arrays["label_level_indptr"] = flat.level_indptr
+    arrays["label_vertex_indptr"] = flat.vertex_indptr
+
+    # write through an open handle: np.savez would otherwise append ".npz"
+    # to paths with a different extension
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def _pack_graph(arrays: Dict[str, np.ndarray], prefix: str, graph: Graph) -> None:
+    edges = list(graph.edges())
+    arrays[f"{prefix}_edges_u"] = np.asarray([e[0] for e in edges], dtype=np.int64)
+    arrays[f"{prefix}_edges_v"] = np.asarray([e[1] for e in edges], dtype=np.int64)
+    arrays[f"{prefix}_edges_w"] = np.asarray([e[2] for e in edges], dtype=np.float64)
+
+
+def _pack_contraction(arrays: Dict[str, np.ndarray], contraction: ContractedGraph) -> None:
+    _pack_graph(arrays, "core", contraction.core)
+    arrays["con_core_to_original"] = np.asarray(contraction.core_to_original, dtype=np.int64)
+    arrays["con_original_to_core"] = np.asarray(contraction.original_to_core, dtype=np.int64)
+    arrays["con_root"] = np.asarray(contraction.root, dtype=np.int64)
+    arrays["con_parent"] = np.asarray(contraction.parent, dtype=np.int64)
+    arrays["con_depth"] = np.asarray(contraction.depth, dtype=np.int64)
+    arrays["con_dist_to_parent"] = np.asarray(contraction.dist_to_parent, dtype=np.float64)
+    arrays["con_dist_to_root"] = np.asarray(contraction.dist_to_root, dtype=np.float64)
+
+
+def _pack_hierarchy(arrays: Dict[str, np.ndarray], hierarchy: BalancedTreeHierarchy) -> None:
+    nodes = hierarchy.nodes
+    none = -1
+    arrays["hier_node_depth"] = np.asarray([n.depth for n in nodes], dtype=np.int64)
+    arrays["hier_node_parent"] = np.asarray(
+        [none if n.parent is None else n.parent for n in nodes], dtype=np.int64
+    )
+    arrays["hier_node_left"] = np.asarray(
+        [none if n.left is None else n.left for n in nodes], dtype=np.int64
+    )
+    arrays["hier_node_right"] = np.asarray(
+        [none if n.right is None else n.right for n in nodes], dtype=np.int64
+    )
+    arrays["hier_node_subtree"] = np.asarray([n.subtree_size for n in nodes], dtype=np.int64)
+    arrays["hier_node_is_leaf"] = np.asarray([n.is_leaf for n in nodes], dtype=np.int8)
+
+    cut_indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+    cut_values: List[int] = []
+    for i, node in enumerate(nodes):
+        cut_values.extend(node.cut)
+        cut_indptr[i + 1] = len(cut_values)
+    arrays["hier_cut_values"] = np.asarray(cut_values, dtype=np.int64)
+    arrays["hier_cut_indptr"] = cut_indptr
+
+    # path bitstrings are arbitrary-precision ints (one bit per tree level);
+    # store them big-endian byte-packed so any height round-trips losslessly
+    bits_indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+    bits_bytes = bytearray()
+    for i, node in enumerate(nodes):
+        encoded = node.bits.to_bytes((node.bits.bit_length() + 7) // 8, "big")
+        bits_bytes.extend(encoded)
+        bits_indptr[i + 1] = len(bits_bytes)
+    arrays["hier_node_bits"] = np.frombuffer(bytes(bits_bytes), dtype=np.uint8).copy()
+    arrays["hier_node_bits_indptr"] = bits_indptr
+
+    arrays["hier_vertex_node"] = np.asarray(hierarchy.vertex_node, dtype=np.int64)
+
+
+# --------------------------------------------------------------------- #
+# load
+# --------------------------------------------------------------------- #
+def load_index(path: Union[str, Path], allow_pickle: bool = False) -> "HC2LIndex":
+    """Load an index saved by :func:`save_index`.
+
+    Raises a descriptive ``ValueError`` when the file is not a (compatible)
+    HC2L archive.  With ``allow_pickle=True`` a file that is not an ``.npz``
+    archive is additionally tried as a legacy pickle.
+    """
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as error:
+        if allow_pickle:
+            return _load_legacy_pickle(path)
+        raise ValueError(
+            f"{path} is not an HC2L .npz index archive ({error}); "
+            f"pass allow_pickle=True to read legacy pickle files"
+        ) from error
+
+    with archive:
+        if "header" not in archive.files:
+            raise ValueError(f"{path} is an .npz archive but has no HC2L header")
+        header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+        if header.get("format") != FORMAT_NAME:
+            raise ValueError(
+                f"{path} has format {header.get('format')!r}, expected {FORMAT_NAME!r}"
+            )
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path} has format version {header.get('version')!r}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        return _unpack_index(archive, header)
+
+
+def _load_legacy_pickle(path: Union[str, Path]) -> "HC2LIndex":
+    from repro.core.index import HC2LIndex
+
+    with open(path, "rb") as handle:
+        index = pickle.load(handle)
+    if not isinstance(index, HC2LIndex):
+        raise TypeError(f"{path} does not contain an HC2LIndex")
+    return index
+
+
+def _unpack_graph(archive, prefix: str, num_vertices: int) -> Graph:
+    graph = Graph(num_vertices)
+    us = archive[f"{prefix}_edges_u"].tolist()
+    vs = archive[f"{prefix}_edges_v"].tolist()
+    ws = archive[f"{prefix}_edges_w"].tolist()
+    for u, v, w in zip(us, vs, ws):
+        graph.add_edge(u, v, w)
+    return graph
+
+
+def _unpack_index(archive, header: dict) -> "HC2LIndex":
+    from repro.core.index import HC2LIndex, HC2LParameters
+
+    graph = _unpack_graph(archive, "graph", int(header["graph_num_vertices"]))
+    core = _unpack_graph(archive, "core", int(header["core_num_vertices"]))
+    contraction = ContractedGraph(
+        core=core,
+        core_to_original=archive["con_core_to_original"].tolist(),
+        original_to_core=archive["con_original_to_core"].tolist(),
+        root=archive["con_root"].tolist(),
+        parent=archive["con_parent"].tolist(),
+        dist_to_parent=archive["con_dist_to_parent"].tolist(),
+        dist_to_root=archive["con_dist_to_root"].tolist(),
+        depth=archive["con_depth"].tolist(),
+        num_original=int(header["num_original"]),
+    )
+
+    hierarchy = _unpack_hierarchy(archive, core.num_vertices)
+
+    flat = FlatLabelling(
+        num_vertices=core.num_vertices,
+        values=archive["label_values"],
+        level_indptr=archive["label_level_indptr"],
+        vertex_indptr=archive["label_vertex_indptr"],
+    )
+
+    stats_header = header["stats"]
+    stats = ConstructionStats(
+        timer=Timer(durations=dict(stats_header["timer"])),
+        num_nodes=int(stats_header["num_nodes"]),
+        num_leaves=int(stats_header["num_leaves"]),
+        num_shortcuts=int(stats_header["num_shortcuts"]),
+        num_empty_cuts=int(stats_header["num_empty_cuts"]),
+        max_depth=int(stats_header["max_depth"]),
+    )
+
+    index = HC2LIndex(
+        graph=graph,
+        parameters=HC2LParameters(**header["parameters"]),
+        contraction=contraction,
+        hierarchy=hierarchy,
+        labelling=flat.to_labelling(),
+        stats=stats,
+        construction_seconds=float(header["construction_seconds"]),
+        _extra={k: float(v) for k, v in header["extra"].items()},
+    )
+    index._flat = flat
+    return index
+
+
+def _unpack_hierarchy(archive, num_vertices: int) -> BalancedTreeHierarchy:
+    hierarchy = BalancedTreeHierarchy(num_vertices)
+    depths = archive["hier_node_depth"].tolist()
+    parents = archive["hier_node_parent"].tolist()
+    lefts = archive["hier_node_left"].tolist()
+    rights = archive["hier_node_right"].tolist()
+    subtrees = archive["hier_node_subtree"].tolist()
+    is_leafs = archive["hier_node_is_leaf"].tolist()
+    cut_values = archive["hier_cut_values"].tolist()
+    cut_indptr = archive["hier_cut_indptr"].tolist()
+    bits_bytes = archive["hier_node_bits"].tobytes()
+    bits_indptr = archive["hier_node_bits_indptr"].tolist()
+
+    for i in range(len(depths)):
+        bits = int.from_bytes(bits_bytes[bits_indptr[i] : bits_indptr[i + 1]], "big")
+        hierarchy.nodes.append(
+            TreeNode(
+                index=i,
+                depth=depths[i],
+                bits=bits,
+                cut=cut_values[cut_indptr[i] : cut_indptr[i + 1]],
+                parent=None if parents[i] < 0 else parents[i],
+                left=None if lefts[i] < 0 else lefts[i],
+                right=None if rights[i] < 0 else rights[i],
+                subtree_size=subtrees[i],
+                is_leaf=bool(is_leafs[i]),
+            )
+        )
+
+    hierarchy.vertex_node = archive["hier_vertex_node"].tolist()
+    for v, node_index in enumerate(hierarchy.vertex_node):
+        if node_index >= 0:
+            node = hierarchy.nodes[node_index]
+            hierarchy.vertex_depth[v] = node.depth
+            hierarchy.vertex_bits[v] = node.bits
+    return hierarchy

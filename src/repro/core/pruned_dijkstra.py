@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
+from repro.core.flat import FlatWorkingGraph
 from repro.partition.working_graph import WorkingAdjacency
 
 INF = float("inf")
@@ -94,3 +95,54 @@ def dist_and_prune(
             )
             counter += 1
     return PrunedDistances(root=root, distance=distance, through_prune_set=through)
+
+
+def dist_and_prune_dense(
+    flat: FlatWorkingGraph,
+    root: int,
+    prune_ids: Sequence[int],
+) -> Tuple[List[float], List[bool]]:
+    """Algorithm 4 over a :class:`FlatWorkingGraph` (dense local ids).
+
+    Behaviourally identical to :func:`dist_and_prune` but iterates the CSR
+    arrays of a pre-flattened working subgraph, so the ranking and
+    labelling passes - which run one search per cut vertex over the *same*
+    subgraph - avoid re-hashing original vertex ids on every relaxation.
+
+    Parameters are dense ids (``flat.dense_id`` order); returns full dense
+    ``(distance, pruneable)`` arrays with ``inf`` / ``False`` for
+    unreached vertices.
+    """
+    n = len(flat.vertices)
+    indptr, indices, weights = flat.indptr, flat.indices, flat.weights
+    in_prune = bytearray(n)
+    for p in prune_ids:
+        in_prune[p] = 1
+    in_prune[root] = 0
+
+    dist: List[float] = [INF] * n
+    through: List[bool] = [False] * n
+    settled = bytearray(n)
+    # Same heap entry shape as dist_and_prune: among equal distances the
+    # flagged (pruneable) entry pops first, making the settled flag mean
+    # "some shortest path passes through the prune set".
+    heap: List[Tuple[float, int, int, int]] = [(0.0, 1, 0, root)]
+    counter = 1
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        d, not_pruneable, _, v = pop(heap)
+        if settled[v]:
+            continue
+        settled[v] = 1
+        pruneable = not_pruneable == 0
+        dist[v] = d
+        through[v] = pruneable
+        child_not_pruneable = 0 if (in_prune[v] or pruneable) else 1
+        for i in range(indptr[v], indptr[v + 1]):
+            neighbour = indices[i]
+            if settled[neighbour]:
+                continue
+            push(heap, (d + weights[i], child_not_pruneable, counter, neighbour))
+            counter += 1
+    return dist, through

@@ -39,12 +39,17 @@ def core_distance(
     s: int,
     t: int,
 ) -> float:
-    """Exact distance between two *core* vertices using Equation 7."""
+    """Exact distance between two *core* vertices using Equation 7.
+
+    Works against either label backend (nested :class:`HC2LLabelling` or
+    :class:`repro.core.flat.FlatLabelling`); the batch-capable fast path
+    lives in :class:`repro.core.engine.QueryEngine`.
+    """
     if s == t:
         return 0.0
     depth = hierarchy.lca_depth(s, t)
     value, _ = min_plus_prefix(
-        labelling.labels[s][depth], labelling.labels[t][depth]
+        labelling.level_array(s, depth), labelling.level_array(t, depth)
     )
     return value
 
@@ -62,7 +67,9 @@ def core_distance_with_stats(
     if s == t:
         return 0.0, 0
     depth = hierarchy.lca_depth(s, t)
-    return min_plus_prefix(labelling.labels[s][depth], labelling.labels[t][depth])
+    return min_plus_prefix(
+        labelling.level_array(s, depth), labelling.level_array(t, depth)
+    )
 
 
 def hub_vertices_for_query(

@@ -10,9 +10,10 @@ drop suffixes of distance arrays without storing vertex identifiers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.core.pruned_dijkstra import PrunedDistances, dist_and_prune
+from repro.core.flat import FlatWorkingGraph
+from repro.core.pruned_dijkstra import dist_and_prune_dense
 from repro.partition.working_graph import WorkingAdjacency
 
 
@@ -29,7 +30,11 @@ class CutRanking:
     coverage: Dict[int, int]
 
 
-def rank_cut_vertices(adjacency: WorkingAdjacency, cut: Sequence[int]) -> CutRanking:
+def rank_cut_vertices(
+    adjacency: WorkingAdjacency,
+    cut: Sequence[int],
+    flat: Optional[FlatWorkingGraph] = None,
+) -> CutRanking:
     """Rank the cut vertices of a node by their coverage count (Equation 6).
 
     For each cut vertex ``v`` we run one pruneability-tracking Dijkstra
@@ -37,14 +42,20 @@ def rank_cut_vertices(adjacency: WorkingAdjacency, cut: Sequence[int]) -> CutRan
     ``P#(v)`` is the number of vertices whose shortest path from ``v``
     passes through another cut vertex.  Ties break on the vertex id so
     construction is deterministic.
+
+    ``flat`` may pass in a pre-built CSR snapshot of ``adjacency`` (the
+    construction shares one snapshot between ranking and labelling).
     """
     cut_list = list(cut)
     if len(cut_list) <= 1:
         return CutRanking(ordered=cut_list, coverage={v: 0 for v in cut_list})
-    cut_set = set(cut_list)
+    if flat is None:
+        flat = FlatWorkingGraph(adjacency)
+    cut_dense = flat.dense_ids(cut_list)
     coverage: Dict[int, int] = {}
-    for v in cut_list:
-        search: PrunedDistances = dist_and_prune(adjacency, v, cut_set - {v})
-        coverage[v] = sum(1 for flagged in search.through_prune_set.values() if flagged)
+    for v, v_dense in zip(cut_list, cut_dense):
+        prune_ids = [c for c in cut_dense if c != v_dense]
+        _, through = dist_and_prune_dense(flat, v_dense, prune_ids)
+        coverage[v] = sum(through)
     ordered = sorted(cut_list, key=lambda v: (coverage[v], v))
     return CutRanking(ordered=ordered, coverage=coverage)

@@ -74,12 +74,17 @@ def run_cell(
 
     construction = getattr(index, "construction_seconds", None) or build_seconds
     query_seconds, average_hubs = measure_queries(index, query_pairs)
+    batch_seconds = measure_batch_queries(index, query_pairs)
 
     lca_bytes: Optional[int] = None
     if method.has_lca_storage and hasattr(index, "lca_storage_bytes"):
         lca_bytes = int(index.lca_storage_bytes())
 
     extra: Dict[str, float] = {}
+    if batch_seconds is not None:
+        extra["batch_query_microseconds"] = batch_seconds * 1e6
+        if batch_seconds > 0.0:
+            extra["batch_speedup"] = query_seconds / batch_seconds
     if hasattr(index, "tree_height"):
         extra["tree_height"] = float(index.tree_height())
     if hasattr(index, "max_cut_size"):
@@ -108,6 +113,9 @@ def measure_queries(index: object, query_pairs: Sequence[QueryPair]) -> Tuple[fl
     if not query_pairs:
         return 0.0, 0.0
     distance = index.distance  # type: ignore[attr-defined]
+    # warm lazily built query state (e.g. HC2L's flat-label engine) outside
+    # the timed region so one-off conversion cost is not billed as latency
+    distance(*query_pairs[0])
     start = time.perf_counter()
     for s, t in query_pairs:
         distance(s, t)
@@ -121,6 +129,27 @@ def measure_queries(index: object, query_pairs: Sequence[QueryPair]) -> Tuple[fl
             total_hubs += hub_counter(s, t)[1]
     average_hubs = total_hubs / len(hub_samples) if hub_samples else 0.0
     return elapsed / len(query_pairs), average_hubs
+
+
+def measure_batch_queries(
+    index: object, query_pairs: Sequence[QueryPair]
+) -> Optional[float]:
+    """Mean per-query latency (seconds) of the batch API; ``None`` if unsupported.
+
+    Measures :meth:`QueryEngine.distances`-style evaluation of the whole
+    workload in one call - the serving-path number the flat label storage
+    exists for.
+    """
+    if not query_pairs:
+        return None
+    batched = getattr(index, "distances", None)
+    if batched is None:
+        return None
+    batched(query_pairs[:1])  # warm lazy state outside the timed region
+    start = time.perf_counter()
+    batched(query_pairs)
+    elapsed = time.perf_counter() - start
+    return elapsed / len(query_pairs)
 
 
 def query_time_per_set(index: object, query_sets: List[List[QueryPair]]) -> List[float]:

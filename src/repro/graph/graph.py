@@ -16,9 +16,73 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.utils.validation import check_non_negative_weight, check_vertex
 
 Edge = Tuple[int, int, float]
+
+
+class CSRAdjacency:
+    """Compressed-sparse-row view of a graph's adjacency.
+
+    ``indptr``/``indices``/``weights`` are contiguous typed arrays: the
+    neighbours of vertex ``v`` occupy ``indices[indptr[v]:indptr[v + 1]]``
+    with matching ``weights``.  The numpy arrays feed vectorised code (the
+    batch query engine, scipy interop); :meth:`as_lists` exposes the same
+    data as plain Python lists, which the interpreted Dijkstra loops
+    iterate faster than either numpy scalars or dict items.
+
+    The view is a snapshot - :class:`Graph` invalidates its cached instance
+    on mutation.
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "_lists")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self._lists: Optional[Tuple[List[int], List[int], List[float]]] = None
+
+    @classmethod
+    def from_adjacency(cls, adj: Sequence[Dict[int, float]]) -> "CSRAdjacency":
+        """Build from a list of neighbour dicts (the Graph internal form)."""
+        indptr: List[int] = [0]
+        indices: List[int] = []
+        weights: List[float] = []
+        for nbrs in adj:
+            indices.extend(nbrs.keys())
+            weights.extend(nbrs.values())
+            indptr.append(len(indices))
+        view = cls(
+            np.asarray(indptr, dtype=np.int64),
+            np.asarray(indices, dtype=np.int64),
+            np.asarray(weights, dtype=np.float64),
+        )
+        # the build already produced the list triple - seed the as_lists
+        # cache so the interpreted Dijkstra loops skip a numpy round-trip
+        view._lists = (indptr, indices, weights)
+        return view
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices covered by the view."""
+        return len(self.indptr) - 1
+
+    def degree(self, v: int) -> int:
+        """Number of neighbours of ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def as_lists(self) -> Tuple[List[int], List[int], List[float]]:
+        """The ``(indptr, indices, weights)`` triple as plain Python lists."""
+        if self._lists is None:
+            self._lists = (
+                self.indptr.tolist(),
+                self.indices.tolist(),
+                self.weights.tolist(),
+            )
+        return self._lists
 
 
 class Graph:
@@ -37,13 +101,14 @@ class Graph:
       (partitioning, contraction) operate on copies or on membership masks.
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_csr")
 
     def __init__(self, num_vertices: int) -> None:
         if num_vertices < 0:
             raise ValueError(f"num_vertices must be non-negative, got {num_vertices}")
         self._adj: List[Dict[int, float]] = [dict() for _ in range(num_vertices)]
         self._num_edges = 0
+        self._csr: Optional[CSRAdjacency] = None
 
     # ------------------------------------------------------------------ #
     # basic properties
@@ -107,6 +172,15 @@ class Graph:
         """
         return self._num_edges * 2 * 12 + self.num_vertices * 8
 
+    def csr(self) -> CSRAdjacency:
+        """The CSR view of the adjacency (cached until the next mutation)."""
+        # getattr: graphs restored from legacy pickles predate the _csr slot
+        csr = getattr(self, "_csr", None)
+        if csr is None:
+            csr = CSRAdjacency.from_adjacency(self._adj)
+            self._csr = csr
+        return csr
+
     # ------------------------------------------------------------------ #
     # mutation
     # ------------------------------------------------------------------ #
@@ -123,13 +197,16 @@ class Graph:
             self._num_edges += 1
             self._adj[u][v] = weight
             self._adj[v][u] = weight
+            self._csr = None
         elif weight < existing:
             self._adj[u][v] = weight
             self._adj[v][u] = weight
+            self._csr = None
 
     def add_vertex(self) -> int:
         """Append a fresh isolated vertex and return its id."""
         self._adj.append(dict())
+        self._csr = None
         return len(self._adj) - 1
 
     # ------------------------------------------------------------------ #

@@ -47,22 +47,26 @@ def dijkstra(
     dist[source] = 0.0
     allowed_set = None if allowed is None else set(allowed)
     remaining = None if targets is None else set(targets)
+    indptr, indices, weights = graph.csr().as_lists()
     heap: List[Tuple[float, int]] = [(0.0, source)]
+    push = heapq.heappush
+    pop = heapq.heappop
     while heap:
-        d, v = heapq.heappop(heap)
+        d, v = pop(heap)
         if d > dist[v]:
             continue
         if remaining is not None:
             remaining.discard(v)
             if not remaining:
                 break
-        for w, weight in graph.neighbors(v):
+        for i in range(indptr[v], indptr[v + 1]):
+            w = indices[i]
             if allowed_set is not None and w not in allowed_set:
                 continue
-            nd = d + weight
+            nd = d + weights[i]
             if nd < dist[w]:
                 dist[w] = nd
-                heapq.heappush(heap, (nd, w))
+                push(heap, (nd, w))
     return dist
 
 
@@ -78,13 +82,15 @@ def dijkstra_predecessors(graph: Graph, source: int) -> Tuple[List[float], List[
     parent = [-1] * n
     dist[source] = 0.0
     parent[source] = source
+    indptr, indices, weights = graph.csr().as_lists()
     heap: List[Tuple[float, int]] = [(0.0, source)]
     while heap:
         d, v = heapq.heappop(heap)
         if d > dist[v]:
             continue
-        for w, weight in graph.neighbors(v):
-            nd = d + weight
+        for i in range(indptr[v], indptr[v + 1]):
+            w = indices[i]
+            nd = d + weights[i]
             if nd < dist[w]:
                 dist[w] = nd
                 parent[w] = v
@@ -99,6 +105,7 @@ def dijkstra_to_target(graph: Graph, source: int, target: int) -> float:
     n = graph.num_vertices
     dist = [INF] * n
     dist[source] = 0.0
+    indptr, indices, weights = graph.csr().as_lists()
     heap: List[Tuple[float, int]] = [(0.0, source)]
     while heap:
         d, v = heapq.heappop(heap)
@@ -106,8 +113,9 @@ def dijkstra_to_target(graph: Graph, source: int, target: int) -> float:
             return d
         if d > dist[v]:
             continue
-        for w, weight in graph.neighbors(v):
-            nd = d + weight
+        for i in range(indptr[v], indptr[v + 1]):
+            w = indices[i]
+            nd = d + weights[i]
             if nd < dist[w]:
                 dist[w] = nd
                 heapq.heappush(heap, (nd, w))
@@ -127,6 +135,7 @@ def bidirectional_dijkstra(graph: Graph, source: int, target: int) -> float:
     dist_b = [INF] * n
     dist_f[source] = 0.0
     dist_b[target] = 0.0
+    indptr, indices, weights = graph.csr().as_lists()
     heap_f: List[Tuple[float, int]] = [(0.0, source)]
     heap_b: List[Tuple[float, int]] = [(0.0, target)]
     settled_f = [False] * n
@@ -143,8 +152,9 @@ def bidirectional_dijkstra(graph: Graph, source: int, target: int) -> float:
             settled_f[v] = True
             if dist_b[v] < INF:
                 best = min(best, d + dist_b[v])
-            for w, weight in graph.neighbors(v):
-                nd = d + weight
+            for i in range(indptr[v], indptr[v + 1]):
+                w = indices[i]
+                nd = d + weights[i]
                 if nd < dist_f[w]:
                     dist_f[w] = nd
                     heapq.heappush(heap_f, (nd, w))
@@ -157,8 +167,9 @@ def bidirectional_dijkstra(graph: Graph, source: int, target: int) -> float:
             settled_b[v] = True
             if dist_f[v] < INF:
                 best = min(best, d + dist_f[v])
-            for w, weight in graph.neighbors(v):
-                nd = d + weight
+            for i in range(indptr[v], indptr[v + 1]):
+                w = indices[i]
+                nd = d + weights[i]
                 if nd < dist_b[w]:
                     dist_b[w] = nd
                     heapq.heappush(heap_b, (nd, w))
@@ -173,15 +184,18 @@ def bfs_hops(graph: Graph, source: int, allowed: Optional[Iterable[int]] = None)
     hops = [-1] * n
     allowed_set = None if allowed is None else set(allowed)
     hops[source] = 0
+    indptr, indices, _ = graph.csr().as_lists()
     frontier = [source]
     while frontier:
         nxt: List[int] = []
         for v in frontier:
-            for w in graph.neighbor_ids(v):
+            level = hops[v] + 1
+            for i in range(indptr[v], indptr[v + 1]):
+                w = indices[i]
                 if allowed_set is not None and w not in allowed_set:
                     continue
                 if hops[w] == -1:
-                    hops[w] = hops[v] + 1
+                    hops[w] = level
                     nxt.append(w)
         frontier = nxt
     return hops

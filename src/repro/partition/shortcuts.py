@@ -74,22 +74,29 @@ def compute_shortcuts(
     list of Shortcut
         Shortcuts to add to the child working graph for ``partition``.
     """
-    partition_set = set(partition)
     borders = border_vertices(adjacency, partition, cut)
     if len(borders) < 2:
         return []
 
-    # Lines 3-6: within-partition distances between border vertices.
-    within: Dict[int, Dict[int, float]] = {}
-    for b in borders:
-        dist = dijkstra_adjacency(adjacency, b, allowed=partition_set)
-        within[b] = dist
+    # Lines 3-6: within-partition distances between border vertices.  The
+    # partition subgraph is flattened once (CSR, dense ids) and each border
+    # runs a dense search over it - same distances as searching the parent
+    # adjacency restricted to the partition, without per-edge membership
+    # checks or vertex-id hashing.
+    from repro.core.flat import FlatWorkingGraph
+
+    flat = FlatWorkingGraph(restrict_adjacency(adjacency, partition))
+    border_dense = flat.dense_ids(borders)
+    within: Dict[int, List[float]] = {
+        b: flat.dijkstra(b_dense) for b, b_dense in zip(borders, border_dense)
+    }
+    dense_of = dict(zip(borders, border_dense))
 
     # Lines 7-8: true distances, allowing travel through the cut.
     true_distance: Dict[Tuple[int, int], float] = {}
     for i, b1 in enumerate(borders):
         for b2 in borders[i + 1 :]:
-            d_in_partition = within[b1].get(b2, INF)
+            d_in_partition = within[b1][dense_of[b2]]
             d_via_cut = INF
             for c in cut:
                 dist_c = cut_distances[c]
@@ -108,7 +115,7 @@ def compute_shortcuts(
     for (b1, b2), d_true in true_distance.items():
         if d_true == INF:
             continue
-        d_in_partition = within[b1].get(b2, INF)
+        d_in_partition = within[b1][dense_of[b2]]
         if d_true >= d_in_partition:
             continue  # condition (1): the partition already realises it
         tolerance = _REL_EPS * max(1.0, d_true)

@@ -4,18 +4,19 @@ Most tests validate exact distances against a Dijkstra oracle on small
 synthetic road networks; the fixtures below provide a consistent set of
 graphs (path, grid, road-like, disconnected) so individual test modules
 stay focused on behaviour rather than setup.
+
+Plain (non-fixture) helpers live in :mod:`helpers`; test modules import
+them explicitly with ``from helpers import ...``.
 """
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
+from helpers import ExactOracle, assert_distance_equal, random_query_pairs  # noqa: F401
 from repro.graph.builders import graph_from_edges, grid_graph, path_graph
 from repro.graph.generators import RoadNetworkSpec, synthetic_road_network
 from repro.graph.graph import Graph
-from repro.graph.search import dijkstra
 
 INF = float("inf")
 
@@ -98,19 +99,6 @@ def line_graph() -> Graph:
 # --------------------------------------------------------------------- #
 # oracles and helpers
 # --------------------------------------------------------------------- #
-class ExactOracle:
-    """Caches full Dijkstra distance arrays for exact comparisons."""
-
-    def __init__(self, graph: Graph):
-        self.graph = graph
-        self._cache: dict[int, list[float]] = {}
-
-    def distance(self, s: int, t: int) -> float:
-        if s not in self._cache:
-            self._cache[s] = dijkstra(self.graph, s)
-        return self._cache[s][t]
-
-
 @pytest.fixture(scope="session")
 def small_oracle(small_graph) -> ExactOracle:
     """Exact distances on the small road network."""
@@ -121,23 +109,6 @@ def small_oracle(small_graph) -> ExactOracle:
 def medium_oracle(medium_graph) -> ExactOracle:
     """Exact distances on the medium road network."""
     return ExactOracle(medium_graph)
-
-
-def assert_distance_equal(expected: float, actual: float, rel: float = 1e-6) -> None:
-    """Distances match up to floating-point path-recombination noise."""
-    if expected == INF or actual == INF:
-        assert expected == actual, f"expected {expected}, got {actual}"
-        return
-    assert abs(expected - actual) <= rel * max(1.0, abs(expected)), (
-        f"expected {expected}, got {actual}"
-    )
-
-
-def random_query_pairs(graph: Graph, count: int, seed: int = 0) -> list[tuple[int, int]]:
-    """Deterministic random query pairs (self-pairs allowed)."""
-    rng = random.Random(seed)
-    n = graph.num_vertices
-    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
 
 
 @pytest.fixture

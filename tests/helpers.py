@@ -1,0 +1,48 @@
+"""Shared helper functions for the test suite.
+
+These used to live in ``tests/conftest.py`` and were imported with
+``from conftest import ...``, which breaks as soon as pytest collects more
+than one directory containing a ``conftest.py`` (the ``benchmarks/``
+conftest shadows this one on ``sys.path``).  Plain helpers therefore live
+in this explicitly importable module; only fixtures stay in the conftest.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.graph.graph import Graph
+from repro.graph.search import dijkstra
+
+INF = float("inf")
+
+
+class ExactOracle:
+    """Caches full Dijkstra distance arrays for exact comparisons."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self._cache: dict[int, list[float]] = {}
+
+    def distance(self, s: int, t: int) -> float:
+        if s not in self._cache:
+            self._cache[s] = dijkstra(self.graph, s)
+        return self._cache[s][t]
+
+
+def assert_distance_equal(expected: float, actual: float, rel: float = 1e-6) -> None:
+    """Distances match up to floating-point path-recombination noise."""
+    if expected == INF or actual == INF:
+        assert expected == actual, f"expected {expected}, got {actual}"
+        return
+    assert abs(expected - actual) <= rel * max(1.0, abs(expected)), (
+        f"expected {expected}, got {actual}"
+    )
+
+
+def random_query_pairs(graph: Graph, count: int, seed: int = 0) -> List[Tuple[int, int]]:
+    """Deterministic random query pairs (self-pairs allowed)."""
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]

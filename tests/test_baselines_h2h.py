@@ -12,7 +12,7 @@ from repro.baselines.lca import EulerTourLCA
 from repro.baselines.tree_decomposition import tree_decomposition
 from repro.graph.builders import path_graph
 
-from conftest import assert_distance_equal, random_query_pairs
+from helpers import assert_distance_equal, random_query_pairs
 
 
 class TestTreeDecomposition:

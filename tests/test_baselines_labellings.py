@@ -10,7 +10,7 @@ from repro.baselines.hub_labelling import HubLabelling
 from repro.baselines.phl import PrunedHighwayLabelling, highway_decomposition
 from repro.baselines.pll import PrunedLandmarkLabelling, degree_order
 
-from conftest import assert_distance_equal, random_query_pairs
+from helpers import assert_distance_equal, random_query_pairs
 
 
 class TestPLL:

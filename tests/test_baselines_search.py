@@ -10,7 +10,7 @@ import pytest
 from repro.baselines.ch import ContractionHierarchy
 from repro.baselines.dijkstra import BidirectionalDijkstra, DijkstraOracle, exact_distance
 
-from conftest import assert_distance_equal, random_query_pairs
+from helpers import assert_distance_equal, random_query_pairs
 
 
 class TestDijkstraOracle:

@@ -13,7 +13,7 @@ from repro.core.query import hub_vertices_for_query, min_plus_prefix
 from repro.graph.builders import graph_from_edges, grid_graph, path_graph, star_graph
 from repro.graph.graph import Graph
 
-from conftest import assert_distance_equal, random_query_pairs
+from helpers import assert_distance_equal, random_query_pairs
 
 INF = float("inf")
 
@@ -206,8 +206,12 @@ class TestMetricsAndPersistence:
         path = tmp_path / "junk.pickle"
         with open(path, "wb") as handle:
             pickle.dump({"not": "an index"}, handle)
-        with pytest.raises(TypeError):
+        # not an .npz archive: refused outright unless pickle is opted into
+        with pytest.raises(ValueError):
             HC2LIndex.load(path)
+        # with the explicit opt-in the pickle is read but fails the type check
+        with pytest.raises(TypeError):
+            HC2LIndex.load(path, allow_pickle=True)
 
     def test_construction_stats_populated(self, small_graph):
         index = HC2LIndex.build(small_graph)

@@ -12,7 +12,7 @@ from repro.core.index import HC2LIndex
 from repro.core.parallel import ParallelHC2LBuilder
 from repro.graph.search import dijkstra
 
-from conftest import assert_distance_equal, random_query_pairs
+from helpers import assert_distance_equal, random_query_pairs
 
 
 class TestParallelBuilder:

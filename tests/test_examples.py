@@ -1,0 +1,52 @@
+"""Smoke tests: the examples run end-to-end on tiny generated graphs."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import ``examples/<name>.py`` as a throwaway module."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+@pytest.fixture()
+def tiny_datasets(monkeypatch):
+    """Shrink the synthetic dataset registry for the duration of a test."""
+    from repro.experiments.datasets import clear_dataset_cache
+
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.2")
+    clear_dataset_cache()
+    yield
+    clear_dataset_cache()
+
+
+def test_quickstart_runs(capsys):
+    quickstart = load_example("quickstart")
+    quickstart.main(num_vertices=120, num_queries=400)
+    output = capsys.readouterr().out
+    assert "Batch throughput" in output
+    assert "one_to_many" in output
+
+
+def test_compare_methods_runs(tiny_datasets, capsys):
+    compare_methods = load_example("compare_methods")
+    compare_methods.main("NY", num_pairs=40, methods=["HC2L", "BiDijkstra"])
+    output = capsys.readouterr().out
+    assert "Fastest query method" in output
+    assert "Fastest batch method: HC2L" in output

@@ -9,7 +9,7 @@ import pytest
 from repro.experiments.methods import METHOD_BUILDERS
 from repro.graph.search import dijkstra
 
-from conftest import random_query_pairs
+from helpers import random_query_pairs
 
 
 @pytest.mark.parametrize("method_name", sorted(METHOD_BUILDERS))

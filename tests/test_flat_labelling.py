@@ -1,0 +1,158 @@
+"""FlatLabelling: lossless round-trips and equivalence with the nested form."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.flat import FlatLabelling, FlatWorkingGraph
+from repro.core.index import HC2LIndex
+from repro.core.labelling import HC2LLabelling
+from repro.core.query import core_distance
+from repro.graph.builders import graph_from_edges
+
+from helpers import random_query_pairs
+
+
+def random_nested_labelling(seed: int, num_vertices: int = 12) -> HC2LLabelling:
+    """A random nested labelling with uneven level counts and array lengths."""
+    rng = random.Random(seed)
+    labelling = HC2LLabelling(num_vertices)
+    for v in range(num_vertices):
+        for _ in range(rng.randrange(0, 4)):
+            array = [rng.uniform(0.0, 100.0) for _ in range(rng.randrange(0, 5))]
+            labelling.append_level(v, array)
+    return labelling
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_nested_flat_nested_is_lossless(self, seed):
+        nested = random_nested_labelling(seed)
+        flat = FlatLabelling.from_labelling(nested)
+        back = flat.to_labelling()
+        assert back.labels == nested.labels
+        assert back.num_vertices == nested.num_vertices
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_flat_nested_flat_is_identity(self, seed):
+        flat = FlatLabelling.from_labelling(random_nested_labelling(seed))
+        again = FlatLabelling.from_labelling(flat.to_labelling())
+        assert again == flat
+
+    def test_empty_labelling(self):
+        flat = FlatLabelling.from_labelling(HC2LLabelling(0))
+        assert flat.total_entries() == 0
+        assert flat.to_labelling().labels == []
+
+    def test_vertices_without_levels(self):
+        nested = HC2LLabelling(3)
+        nested.append_level(1, [1.0, 2.0])
+        flat = FlatLabelling.from_labelling(nested)
+        assert flat.num_levels(0) == 0
+        assert flat.num_levels(1) == 1
+        assert flat.level_array(1, 0) == [1.0, 2.0]
+        assert flat.to_labelling().labels == nested.labels
+
+
+class TestMetricsParity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_size_metrics_match_nested(self, seed):
+        nested = random_nested_labelling(seed)
+        flat = FlatLabelling.from_labelling(nested)
+        assert flat.total_entries() == nested.total_entries()
+        assert flat.size_bytes() == nested.size_bytes()
+        assert flat.average_label_entries() == nested.average_label_entries()
+        assert flat.max_label_entries() == nested.max_label_entries()
+        for v in range(nested.num_vertices):
+            assert flat.entries_of(v) == nested.entries_of(v)
+            assert flat.num_levels(v) == nested.num_levels(v)
+
+    def test_built_index_metrics_match(self, small_graph):
+        index = HC2LIndex.build(small_graph)
+        flat = index.flat_labelling()
+        assert flat.total_entries() == index.labelling.total_entries()
+        assert flat.size_bytes() == index.labelling.size_bytes()
+
+
+class TestQueryEquivalence:
+    def test_core_distance_same_on_either_backend(self, small_graph, query_pairs_small):
+        """core_distance answers identically from nested and flat labels."""
+        index = HC2LIndex.build(small_graph, contract=False)
+        flat = index.flat_labelling()
+        for s, t in query_pairs_small:
+            nested_value = core_distance(index.hierarchy, index.labelling, s, t)
+            flat_value = core_distance(index.hierarchy, flat, s, t)
+            assert nested_value == flat_value
+
+    def test_level_views_match_nested_arrays(self, small_graph):
+        index = HC2LIndex.build(small_graph)
+        flat = index.flat_labelling()
+        labelling = index.labelling
+        for v in range(labelling.num_vertices):
+            for depth in range(labelling.num_levels(v)):
+                assert flat.level_array(v, depth) == labelling.level_array(v, depth)
+                assert np.array_equal(
+                    flat.level_view(v, depth), np.asarray(labelling.level_array(v, depth))
+                )
+
+    def test_level_view_out_of_range(self, small_graph):
+        index = HC2LIndex.build(small_graph)
+        flat = index.flat_labelling()
+        with pytest.raises(IndexError):
+            flat.level_view(0, flat.num_levels(0))
+
+
+class TestFlatWorkingGraph:
+    def test_csr_matches_adjacency(self):
+        graph = graph_from_edges([(0, 1, 2.0), (1, 2, 3.0), (0, 2, 10.0)])
+        adjacency = graph.adjacency_dict()
+        flat = FlatWorkingGraph(adjacency)
+        assert flat.vertices == [0, 1, 2]
+        for v in adjacency:
+            dense = flat.dense_id[v]
+            neighbours = {
+                flat.vertices[flat.indices[i]]: flat.weights[i]
+                for i in range(flat.indptr[dense], flat.indptr[dense + 1])
+            }
+            assert neighbours == adjacency[v]
+
+    def test_dense_ids_preserve_order(self):
+        adjacency = {7: {3: 1.0}, 3: {7: 1.0}, 9: {}}
+        flat = FlatWorkingGraph(adjacency)
+        assert flat.vertices == [3, 7, 9]
+        assert flat.dense_ids([9, 3]) == [2, 0]
+
+
+class TestConstructorValidation:
+    def test_mismatched_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            FlatLabelling(
+                3,
+                values=np.zeros(0),
+                level_indptr=np.zeros(1, dtype=np.int64),
+                vertex_indptr=np.zeros(2, dtype=np.int64),
+            )
+
+
+def test_random_graph_equivalence_property():
+    """Random graphs: flat vs nested labels agree on every random query."""
+    rng = random.Random(1234)
+    for trial in range(4):
+        n = rng.randrange(10, 40)
+        edges = []
+        for v in range(1, n):
+            u = rng.randrange(v)
+            edges.append((u, v, rng.uniform(1.0, 5.0)))
+        for _ in range(n // 2):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.append((u, v, rng.uniform(1.0, 5.0)))
+        graph = graph_from_edges(edges, num_vertices=n)
+        index = HC2LIndex.build(graph, leaf_size=4)
+        flat = index.flat_labelling()
+        assert flat.to_labelling().labels == index.labelling.labels
+        for s, t in random_query_pairs(graph, 30, seed=trial):
+            assert index.distance(s, t) == index.engine.distance(s, t)

@@ -21,7 +21,7 @@ from repro.baselines.phl import PrunedHighwayLabelling
 from repro.baselines.pll import PrunedLandmarkLabelling
 from repro.core.index import HC2LIndex
 
-from conftest import assert_distance_equal, random_query_pairs
+from helpers import assert_distance_equal, random_query_pairs
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,149 @@
+"""The versioned .npz index format: round-trips, validation, legacy pickle."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.index import HC2LIndex
+from repro.core.persistence import FORMAT_NAME, FORMAT_VERSION, load_index, save_index
+
+from helpers import random_query_pairs
+
+
+@pytest.fixture(scope="module")
+def built_index(request):
+    graph = request.getfixturevalue("small_graph")
+    return HC2LIndex.build(graph)
+
+
+class TestRoundTrip:
+    def test_distances_identical(self, small_graph, built_index, tmp_path):
+        path = tmp_path / "index.npz"
+        built_index.save(path)
+        loaded = HC2LIndex.load(path)
+        for s, t in random_query_pairs(small_graph, 60, seed=3):
+            assert loaded.distance(s, t) == built_index.distance(s, t)
+
+    def test_batch_distances_identical(self, small_graph, built_index, tmp_path):
+        path = tmp_path / "index.npz"
+        built_index.save(path)
+        loaded = HC2LIndex.load(path)
+        pairs = random_query_pairs(small_graph, 200, seed=4)
+        assert loaded.distances(pairs).tolist() == built_index.distances(pairs).tolist()
+
+    def test_flat_labelling_identical(self, built_index, tmp_path):
+        path = tmp_path / "index.npz"
+        built_index.save(path)
+        loaded = HC2LIndex.load(path)
+        assert loaded.flat_labelling() == built_index.flat_labelling()
+        assert loaded.labelling.labels == built_index.labelling.labels
+
+    def test_metadata_round_trips(self, built_index, tmp_path):
+        path = tmp_path / "index.npz"
+        built_index.save(path)
+        loaded = HC2LIndex.load(path)
+        assert loaded.parameters == built_index.parameters
+        assert loaded.describe() == built_index.describe()
+        assert loaded.graph.num_vertices == built_index.graph.num_vertices
+        assert loaded.graph.num_edges == built_index.graph.num_edges
+        assert loaded.hierarchy.height() == built_index.hierarchy.height()
+        assert [n.bits for n in loaded.hierarchy.nodes] == [
+            n.bits for n in built_index.hierarchy.nodes
+        ]
+
+    def test_save_load_functions_match_methods(self, built_index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(built_index, path)
+        loaded = load_index(path)
+        assert loaded.flat_labelling() == built_index.flat_labelling()
+
+    def test_uncontracted_index(self, small_graph, tmp_path):
+        index = HC2LIndex.build(small_graph, contract=False)
+        path = tmp_path / "plain.npz"
+        index.save(path)
+        loaded = HC2LIndex.load(path)
+        for s, t in random_query_pairs(small_graph, 40, seed=8):
+            assert loaded.distance(s, t) == index.distance(s, t)
+
+    def test_tiny_graphs(self, tmp_path):
+        from repro.graph.graph import Graph
+
+        for n in (0, 1):
+            index = HC2LIndex.build(Graph(n))
+            path = tmp_path / f"tiny{n}.npz"
+            index.save(path)
+            loaded = HC2LIndex.load(path)
+            assert loaded.graph.num_vertices == n
+
+
+class TestValidation:
+    def test_random_bytes_rejected(self, tmp_path):
+        path = tmp_path / "noise.bin"
+        path.write_bytes(b"definitely not an index")
+        with pytest.raises(ValueError, match="npz"):
+            HC2LIndex.load(path)
+
+    def test_npz_without_header_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        with open(path, "wb") as handle:
+            np.savez(handle, something=np.zeros(3))
+        with pytest.raises(ValueError, match="header"):
+            HC2LIndex.load(path)
+
+    def test_wrong_format_name_rejected(self, tmp_path):
+        path = tmp_path / "wrong.npz"
+        header = json.dumps({"format": "other-index", "version": 1}).encode()
+        with open(path, "wb") as handle:
+            np.savez(handle, header=np.frombuffer(header, dtype=np.uint8))
+        with pytest.raises(ValueError, match="format"):
+            HC2LIndex.load(path)
+
+    def test_future_version_rejected(self, built_index, tmp_path):
+        path = tmp_path / "future.npz"
+        header = json.dumps({"format": FORMAT_NAME, "version": FORMAT_VERSION + 1}).encode()
+        with open(path, "wb") as handle:
+            np.savez(handle, header=np.frombuffer(header, dtype=np.uint8))
+        with pytest.raises(ValueError, match="version"):
+            HC2LIndex.load(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            HC2LIndex.load(tmp_path / "does-not-exist.npz")
+
+
+class TestLegacyPickle:
+    def test_legacy_pickle_behind_flag(self, small_graph, built_index, tmp_path):
+        import pickle
+
+        path = tmp_path / "legacy.pickle"
+        with open(path, "wb") as handle:
+            pickle.dump(built_index, handle)
+        # refused by default ...
+        with pytest.raises(ValueError):
+            HC2LIndex.load(path)
+        # ... accepted with the explicit opt-in
+        loaded = HC2LIndex.load(path, allow_pickle=True)
+        for s, t in random_query_pairs(small_graph, 25, seed=5):
+            assert loaded.distance(s, t) == built_index.distance(s, t)
+
+    def test_pickled_non_index_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.pickle"
+        with open(path, "wb") as handle:
+            pickle.dump([1, 2, 3], handle)
+        with pytest.raises(TypeError):
+            HC2LIndex.load(path, allow_pickle=True)
+
+    def test_graph_without_csr_slot_still_searchable(self):
+        """Graphs from pre-CSR pickles lack the _csr slot; csr() must cope."""
+        from repro.graph.graph import Graph
+        from repro.graph.search import dijkstra
+
+        legacy = object.__new__(Graph)
+        legacy._adj = [{1: 2.0}, {0: 2.0}]
+        legacy._num_edges = 1
+        assert dijkstra(legacy, 0)[1] == 2.0
