@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
-"""Query throughput benchmark: single-pair loop vs the batch engine.
+"""Query throughput benchmark across every DistanceOracle plus serving paths.
 
-Builds an HC2L index on a generated road-like graph, times the same random
-query workload through (a) the per-pair ``HC2LIndex.distance`` loop and
-(b) the vectorised ``HC2LIndex.distances`` batch path, verifies the
-results are identical, and writes the numbers to ``BENCH_query.json`` so
-future PRs can track the performance trajectory.
+Builds each selected oracle (HC2L and the baselines) on one generated
+road-like graph and times the same random query workload through
+
+* the per-pair scalar ``distance`` loop,
+* the batch ``distances`` protocol call (vectorised where the method's
+  structure allows - ``supports_batch`` is recorded per row), and
+* for HC2L additionally the serving layer: an LRU :class:`CachingOracle`
+  on a Zipf-skewed workload (with hit-rate) and a
+  :class:`CoalescingServer` fed by concurrent scalar requests.
+
+Scalar/batch results are verified identical before anything is written.
+The per-oracle rows land in ``BENCH_query.json`` (uploaded by CI) so the
+performance trajectory is tracked across PRs.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_query_throughput.py \
-        [--vertices 3000] [--queries 10000] [--output BENCH_query.json]
+        [--vertices 3000] [--queries 10000] [--oracles HC2L,H2H,...] \
+        [--output BENCH_query.json]
 """
 
 from __future__ import annotations
@@ -19,52 +28,173 @@ import argparse
 import json
 import random
 import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
+from typing import Dict, List, Tuple
 
 from repro import HC2LIndex, RoadNetworkSpec, synthetic_road_network
+from repro.baselines import (
+    BidirectionalDijkstra,
+    ContractionHierarchy,
+    DijkstraOracle,
+    H2HIndex,
+    HubLabelling,
+    PrunedHighwayLabelling,
+    PrunedLandmarkLabelling,
+)
+from repro.experiments.workloads import skewed_pairs
+from repro.serving import CachingOracle, CoalescingServer
+
+ORACLE_BUILDERS = {
+    "HC2L": lambda graph: HC2LIndex.build(graph),
+    "H2H": lambda graph: H2HIndex.build(graph),
+    "PHL": lambda graph: PrunedHighwayLabelling.build(graph),
+    "HL": lambda graph: HubLabelling.build(graph),
+    "PLL": lambda graph: PrunedLandmarkLabelling.build(graph),
+    "CH": lambda graph: ContractionHierarchy.build(graph),
+    "BiDijkstra": lambda graph: BidirectionalDijkstra.build(graph),
+    "Dijkstra": lambda graph: DijkstraOracle.build(graph),
+}
+
+#: default sweep; the slow search-based scalar loops run a reduced workload
+DEFAULT_ORACLES = list(ORACLE_BUILDERS)
+REDUCED_WORKLOAD = {"BiDijkstra", "CH", "Dijkstra"}
 
 
-def run_benchmark(num_vertices: int, num_queries: int, seed: int = 2024) -> dict:
-    """Build, query both ways and return the result record."""
+def bench_oracle(
+    name: str,
+    oracle,
+    pairs: List[Tuple[int, int]],
+    build_seconds: float,
+) -> Dict[str, object]:
+    """Time the scalar loop and the batch call; verify they agree."""
+    oracle.distances(pairs[:1])  # warm lazy state outside the timed regions
+
+    single_start = time.perf_counter()
+    single = [oracle.distance(s, t) for s, t in pairs]
+    single_seconds = time.perf_counter() - single_start
+
+    batch_start = time.perf_counter()
+    batch = oracle.distances(pairs)
+    batch_seconds = time.perf_counter() - batch_start
+
+    if single != batch.tolist():
+        raise AssertionError(f"{name}: batch results diverged from the scalar path")
+
+    return {
+        "oracle": name,
+        "num_queries": len(pairs),
+        "build_seconds": round(build_seconds, 4),
+        "supports_batch": bool(oracle.supports_batch),
+        "index_size_bytes": int(oracle.index_size_bytes),
+        "single_queries_per_second": round(len(pairs) / single_seconds, 1),
+        "batch_queries_per_second": round(len(pairs) / batch_seconds, 1),
+        "single_microseconds_per_query": round(single_seconds / len(pairs) * 1e6, 3),
+        "batch_microseconds_per_query": round(batch_seconds / len(pairs) * 1e6, 3),
+        "batch_speedup": round(single_seconds / batch_seconds, 2),
+    }
+
+
+def bench_serving_paths(index: HC2LIndex, graph, num_queries: int, seed: int) -> List[Dict[str, object]]:
+    """Rows for the cached and coalesced serving paths over HC2L."""
+    rows: List[Dict[str, object]] = []
+
+    skewed = skewed_pairs(graph, num_queries, seed=seed, exponent=1.2)
+    cached = CachingOracle(index)
+    baseline = index.distances(skewed)
+    cache_start = time.perf_counter()
+    cached_result = cached.distances(skewed)
+    cache_seconds = time.perf_counter() - cache_start
+    if cached_result.tolist() != baseline.tolist():
+        raise AssertionError("cached results diverged from the engine")
+    rows.append(
+        {
+            "oracle": "HC2L+cache",
+            "num_queries": len(skewed),
+            "workload": "skewed(zipf=1.2)",
+            "batch_queries_per_second": round(len(skewed) / cache_seconds, 1),
+            "batch_microseconds_per_query": round(cache_seconds / len(skewed) * 1e6, 3),
+            **cached.stats.as_dict(),
+        }
+    )
+
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    coalesce_pairs = [
+        (rng.randrange(n), rng.randrange(n)) for _ in range(min(num_queries, 2000))
+    ]
+    server = CoalescingServer(index, window_seconds=0.0005)
+    expected = [index.distance(s, t) for s, t in coalesce_pairs]
+    coalesce_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        got = list(pool.map(lambda p: server.distance(*p), coalesce_pairs))
+    coalesce_seconds = time.perf_counter() - coalesce_start
+    if got != expected:
+        raise AssertionError("coalesced results diverged from the scalar path")
+    stats = server.stats()
+    rows.append(
+        {
+            "oracle": "HC2L+coalesce",
+            "num_queries": len(coalesce_pairs),
+            "workload": "concurrent scalar (8 threads)",
+            "queries_per_second": round(len(coalesce_pairs) / coalesce_seconds, 1),
+            "microseconds_per_query": round(
+                coalesce_seconds / len(coalesce_pairs) * 1e6, 3
+            ),
+            "batches": stats["batches"],
+            "mean_batch_size": round(stats["mean_batch_size"], 2),
+            "largest_batch": stats["largest_batch"],
+        }
+    )
+    return rows
+
+
+def run_benchmark(
+    num_vertices: int, num_queries: int, seed: int = 2024, oracles: List[str] | None = None
+) -> dict:
+    """Build every selected oracle, sweep the workload, return the record."""
+    selected = oracles or DEFAULT_ORACLES
+    unknown = [name for name in selected if name not in ORACLE_BUILDERS]
+    if unknown:
+        raise SystemExit(f"unknown oracles {unknown}; available: {list(ORACLE_BUILDERS)}")
+
     network = synthetic_road_network(
         RoadNetworkSpec("bench-query", num_vertices=num_vertices, seed=seed)
     )
     graph = network.distance_graph
 
-    build_start = time.perf_counter()
-    index = HC2LIndex.build(graph)
-    build_seconds = time.perf_counter() - build_start
-
     rng = random.Random(seed)
     n = graph.num_vertices
     pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(num_queries)]
 
-    # build the lazy flat-label engine outside both timed regions
-    index.distances(pairs[:1])
+    rows: List[Dict[str, object]] = []
+    hc2l_index = None
+    for name in selected:
+        build_start = time.perf_counter()
+        oracle = ORACLE_BUILDERS[name](graph)
+        build_seconds = time.perf_counter() - build_start
+        workload = pairs[: max(200, num_queries // 10)] if name in REDUCED_WORKLOAD else pairs
+        print(f"  {name}: built in {build_seconds:.2f}s, timing {len(workload)} queries ...")
+        rows.append(bench_oracle(name, oracle, workload, build_seconds))
+        if name == "HC2L":
+            hc2l_index = oracle
 
-    single_start = time.perf_counter()
-    single = [index.distance(s, t) for s, t in pairs]
-    single_seconds = time.perf_counter() - single_start
+    if hc2l_index is not None:
+        rows.extend(bench_serving_paths(hc2l_index, graph, num_queries, seed))
 
-    batch_start = time.perf_counter()
-    batch = index.distances(pairs)
-    batch_seconds = time.perf_counter() - batch_start
-
-    if single != batch.tolist():
-        raise AssertionError("batch results diverged from the single-pair path")
-
+    hc2l_row = next((row for row in rows if row["oracle"] == "HC2L"), {})
     return {
         "benchmark": "query_throughput",
         "num_vertices": graph.num_vertices,
         "num_edges": graph.num_edges,
         "num_queries": num_queries,
-        "build_seconds": round(build_seconds, 4),
-        "single_queries_per_second": round(num_queries / single_seconds, 1),
-        "batch_queries_per_second": round(num_queries / batch_seconds, 1),
-        "single_microseconds_per_query": round(single_seconds / num_queries * 1e6, 3),
-        "batch_microseconds_per_query": round(batch_seconds / num_queries * 1e6, 3),
-        "batch_speedup": round(single_seconds / batch_seconds, 2),
-        "label_size_bytes": index.label_size_bytes(),
+        # headline HC2L numbers kept top-level for cross-PR continuity
+        "build_seconds": hc2l_row.get("build_seconds"),
+        "single_queries_per_second": hc2l_row.get("single_queries_per_second"),
+        "batch_queries_per_second": hc2l_row.get("batch_queries_per_second"),
+        "batch_speedup": hc2l_row.get("batch_speedup"),
+        "label_size_bytes": hc2l_row.get("index_size_bytes"),
+        "rows": rows,
     }
 
 
@@ -74,13 +204,19 @@ def main() -> None:
     parser.add_argument("--queries", type=int, default=10_000)
     parser.add_argument("--seed", type=int, default=2024)
     parser.add_argument(
+        "--oracles",
+        default=",".join(DEFAULT_ORACLES),
+        help=f"comma separated subset of {list(ORACLE_BUILDERS)}",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_query.json",
     )
     args = parser.parse_args()
 
-    record = run_benchmark(args.vertices, args.queries, args.seed)
+    names = [name.strip() for name in args.oracles.split(",") if name.strip()]
+    record = run_benchmark(args.vertices, args.queries, args.seed, names)
     args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
 
     print(json.dumps(record, indent=2))

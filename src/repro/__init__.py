@@ -28,6 +28,7 @@ from repro.core.index import HC2LIndex, HC2LParameters
 from repro.core.construction import HC2LBuilder
 from repro.core.engine import QueryEngine
 from repro.core.flat import FlatLabelling
+from repro.core.oracle import BatchMixin, DistanceOracle
 from repro.core.parallel import ParallelHC2LBuilder
 from repro.graph.graph import Graph
 from repro.graph.generators import (
@@ -48,6 +49,8 @@ __all__ = [
     "ParallelHC2LBuilder",
     "QueryEngine",
     "FlatLabelling",
+    "DistanceOracle",
+    "BatchMixin",
     "Graph",
     "RoadNetwork",
     "RoadNetworkSpec",

@@ -4,7 +4,9 @@ The paper motivates HC2L with latency-critical applications that issue
 huge batches of distance queries: ride hailing (match thousands of cars to
 customers each second), k-nearest point-of-interest recommendation and
 delivery-route planning.  This package provides those building blocks on
-top of *any* index exposing ``distance(s, t)``:
+top of any :class:`repro.core.oracle.DistanceOracle` - HC2L, every
+baseline, and the serving wrappers all qualify, and each workload is
+evaluated through the batch interface in as few calls as possible:
 
 * :class:`KNearestNeighbours` - k nearest POIs to a query vertex,
 * :func:`distance_matrix` / :func:`nearest_assignment` - many-to-many

@@ -1,38 +1,34 @@
 """Adapters that feed application workloads through the batch query API.
 
-The applications accept *any* distance index (HC2L, a baseline oracle, a
-mock in the tests).  Indexes that expose the batch interface of
-:class:`repro.core.engine.QueryEngine` (``distances`` / ``one_to_many``)
-get their whole workload evaluated in one vectorised call; everything else
-falls back to a per-pair loop with identical results.
+The applications accept *any* :class:`repro.core.oracle.DistanceOracle`
+(HC2L, a baseline oracle, a serving wrapper).  Since every method now
+implements the batch-first protocol there is no capability probing left:
+the whole workload goes through one ``distances`` / ``one_to_many`` call,
+and oracles whose structure cannot vectorise run the same loop they would
+have run per pair - with identical results either way.
+
+These helpers return plain Python lists, which is what the application
+code (heaps, sorting, greedy loops) consumes.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from repro.applications.knn import DistanceIndex
+from repro.core.oracle import DistanceOracle
 
 
-def batch_distances(index: DistanceIndex, pairs: Sequence[Tuple[int, int]]) -> List[float]:
-    """Distances for ``(s, t)`` pairs, batched when the index supports it."""
+def batch_distances(index: DistanceOracle, pairs: Sequence[Tuple[int, int]]) -> List[float]:
+    """Distances for ``(s, t)`` pairs as a list, via one batch call."""
     if len(pairs) == 0:  # len, not truthiness: numpy arrays are ambiguous
         return []
-    batched = getattr(index, "distances", None)
-    if batched is not None:
-        result = batched(pairs)
-        return result.tolist() if hasattr(result, "tolist") else list(result)
-    return [index.distance(s, t) for s, t in pairs]
+    return index.distances(pairs).tolist()
 
 
 def one_to_many_distances(
-    index: DistanceIndex, source: int, targets: Sequence[int]
+    index: DistanceOracle, source: int, targets: Sequence[int]
 ) -> List[float]:
-    """Distances from ``source`` to each target, batched when supported."""
+    """Distances from ``source`` to each target as a list, via one batch call."""
     if len(targets) == 0:  # len, not truthiness: numpy arrays are ambiguous
         return []
-    batched = getattr(index, "one_to_many", None)
-    if batched is not None:
-        result = batched(source, targets)
-        return result.tolist() if hasattr(result, "tolist") else list(result)
-    return [index.distance(source, t) for t in targets]
+    return index.one_to_many(source, targets).tolist()

@@ -11,14 +11,13 @@ the paper optimises.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, List, Protocol, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
+from repro.core.oracle import DistanceOracle
 
-class DistanceIndex(Protocol):
-    """Anything that can answer exact distance queries."""
-
-    def distance(self, s: int, t: int) -> float:  # pragma: no cover - protocol
-        ...
+#: Backwards-compatible alias - the applications used to declare their own
+#: minimal scalar protocol; everything now speaks the batch-first one.
+DistanceIndex = DistanceOracle
 
 
 class KNearestNeighbours:
@@ -32,7 +31,7 @@ class KNearestNeighbours:
         The candidate vertices (taxis, restaurants, charging stations, ...).
     """
 
-    def __init__(self, index: DistanceIndex, pois: Iterable[int]) -> None:
+    def __init__(self, index: DistanceOracle, pois: Iterable[int]) -> None:
         self.index = index
         self.pois: List[int] = list(dict.fromkeys(pois))
         if not self.pois:

@@ -12,36 +12,27 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.applications.knn import DistanceIndex
+from repro.core.oracle import DistanceOracle
 
 INF = float("inf")
 
 
 def distance_matrix(
-    index: DistanceIndex, sources: Sequence[int], targets: Sequence[int]
+    index: DistanceOracle, sources: Sequence[int], targets: Sequence[int]
 ) -> np.ndarray:
     """The ``len(sources) x len(targets)`` matrix of exact distances.
 
-    Indexes exposing ``many_to_many`` evaluate the whole cross product in
-    one vectorised call; otherwise each row goes through the batching
-    helpers (``one_to_many`` when available, a per-pair loop when not),
-    with identical results either way.
+    One ``many_to_many`` protocol call: vectorised for the batch-capable
+    oracles, the equivalent loop for the rest - identical results either
+    way.
     """
     if not len(sources) or not len(targets):
         return np.empty((len(sources), len(targets)), dtype=float)
-    many = getattr(index, "many_to_many", None)
-    if many is not None:
-        return np.asarray(many(sources, targets), dtype=float)
-    from repro.applications.batching import one_to_many_distances
-
-    matrix = np.empty((len(sources), len(targets)), dtype=float)
-    for i, s in enumerate(sources):
-        matrix[i, :] = one_to_many_distances(index, s, targets)
-    return matrix
+    return np.asarray(index.many_to_many(sources, targets), dtype=float)
 
 
 def nearest_assignment(
-    index: DistanceIndex, cars: Sequence[int], customers: Sequence[int]
+    index: DistanceOracle, cars: Sequence[int], customers: Sequence[int]
 ) -> List[Tuple[int, int, float]]:
     """Greedy nearest-car assignment: each customer gets the closest free car.
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.applications.batching import batch_distances, one_to_many_distances
-from repro.applications.knn import DistanceIndex
+from repro.core.oracle import DistanceOracle
 
 INF = float("inf")
 
@@ -21,7 +21,7 @@ INF = float("inf")
 class RoutePlanner:
     """Heuristic multi-stop route planning over a distance index."""
 
-    def __init__(self, index: DistanceIndex) -> None:
+    def __init__(self, index: DistanceOracle) -> None:
         self.index = index
 
     # ------------------------------------------------------------------ #

@@ -1,13 +1,19 @@
 """Baseline distance-query methods the paper compares against.
 
-Every baseline exposes the same minimal interface as
+Every baseline implements the batch-first
+:class:`repro.core.oracle.DistanceOracle` protocol, exactly like
 :class:`repro.HC2LIndex`:
 
 ``build(graph, ...)``
     classmethod constructing the index, recording ``construction_seconds``.
-``distance(s, t)``
-    exact shortest-path distance (``inf`` for disconnected pairs).
-``label_size_bytes()``
+``distance(s, t)`` / ``distances(pairs)`` / ``one_to_many`` / ``many_to_many``
+    exact shortest-path distances (``inf`` for disconnected pairs); batch
+    results are bit-identical to the scalar loop.  Methods whose structure
+    admits real batching (Dijkstra source grouping, CH shared forward
+    searches, H2H numpy reductions, HC2L's vectorised engine) advertise it
+    via ``supports_batch``; the rest inherit the
+    :class:`repro.core.oracle.BatchMixin` loop.
+``label_size_bytes()`` / ``index_size_bytes``
     approximate index size, used for the Table 2/4 columns.
 ``distance_with_hub_count(s, t)``
     distance plus the number of label entries inspected, which feeds the

@@ -20,12 +20,18 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.baselines.ch import ContractionHierarchy
 from repro.baselines.pll import PrunedLandmarkLabelling, degree_order
+from repro.core.oracle import BatchMixin
 from repro.graph.graph import Graph
 
 
 @dataclass
-class HubLabelling:
-    """Hierarchical hub labelling built over a CH importance order."""
+class HubLabelling(BatchMixin):
+    """Hierarchical hub labelling built over a CH importance order.
+
+    Implements the :class:`repro.core.oracle.DistanceOracle` protocol via
+    the underlying pruned landmark labelling; batch queries use the
+    :class:`BatchMixin` per-pair loop (sorted label merges don't batch).
+    """
 
     graph: Graph
     labelling: PrunedLandmarkLabelling

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.core.oracle import BatchMixin
 from repro.graph.graph import Graph
 from repro.graph.search import dijkstra_predecessors
 from repro.utils.validation import check_vertex
@@ -80,8 +81,13 @@ def highway_decomposition(graph: Graph) -> List[List[int]]:
 
 
 @dataclass
-class PrunedHighwayLabelling:
-    """A pruned highway labelling index."""
+class PrunedHighwayLabelling(BatchMixin):
+    """A pruned highway labelling index.
+
+    Implements the :class:`repro.core.oracle.DistanceOracle` protocol; the
+    path-block merge of Equation 2 is per-pair, so batches come from the
+    :class:`BatchMixin` loop (``supports_batch`` stays ``False``).
+    """
 
     graph: Graph
     paths: List[List[int]]

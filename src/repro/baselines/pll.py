@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.oracle import BatchMixin
 from repro.graph.graph import Graph
 from repro.utils.validation import check_vertex
 
@@ -34,8 +35,13 @@ def degree_order(graph: Graph) -> List[int]:
 
 
 @dataclass
-class PrunedLandmarkLabelling:
-    """A pruned 2-hop labelling over a fixed vertex order."""
+class PrunedLandmarkLabelling(BatchMixin):
+    """A pruned 2-hop labelling over a fixed vertex order.
+
+    Implements the :class:`repro.core.oracle.DistanceOracle` protocol; the
+    batch methods come from :class:`BatchMixin` (the sorted label merge is
+    inherently per-pair, so ``supports_batch`` stays ``False``).
+    """
 
     graph: Graph
     order: List[int]

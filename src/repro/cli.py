@@ -55,13 +55,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also accept legacy pickle index files (runs arbitrary code; trusted files only)",
     )
+    query.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map the label buffers so concurrent processes share one copy",
+    )
 
     compare = subparsers.add_parser("compare", help="compare HC2L against baselines on one graph")
     _add_graph_source_arguments(compare)
     compare.add_argument(
         "--methods",
         default="HC2L,H2H,HL",
-        help="comma separated methods (HC2L, HC2L_p, H2H, PHL, HL, PLL, BiDijkstra)",
+        help=(
+            "comma separated methods "
+            "(HC2L, HC2L_p, H2H, PHL, HL, PLL, CH, BiDijkstra, Dijkstra)"
+        ),
     )
     compare.add_argument("--queries", type=int, default=1000, help="random query count (default 1000)")
 
@@ -137,7 +145,7 @@ def _parse_pairs(args: argparse.Namespace) -> List[tuple[int, int]]:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = HC2LIndex.load(args.index, allow_pickle=args.allow_pickle)
+    index = HC2LIndex.load(args.index, allow_pickle=args.allow_pickle, mmap_labels=args.mmap)
     pairs = _parse_pairs(args)
     if not pairs:
         print("no query pairs given (pass s,t arguments or --stdin)", file=sys.stderr)
@@ -163,15 +171,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     for name in methods:
         cell = run_cell(METHOD_BUILDERS[name], graph, pairs, dataset_name="cli")
-        rows.append(
-            {
-                "method": name,
-                "query_us": round(cell.query_microseconds, 3),
-                "label_size_bytes": cell.label_size_bytes,
-                "construction_s": round(cell.construction_seconds, 3),
-                "avg_hubs": round(cell.average_hubs, 1),
-            }
-        )
+        row = {
+            "method": name,
+            "query_us": round(cell.query_microseconds, 3),
+            "label_size_bytes": cell.label_size_bytes,
+            "construction_s": round(cell.construction_seconds, 3),
+            "avg_hubs": round(cell.average_hubs, 1),
+        }
+        # every method answers the batch protocol; report the batched number
+        if "batch_query_microseconds" in cell.extra:
+            row["batch_us"] = round(cell.extra["batch_query_microseconds"], 3)
+        rows.append(row)
     print(render_table(rows, title=f"comparison on {graph.num_vertices} vertices"))
     return 0
 

@@ -13,6 +13,7 @@ plus the parallel construction variant HC2L_p (Section 4.4).
 from repro.core.index import HC2LIndex, HC2LParameters
 from repro.core.labelling import HC2LLabelling
 from repro.core.construction import HC2LBuilder, ConstructionStats
+from repro.core.oracle import BatchMixin, DistanceOracle
 from repro.core.parallel import ParallelHC2LBuilder
 
 __all__ = [
@@ -22,4 +23,6 @@ __all__ = [
     "HC2LBuilder",
     "ParallelHC2LBuilder",
     "ConstructionStats",
+    "DistanceOracle",
+    "BatchMixin",
 ]

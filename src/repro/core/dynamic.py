@@ -16,7 +16,9 @@ is required.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.construction import ConstructionStats
 from repro.core.index import HC2LIndex, HC2LParameters
@@ -171,6 +173,16 @@ class DynamicHC2LIndex:
     relabelling pass (hierarchy preserved) when pending updates exist.
     This mirrors the strategy sketched in Section 5.4: construction of the
     hierarchy is weight-independent, so only distance values are refreshed.
+
+    The flush path never mutates label storage in place.  ``HC2LIndex``
+    keeps its flat buffers as the single source of truth (assigning or
+    appending to ``index.labelling`` raises), so the relabelling pass
+    builds a fresh labelling and swaps the whole index - every derived
+    structure (flat buffers, batch engine, nested view) is invalidated
+    together instead of silently desyncing.
+
+    Implements the batch-first :class:`repro.core.oracle.DistanceOracle`
+    protocol by flushing and delegating to the underlying index.
     """
 
     def __init__(self, graph: Graph, parameters: Optional[HC2LParameters] = None, **overrides: object) -> None:
@@ -210,6 +222,41 @@ class DynamicHC2LIndex:
         """Exact distance under the most recent weights (flushes lazily)."""
         self.flush()
         return self._index.distance(s, t)
+
+    def distances(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Batched exact distances under the most recent weights."""
+        self.flush()
+        return self._index.distances(pairs)
+
+    def one_to_many(self, s: int, targets: Sequence[int]) -> np.ndarray:
+        """Distances from ``s`` to every target under the most recent weights."""
+        self.flush()
+        return self._index.one_to_many(s, targets)
+
+    def many_to_many(self, sources: Sequence[int], targets: Sequence[int]) -> np.ndarray:
+        """Distance matrix under the most recent weights."""
+        self.flush()
+        return self._index.many_to_many(sources, targets)
+
+    def distance_with_hub_count(self, s: int, t: int) -> Tuple[float, int]:
+        """Distance plus hubs scanned under the most recent weights."""
+        self.flush()
+        return self._index.distance_with_hub_count(s, t)
+
+    @property
+    def construction_seconds(self) -> float:
+        """Build time of the most recent (re)labelling pass."""
+        return self._index.construction_seconds
+
+    @property
+    def supports_batch(self) -> bool:
+        """Batch queries are vectorised by the underlying engine."""
+        return True
+
+    @property
+    def index_size_bytes(self) -> int:
+        """Size of the current labelling (protocol metadata)."""
+        return self.label_size_bytes()
 
     def label_size_bytes(self) -> int:
         """Size of the current labelling."""

@@ -16,11 +16,13 @@ the scalar ones - the tests assert ``==``, not ``approx``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.flat import FlatLabelling
+from repro.core.oracle import as_pair_array, pairs_from_source
+from repro.core.oracle import as_vertex_ids as _as_vertex_ids
 from repro.graph.contraction import ContractedGraph
 from repro.hierarchy.tree import BalancedTreeHierarchy
 from repro.utils.validation import check_vertex
@@ -59,10 +61,12 @@ class QueryEngine:
         self.hierarchy = hierarchy
         self.flat = flat
 
-        # scalar-path state: plain Python lists (fastest per-pair access)
-        self._values_list: List[float] = flat.values.tolist()
-        self._level_indptr_list: List[int] = flat.level_indptr.tolist()
-        self._vertex_indptr_list: List[int] = flat.vertex_indptr.tolist()
+        # scalar-path state: plain Python lists (fastest per-pair access).
+        # Materialised lazily on the first scalar query so a batch-only
+        # serving process holds the labels exactly once (the flat buffers).
+        self._values_list: Optional[List[float]] = None
+        self._level_indptr_list: Optional[List[int]] = None
+        self._vertex_indptr_list: Optional[List[int]] = None
 
         # batch-path state: numpy views/arrays
         self._values = flat.values
@@ -105,10 +109,23 @@ class QueryEngine:
             return resolved
         return offset + self._core_distance(core_s, core_t)
 
+    def _ensure_scalar_state(self) -> None:
+        """Build the Python-list mirror the per-pair path iterates over.
+
+        ``_values_list`` is assigned *last*: concurrent scalar queries gate
+        on it, so the indptr lists must already be visible by then.
+        """
+        if self._values_list is None:
+            self._level_indptr_list = self.flat.level_indptr.tolist()
+            self._vertex_indptr_list = self.flat.vertex_indptr.tolist()
+            self._values_list = self.flat.values.tolist()
+
     def _core_distance(self, s: int, t: int) -> float:
         """Min-plus scan over the flat buffer for two core vertices."""
         if s == t:
             return 0.0
+        if self._values_list is None:
+            self._ensure_scalar_state()
         depth = self.hierarchy.lca_depth(s, t)
         level_indptr = self._level_indptr_list
         k_s = self._vertex_indptr_list[s] + depth
@@ -134,12 +151,9 @@ class QueryEngine:
         pairs get ``inf``.  Results are bit-identical to calling
         :meth:`distance` per pair.
         """
-        pair_array = np.asarray(pairs)
+        pair_array = as_pair_array(pairs)
         if pair_array.size == 0:
             return np.empty(0, dtype=np.float64)
-        if pair_array.ndim != 2 or pair_array.shape[1] != 2:
-            raise ValueError(f"pairs must be a sequence of (s, t) tuples, got shape {pair_array.shape}")
-        pair_array = _as_vertex_ids(pair_array, "pairs")
         s = np.ascontiguousarray(pair_array[:, 0])
         t = np.ascontiguousarray(pair_array[:, 1])
         n = self.contraction.num_original
@@ -174,11 +188,7 @@ class QueryEngine:
         if isinstance(s, np.integer):
             s = int(s)  # numpy ints are fine; floats still fail check_vertex
         check_vertex(s, self.contraction.num_original, "s")
-        target_array = _as_vertex_ids(np.asarray(targets), "targets")
-        pairs = np.empty((len(target_array), 2), dtype=np.int64)
-        pairs[:, 0] = s
-        pairs[:, 1] = target_array
-        return self.distances(pairs)
+        return self.distances(pairs_from_source(s, targets))
 
     def many_to_many(self, sources: Sequence[int], targets: Sequence[int]) -> np.ndarray:
         """The ``len(sources) x len(targets)`` distance matrix (batched)."""
@@ -243,15 +253,6 @@ class QueryEngine:
         diff = bits_u ^ bits_v
         # bit_length(0) == 0, so the diff == 0 case needs no special branch
         return common - _bit_length(diff)
-
-
-def _as_vertex_ids(array: np.ndarray, name: str) -> np.ndarray:
-    """Require an integer-typed array; casting floats would silently truncate."""
-    if array.size and array.dtype.kind not in "iu":
-        raise ValueError(
-            f"{name} must contain integer vertex ids, got dtype {array.dtype}"
-        )
-    return array.astype(np.int64, copy=False)
 
 
 def _bit_length(x: np.ndarray) -> np.ndarray:

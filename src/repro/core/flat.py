@@ -32,6 +32,19 @@ from repro.partition.working_graph import WorkingAdjacency
 INF = float("inf")
 
 
+def _as_contiguous(array, dtype) -> np.ndarray:
+    """A C-contiguous array of ``dtype``, preserving conforming inputs.
+
+    Unlike ``np.ascontiguousarray`` this keeps ndarray subclasses - in
+    particular the read-only ``np.memmap`` buffers of an mmap-loaded index
+    (see :mod:`repro.serving.mmap`) - instead of silently reboxing them.
+    """
+    result = np.asanyarray(array)
+    if result.dtype != dtype or not result.flags.c_contiguous:
+        result = np.ascontiguousarray(result, dtype=dtype)
+    return result
+
+
 class FlatLabelling:
     """HC2L labels packed into one contiguous distance buffer.
 
@@ -69,9 +82,9 @@ class FlatLabelling:
                 f"got {len(vertex_indptr)} for {num_vertices} vertices"
             )
         self.num_vertices = num_vertices
-        self.values = np.ascontiguousarray(values, dtype=np.float64)
-        self.level_indptr = np.ascontiguousarray(level_indptr, dtype=np.int64)
-        self.vertex_indptr = np.ascontiguousarray(vertex_indptr, dtype=np.int64)
+        self.values = _as_contiguous(values, np.float64)
+        self.level_indptr = _as_contiguous(level_indptr, np.int64)
+        self.vertex_indptr = _as_contiguous(vertex_indptr, np.int64)
 
     # ------------------------------------------------------------------ #
     # conversions

@@ -9,11 +9,24 @@ network, then answer exact shortest-path distance queries in microseconds
   graph (Sections 4.1-4.2, built by :class:`repro.core.construction.HC2LBuilder`
   or its parallel variant), and
 * the O(1)-LCA query procedure (Section 4.3).
+
+Label storage
+-------------
+The **primary** label store is the flat, contiguous
+:class:`~repro.core.flat.FlatLabelling` buffer (one ``float64`` array plus
+two index arrays) - the layout the batch :class:`~repro.core.engine.QueryEngine`
+vectorises over and the payload of the on-disk format.  The nested
+list-of-lists :class:`~repro.core.labelling.HC2LLabelling` that the
+construction passes produce is converted to flat buffers on creation and
+**not retained**; :attr:`HC2LIndex.labelling` materialises a read-oriented
+nested view on demand (cached, invalidated by :meth:`replace_labelling`).
+A serving deployment that only issues batch queries therefore holds the
+labels exactly once.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
 
@@ -82,21 +95,59 @@ def _identity_contraction(graph: Graph) -> ContractedGraph:
     )
 
 
-@dataclass
-class HC2LIndex:
-    """A built hierarchical cut 2-hop labelling index."""
+class _LabellingView(HC2LLabelling):
+    """Read-oriented nested view materialised from the flat buffers.
 
-    graph: Graph
-    parameters: HC2LParameters
-    contraction: ContractedGraph
-    hierarchy: BalancedTreeHierarchy
-    labelling: HC2LLabelling
-    stats: ConstructionStats
-    construction_seconds: float = 0.0
-    _extra: Dict[str, float] = field(default_factory=dict)
-    #: lazily created flat storage + batch query engine (see flat_labelling/engine)
-    _flat: Optional[FlatLabelling] = field(default=None, repr=False, compare=False)
-    _engine: Optional[QueryEngine] = field(default=None, repr=False, compare=False)
+    The view is a snapshot: writing to it cannot reach the flat buffers
+    the queries run over, so the mutating entry point raises instead of
+    silently desyncing.  Use :meth:`HC2LIndex.replace_labelling` to swap
+    in changed labels.
+    """
+
+    def append_level(self, vertex: int, array: Sequence[float]) -> None:
+        raise RuntimeError(
+            "HC2LIndex.labelling is a materialised view of the flat label "
+            "buffers; mutating it would silently desync the query engine. "
+            "Build a new HC2LLabelling and call index.replace_labelling(...) "
+            "instead."
+        )
+
+
+class HC2LIndex:
+    """A built hierarchical cut 2-hop labelling index.
+
+    Implements the batch-first :class:`repro.core.oracle.DistanceOracle`
+    protocol; every query delegates to the vectorised
+    :class:`~repro.core.engine.QueryEngine` over the flat label buffers.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        parameters: HC2LParameters,
+        contraction: ContractedGraph,
+        hierarchy: BalancedTreeHierarchy,
+        labelling: Optional[HC2LLabelling] = None,
+        stats: Optional[ConstructionStats] = None,
+        construction_seconds: float = 0.0,
+        flat: Optional[FlatLabelling] = None,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if flat is None:
+            if labelling is None:
+                raise ValueError("provide the labels as 'labelling' (nested) or 'flat'")
+            flat = FlatLabelling.from_labelling(labelling)
+        self.graph = graph
+        self.parameters = parameters
+        self.contraction = contraction
+        self.hierarchy = hierarchy
+        self.stats = stats if stats is not None else ConstructionStats()
+        self.construction_seconds = construction_seconds
+        self._extra: Dict[str, float] = dict(extra) if extra else {}
+        #: the single authoritative copy of the labels (flat buffers)
+        self._flat: FlatLabelling = flat
+        self._engine: Optional[QueryEngine] = None
+        self._labelling_view: Optional[HC2LLabelling] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -155,28 +206,84 @@ class HC2LIndex:
         )
 
     # ------------------------------------------------------------------ #
-    # flat storage / batch engine
+    # label storage
     # ------------------------------------------------------------------ #
     def flat_labelling(self) -> FlatLabelling:
-        """The labels as one contiguous buffer (cached; lossless conversion)."""
-        flat = getattr(self, "_flat", None)
-        if flat is None:
-            flat = FlatLabelling.from_labelling(self.labelling)
-            self._flat = flat
-        return flat
+        """The authoritative flat label buffers (the only persistent copy)."""
+        return self._flat
+
+    @property
+    def labelling(self) -> HC2LLabelling:
+        """Nested list view of the labels, materialised on demand.
+
+        The view is cached until :meth:`replace_labelling` swaps the
+        labels; it is *derived* state - the flat buffers stay the single
+        source of truth the query engine reads.  Mutating the view raises
+        (see :class:`_LabellingView`).
+        """
+        view = self._labelling_view
+        if view is None:
+            nested = self._flat.to_labelling()
+            view = _LabellingView(num_vertices=nested.num_vertices, labels=nested.labels)
+            self._labelling_view = view
+        return view
+
+    @labelling.setter
+    def labelling(self, value: object) -> None:
+        raise AttributeError(
+            "HC2LIndex.labelling cannot be assigned directly; call "
+            "index.replace_labelling(new_labelling) so the flat buffers and "
+            "query engine are refreshed together."
+        )
+
+    def replace_labelling(self, labelling: Union[HC2LLabelling, FlatLabelling]) -> None:
+        """Swap in new labels and invalidate every derived query structure.
+
+        This is the supported mutation path for dynamic updates
+        (:mod:`repro.core.dynamic`): the flat buffers are rebuilt, and the
+        cached batch engine and nested view are dropped so no caller can
+        observe stale distances.
+        """
+        if isinstance(labelling, FlatLabelling):
+            flat = labelling
+        elif isinstance(labelling, HC2LLabelling):
+            flat = FlatLabelling.from_labelling(labelling)
+        else:
+            raise TypeError(
+                f"expected HC2LLabelling or FlatLabelling, got {type(labelling).__name__}"
+            )
+        expected = self.contraction.core.num_vertices
+        if flat.num_vertices != expected:
+            raise ValueError(
+                f"labelling covers {flat.num_vertices} vertices but the core "
+                f"graph has {expected}"
+            )
+        self._flat = flat
+        self._engine = None
+        self._labelling_view = None
 
     @property
     def engine(self) -> QueryEngine:
         """The batch query engine over the flat label storage (cached)."""
-        engine = getattr(self, "_engine", None)
+        engine = self._engine
         if engine is None:
             engine = QueryEngine.from_index(self)
             self._engine = engine
         return engine
 
     # ------------------------------------------------------------------ #
-    # queries
+    # queries (DistanceOracle protocol)
     # ------------------------------------------------------------------ #
+    @property
+    def supports_batch(self) -> bool:
+        """HC2L's batch path is fully vectorised."""
+        return True
+
+    @property
+    def index_size_bytes(self) -> int:
+        """Label storage plus contracted-vertex records (protocol metadata)."""
+        return self.label_size_bytes()
+
     def distance(self, s: int, t: int) -> float:
         """Exact shortest-path distance between ``s`` and ``t`` (original ids).
 
@@ -212,7 +319,7 @@ class HC2LIndex:
         resolved, core_s, core_t, offset = self.contraction.resolve_query(s, t)
         if resolved is not None:
             return resolved, 0
-        value, hubs = core_distance_with_stats(self.hierarchy, self.labelling, core_s, core_t)
+        value, hubs = core_distance_with_stats(self.hierarchy, self._flat, core_s, core_t)
         return offset + value, hubs
 
     # ------------------------------------------------------------------ #
@@ -221,7 +328,7 @@ class HC2LIndex:
     def label_size_bytes(self) -> int:
         """Size of the distance labelling, including contracted-vertex records."""
         contracted_overhead = self.contraction.num_contracted * 16
-        return self.labelling.size_bytes() + contracted_overhead
+        return self._flat.size_bytes() + contracted_overhead
 
     def lca_storage_bytes(self) -> int:
         """Size of the auxiliary structure needed for O(1) LCA queries."""
@@ -241,7 +348,7 @@ class HC2LIndex:
 
     def average_label_entries(self) -> float:
         """Average number of stored distances per core vertex."""
-        return self.labelling.average_label_entries()
+        return self._flat.average_label_entries()
 
     def contraction_ratio(self) -> float:
         """Fraction of vertices removed by the degree-one contraction."""
@@ -266,6 +373,12 @@ class HC2LIndex:
         summary.update(self._extra)
         return summary
 
+    def __repr__(self) -> str:
+        return (
+            f"HC2LIndex(num_vertices={self.graph.num_vertices}, "
+            f"label_entries={self._flat.total_entries()})"
+        )
+
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
@@ -280,14 +393,22 @@ class HC2LIndex:
         save_index(self, path)
 
     @classmethod
-    def load(cls, path: Union[str, Path], allow_pickle: bool = False) -> "HC2LIndex":
+    def load(
+        cls,
+        path: Union[str, Path],
+        allow_pickle: bool = False,
+        mmap_labels: bool = False,
+    ) -> "HC2LIndex":
         """Load an index previously written by :meth:`save`.
 
         Raises ``ValueError`` for files that are not compatible HC2L
         archives.  ``allow_pickle=True`` additionally accepts legacy pickle
         files (pickle can execute arbitrary code - only enable it for
-        trusted files).
+        trusted files).  ``mmap_labels=True`` maps the flat label buffers
+        from disk instead of reading them into memory, so multiple serving
+        processes loading the same index share one physical copy via the
+        page cache (see :mod:`repro.serving`).
         """
         from repro.core.persistence import load_index
 
-        return load_index(path, allow_pickle=allow_pickle)
+        return load_index(path, allow_pickle=allow_pickle, mmap_labels=mmap_labels)

@@ -21,6 +21,7 @@ still be read, but only when the caller explicitly opts in with
 from __future__ import annotations
 
 import json
+import os
 import pickle
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Union
@@ -150,12 +151,25 @@ def _pack_hierarchy(arrays: Dict[str, np.ndarray], hierarchy: BalancedTreeHierar
 # --------------------------------------------------------------------- #
 # load
 # --------------------------------------------------------------------- #
-def load_index(path: Union[str, Path], allow_pickle: bool = False) -> "HC2LIndex":
+def load_index(
+    path: Union[str, Path],
+    allow_pickle: bool = False,
+    mmap_labels: bool = False,
+) -> "HC2LIndex":
     """Load an index saved by :func:`save_index`.
 
     Raises a descriptive ``ValueError`` when the file is not a (compatible)
     HC2L archive.  With ``allow_pickle=True`` a file that is not an ``.npz``
     archive is additionally tried as a legacy pickle.
+
+    With ``mmap_labels=True`` the flat label buffers - by far the largest
+    arrays in the archive - are memory-mapped read-only instead of copied
+    into the process.  Numpy cannot map members of a zip container
+    directly, so the three buffers are extracted once into plain ``.npy``
+    sidecar files next to the archive (``<path>.mmap/``) and mapped from
+    there; every further process mapping the same sidecars shares one
+    physical copy through the OS page cache.  Distances are bit-identical
+    to an in-memory load.
     """
     try:
         archive = np.load(path, allow_pickle=False)
@@ -180,7 +194,7 @@ def load_index(path: Union[str, Path], allow_pickle: bool = False) -> "HC2LIndex
                 f"{path} has format version {header.get('version')!r}; "
                 f"this build reads version {FORMAT_VERSION}"
             )
-        return _unpack_index(archive, header)
+        return _unpack_index(archive, header, path=path, mmap_labels=mmap_labels)
 
 
 def _load_legacy_pickle(path: Union[str, Path]) -> "HC2LIndex":
@@ -190,6 +204,19 @@ def _load_legacy_pickle(path: Union[str, Path]) -> "HC2LIndex":
         index = pickle.load(handle)
     if not isinstance(index, HC2LIndex):
         raise TypeError(f"{path} does not contain an HC2LIndex")
+    # Pickles restore __dict__ directly, bypassing __init__.  Files written
+    # when HC2LIndex stored nested labels (pre flat-primary storage) carry a
+    # 'labelling' instance attribute and lack the flat buffer; normalise so
+    # the loaded index satisfies the current storage invariants.
+    state = index.__dict__
+    nested = state.pop("labelling", None)
+    if state.get("_flat") is None:
+        if nested is None:
+            raise TypeError(f"{path} contains an HC2LIndex pickle without labels")
+        state["_flat"] = FlatLabelling.from_labelling(nested)
+    state.setdefault("_engine", None)
+    state.setdefault("_labelling_view", None)
+    state.setdefault("_extra", {})
     return index
 
 
@@ -203,7 +230,47 @@ def _unpack_graph(archive, prefix: str, num_vertices: int) -> Graph:
     return graph
 
 
-def _unpack_index(archive, header: dict) -> "HC2LIndex":
+#: archive members holding the flat label buffers (the mmap-shareable part)
+LABEL_ARRAY_NAMES = ("label_values", "label_level_indptr", "label_vertex_indptr")
+
+
+def mmap_label_arrays(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Memory-map the flat label buffers of the archive at ``path``.
+
+    Extracts the three label arrays into ``<path>.mmap/<name>.npy`` sidecar
+    files (skipped when up-to-date sidecars already exist) and returns them
+    as read-only ``np.memmap``-backed arrays.  Multiple serving processes
+    mapping the same sidecars share one physical copy of the labels.
+    """
+    path = Path(path)
+    sidecar_dir = Path(str(path) + ".mmap")
+    archive_mtime = path.stat().st_mtime
+
+    def is_stale(sidecar: Path) -> bool:
+        # <=, not <: an archive rewritten within the filesystem's mtime
+        # granularity must not keep serving the old labels
+        return not sidecar.exists() or sidecar.stat().st_mtime <= archive_mtime
+
+    stale = [name for name in LABEL_ARRAY_NAMES if is_stale(sidecar_dir / f"{name}.npy")]
+    if stale:
+        sidecar_dir.mkdir(parents=True, exist_ok=True)
+        with np.load(path, allow_pickle=False) as archive:
+            for name in stale:
+                # write-then-rename so concurrent loaders never map a torn
+                # file; os.replace is atomic within one directory
+                final = sidecar_dir / f"{name}.npy"
+                temporary = sidecar_dir / f".{name}.{os.getpid()}.tmp.npy"
+                np.save(temporary, archive[name])
+                os.replace(temporary, final)
+    return {
+        name: np.load(sidecar_dir / f"{name}.npy", mmap_mode="r")
+        for name in LABEL_ARRAY_NAMES
+    }
+
+
+def _unpack_index(
+    archive, header: dict, path: Union[str, Path, None] = None, mmap_labels: bool = False
+) -> "HC2LIndex":
     from repro.core.index import HC2LIndex, HC2LParameters
 
     graph = _unpack_graph(archive, "graph", int(header["graph_num_vertices"]))
@@ -222,11 +289,17 @@ def _unpack_index(archive, header: dict) -> "HC2LIndex":
 
     hierarchy = _unpack_hierarchy(archive, core.num_vertices)
 
+    if mmap_labels:
+        if path is None:
+            raise ValueError("mmap_labels requires the archive path")
+        label_arrays = mmap_label_arrays(path)
+    else:
+        label_arrays = {name: archive[name] for name in LABEL_ARRAY_NAMES}
     flat = FlatLabelling(
         num_vertices=core.num_vertices,
-        values=archive["label_values"],
-        level_indptr=archive["label_level_indptr"],
-        vertex_indptr=archive["label_vertex_indptr"],
+        values=label_arrays["label_values"],
+        level_indptr=label_arrays["label_level_indptr"],
+        vertex_indptr=label_arrays["label_vertex_indptr"],
     )
 
     stats_header = header["stats"]
@@ -239,18 +312,16 @@ def _unpack_index(archive, header: dict) -> "HC2LIndex":
         max_depth=int(stats_header["max_depth"]),
     )
 
-    index = HC2LIndex(
+    return HC2LIndex(
         graph=graph,
         parameters=HC2LParameters(**header["parameters"]),
         contraction=contraction,
         hierarchy=hierarchy,
-        labelling=flat.to_labelling(),
+        flat=flat,
         stats=stats,
         construction_seconds=float(header["construction_seconds"]),
-        _extra={k: float(v) for k, v in header["extra"].items()},
+        extra={k: float(v) for k, v in header["extra"].items()},
     )
-    index._flat = flat
-    return index
 
 
 def _unpack_hierarchy(archive, num_vertices: int) -> BalancedTreeHierarchy:

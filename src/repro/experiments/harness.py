@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.oracle import DistanceOracle
 from repro.experiments.methods import MethodSpec
 from repro.graph.graph import Graph
 
@@ -77,7 +78,7 @@ def run_cell(
     batch_seconds = measure_batch_queries(index, query_pairs)
 
     lca_bytes: Optional[int] = None
-    if method.has_lca_storage and hasattr(index, "lca_storage_bytes"):
+    if method.has_lca_storage:
         lca_bytes = int(index.lca_storage_bytes())
 
     extra: Dict[str, float] = {}
@@ -85,6 +86,7 @@ def run_cell(
         extra["batch_query_microseconds"] = batch_seconds * 1e6
         if batch_seconds > 0.0:
             extra["batch_speedup"] = query_seconds / batch_seconds
+    extra["supports_batch"] = float(bool(index.supports_batch))
     if hasattr(index, "tree_height"):
         extra["tree_height"] = float(index.tree_height())
     if hasattr(index, "max_cut_size"):
@@ -100,7 +102,7 @@ def run_cell(
         num_vertices=graph.num_vertices,
         num_edges=graph.num_edges,
         construction_seconds=construction,
-        label_size_bytes=int(index.label_size_bytes()),
+        label_size_bytes=int(index.index_size_bytes),
         query_seconds_mean=query_seconds,
         average_hubs=average_hubs,
         lca_storage_bytes=lca_bytes,
@@ -108,11 +110,11 @@ def run_cell(
     )
 
 
-def measure_queries(index: object, query_pairs: Sequence[QueryPair]) -> Tuple[float, float]:
+def measure_queries(index: "DistanceOracle", query_pairs: Sequence[QueryPair]) -> Tuple[float, float]:
     """Mean per-query latency (seconds) and mean hubs scanned over ``query_pairs``."""
     if not query_pairs:
         return 0.0, 0.0
-    distance = index.distance  # type: ignore[attr-defined]
+    distance = index.distance
     # warm lazily built query state (e.g. HC2L's flat-label engine) outside
     # the timed region so one-off conversion cost is not billed as latency
     distance(*query_pairs[0])
@@ -122,37 +124,32 @@ def measure_queries(index: object, query_pairs: Sequence[QueryPair]) -> Tuple[fl
     elapsed = time.perf_counter() - start
 
     total_hubs = 0
-    hub_counter = getattr(index, "distance_with_hub_count", None)
     hub_samples = query_pairs[: min(len(query_pairs), 500)]
-    if hub_counter is not None:
-        for s, t in hub_samples:
-            total_hubs += hub_counter(s, t)[1]
+    for s, t in hub_samples:
+        total_hubs += index.distance_with_hub_count(s, t)[1]
     average_hubs = total_hubs / len(hub_samples) if hub_samples else 0.0
     return elapsed / len(query_pairs), average_hubs
 
 
 def measure_batch_queries(
-    index: object, query_pairs: Sequence[QueryPair]
+    index: "DistanceOracle", query_pairs: Sequence[QueryPair]
 ) -> Optional[float]:
-    """Mean per-query latency (seconds) of the batch API; ``None`` if unsupported.
+    """Mean per-query latency (seconds) of the batch API; ``None`` when idle.
 
-    Measures :meth:`QueryEngine.distances`-style evaluation of the whole
-    workload in one call - the serving-path number the flat label storage
-    exists for.
+    Every oracle speaks ``distances`` now, so this measures the whole
+    workload in one protocol call - genuinely vectorised when the method's
+    ``supports_batch`` says so, the equivalent loop otherwise.
     """
     if not query_pairs:
         return None
-    batched = getattr(index, "distances", None)
-    if batched is None:
-        return None
-    batched(query_pairs[:1])  # warm lazy state outside the timed region
+    index.distances(query_pairs[:1])  # warm lazy state outside the timed region
     start = time.perf_counter()
-    batched(query_pairs)
+    index.distances(query_pairs)
     elapsed = time.perf_counter() - start
     return elapsed / len(query_pairs)
 
 
-def query_time_per_set(index: object, query_sets: List[List[QueryPair]]) -> List[float]:
+def query_time_per_set(index: "DistanceOracle", query_sets: List[List[QueryPair]]) -> List[float]:
     """Mean query latency (microseconds) per distance-stratified query set (Figure 6)."""
     result: List[float] = []
     for pairs in query_sets:

@@ -1,9 +1,9 @@
 """Uniform wrappers around HC2L and the baselines for the experiment harness.
 
-A :class:`MethodSpec` bundles a display name with a builder callable.  The
-harness only relies on the common index interface (``distance``,
-``distance_with_hub_count``, ``label_size_bytes``,
-``construction_seconds``), so adding another method is a one-liner.
+A :class:`MethodSpec` bundles a display name with a builder callable.
+Every builder returns a :class:`repro.core.oracle.DistanceOracle`, so the
+harness times scalar and batched queries through the same protocol calls
+for every method - adding another method is a one-liner.
 """
 
 from __future__ import annotations
@@ -11,15 +11,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.baselines.dijkstra import BidirectionalDijkstra
+from repro.baselines.ch import ContractionHierarchy
+from repro.baselines.dijkstra import BidirectionalDijkstra, DijkstraOracle
 from repro.baselines.h2h import H2HIndex
 from repro.baselines.hub_labelling import HubLabelling
 from repro.baselines.phl import PrunedHighwayLabelling
 from repro.baselines.pll import PrunedLandmarkLabelling
 from repro.core.index import HC2LIndex
+from repro.core.oracle import DistanceOracle
 from repro.graph.graph import Graph
 
-IndexBuilder = Callable[[Graph], object]
+IndexBuilder = Callable[[Graph], DistanceOracle]
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,14 @@ def _build_bidirectional(graph: Graph) -> BidirectionalDijkstra:
     return BidirectionalDijkstra.build(graph)
 
 
+def _build_ch(graph: Graph) -> ContractionHierarchy:
+    return ContractionHierarchy.build(graph)
+
+
+def _build_dijkstra(graph: Graph) -> DijkstraOracle:
+    return DijkstraOracle.build(graph)
+
+
 #: Methods evaluated in the paper's tables, keyed by their table column name.
 METHOD_BUILDERS: Dict[str, MethodSpec] = {
     "HC2L": MethodSpec("HC2L", _build_hc2l, has_lca_storage=True),
@@ -73,7 +83,9 @@ METHOD_BUILDERS: Dict[str, MethodSpec] = {
     "PHL": MethodSpec("PHL", _build_phl),
     "HL": MethodSpec("HL", _build_hl),
     "PLL": MethodSpec("PLL", _build_pll),
+    "CH": MethodSpec("CH", _build_ch),
     "BiDijkstra": MethodSpec("BiDijkstra", _build_bidirectional),
+    "Dijkstra": MethodSpec("Dijkstra", _build_dijkstra),
 }
 
 #: The methods appearing in Tables 2 and 4 of the paper.

@@ -7,10 +7,17 @@ Two workloads are used in the paper:
 * ten *distance-stratified* query sets Q1..Q10 where the distance of each
   pair falls into geometrically growing ranges between ``l_min`` and the
   network diameter (Figure 6).
+
+For the serving layer a third, *skewed* workload models production
+traffic: real query streams concentrate on a few popular endpoints
+(airports, stations, depots), which is exactly what result caches exploit
+- see :func:`skewed_pairs` and :class:`repro.serving.CachingOracle`.
 """
 
 from __future__ import annotations
 
+import bisect
+import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -33,6 +40,43 @@ def random_pairs(graph: Graph, count: int, seed: Seed = None) -> List[QueryPair]
     while len(pairs) < count:
         s = rng.randrange(n)
         t = rng.randrange(n)
+        if s != t:
+            pairs.append((s, t))
+    return pairs
+
+
+def skewed_pairs(
+    graph: Graph,
+    count: int,
+    seed: Seed = None,
+    exponent: float = 1.0,
+) -> List[QueryPair]:
+    """Zipf-skewed query pairs (self-pairs excluded).
+
+    Both endpoints are drawn from a Zipf-like distribution with the given
+    ``exponent`` over a seeded random permutation of the vertices: the
+    i-th most popular vertex is drawn with probability proportional to
+    ``1 / (i + 1) ** exponent``.  The permutation decouples popularity
+    from vertex ids, so "hot" vertices are spread across the network.
+    A higher exponent concentrates the traffic harder.
+    """
+    rng = make_rng(seed)
+    n = graph.num_vertices
+    if n < 2 or count <= 0:
+        return []
+    popularity = list(range(n))
+    rng.shuffle(popularity)
+    weights = [1.0 / (i + 1) ** exponent for i in range(n)]
+    cumulative = list(itertools.accumulate(weights))
+    total = cumulative[-1]
+
+    def draw() -> int:
+        return popularity[bisect.bisect_left(cumulative, rng.random() * total)]
+
+    pairs: List[QueryPair] = []
+    while len(pairs) < count:
+        s = draw()
+        t = draw()
         if s != t:
             pairs.append((s, t))
     return pairs

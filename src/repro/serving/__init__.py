@@ -1,0 +1,29 @@
+"""Serving-side building blocks over the :class:`DistanceOracle` protocol.
+
+The ROADMAP's north star is production-scale serving; this package holds
+the pieces that turn a built index into a query service:
+
+* :class:`CachingOracle` - LRU caches over ``(s, t)`` pairs and hot
+  ``one_to_many`` rows, with hit-rate accounting for skewed workloads.
+* :class:`CoalescingServer` - gathers concurrent scalar requests and
+  answers them with one vectorised ``distances`` call.
+* :func:`load_index_mmap` - memory-mapped label loading so multiple
+  serving processes share one physical copy of a large labelling.
+
+All three compose: a typical deployment maps the labels once per machine,
+wraps the index in a cache, and fronts it with a coalescer per worker.
+Every layer preserves bit-identical answers - the conformance and serving
+test suites assert ``==`` against the bare engine, not ``approx``.
+"""
+
+from repro.serving.cache import CacheStats, CachingOracle
+from repro.serving.coalesce import CoalescingServer
+from repro.serving.mmap import load_index_mmap, shared_label_arrays
+
+__all__ = [
+    "CacheStats",
+    "CachingOracle",
+    "CoalescingServer",
+    "load_index_mmap",
+    "shared_label_arrays",
+]

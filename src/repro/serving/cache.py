@@ -1,0 +1,226 @@
+"""LRU result caching in front of any :class:`DistanceOracle`.
+
+Road-network query traffic is heavily skewed: a small set of popular
+origins/destinations (airports, stations, city centres) dominates, which
+the paper's motivating applications (POI recommendation, ride-hailing
+dispatch) amplify.  :class:`CachingOracle` exploits that skew with two
+LRU caches layered over an inner oracle:
+
+* a **pair cache** over normalised ``(s, t)`` keys, consulted by
+  ``distance`` and ``distances`` (misses of a batch are evaluated in one
+  vectorised inner call), and
+* a **row cache** over ``one_to_many`` results keyed by
+  ``(source, targets)``, which also backs ``many_to_many``.
+
+The wrapper is itself a :class:`DistanceOracle`, so it can be stacked
+under the coalescing server or swapped into the experiment harness.
+Cached answers are bit-identical to the inner oracle's: values are stored
+as Python floats gathered from the inner result arrays, and the
+``(min, max)`` key normalisation is safe because every oracle here is
+symmetric (undirected graphs; the scalar and batch paths combine the two
+label halves with commutative float additions).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.oracle import DistanceOracle, as_pair_array, as_vertex_ids
+
+PairKey = Tuple[int, int]
+RowKey = Tuple[int, Tuple[int, ...]]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for a :class:`CachingOracle`."""
+
+    pair_hits: int = 0
+    pair_misses: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups across both caches."""
+        return self.pair_hits + self.pair_misses + self.row_hits + self.row_misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when idle)."""
+        total = self.requests
+        if total == 0:
+            return 0.0
+        return (self.pair_hits + self.row_hits) / total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten for benchmark/report rows."""
+        return {
+            "pair_hits": self.pair_hits,
+            "pair_misses": self.pair_misses,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "hit_rate": self.hit_rate(),
+        }
+
+
+class CachingOracle:
+    """An LRU-caching :class:`DistanceOracle` wrapper.
+
+    Parameters
+    ----------
+    oracle:
+        The inner oracle answering cache misses.  It must be *immutable
+        while cached*: the cache has no way to observe label changes, so
+        wrapping a mutable oracle (e.g. ``DynamicHC2LIndex``) requires
+        calling :meth:`clear` after every applied update - otherwise the
+        cache keeps serving pre-update distances.
+    max_pairs:
+        Capacity of the ``(s, t)`` pair cache (entries).
+    max_rows:
+        Capacity of the ``one_to_many`` row cache (rows).
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        max_pairs: int = 65536,
+        max_rows: int = 256,
+    ) -> None:
+        if max_pairs < 1:
+            raise ValueError(f"max_pairs must be >= 1, got {max_pairs}")
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        self.oracle = oracle
+        self.max_pairs = max_pairs
+        self.max_rows = max_rows
+        self.stats = CacheStats()
+        self._pairs: "OrderedDict[PairKey, float]" = OrderedDict()
+        self._rows: "OrderedDict[RowKey, np.ndarray]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # protocol metadata
+    # ------------------------------------------------------------------ #
+    @property
+    def construction_seconds(self) -> float:
+        """Build time of the wrapped oracle."""
+        return self.oracle.construction_seconds
+
+    @property
+    def supports_batch(self) -> bool:
+        """Batch capability of the wrapped oracle."""
+        return self.oracle.supports_batch
+
+    @property
+    def index_size_bytes(self) -> int:
+        """Size of the wrapped index (cache overhead excluded)."""
+        return self.oracle.index_size_bytes
+
+    def label_size_bytes(self) -> int:
+        """Size of the wrapped index, for harness compatibility."""
+        return self.oracle.index_size_bytes
+
+    # ------------------------------------------------------------------ #
+    # cache plumbing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _key(s: int, t: int) -> PairKey:
+        # distance is symmetric for every oracle in this package
+        return (s, t) if s <= t else (t, s)
+
+    def _pair_lookup(self, key: PairKey) -> Optional[float]:
+        value = self._pairs.get(key)
+        if value is not None:
+            self._pairs.move_to_end(key)
+            self.stats.pair_hits += 1
+            return value
+        self.stats.pair_misses += 1
+        return None
+
+    def _pair_insert(self, key: PairKey, value: float) -> None:
+        self._pairs[key] = value
+        self._pairs.move_to_end(key)
+        if len(self._pairs) > self.max_pairs:
+            self._pairs.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached value (stats are preserved)."""
+        self._pairs.clear()
+        self._rows.clear()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def distance(self, s: int, t: int) -> float:
+        """Exact distance, served from the pair cache when possible."""
+        key = self._key(int(s), int(t))
+        cached = self._pair_lookup(key)
+        if cached is not None:
+            return cached
+        value = float(self.oracle.distance(s, t))
+        self._pair_insert(key, value)
+        return value
+
+    def distances(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Batched distances; cache misses go to the inner oracle in one call.
+
+        Duplicate pairs *within* a batch are evaluated once and count as
+        hits from the second occurrence on - skewed production traffic is
+        full of such repeats, and the inner oracle should not see them.
+        """
+        pair_array = as_pair_array(pairs)
+        out = np.empty(len(pair_array), dtype=np.float64)
+        pending: "OrderedDict[PairKey, list]" = OrderedDict()
+        for i, (s, t) in enumerate(pair_array.tolist()):
+            key = self._key(s, t)
+            cached = self._pairs.get(key)
+            if cached is not None:
+                self._pairs.move_to_end(key)
+                self.stats.pair_hits += 1
+                out[i] = cached
+            elif key in pending:
+                self.stats.pair_hits += 1  # coalesced with an in-batch miss
+                pending[key].append(i)
+            else:
+                self.stats.pair_misses += 1
+                pending[key] = [i]
+        if pending:
+            values = self.oracle.distances(list(pending.keys()))
+            for (key, rows), value in zip(pending.items(), values.tolist()):
+                for i in rows:
+                    out[i] = value
+                self._pair_insert(key, value)
+        return out
+
+    def one_to_many(self, s: int, targets: Sequence[int]) -> np.ndarray:
+        """A row of distances, served from the row cache when possible."""
+        target_array = as_vertex_ids(np.asarray(targets), "targets")
+        key: RowKey = (int(s), tuple(target_array.tolist()))
+        row = self._rows.get(key)
+        if row is not None:
+            self._rows.move_to_end(key)
+            self.stats.row_hits += 1
+            return row.copy()
+        self.stats.row_misses += 1
+        row = np.asarray(self.oracle.one_to_many(s, target_array), dtype=np.float64)
+        self._rows[key] = row
+        self._rows.move_to_end(key)
+        if len(self._rows) > self.max_rows:
+            self._rows.popitem(last=False)
+        return row.copy()
+
+    def many_to_many(self, sources: Sequence[int], targets: Sequence[int]) -> np.ndarray:
+        """Distance matrix assembled from (cacheable) one-to-many rows."""
+        source_array = as_vertex_ids(np.asarray(sources), "sources")
+        target_array = as_vertex_ids(np.asarray(targets), "targets")
+        out = np.empty((len(source_array), len(target_array)), dtype=np.float64)
+        for i, s in enumerate(source_array.tolist()):
+            out[i, :] = self.one_to_many(s, target_array)
+        return out
+
+    def distance_with_hub_count(self, s: int, t: int) -> Tuple[float, int]:
+        """Pass-through: the hub count requires an actual label scan."""
+        return self.oracle.distance_with_hub_count(s, t)

@@ -1,0 +1,178 @@
+"""Request coalescing: concurrent scalar queries become one batch call.
+
+A serving process handles many concurrent clients, each asking for a
+single ``distance(s, t)``.  Answering them one by one wastes the batch
+engine the flat label storage exists for; :class:`CoalescingServer`
+gathers the scalar requests that arrive within a short window and
+evaluates them with **one** vectorised :meth:`DistanceOracle.distances`
+call, then hands each caller its value.
+
+The design is leader-based and needs no background thread: the first
+thread to enqueue a request becomes the *leader*, sleeps for the
+collection window (more requests pile up meanwhile), drains the queue,
+runs the batch, and publishes the results.  Followers simply wait on
+their request's event.  Because batch results are bit-identical to the
+scalar path (a protocol guarantee every oracle is tested for), coalescing
+is invisible to clients except for latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.oracle import DistanceOracle
+
+INF = float("inf")
+
+
+class _PendingRequest:
+    """One enqueued (s, t) query waiting for a batch to resolve it."""
+
+    __slots__ = ("s", "t", "event", "value", "error")
+
+    def __init__(self, s: int, t: int) -> None:
+        self.s = s
+        self.t = t
+        self.event = threading.Event()
+        self.value: float = INF
+        self.error: Optional[BaseException] = None
+
+    def result(self) -> float:
+        """Block until the batch containing this request ran."""
+        self.event.wait()
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class CoalescingServer:
+    """Batches concurrent single-pair requests into vectorised calls.
+
+    Parameters
+    ----------
+    oracle:
+        Any :class:`DistanceOracle`; its ``distances`` must be safe to
+        call from multiple threads (the engines here only read numpy
+        buffers once warmed, which the constructor does).
+    window_seconds:
+        How long a leader waits for followers before draining the queue.
+        0 disables the wait (useful for tests; coalescing then only
+        happens when requests already queued up while a batch ran).
+    max_batch:
+        Upper bound on requests drained into one batch call.
+
+    Notes
+    -----
+    If the inner oracle rejects a batch (e.g. one request carries an
+    out-of-range vertex), every request of that batch observes the same
+    exception - the failure unit is the batch, as in any shared-fate
+    batching server.
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        window_seconds: float = 0.001,
+        max_batch: int = 4096,
+    ) -> None:
+        if window_seconds < 0:
+            raise ValueError(f"window_seconds must be >= 0, got {window_seconds}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.oracle = oracle
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self._lock = threading.Lock()
+        self._pending: List[_PendingRequest] = []
+        self._leader_active = False
+        # lifetime stats
+        self.num_requests = 0
+        self.num_batches = 0
+        self.largest_batch = 0
+        # warm lazily-built query state (e.g. HC2L's flat-label engine) so
+        # concurrent first batches don't race its construction
+        self.oracle.distances(np.empty((0, 2), dtype=np.int64))
+
+    # ------------------------------------------------------------------ #
+    # client API
+    # ------------------------------------------------------------------ #
+    def distance(self, s: int, t: int) -> float:
+        """Exact distance; may be served by another thread's batch."""
+        request = self.submit(s, t)
+        if self._become_leader():
+            if self.window_seconds:
+                time.sleep(self.window_seconds)
+            self.flush()
+        return request.result()
+
+    def distances(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Already-batched work bypasses the queue entirely."""
+        return self.oracle.distances(pairs)
+
+    def submit(self, s: int, t: int) -> _PendingRequest:
+        """Enqueue a query without driving a batch (test/async entry point)."""
+        request = _PendingRequest(int(s), int(t))
+        with self._lock:
+            self._pending.append(request)
+            self.num_requests += 1
+        return request
+
+    def flush(self) -> int:
+        """Drain the queue and resolve it with batched calls.
+
+        Returns the number of requests resolved.  Called automatically by
+        the per-request leader; also usable directly after :meth:`submit`.
+        """
+        resolved = 0
+        while True:
+            with self._lock:
+                batch = self._pending[: self.max_batch]
+                del self._pending[: len(batch)]
+                self._leader_active = False
+            if not batch:
+                return resolved
+            self._run_batch(batch)
+            resolved += len(batch)
+
+    @property
+    def pending(self) -> int:
+        """Number of queued requests not yet resolved by a batch."""
+        with self._lock:
+            return len(self._pending)
+
+    def stats(self) -> Dict[str, float]:
+        """Lifetime coalescing statistics."""
+        batches = self.num_batches
+        return {
+            "requests": self.num_requests,
+            "batches": batches,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": self.num_requests / batches if batches else 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _become_leader(self) -> bool:
+        with self._lock:
+            if self._leader_active:
+                return False
+            self._leader_active = True
+            return True
+
+    def _run_batch(self, batch: List[_PendingRequest]) -> None:
+        pairs = [(request.s, request.t) for request in batch]
+        try:
+            values = self.oracle.distances(pairs)
+        except BaseException as error:  # shared fate: the whole batch fails
+            for request in batch:
+                request.error = error
+                request.event.set()
+            return
+        self.num_batches += 1
+        self.largest_batch = max(self.largest_batch, len(batch))
+        for request, value in zip(batch, values.tolist()):
+            request.value = value
+            request.event.set()

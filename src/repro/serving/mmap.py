@@ -1,0 +1,50 @@
+"""Memory-mapped index loading for multi-process serving.
+
+A fleet of serving workers on one machine should not each hold a private
+copy of a multi-gigabyte labelling.  The versioned ``.npz`` archive
+already stores the labels as flat typed buffers; this module loads them
+with ``numpy``'s ``mmap_mode`` so every worker maps the same bytes and
+the kernel page cache keeps one physical copy.
+
+Numpy cannot map members of a zip container directly, so the label
+buffers are extracted once into ``<path>.mmap/<name>.npy`` sidecar files
+(refreshed automatically when the archive is newer) and mapped read-only
+from there; see :func:`repro.core.persistence.mmap_label_arrays`.  The
+remaining (small) archive members - graph, contraction, hierarchy - are
+loaded normally.  Distances from an mmap-loaded index are bit-identical
+to an in-memory load: the arrays hold the same bytes and the engine
+performs the same operations on them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Union
+
+import numpy as np
+
+from repro.core.persistence import load_index, mmap_label_arrays
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.index import HC2LIndex
+
+__all__ = ["load_index_mmap", "shared_label_arrays"]
+
+
+def load_index_mmap(path: Union[str, Path]) -> "HC2LIndex":
+    """Load a saved index with memory-mapped label buffers.
+
+    Equivalent to ``HC2LIndex.load(path, mmap_labels=True)``; the returned
+    index answers every query bit-identically to an in-memory load while
+    sharing the label bytes with every other process that mapped them.
+    """
+    return load_index(path, mmap_labels=True)
+
+
+def shared_label_arrays(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """The raw memory-mapped label buffers of a saved index.
+
+    Exposed for shard routers and diagnostics that want the buffers
+    without reconstructing the full index.
+    """
+    return mmap_label_arrays(path)

@@ -1,0 +1,180 @@
+"""DistanceOracle conformance: every method, scalar vs batch, bit-identical.
+
+One shared fixture graph, eight oracles (HC2L plus the seven baselines),
+and the same assertions for each: the batch methods must return exactly
+(``==``, not ``approx``) what a caller-side scalar loop returns, typed as
+``float64`` numpy arrays, with the protocol metadata present.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.ch import ContractionHierarchy
+from repro.baselines.dijkstra import BidirectionalDijkstra, DijkstraOracle
+from repro.baselines.h2h import H2HIndex
+from repro.baselines.hub_labelling import HubLabelling
+from repro.baselines.phl import PrunedHighwayLabelling
+from repro.baselines.pll import PrunedLandmarkLabelling
+from repro.core.index import HC2LIndex
+from repro.core.oracle import DistanceOracle
+from repro.graph.generators import RoadNetworkSpec, synthetic_road_network
+
+from helpers import random_query_pairs
+
+ORACLE_BUILDERS = {
+    "HC2L": lambda graph: HC2LIndex.build(graph),
+    "Dijkstra": lambda graph: DijkstraOracle.build(graph),
+    "BiDijkstra": lambda graph: BidirectionalDijkstra.build(graph),
+    "CH": lambda graph: ContractionHierarchy.build(graph),
+    "PLL": lambda graph: PrunedLandmarkLabelling.build(graph),
+    "HL": lambda graph: HubLabelling.build(graph),
+    "PHL": lambda graph: PrunedHighwayLabelling.build(graph),
+    "H2H": lambda graph: H2HIndex.build(graph),
+}
+
+ORACLE_NAMES = sorted(ORACLE_BUILDERS)
+
+
+@pytest.fixture(scope="module")
+def fixture_graph():
+    """The shared conformance graph (small, so all eight builds stay fast)."""
+    network = synthetic_road_network(
+        RoadNetworkSpec("oracle-conformance", num_vertices=120, seed=23)
+    )
+    return network.distance_graph
+
+
+@pytest.fixture(scope="module")
+def oracles(fixture_graph):
+    """All eight oracles built once on the shared fixture graph."""
+    return {name: builder(fixture_graph) for name, builder in ORACLE_BUILDERS.items()}
+
+
+@pytest.fixture(scope="module")
+def conformance_pairs(fixture_graph):
+    pairs = random_query_pairs(fixture_graph, 40, seed=77)
+    # include self-pairs and repeated sources (the batch paths special-case both)
+    pairs += [(0, 0), (5, 5), (3, 11), (3, 29), (3, 64)]
+    return pairs
+
+
+@pytest.mark.parametrize("name", ORACLE_NAMES)
+class TestConformance:
+    def test_satisfies_protocol(self, name, oracles):
+        oracle = oracles[name]
+        assert isinstance(oracle, DistanceOracle)
+        assert isinstance(oracle.supports_batch, bool)
+        assert oracle.index_size_bytes > 0
+        assert oracle.construction_seconds >= 0.0
+
+    def test_distances_bit_identical_to_scalar_loop(self, name, oracles, conformance_pairs):
+        oracle = oracles[name]
+        batch = oracle.distances(conformance_pairs)
+        assert isinstance(batch, np.ndarray)
+        assert batch.dtype == np.float64
+        assert batch.shape == (len(conformance_pairs),)
+        expected = [oracle.distance(s, t) for s, t in conformance_pairs]
+        assert batch.tolist() == expected
+
+    def test_one_to_many_bit_identical(self, name, oracles, fixture_graph):
+        oracle = oracles[name]
+        targets = list(range(0, fixture_graph.num_vertices, 7))
+        row = oracle.one_to_many(4, targets)
+        assert isinstance(row, np.ndarray)
+        assert row.dtype == np.float64
+        assert row.tolist() == [oracle.distance(4, t) for t in targets]
+
+    def test_many_to_many_bit_identical(self, name, oracles):
+        oracle = oracles[name]
+        sources = [0, 9, 17]
+        targets = [2, 9, 33, 71]
+        matrix = oracle.many_to_many(sources, targets)
+        assert matrix.shape == (len(sources), len(targets))
+        for i, s in enumerate(sources):
+            for j, t in enumerate(targets):
+                assert matrix[i, j] == oracle.distance(s, t)
+
+    def test_numpy_integer_inputs_accepted(self, name, oracles):
+        oracle = oracles[name]
+        pairs = np.asarray([(1, 8), (8, 1), (2, 2)], dtype=np.int64)
+        assert oracle.distances(pairs).tolist() == [
+            oracle.distance(1, 8),
+            oracle.distance(8, 1),
+            0.0,
+        ]
+
+    def test_empty_batch(self, name, oracles):
+        oracle = oracles[name]
+        result = oracle.distances([])
+        assert isinstance(result, np.ndarray)
+        assert result.shape == (0,)
+
+    def test_float_vertex_ids_rejected(self, name, oracles):
+        oracle = oracles[name]
+        with pytest.raises(ValueError):
+            oracle.distances([(0.5, 1.5)])
+
+    def test_out_of_range_rejected(self, name, oracles, fixture_graph):
+        oracle = oracles[name]
+        n = fixture_graph.num_vertices
+        with pytest.raises(ValueError):
+            oracle.distances([(0, n)])
+        with pytest.raises(ValueError):
+            oracle.distance(0, n)
+
+    def test_hub_count_distance_matches(self, name, oracles, conformance_pairs):
+        oracle = oracles[name]
+        for s, t in conformance_pairs[:10]:
+            value, hubs = oracle.distance_with_hub_count(s, t)
+            assert value == oracle.distance(s, t)
+            assert hubs >= 0
+
+
+@pytest.mark.parametrize("name", ORACLE_NAMES)
+def test_disconnected_pairs_are_inf_in_batch(name, disconnected_graph):
+    """Batch answers preserve inf for disconnected pairs on every oracle."""
+    if name == "HC2L":
+        oracle = HC2LIndex.build(disconnected_graph, leaf_size=2)
+    else:
+        oracle = ORACLE_BUILDERS[name](disconnected_graph)
+    batch = oracle.distances([(0, 5), (4, 2), (0, 2)])
+    assert math.isinf(batch[0])
+    assert math.isinf(batch[1])
+    assert batch[2] == oracle.distance(0, 2)
+
+
+def test_batch_mixin_flags_loop_based_oracles(fixture_graph):
+    """supports_batch distinguishes vectorised oracles from mixin loops."""
+    assert HC2LIndex.build(fixture_graph).supports_batch
+    assert DijkstraOracle.build(fixture_graph).supports_batch
+    assert ContractionHierarchy.build(fixture_graph).supports_batch
+    assert not BidirectionalDijkstra.build(fixture_graph).supports_batch
+    assert not PrunedLandmarkLabelling.build(fixture_graph).supports_batch
+
+
+def test_batch_mixin_rejects_malformed_pairs(fixture_graph):
+    oracle = BidirectionalDijkstra.build(fixture_graph)
+    with pytest.raises(ValueError):
+        oracle.distances([(0, 1, 2)])
+
+
+def test_index_size_matches_label_size(fixture_graph):
+    """The protocol metadata mirrors the Table 2/4 size accounting."""
+    for name in ORACLE_NAMES:
+        oracle = ORACLE_BUILDERS[name](fixture_graph)
+        assert oracle.index_size_bytes == oracle.label_size_bytes()
+
+
+def test_dynamic_index_speaks_the_protocol(fixture_graph):
+    """DynamicHC2LIndex flushes pending updates through the batch calls."""
+    from repro.core.dynamic import DynamicHC2LIndex
+
+    dynamic = DynamicHC2LIndex(fixture_graph)
+    assert isinstance(dynamic, DistanceOracle)
+    pairs = [(0, 10), (3, 40)]
+    before = dynamic.distances(pairs).tolist()
+    assert before == [dynamic.distance(s, t) for s, t in pairs]

@@ -129,6 +129,34 @@ class TestLegacyPickle:
         for s, t in random_query_pairs(small_graph, 25, seed=5):
             assert loaded.distance(s, t) == built_index.distance(s, t)
 
+    def test_pre_flat_storage_pickle_normalised(self, small_graph, built_index, tmp_path):
+        """Pickles from the nested-label era load and answer queries.
+
+        Old-format pickles restore ``__dict__`` directly: a ``labelling``
+        instance attribute, no ``_flat`` / ``_engine``.  The loader must
+        rebuild the flat-primary storage from that state.
+        """
+        import pickle
+
+        legacy = object.__new__(HC2LIndex)
+        legacy.__dict__ = {
+            "graph": built_index.graph,
+            "parameters": built_index.parameters,
+            "contraction": built_index.contraction,
+            "hierarchy": built_index.hierarchy,
+            "labelling": built_index.flat_labelling().to_labelling(),
+            "stats": built_index.stats,
+            "construction_seconds": built_index.construction_seconds,
+            "_extra": {},
+        }
+        path = tmp_path / "pre-flat.pickle"
+        with open(path, "wb") as handle:
+            pickle.dump(legacy, handle)
+        loaded = HC2LIndex.load(path, allow_pickle=True)
+        pairs = random_query_pairs(small_graph, 25, seed=8)
+        assert loaded.distances(pairs).tolist() == built_index.distances(pairs).tolist()
+        assert loaded.labelling.labels == built_index.labelling.labels
+
     def test_pickled_non_index_rejected(self, tmp_path):
         import pickle
 

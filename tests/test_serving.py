@@ -1,0 +1,281 @@
+"""Serving layer: caching, coalescing, mmap loading, single-copy storage.
+
+Every serving path must return *bit-identical* answers to the bare
+engine - the assertions use ``==``, not ``approx``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.index import HC2LIndex
+from repro.core.labelling import HC2LLabelling
+from repro.experiments.workloads import random_pairs, skewed_pairs
+from repro.serving import CachingOracle, CoalescingServer, load_index_mmap
+
+
+@pytest.fixture(scope="module")
+def index(small_graph):
+    return HC2LIndex.build(small_graph)
+
+
+# --------------------------------------------------------------------- #
+# CachingOracle
+# --------------------------------------------------------------------- #
+class TestCachingOracle:
+    def test_answers_identical_to_engine(self, index, small_graph):
+        cached = CachingOracle(index)
+        pairs = random_pairs(small_graph, 300, seed=3)
+        direct = index.distances(pairs)
+        # twice: first pass fills the cache, second pass serves from it
+        assert cached.distances(pairs).tolist() == direct.tolist()
+        assert cached.distances(pairs).tolist() == direct.tolist()
+        for s, t in pairs[:25]:
+            assert cached.distance(s, t) == index.distance(s, t)
+
+    def test_hit_accounting_on_skewed_workload(self, index, small_graph):
+        cached = CachingOracle(index)
+        workload = skewed_pairs(small_graph, 2000, seed=11, exponent=1.2)
+        cached.distances(workload)
+        stats = cached.stats
+        assert stats.pair_hits + stats.pair_misses == len(workload)
+        # Zipf-skewed traffic revisits hot pairs; the cache must notice
+        assert stats.pair_hits > 0
+        assert 0.0 < stats.hit_rate() < 1.0
+        # replaying the workload is then (almost) all hits
+        before_hits = stats.pair_hits
+        cached.distances(workload)
+        assert stats.pair_hits >= before_hits + len(workload) - cached.max_pairs
+
+    def test_repeat_traffic_fully_cached(self, index, small_graph):
+        cached = CachingOracle(index)
+        pairs = random_pairs(small_graph, 50, seed=5)
+        cached.distances(pairs)
+        misses_after_first = cached.stats.pair_misses
+        cached.distances(pairs)
+        assert cached.stats.pair_misses == misses_after_first
+
+    def test_symmetric_pairs_share_one_entry(self, index):
+        cached = CachingOracle(index)
+        first = cached.distance(3, 17)
+        second = cached.distance(17, 3)
+        assert first == second
+        assert cached.stats.pair_hits == 1
+        assert cached.stats.pair_misses == 1
+
+    def test_pair_cache_respects_capacity(self, index, small_graph):
+        cached = CachingOracle(index, max_pairs=16)
+        cached.distances(random_pairs(small_graph, 400, seed=7))
+        assert len(cached._pairs) <= 16
+
+    def test_row_cache_hits_and_copies(self, index, small_graph):
+        cached = CachingOracle(index)
+        targets = list(range(0, small_graph.num_vertices, 5))
+        row = cached.one_to_many(2, targets)
+        assert row.tolist() == index.one_to_many(2, targets).tolist()
+        assert cached.stats.row_misses == 1
+        row[0] = -1.0  # mutating the returned row must not poison the cache
+        again = cached.one_to_many(2, targets)
+        assert cached.stats.row_hits == 1
+        assert again.tolist() == index.one_to_many(2, targets).tolist()
+
+    def test_many_to_many_identical_and_row_cached(self, index):
+        cached = CachingOracle(index)
+        sources = [0, 7, 13]
+        targets = [2, 9, 40, 77]
+        direct = index.many_to_many(sources, targets)
+        assert cached.many_to_many(sources, targets).tolist() == direct.tolist()
+        assert cached.many_to_many(sources, targets).tolist() == direct.tolist()
+        assert cached.stats.row_hits == len(sources)
+
+    def test_metadata_passthrough(self, index):
+        cached = CachingOracle(index)
+        assert cached.index_size_bytes == index.index_size_bytes
+        assert cached.supports_batch == index.supports_batch
+        assert cached.distance_with_hub_count(0, 9) == index.distance_with_hub_count(0, 9)
+
+    def test_invalid_capacity_rejected(self, index):
+        with pytest.raises(ValueError):
+            CachingOracle(index, max_pairs=0)
+        with pytest.raises(ValueError):
+            CachingOracle(index, max_rows=0)
+
+    def test_clear_preserves_stats(self, index):
+        cached = CachingOracle(index)
+        cached.distance(0, 5)
+        cached.clear()
+        assert cached.stats.pair_misses == 1
+        cached.distance(0, 5)
+        assert cached.stats.pair_misses == 2
+
+
+# --------------------------------------------------------------------- #
+# CoalescingServer
+# --------------------------------------------------------------------- #
+class TestCoalescingServer:
+    def test_submit_flush_matches_direct_batch(self, index, small_graph):
+        server = CoalescingServer(index, window_seconds=0.0)
+        pairs = random_pairs(small_graph, 64, seed=9)
+        requests = [server.submit(s, t) for s, t in pairs]
+        assert server.pending == len(pairs)
+        assert server.flush() == len(pairs)
+        direct = index.distances(pairs)
+        assert [r.result() for r in requests] == direct.tolist()
+        stats = server.stats()
+        assert stats["requests"] == len(pairs)
+        assert stats["batches"] == 1
+        assert stats["largest_batch"] == len(pairs)
+
+    def test_concurrent_requests_identical_to_scalar(self, index, small_graph):
+        server = CoalescingServer(index, window_seconds=0.002)
+        pairs = random_pairs(small_graph, 200, seed=21)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(lambda p: server.distance(*p), pairs))
+        assert results == [index.distance(s, t) for s, t in pairs]
+        stats = server.stats()
+        assert stats["requests"] == len(pairs)
+        assert 1 <= stats["batches"] <= stats["requests"]
+
+    def test_max_batch_splits_large_flushes(self, index, small_graph):
+        server = CoalescingServer(index, window_seconds=0.0, max_batch=10)
+        pairs = random_pairs(small_graph, 25, seed=31)
+        requests = [server.submit(s, t) for s, t in pairs]
+        assert server.flush() == len(pairs)
+        assert server.stats()["batches"] == 3
+        assert server.largest_batch <= 10
+        assert [r.result() for r in requests] == index.distances(pairs).tolist()
+
+    def test_batched_entry_point_bypasses_queue(self, index, small_graph):
+        server = CoalescingServer(index)
+        pairs = random_pairs(small_graph, 30, seed=41)
+        assert server.distances(pairs).tolist() == index.distances(pairs).tolist()
+        assert server.stats()["requests"] == 0
+
+    def test_shared_fate_on_invalid_vertex(self, index, small_graph):
+        server = CoalescingServer(index, window_seconds=0.0)
+        good = server.submit(0, 1)
+        bad = server.submit(0, small_graph.num_vertices + 5)
+        server.flush()
+        with pytest.raises(ValueError):
+            bad.result()
+        with pytest.raises(ValueError):
+            good.result()  # same batch, same fate
+
+    def test_invalid_parameters_rejected(self, index):
+        with pytest.raises(ValueError):
+            CoalescingServer(index, window_seconds=-1.0)
+        with pytest.raises(ValueError):
+            CoalescingServer(index, max_batch=0)
+
+
+# --------------------------------------------------------------------- #
+# mmap-backed loading
+# --------------------------------------------------------------------- #
+class TestMmapLoading:
+    def test_bit_identical_to_in_memory_load(self, index, small_graph, tmp_path):
+        path = tmp_path / "index.npz"
+        index.save(path)
+        in_memory = HC2LIndex.load(path)
+        mapped = load_index_mmap(path)
+        pairs = random_pairs(small_graph, 200, seed=13)
+        assert mapped.distances(pairs).tolist() == in_memory.distances(pairs).tolist()
+        assert mapped.distances(pairs).tolist() == index.distances(pairs).tolist()
+        for s, t in pairs[:20]:
+            assert mapped.distance(s, t) == index.distance(s, t)
+
+    def test_labels_are_memory_mapped(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        index.save(path)
+        mapped = load_index_mmap(path)
+        flat = mapped.flat_labelling()
+        assert isinstance(flat.values, np.memmap)
+        assert isinstance(flat.level_indptr, np.memmap)
+        assert not flat.values.flags.writeable
+        assert (tmp_path / "index.npz.mmap" / "label_values.npy").exists()
+
+    def test_sidecars_reused_across_loads(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        index.save(path)
+        load_index_mmap(path)
+        sidecar = tmp_path / "index.npz.mmap" / "label_values.npy"
+        first_mtime = sidecar.stat().st_mtime_ns
+        load_index_mmap(path)
+        assert sidecar.stat().st_mtime_ns == first_mtime
+
+    def test_load_flag_on_index_class(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        index.save(path)
+        mapped = HC2LIndex.load(path, mmap_labels=True)
+        assert isinstance(mapped.flat_labelling().values, np.memmap)
+
+
+# --------------------------------------------------------------------- #
+# single-copy label storage + mutation guard
+# --------------------------------------------------------------------- #
+class TestSingleCopyStorage:
+    def test_batch_query_keeps_exactly_one_label_copy(self, small_graph):
+        index = HC2LIndex.build(small_graph)
+        index.distances([(0, 5), (3, 9), (7, 7)])
+        # the flat buffers are the only materialised labels: no nested view,
+        # no scalar list mirror inside the engine
+        assert index._labelling_view is None
+        assert index.engine._values_list is None
+        assert index.engine.flat is index.flat_labelling()
+
+    def test_scalar_path_materialises_mirror_lazily(self, small_graph):
+        index = HC2LIndex.build(small_graph)
+        index.distances([(0, 5)])
+        assert index.engine._values_list is None
+        index.distance(0, 5)
+        assert index.engine._values_list is not None
+        # the nested view still does not exist
+        assert index._labelling_view is None
+
+    def test_labelling_view_matches_flat_and_is_cached(self, index):
+        view = index.labelling
+        assert view is index.labelling
+        assert view.total_entries() == index.flat_labelling().total_entries()
+
+    def test_direct_assignment_rejected(self, small_graph):
+        index = HC2LIndex.build(small_graph)
+        with pytest.raises(AttributeError, match="replace_labelling"):
+            index.labelling = HC2LLabelling(3)
+
+    def test_view_mutation_rejected(self, small_graph):
+        index = HC2LIndex.build(small_graph)
+        with pytest.raises(RuntimeError, match="replace_labelling"):
+            index.labelling.append_level(0, [1.0])
+
+    def test_replace_labelling_invalidates_engine(self, small_graph):
+        index = HC2LIndex.build(small_graph)
+        before = index.distance(0, 9)
+        engine_before = index.engine
+        nested = index.flat_labelling().to_labelling()
+        replacement = HC2LLabelling(num_vertices=nested.num_vertices, labels=nested.labels)
+        index.replace_labelling(replacement)
+        assert index.engine is not engine_before
+        assert index.distance(0, 9) == before
+
+    def test_replace_labelling_rejects_wrong_shape(self, small_graph):
+        index = HC2LIndex.build(small_graph)
+        with pytest.raises(ValueError):
+            index.replace_labelling(HC2LLabelling(2))
+        with pytest.raises(TypeError):
+            index.replace_labelling([[1.0]])
+
+
+# --------------------------------------------------------------------- #
+# composed stack
+# --------------------------------------------------------------------- #
+def test_full_serving_stack_identical_answers(index, small_graph, tmp_path):
+    """mmap load -> cache -> coalescer returns the bare engine's answers."""
+    path = tmp_path / "index.npz"
+    index.save(path)
+    stack = CoalescingServer(CachingOracle(load_index_mmap(path)), window_seconds=0.0)
+    pairs = random_pairs(small_graph, 120, seed=17)
+    direct = index.distances(pairs).tolist()
+    assert stack.distances(pairs).tolist() == direct
+    assert [stack.distance(s, t) for s, t in pairs[:15]] == direct[:15]
