@@ -8,8 +8,10 @@ road-like graph and times the same random query workload through
 * the batch ``distances`` protocol call (vectorised where the method's
   structure allows - ``supports_batch`` is recorded per row), and
 * for HC2L additionally the serving layer: an LRU :class:`CachingOracle`
-  on a Zipf-skewed workload (with hit-rate) and a
-  :class:`CoalescingServer` fed by concurrent scalar requests.
+  on a Zipf-skewed workload (with hit-rate), a :class:`CoalescingServer`
+  fed by concurrent scalar requests, and the :class:`ShardRouter` over a
+  sharded on-disk layout swept across shard counts {1, 2, 4} (one row
+  per count, with the router-overhead ratio vs. the monolithic engine).
 
 Scalar/batch results are verified identical before anything is written.
 The per-oracle rows land in ``BENCH_query.json`` (uploaded by CI) so the
@@ -19,7 +21,7 @@ Run with::
 
     PYTHONPATH=src python benchmarks/bench_query_throughput.py \
         [--vertices 3000] [--queries 10000] [--oracles HC2L,H2H,...] \
-        [--output BENCH_query.json]
+        [--shard-counts 1,2,4] [--output BENCH_query.json]
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import random
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -42,6 +45,7 @@ from repro.baselines import (
     PrunedHighwayLabelling,
     PrunedLandmarkLabelling,
 )
+from repro.experiments.sharding import router_overhead_rows
 from repro.experiments.workloads import skewed_pairs
 from repro.serving import CachingOracle, CoalescingServer
 
@@ -150,7 +154,11 @@ def bench_serving_paths(index: HC2LIndex, graph, num_queries: int, seed: int) ->
 
 
 def run_benchmark(
-    num_vertices: int, num_queries: int, seed: int = 2024, oracles: List[str] | None = None
+    num_vertices: int,
+    num_queries: int,
+    seed: int = 2024,
+    oracles: List[str] | None = None,
+    shard_counts: List[int] | None = None,
 ) -> dict:
     """Build every selected oracle, sweep the workload, return the record."""
     selected = oracles or DEFAULT_ORACLES
@@ -181,6 +189,15 @@ def run_benchmark(
 
     if hc2l_index is not None:
         rows.extend(bench_serving_paths(hc2l_index, graph, num_queries, seed))
+        counts = shard_counts if shard_counts is not None else [1, 2, 4]
+        if counts:
+            print(f"  HC2L+router: sweeping shard counts {counts} ...")
+            with tempfile.TemporaryDirectory() as workdir:
+                rows.extend(
+                    router_overhead_rows(
+                        hc2l_index, pairs, workdir, shard_counts=counts
+                    )
+                )
 
     hc2l_row = next((row for row in rows if row["oracle"] == "HC2L"), {})
     return {
@@ -209,6 +226,11 @@ def main() -> None:
         help=f"comma separated subset of {list(ORACLE_BUILDERS)}",
     )
     parser.add_argument(
+        "--shard-counts",
+        default="1,2,4",
+        help="comma separated shard counts for the router sweep (empty disables it)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_query.json",
@@ -216,7 +238,8 @@ def main() -> None:
     args = parser.parse_args()
 
     names = [name.strip() for name in args.oracles.split(",") if name.strip()]
-    record = run_benchmark(args.vertices, args.queries, args.seed, names)
+    counts = [int(c) for c in args.shard_counts.split(",") if c.strip()]
+    record = run_benchmark(args.vertices, args.queries, args.seed, names, counts)
     args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
 
     print(json.dumps(record, indent=2))

@@ -1,12 +1,18 @@
 """Command line interface for the HC2L reproduction.
 
-Four subcommands cover the typical workflow of a downstream user:
+Five subcommands cover the typical workflow of a downstream user:
 
 ``build``
     Build an HC2L index from a DIMACS ``.gr`` file (or a synthetic
     dataset) and save it to disk.
+``shard``
+    Split a saved index into the sharded layout (``<path>.shards/``:
+    ``manifest.json`` + label-free ``base.npz`` + per-range shard
+    archives) for multi-worker serving.
 ``query``
-    Load a saved index and answer source/target queries.
+    Load a saved index (``--mmap`` maps the labels, ``--shards`` serves
+    a sharded layout through the shard router) and answer source/target
+    queries.
 ``compare``
     Build HC2L and selected baselines on a dataset and print the
     comparison table (a miniature Table 2).
@@ -46,6 +52,19 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--no-contraction", action="store_true", help="disable degree-one contraction")
     build.add_argument("--workers", type=int, default=0, help=">=2 uses the parallel builder")
 
+    shard = subparsers.add_parser(
+        "shard", help="split a saved index into a sharded layout for multi-worker serving"
+    )
+    shard.add_argument("index", help="path to an index written by 'repro build'")
+    shard.add_argument(
+        "--shards", type=int, default=2, help="number of vertex-range shards (default 2)"
+    )
+    shard.add_argument(
+        "--allow-pickle",
+        action="store_true",
+        help="also accept legacy pickle index files (runs arbitrary code; trusted files only)",
+    )
+
     query = subparsers.add_parser("query", help="answer distance queries from a saved index")
     query.add_argument("index", help="path to an index written by 'repro build'")
     query.add_argument("pairs", nargs="*", help="queries as s,t pairs (e.g. 3,17 42,7)")
@@ -59,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--mmap",
         action="store_true",
         help="memory-map the label buffers so concurrent processes share one copy",
+    )
+    query.add_argument(
+        "--shards",
+        action="store_true",
+        help="serve from the sharded layout written by 'repro shard' (lazily mmap-loads shards)",
     )
 
     compare = subparsers.add_parser("compare", help="compare HC2L against baselines on one graph")
@@ -144,13 +168,36 @@ def _parse_pairs(args: argparse.Namespace) -> List[tuple[int, int]]:
     return pairs
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    index = HC2LIndex.load(args.index, allow_pickle=args.allow_pickle)
+    layout = index.save_sharded(args.index, num_shards=args.shards)
+    from repro.core.persistence import load_manifest
+
+    _, manifest = load_manifest(layout)
+    print(f"sharded {args.index} into {layout}")
+    for shard in manifest["shards"]:
+        print(
+            f"  {shard['file']}: core vertices [{shard['lo']}, {shard['hi']}), "
+            f"{shard['num_entries']} label entries"
+        )
+    print("serve it with: repro query --shards " + str(args.index) + " s,t ...")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = HC2LIndex.load(args.index, allow_pickle=args.allow_pickle, mmap_labels=args.mmap)
+    if args.shards:
+        from repro.serving import ShardRouter
+
+        oracle = ShardRouter(args.index)
+    else:
+        oracle = HC2LIndex.load(
+            args.index, allow_pickle=args.allow_pickle, mmap_labels=args.mmap
+        )
     pairs = _parse_pairs(args)
     if not pairs:
         print("no query pairs given (pass s,t arguments or --stdin)", file=sys.stderr)
         return 2
-    for (s, t), value in zip(pairs, index.distances(pairs).tolist()):
+    for (s, t), value in zip(pairs, oracle.distances(pairs).tolist()):
         print(f"{s}\t{t}\t{value}")
     return 0
 
@@ -202,6 +249,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "build": _cmd_build,
+        "shard": _cmd_shard,
         "query": _cmd_query,
         "compare": _cmd_compare,
         "generate": _cmd_generate,

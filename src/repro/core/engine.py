@@ -9,6 +9,12 @@ overhead) or for whole batches at once (:meth:`distances`,
 LCA of Section 4.3 and the min-plus reduction are all vectorised over the
 contiguous distance buffer.
 
+The graph-level half of the batch path - range validation, contraction
+resolution and the vectorised LCA - lives in :class:`BatchResolver` so
+it is shared with oracles that gather labels from a *different* store,
+in particular the :class:`~repro.serving.shards.ShardRouter` fanning one
+batch out over several label shards.
+
 Both paths perform exactly the same float64 additions and minima as the
 original per-pair implementation, so batch results are bit-identical to
 the scalar ones - the tests assert ``==``, not ``approx``.
@@ -35,6 +41,91 @@ INF = float("inf")
 #: Deeper hierarchies than this cannot pack their path bitstrings into a
 #: non-negative int64, so the vectorised LCA falls back to scalar code.
 _MAX_VECTOR_DEPTH = 62
+
+
+class BatchResolver:
+    """Vectorised contraction + LCA bookkeeping for a pair batch.
+
+    Owns the graph-level state a batched HC2L query needs *before* any
+    label array is touched: per-vertex attachment roots and root
+    distances, the root's core id, and the bitstring LCA of Section 4.3.
+    :class:`QueryEngine` delegates to it for the monolithic labelling;
+    :class:`~repro.serving.shards.ShardRouter` reuses it unchanged over a
+    partitioned label store.
+    """
+
+    def __init__(self, contraction: ContractedGraph, hierarchy: BalancedTreeHierarchy) -> None:
+        self.contraction = contraction
+        self.hierarchy = hierarchy
+        self._root = np.asarray(contraction.root, dtype=np.int64)
+        self._dist_to_root = np.asarray(contraction.dist_to_root, dtype=np.float64)
+        original_to_core = np.asarray(contraction.original_to_core, dtype=np.int64)
+        #: core id of each original vertex's attachment root
+        self._root_core = original_to_core[self._root]
+        self._vertex_depth = np.asarray(hierarchy.vertex_depth, dtype=np.int64)
+        max_depth = int(self._vertex_depth.max()) if len(self._vertex_depth) else 0
+        self._vector_lca = max_depth <= _MAX_VECTOR_DEPTH
+        if self._vector_lca:
+            self._vertex_bits = np.asarray(hierarchy.vertex_bits, dtype=np.int64)
+        else:  # pragma: no cover - needs a >62-level hierarchy
+            self._vertex_bits = None
+
+    def validate_vertices(self, s: np.ndarray, t: np.ndarray) -> None:
+        """Range-check both endpoint arrays (original vertex ids)."""
+        n = self.contraction.num_original
+        if s.size and (int(min(s.min(), t.min())) < 0 or int(max(s.max(), t.max())) >= n):
+            bad = next(
+                int(v) for v in np.concatenate([s, t]) if v < 0 or v >= n
+            )
+            raise ValueError(f"vertex {bad} is out of range for a graph with {n} vertices")
+
+    def resolve(
+        self, s: np.ndarray, t: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Resolve the contraction bookkeeping of a validated pair batch.
+
+        Returns ``(out, core_mask, cs, ct, offsets)``: ``out`` already
+        holds the answers of pairs resolved inside the attachment trees
+        (identical endpoints, shared root); for the rest - flagged by
+        ``core_mask`` - the caller computes the core distances between
+        ``cs`` and ``ct`` and adds ``offsets``.
+        """
+        out = np.zeros(len(s), dtype=np.float64)
+        same = s == t
+        root_s = self._root[s]
+        root_t = self._root[t]
+        same_root = (root_s == root_t) & ~same
+        if same_root.any():
+            # both endpoints hang off the same attachment tree: resolved by
+            # the in-tree LCA walk (rare; scalar loop)
+            tree_distance = self.contraction.tree_lca_distance
+            positions = np.nonzero(same_root)[0]
+            out[positions] = [tree_distance(int(s[i]), int(t[i])) for i in positions]
+
+        core_mask = ~same & ~same_root
+        cs = self._root_core[s[core_mask]]
+        ct = self._root_core[t[core_mask]]
+        offsets = self._dist_to_root[s[core_mask]] + self._dist_to_root[t[core_mask]]
+        return out, core_mask, cs, ct, offsets
+
+    def lca_depths(self, cs: np.ndarray, ct: np.ndarray) -> np.ndarray:
+        """Vectorised Section 4.3 LCA depth (common bitstring prefix length)."""
+        if not self._vector_lca:  # pragma: no cover - needs a >62-level hierarchy
+            lca_depth = self.hierarchy.lca_depth
+            return np.asarray(
+                [lca_depth(int(a), int(b)) for a, b in zip(cs, ct)], dtype=np.int64
+            )
+        depth_u = self._vertex_depth[cs]
+        depth_v = self._vertex_depth[ct]
+        bits_u = self._vertex_bits[cs]
+        bits_v = self._vertex_bits[ct]
+        shift = depth_u - depth_v
+        bits_u = np.where(shift > 0, bits_u >> np.maximum(shift, 0), bits_u)
+        bits_v = np.where(shift < 0, bits_v >> np.maximum(-shift, 0), bits_v)
+        common = np.minimum(depth_u, depth_v)
+        diff = bits_u ^ bits_v
+        # bit_length(0) == 0, so the diff == 0 case needs no special branch
+        return common - _bit_length(diff)
 
 
 class QueryEngine:
@@ -68,22 +159,12 @@ class QueryEngine:
         self._level_indptr_list: Optional[List[int]] = None
         self._vertex_indptr_list: Optional[List[int]] = None
 
-        # batch-path state: numpy views/arrays
+        # batch-path state: numpy views/arrays + the shared graph-level
+        # resolver (contraction bookkeeping, vectorised LCA)
         self._values = flat.values
         self._level_indptr = flat.level_indptr
         self._vertex_indptr = flat.vertex_indptr
-        self._root = np.asarray(contraction.root, dtype=np.int64)
-        self._dist_to_root = np.asarray(contraction.dist_to_root, dtype=np.float64)
-        original_to_core = np.asarray(contraction.original_to_core, dtype=np.int64)
-        #: core id of each original vertex's attachment root
-        self._root_core = original_to_core[self._root]
-        self._vertex_depth = np.asarray(hierarchy.vertex_depth, dtype=np.int64)
-        max_depth = int(self._vertex_depth.max()) if len(self._vertex_depth) else 0
-        self._vector_lca = max_depth <= _MAX_VECTOR_DEPTH
-        if self._vector_lca:
-            self._vertex_bits = np.asarray(hierarchy.vertex_bits, dtype=np.int64)
-        else:  # pragma: no cover - needs a >62-level hierarchy
-            self._vertex_bits = None
+        self.resolver = BatchResolver(contraction, hierarchy)
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -156,30 +237,9 @@ class QueryEngine:
             return np.empty(0, dtype=np.float64)
         s = np.ascontiguousarray(pair_array[:, 0])
         t = np.ascontiguousarray(pair_array[:, 1])
-        n = self.contraction.num_original
-        if s.size and (int(min(s.min(), t.min())) < 0 or int(max(s.max(), t.max())) >= n):
-            bad = next(
-                int(v) for v in np.concatenate([s, t]) if v < 0 or v >= n
-            )
-            raise ValueError(f"vertex {bad} is out of range for a graph with {n} vertices")
-
-        out = np.zeros(len(s), dtype=np.float64)
-        same = s == t
-        root_s = self._root[s]
-        root_t = self._root[t]
-        same_root = (root_s == root_t) & ~same
-        if same_root.any():
-            # both endpoints hang off the same attachment tree: resolved by
-            # the in-tree LCA walk (rare; scalar loop)
-            tree_distance = self.contraction.tree_lca_distance
-            positions = np.nonzero(same_root)[0]
-            out[positions] = [tree_distance(int(s[i]), int(t[i])) for i in positions]
-
-        core_mask = ~same & ~same_root
+        self.resolver.validate_vertices(s, t)
+        out, core_mask, cs, ct, offsets = self.resolver.resolve(s, t)
         if core_mask.any():
-            cs = self._root_core[s[core_mask]]
-            ct = self._root_core[t[core_mask]]
-            offsets = self._dist_to_root[s[core_mask]] + self._dist_to_root[t[core_mask]]
             out[core_mask] = offsets + self._core_distances(cs, ct)
         return out
 
@@ -202,7 +262,7 @@ class QueryEngine:
     # ------------------------------------------------------------------ #
     def _core_distances(self, cs: np.ndarray, ct: np.ndarray) -> np.ndarray:
         """Vectorised min-plus for arrays of core vertex pairs (cs != ct allowed equal)."""
-        depth = self._lca_depths(cs, ct)
+        depth = self.resolver.lca_depths(cs, ct)
 
         k_s = self._vertex_indptr[cs] + depth
         k_t = self._vertex_indptr[ct] + depth
@@ -234,25 +294,6 @@ class QueryEngine:
         mins = np.minimum.reduceat(sums, group_starts[nonempty])
         result[nonempty] = mins
         return result
-
-    def _lca_depths(self, cs: np.ndarray, ct: np.ndarray) -> np.ndarray:
-        """Vectorised Section 4.3 LCA depth (common bitstring prefix length)."""
-        if not self._vector_lca:  # pragma: no cover - needs a >62-level hierarchy
-            lca_depth = self.hierarchy.lca_depth
-            return np.asarray(
-                [lca_depth(int(a), int(b)) for a, b in zip(cs, ct)], dtype=np.int64
-            )
-        depth_u = self._vertex_depth[cs]
-        depth_v = self._vertex_depth[ct]
-        bits_u = self._vertex_bits[cs]
-        bits_v = self._vertex_bits[ct]
-        shift = depth_u - depth_v
-        bits_u = np.where(shift > 0, bits_u >> np.maximum(shift, 0), bits_u)
-        bits_v = np.where(shift < 0, bits_v >> np.maximum(-shift, 0), bits_v)
-        common = np.minimum(depth_u, depth_v)
-        diff = bits_u ^ bits_v
-        # bit_length(0) == 0, so the diff == 0 case needs no special branch
-        return common - _bit_length(diff)
 
 
 def _bit_length(x: np.ndarray) -> np.ndarray:

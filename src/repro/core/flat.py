@@ -12,6 +12,13 @@ three pointer indirections.  This module provides the flat counterparts:
   with a lossless round-trip from/to :class:`~repro.core.labelling.HC2LLabelling`.
   It is the storage backend the batch :class:`~repro.core.engine.QueryEngine`
   vectorises over and the payload of the versioned on-disk format.
+  A labelling is also a *composable partition*: :meth:`FlatLabelling.slice_vertices`
+  carves out a self-contained labelling for a contiguous vertex range
+  (re-based index arrays, same dtype contracts), :meth:`FlatLabelling.partition`
+  splits along a boundary sequence, and :meth:`FlatLabelling.concat` is the
+  lossless inverse - the basis of the sharded on-disk layout
+  (:func:`repro.core.persistence.save_index_sharded`) and the
+  :class:`~repro.serving.shards.ShardRouter`.
 * :class:`FlatWorkingGraph` - a CSR snapshot of a construction-time
   working adjacency with dense local ids, shared by the per-cut-vertex
   Dijkstra searches of the ranking and labelling passes (which repeatedly
@@ -85,6 +92,14 @@ class FlatLabelling:
         self.values = _as_contiguous(values, np.float64)
         self.level_indptr = _as_contiguous(level_indptr, np.int64)
         self.vertex_indptr = _as_contiguous(vertex_indptr, np.int64)
+        for name in ("values", "level_indptr", "vertex_indptr"):
+            buffer = getattr(self, name)
+            if isinstance(buffer, np.memmap) and buffer.flags.writeable:
+                raise ValueError(
+                    f"{name} is a writable memory map; label buffers shared "
+                    f"between serving processes must be mapped read-only "
+                    f"(mmap_mode='r') so no shard can mutate shared pages"
+                )
 
     # ------------------------------------------------------------------ #
     # conversions
@@ -124,6 +139,94 @@ class FlatLabelling:
                 levels.append(values[level_indptr[k] : level_indptr[k + 1]])
             labels.append(levels)
         return HC2LLabelling(num_vertices=self.num_vertices, labels=labels)
+
+    # ------------------------------------------------------------------ #
+    # partitioning (the basis of the sharded store)
+    # ------------------------------------------------------------------ #
+    def slice_vertices(self, lo: int, hi: int) -> "FlatLabelling":
+        """A self-contained labelling for the vertex range ``[lo, hi)``.
+
+        The returned labelling owns vertices ``0 .. hi - lo - 1`` (local
+        ids ``v - lo``) with *re-based* ``vertex_indptr`` / ``level_indptr``
+        and the same dtype contracts as the parent, so it round-trips
+        through :meth:`concat` and serves as an independent shard payload.
+        ``values`` is a zero-copy view of the parent buffer (still a
+        read-only memmap when the parent is mmap-loaded); the index arrays
+        are small re-based copies.
+        """
+        if not 0 <= lo <= hi <= self.num_vertices:
+            raise ValueError(
+                f"invalid vertex range [{lo}, {hi}) for a labelling over "
+                f"{self.num_vertices} vertices"
+            )
+        k_lo = int(self.vertex_indptr[lo])
+        k_hi = int(self.vertex_indptr[hi])
+        value_lo = int(self.level_indptr[k_lo])
+        value_hi = int(self.level_indptr[k_hi])
+        # np.asarray drops any (fake) memmap wrapper the subtraction would
+        # otherwise produce; the re-based indptrs are plain owned arrays
+        vertex_indptr = np.asarray(self.vertex_indptr[lo : hi + 1], dtype=np.int64) - k_lo
+        level_indptr = np.asarray(self.level_indptr[k_lo : k_hi + 1], dtype=np.int64) - value_lo
+        return FlatLabelling(
+            num_vertices=hi - lo,
+            values=self.values[value_lo:value_hi],
+            level_indptr=level_indptr,
+            vertex_indptr=vertex_indptr,
+        )
+
+    def partition(self, boundaries: Sequence[int]) -> List["FlatLabelling"]:
+        """Split into per-range labellings along ``boundaries``.
+
+        ``boundaries`` is the full monotone edge sequence
+        ``[0, b_1, ..., num_vertices]`` (``len(boundaries) - 1`` shards);
+        shard ``k`` covers vertices ``boundaries[k] .. boundaries[k+1] - 1``.
+        ``concat(partition(boundaries))`` reproduces the labelling exactly.
+        """
+        edges = [int(b) for b in boundaries]
+        if len(edges) < 2 or edges[0] != 0 or edges[-1] != self.num_vertices:
+            raise ValueError(
+                f"boundaries must run from 0 to num_vertices "
+                f"({self.num_vertices}), got {edges}"
+            )
+        if any(a > b for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"boundaries must be non-decreasing, got {edges}")
+        return [self.slice_vertices(lo, hi) for lo, hi in zip(edges, edges[1:])]
+
+    @classmethod
+    def concat(cls, parts: Sequence["FlatLabelling"]) -> "FlatLabelling":
+        """Concatenate per-range labellings back into one (inverse of
+        :meth:`partition`; lossless for any partition of the vertex range).
+        """
+        if not parts:
+            return cls(0, np.empty(0, np.float64), np.zeros(1, np.int64), np.zeros(1, np.int64))
+        num_vertices = sum(part.num_vertices for part in parts)
+        values = np.concatenate([part.values for part in parts])
+        vertex_indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        total_levels = sum(len(part.level_indptr) - 1 for part in parts)
+        level_indptr = np.zeros(total_levels + 1, dtype=np.int64)
+        vertex_at = 0
+        level_at = 0
+        value_base = 0
+        for part in parts:
+            num_local = part.num_vertices
+            vertex_indptr[vertex_at + 1 : vertex_at + num_local + 1] = (
+                part.vertex_indptr[1:] + level_at
+            )
+            num_levels = len(part.level_indptr) - 1
+            level_indptr[level_at + 1 : level_at + num_levels + 1] = (
+                part.level_indptr[1:] + value_base
+            )
+            vertex_at += num_local
+            level_at += num_levels
+            value_base += int(part.level_indptr[-1])
+        return cls(num_vertices, values, level_indptr, vertex_indptr)
+
+    @staticmethod
+    def even_boundaries(num_vertices: int, num_shards: int) -> List[int]:
+        """The edge sequence of an (almost) even ``num_shards``-way split."""
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        return [round(k * num_vertices / num_shards) for k in range(num_shards + 1)]
 
     # ------------------------------------------------------------------ #
     # element access (mirrors HC2LLabelling)

@@ -112,9 +112,12 @@ def pairs_from_source(s: int, targets) -> np.ndarray:
     """An ``(len(targets), 2)`` pair array fanning one source out to targets.
 
     The shared building block behind every ``one_to_many`` implementation:
-    validates the target dtype once and leaves per-vertex range checks to
-    the ``distances`` call evaluating the pairs.
+    validates the source and target dtypes once and leaves per-vertex range
+    checks to the ``distances`` call evaluating the pairs.
     """
+    if not isinstance(s, (int, np.integer)) or isinstance(s, bool):
+        # int(2.7) would silently query from vertex 2; the scalar path raises
+        raise ValueError(f"s must be an integer vertex id, got {s!r}")
     target_array = as_vertex_ids(np.asarray(targets), "targets")
     pairs = np.empty((len(target_array), 2), dtype=np.int64)
     pairs[:, 0] = int(s)

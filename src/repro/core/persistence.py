@@ -1,10 +1,12 @@
-"""Versioned on-disk format for :class:`~repro.core.index.HC2LIndex`.
+"""Versioned on-disk formats for :class:`~repro.core.index.HC2LIndex`.
 
 The original reproduction pickled the whole index object, which (a)
 executes arbitrary code on load, (b) breaks whenever an internal class
 changes shape, and (c) stores the nested label lists at Python-object
-prices.  The format here is a single ``.npz`` archive (the standard numpy
-zip container) holding
+prices.  Two formats live here:
+
+**Single archive** (:func:`save_index` / :func:`load_index`) - one
+``.npz`` archive (the standard numpy zip container) holding
 
 * a JSON header with an explicit format name + version, the construction
   parameters, statistics and metadata, and
@@ -12,10 +14,22 @@ zip container) holding
   hierarchy and the flat label buffers of
   :class:`~repro.core.flat.FlatLabelling`.
 
-Loading validates the header first and raises a clear ``ValueError`` on
-anything that is not a compatible archive.  Pre-existing pickle files can
-still be read, but only when the caller explicitly opts in with
-``allow_pickle=True`` (pickle can execute arbitrary code).
+**Sharded layout** (:func:`save_index_sharded` / :func:`load_shard`) - a
+``<path>.shards/`` directory partitioning the label buffers by core
+vertex range for multi-worker serving:
+
+* ``manifest.json`` - shard boundaries, file names and per-shard sizes,
+* ``base.npz`` - the label-free remainder of the single archive (header,
+  graph, contraction, hierarchy), and
+* ``shard-NNNN.npz`` - the re-based flat label buffers of one vertex
+  range (the same member names as the single archive, so the per-shard
+  mmap sidecar machinery of :func:`mmap_label_arrays` applies unchanged).
+
+Loading validates headers first and raises a clear ``ValueError`` on
+anything that is not a compatible archive.  Version-1 single archives
+(written before the sharded layout existed) still load; pre-existing
+pickle files can also be read, but only when the caller explicitly opts
+in with ``allow_pickle=True`` (pickle can execute arbitrary code).
 """
 
 from __future__ import annotations
@@ -23,8 +37,9 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import shutil
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -39,19 +54,29 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.index import HC2LIndex
 
 FORMAT_NAME = "hc2l-index"
-FORMAT_VERSION = 1
+#: current single-archive version; bumped when the sharded layout landed
+#: (version-2 headers carry a ``label_layout`` key)
+FORMAT_VERSION = 2
+#: single-archive versions this build can read
+SUPPORTED_VERSIONS = (1, 2)
+
+SHARDED_FORMAT_NAME = "hc2l-index-shards"
+SHARDED_FORMAT_VERSION = 1
+MANIFEST_FILENAME = "manifest.json"
+BASE_FILENAME = "base.npz"
 
 
 # --------------------------------------------------------------------- #
 # save
 # --------------------------------------------------------------------- #
-def save_index(index: "HC2LIndex", path: Union[str, Path]) -> None:
-    """Serialise ``index`` to ``path`` in the versioned ``.npz`` format."""
+def _index_header(index: "HC2LIndex", label_layout: str) -> dict:
+    """The JSON header shared by the single archive and the sharded base."""
     parameters = index.parameters
     stats = index.stats
-    header = {
+    return {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
+        "label_layout": label_layout,
         "parameters": {
             "beta": parameters.beta,
             "leaf_size": parameters.leaf_size,
@@ -74,22 +99,42 @@ def save_index(index: "HC2LIndex", path: Union[str, Path]) -> None:
         "num_original": index.contraction.num_original,
     }
 
+
+def _base_arrays(index: "HC2LIndex", label_layout: str) -> Dict[str, np.ndarray]:
+    """Header + graph + contraction + hierarchy arrays (no labels)."""
     arrays: Dict[str, np.ndarray] = {}
     arrays["header"] = np.frombuffer(
-        json.dumps(header).encode("utf-8"), dtype=np.uint8
+        json.dumps(_index_header(index, label_layout)).encode("utf-8"), dtype=np.uint8
     ).copy()
     _pack_graph(arrays, "graph", index.graph)
     _pack_contraction(arrays, index.contraction)
     _pack_hierarchy(arrays, index.hierarchy)
+    return arrays
+
+
+def _write_npz(path: Union[str, Path], arrays: Dict[str, np.ndarray]) -> None:
+    # write-then-rename so a concurrent reader (e.g. a ShardRouter lazily
+    # loading a shard while the layout is being rewritten) never opens a
+    # torn archive; the open handle also stops np.savez from appending
+    # ".npz" to paths with a different extension
+    path = Path(path)
+    temporary = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        with open(temporary, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(temporary, path)
+    finally:
+        temporary.unlink(missing_ok=True)
+
+
+def save_index(index: "HC2LIndex", path: Union[str, Path]) -> None:
+    """Serialise ``index`` to ``path`` in the versioned ``.npz`` format."""
+    arrays = _base_arrays(index, label_layout="inline")
     flat = index.flat_labelling()
     arrays["label_values"] = flat.values
     arrays["label_level_indptr"] = flat.level_indptr
     arrays["label_vertex_indptr"] = flat.vertex_indptr
-
-    # write through an open handle: np.savez would otherwise append ".npz"
-    # to paths with a different extension
-    with open(path, "wb") as handle:
-        np.savez_compressed(handle, **arrays)
+    _write_npz(path, arrays)
 
 
 def _pack_graph(arrays: Dict[str, np.ndarray], prefix: str, graph: Graph) -> None:
@@ -182,19 +227,31 @@ def load_index(
         ) from error
 
     with archive:
-        if "header" not in archive.files:
-            raise ValueError(f"{path} is an .npz archive but has no HC2L header")
-        header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
-        if header.get("format") != FORMAT_NAME:
+        header = _validate_header(archive, path)
+        if header.get("label_layout", "inline") != "inline":
             raise ValueError(
-                f"{path} has format {header.get('format')!r}, expected {FORMAT_NAME!r}"
-            )
-        if header.get("version") != FORMAT_VERSION:
-            raise ValueError(
-                f"{path} has format version {header.get('version')!r}; "
-                f"this build reads version {FORMAT_VERSION}"
+                f"{path} is the base archive of a sharded layout (no inline "
+                f"labels); open it with repro.serving.ShardRouter or "
+                f"load_index_sharded instead"
             )
         return _unpack_index(archive, header, path=path, mmap_labels=mmap_labels)
+
+
+def _validate_header(archive, path: Union[str, Path]) -> dict:
+    """Parse + validate the JSON header of a (single or base) archive."""
+    if "header" not in archive.files:
+        raise ValueError(f"{path} is an .npz archive but has no HC2L header")
+    header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+    if header.get("format") != FORMAT_NAME:
+        raise ValueError(
+            f"{path} has format {header.get('format')!r}, expected {FORMAT_NAME!r}"
+        )
+    if header.get("version") not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"{path} has format version {header.get('version')!r}; "
+            f"this build reads versions {list(SUPPORTED_VERSIONS)}"
+        )
+    return header
 
 
 def _load_legacy_pickle(path: Union[str, Path]) -> "HC2LIndex":
@@ -268,10 +325,9 @@ def mmap_label_arrays(path: Union[str, Path]) -> Dict[str, np.ndarray]:
     }
 
 
-def _unpack_index(
-    archive, header: dict, path: Union[str, Path, None] = None, mmap_labels: bool = False
-) -> "HC2LIndex":
-    from repro.core.index import HC2LIndex, HC2LParameters
+def _unpack_components(archive, header: dict) -> dict:
+    """Everything in a (single or base) archive except the labels."""
+    from repro.core.index import HC2LParameters
 
     graph = _unpack_graph(archive, "graph", int(header["graph_num_vertices"]))
     core = _unpack_graph(archive, "core", int(header["core_num_vertices"]))
@@ -289,19 +345,6 @@ def _unpack_index(
 
     hierarchy = _unpack_hierarchy(archive, core.num_vertices)
 
-    if mmap_labels:
-        if path is None:
-            raise ValueError("mmap_labels requires the archive path")
-        label_arrays = mmap_label_arrays(path)
-    else:
-        label_arrays = {name: archive[name] for name in LABEL_ARRAY_NAMES}
-    flat = FlatLabelling(
-        num_vertices=core.num_vertices,
-        values=label_arrays["label_values"],
-        level_indptr=label_arrays["label_level_indptr"],
-        vertex_indptr=label_arrays["label_vertex_indptr"],
-    )
-
     stats_header = header["stats"]
     stats = ConstructionStats(
         timer=Timer(durations=dict(stats_header["timer"])),
@@ -312,16 +355,38 @@ def _unpack_index(
         max_depth=int(stats_header["max_depth"]),
     )
 
-    return HC2LIndex(
-        graph=graph,
-        parameters=HC2LParameters(**header["parameters"]),
-        contraction=contraction,
-        hierarchy=hierarchy,
-        flat=flat,
-        stats=stats,
-        construction_seconds=float(header["construction_seconds"]),
-        extra={k: float(v) for k, v in header["extra"].items()},
+    return {
+        "graph": graph,
+        "parameters": HC2LParameters(**header["parameters"]),
+        "contraction": contraction,
+        "hierarchy": hierarchy,
+        "stats": stats,
+        "construction_seconds": float(header["construction_seconds"]),
+        "extra": {k: float(v) for k, v in header["extra"].items()},
+    }
+
+
+def _unpack_index(
+    archive, header: dict, path: Union[str, Path, None] = None, mmap_labels: bool = False
+) -> "HC2LIndex":
+    from repro.core.index import HC2LIndex
+
+    components = _unpack_components(archive, header)
+
+    if mmap_labels:
+        if path is None:
+            raise ValueError("mmap_labels requires the archive path")
+        label_arrays = mmap_label_arrays(path)
+    else:
+        label_arrays = {name: archive[name] for name in LABEL_ARRAY_NAMES}
+    flat = FlatLabelling(
+        num_vertices=components["contraction"].core.num_vertices,
+        values=label_arrays["label_values"],
+        level_indptr=label_arrays["label_level_indptr"],
+        vertex_indptr=label_arrays["label_vertex_indptr"],
     )
+
+    return HC2LIndex(flat=flat, **components)
 
 
 def _unpack_hierarchy(archive, num_vertices: int) -> BalancedTreeHierarchy:
@@ -360,3 +425,193 @@ def _unpack_hierarchy(archive, num_vertices: int) -> BalancedTreeHierarchy:
             hierarchy.vertex_depth[v] = node.depth
             hierarchy.vertex_bits[v] = node.bits
     return hierarchy
+
+
+# --------------------------------------------------------------------- #
+# sharded layout
+# --------------------------------------------------------------------- #
+def shard_directory(path: Union[str, Path]) -> Path:
+    """The ``<path>.shards/`` directory of an index path.
+
+    Accepts either the index path itself (``index.npz`` ->
+    ``index.npz.shards``) or the layout directory directly.
+    """
+    path = Path(path)
+    if path.name.endswith(".shards"):
+        return path
+    return Path(str(path) + ".shards")
+
+
+def save_index_sharded(
+    index: "HC2LIndex",
+    path: Union[str, Path],
+    num_shards: int = 2,
+    boundaries: Optional[Sequence[int]] = None,
+) -> Path:
+    """Write ``index`` as a sharded layout under ``<path>.shards/``.
+
+    The label buffers are partitioned by *core* vertex range into
+    ``num_shards`` (or along explicit ``boundaries``, the full edge
+    sequence ``[0, ..., core_num_vertices]``) self-contained shard
+    archives; everything else (graph, contraction, hierarchy, header)
+    goes into one small ``base.npz``.  Returns the layout directory.
+    Shards reuse the single-archive label member names, so
+    :func:`mmap_label_arrays` maps each shard's buffers read-only with
+    the existing sidecar machinery.
+    """
+    flat = index.flat_labelling()
+    if boundaries is None:
+        boundaries = FlatLabelling.even_boundaries(flat.num_vertices, num_shards)
+    parts = flat.partition(boundaries)
+
+    shard_dir = shard_directory(path)
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    _write_npz(shard_dir / BASE_FILENAME, _base_arrays(index, label_layout="sharded"))
+
+    edges = [int(b) for b in boundaries]
+    shards: List[dict] = []
+    for k, part in enumerate(parts):
+        filename = f"shard-{k:04d}.npz"
+        _write_npz(
+            shard_dir / filename,
+            {
+                "label_values": part.values,
+                "label_level_indptr": part.level_indptr,
+                "label_vertex_indptr": part.vertex_indptr,
+            },
+        )
+        shards.append(
+            {
+                "file": filename,
+                "lo": edges[k],
+                "hi": edges[k + 1],
+                "num_vertices": part.num_vertices,
+                "num_levels": len(part.level_indptr) - 1,
+                "num_entries": part.total_entries(),
+            }
+        )
+
+    manifest = {
+        "format": SHARDED_FORMAT_NAME,
+        "version": SHARDED_FORMAT_VERSION,
+        "base": BASE_FILENAME,
+        "core_num_vertices": flat.num_vertices,
+        "num_original": index.contraction.num_original,
+        "boundaries": edges,
+        "shards": shards,
+    }
+    manifest_path = shard_dir / MANIFEST_FILENAME
+    temporary = shard_dir / f".{MANIFEST_FILENAME}.{os.getpid()}.tmp"
+    temporary.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+    os.replace(temporary, manifest_path)  # readers never see a torn manifest
+
+    # re-sharding over an existing layout with more shards leaves orphans
+    # behind; drop any shard archive - and its label-sized mmap sidecar
+    # directory - the new manifest does not reference
+    current = {shard["file"] for shard in shards}
+    for stale in shard_dir.glob("shard-*.npz"):
+        if stale.name not in current:
+            stale.unlink()
+    for sidecar in shard_dir.glob("shard-*.npz.mmap"):
+        if sidecar.name[: -len(".mmap")] not in current:
+            shutil.rmtree(sidecar)
+    return shard_dir
+
+
+def load_manifest(path: Union[str, Path]) -> Tuple[Path, dict]:
+    """Read + validate the manifest of a sharded layout.
+
+    ``path`` may be the original index path, the layout directory or the
+    manifest file itself.  Returns ``(layout_directory, manifest)``.
+    """
+    path = Path(path)
+    if path.name == MANIFEST_FILENAME:
+        shard_dir = path.parent
+    else:
+        shard_dir = shard_directory(path)
+    manifest_path = shard_dir / MANIFEST_FILENAME
+    if not manifest_path.exists():
+        raise ValueError(
+            f"{shard_dir} is not a sharded index layout (no {MANIFEST_FILENAME}); "
+            f"create one with save_index_sharded or 'repro shard'"
+        )
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format") != SHARDED_FORMAT_NAME:
+        raise ValueError(
+            f"{manifest_path} has format {manifest.get('format')!r}, "
+            f"expected {SHARDED_FORMAT_NAME!r}"
+        )
+    if manifest.get("version") != SHARDED_FORMAT_VERSION:
+        raise ValueError(
+            f"{manifest_path} has manifest version {manifest.get('version')!r}; "
+            f"this build reads version {SHARDED_FORMAT_VERSION}"
+        )
+    edges = manifest.get("boundaries", [])
+    if len(edges) != len(manifest.get("shards", [])) + 1:
+        raise ValueError(f"{manifest_path} boundaries do not match its shard list")
+    return shard_dir, manifest
+
+
+def load_shard(path: Union[str, Path], shard_id: int, mmap: bool = False) -> FlatLabelling:
+    """Load one shard's labelling (local vertex ids, re-based buffers).
+
+    With ``mmap=True`` the buffers are extracted into per-shard ``.npy``
+    sidecars (``shard-NNNN.npz.mmap/``) and mapped read-only, so every
+    worker serving the shard shares one physical copy.
+    """
+    shard_dir, manifest = load_manifest(path)
+    shards = manifest["shards"]
+    if not 0 <= shard_id < len(shards):
+        raise ValueError(f"shard {shard_id} out of range; layout has {len(shards)} shards")
+    shard_path = shard_dir / shards[shard_id]["file"]
+    if mmap:
+        label_arrays = mmap_label_arrays(shard_path)
+    else:
+        with np.load(shard_path, allow_pickle=False) as archive:
+            label_arrays = {name: archive[name] for name in LABEL_ARRAY_NAMES}
+    return FlatLabelling(
+        num_vertices=int(shards[shard_id]["num_vertices"]),
+        values=label_arrays["label_values"],
+        level_indptr=label_arrays["label_level_indptr"],
+        vertex_indptr=label_arrays["label_vertex_indptr"],
+    )
+
+
+def load_sharded_components(path: Union[str, Path]) -> Tuple[dict, dict, Path]:
+    """Load the label-free base of a sharded layout.
+
+    Returns ``(components, manifest, layout_directory)`` where
+    ``components`` holds graph / contraction / hierarchy / stats /
+    parameters - everything a :class:`~repro.serving.shards.ShardRouter`
+    needs besides the lazily-loaded shard labellings.
+    """
+    shard_dir, manifest = load_manifest(path)
+    base_path = shard_dir / manifest["base"]
+    with np.load(base_path, allow_pickle=False) as archive:
+        header = _validate_header(archive, base_path)
+        components = _unpack_components(archive, header)
+    expected = components["contraction"].core.num_vertices
+    if int(manifest["core_num_vertices"]) != expected:
+        raise ValueError(
+            f"{shard_dir} manifest covers {manifest['core_num_vertices']} core "
+            f"vertices but the base archive has {expected}"
+        )
+    return components, manifest, shard_dir
+
+
+def load_index_sharded(path: Union[str, Path]) -> "HC2LIndex":
+    """Reassemble a full :class:`HC2LIndex` from a sharded layout.
+
+    Concatenates every shard back into one monolithic labelling
+    (:meth:`FlatLabelling.concat` is the lossless inverse of the
+    partition) - the migration path back from a sharded deployment, and
+    the round-trip guarantee the format tests pin down.  The result is an
+    owned in-memory copy; for shared-page serving over the layout use
+    :class:`~repro.serving.shards.ShardRouter` instead, which maps each
+    shard read-only.
+    """
+    from repro.core.index import HC2LIndex
+
+    components, manifest, _ = load_sharded_components(path)
+    parts = [load_shard(path, k) for k in range(len(manifest["shards"]))]
+    return HC2LIndex(flat=FlatLabelling.concat(parts), **components)

@@ -9,21 +9,29 @@ the pieces that turn a built index into a query service:
   answers them with one vectorised ``distances`` call.
 * :func:`load_index_mmap` - memory-mapped label loading so multiple
   serving processes share one physical copy of a large labelling.
+* :class:`ShardRouter` - a :class:`DistanceOracle` over the sharded
+  on-disk layout (``repro shard``): shards mmap-load lazily, batches are
+  split by the shard owning each source vertex and re-assembled in input
+  order.
 
-All three compose: a typical deployment maps the labels once per machine,
-wraps the index in a cache, and fronts it with a coalescer per worker.
-Every layer preserves bit-identical answers - the conformance and serving
-test suites assert ``==`` against the bare engine, not ``approx``.
+All layers compose: a typical fleet shards the index once, and each
+worker opens a router (mapping only the shards it is routed), wraps it in
+a cache, and fronts it with a coalescer.  Every layer preserves
+bit-identical answers - the conformance and serving test suites assert
+``==`` against the bare engine, not ``approx``.
 """
 
 from repro.serving.cache import CacheStats, CachingOracle
 from repro.serving.coalesce import CoalescingServer
 from repro.serving.mmap import load_index_mmap, shared_label_arrays
+from repro.serving.shards import RouterStats, ShardRouter
 
 __all__ = [
     "CacheStats",
     "CachingOracle",
     "CoalescingServer",
+    "RouterStats",
+    "ShardRouter",
     "load_index_mmap",
     "shared_label_arrays",
 ]

@@ -128,6 +128,18 @@ class CachingOracle:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _key(s: int, t: int) -> PairKey:
+        # int(2.7) would alias a float query onto vertex 2's cache entry,
+        # making it *succeed* on a warm cache where the inner oracle's
+        # validation would raise on a cold one; reject before keying so
+        # hit and miss behave the same
+        if (
+            not isinstance(s, (int, np.integer))
+            or not isinstance(t, (int, np.integer))
+            or isinstance(s, bool)
+            or isinstance(t, bool)
+        ):
+            raise ValueError(f"vertex ids must be integers, got ({s!r}, {t!r})")
+        s, t = int(s), int(t)
         # distance is symmetric for every oracle in this package
         return (s, t) if s <= t else (t, s)
 
@@ -156,7 +168,7 @@ class CachingOracle:
     # ------------------------------------------------------------------ #
     def distance(self, s: int, t: int) -> float:
         """Exact distance, served from the pair cache when possible."""
-        key = self._key(int(s), int(t))
+        key = self._key(s, t)
         cached = self._pair_lookup(key)
         if cached is not None:
             return cached
@@ -197,6 +209,10 @@ class CachingOracle:
 
     def one_to_many(self, s: int, targets: Sequence[int]) -> np.ndarray:
         """A row of distances, served from the row cache when possible."""
+        if not isinstance(s, (int, np.integer)) or isinstance(s, bool):
+            # same hit/miss consistency rule as _key: int(2.7) must not
+            # alias onto vertex 2's cached row
+            raise ValueError(f"s must be an integer vertex id, got {s!r}")
         target_array = as_vertex_ids(np.asarray(targets), "targets")
         key: RowKey = (int(s), tuple(target_array.tolist()))
         row = self._rows.get(key)

@@ -44,7 +44,17 @@ def load_index_mmap(path: Union[str, Path]) -> "HC2LIndex":
 def shared_label_arrays(path: Union[str, Path]) -> Dict[str, np.ndarray]:
     """The raw memory-mapped label buffers of a saved index.
 
-    Exposed for shard routers and diagnostics that want the buffers
-    without reconstructing the full index.
+    Returns the three flat label buffers (``label_values``,
+    ``label_level_indptr``, ``label_vertex_indptr``) as **read-only**
+    ``np.memmap`` arrays (``mmap_mode='r'``): writing through them raises
+    rather than silently mutating pages shared with every other process
+    mapping the same sidecars.  :class:`~repro.core.flat.FlatLabelling`
+    enforces the same contract - constructing it from a *writable* memory
+    map is rejected, so no shard can ever scribble on shared label pages.
+
+    ``path`` may be a single index archive or one shard archive of a
+    sharded layout (both store the same member names); exposed for shard
+    routers and diagnostics that want the buffers without reconstructing
+    the full index.
     """
     return mmap_label_arrays(path)

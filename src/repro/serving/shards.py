@@ -1,0 +1,343 @@
+"""Shard-routed serving over a partitioned label store.
+
+A monolithic :class:`~repro.core.flat.FlatLabelling` caps a deployment at
+one process and one memory budget.  The sharded on-disk layout
+(:func:`repro.core.persistence.save_index_sharded`) partitions the label
+buffers by core vertex range; :class:`ShardRouter` serves queries over
+that layout:
+
+* shards are **mmap-loaded lazily** - a worker touching only part of the
+  vertex space maps only those shards, and co-located workers mapping the
+  same shard share one physical copy through the page cache;
+* batches are **split by the shard owning each source vertex**, fanned
+  out as one vectorised min-plus call per source shard (targets are
+  gathered per-shard inside the call), and re-assembled in input order;
+* the graph-level half of a query - contraction bookkeeping and the
+  bitstring LCA - reuses the engine's
+  :class:`~repro.core.engine.BatchResolver` unchanged.
+
+The router implements the full :class:`~repro.core.oracle.DistanceOracle`
+protocol and returns **bit-identical** answers to the monolithic
+:class:`~repro.core.engine.QueryEngine`: the fan-out performs exactly the
+same float64 additions and minima, only gathered from per-shard buffers.
+It therefore composes under :class:`~repro.serving.cache.CachingOracle`
+and :class:`~repro.serving.coalesce.CoalescingServer` with zero changes
+to either.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.engine import BatchResolver
+from repro.core.flat import FlatLabelling
+from repro.core.oracle import BatchMixin, as_pair_array, pairs_from_source
+from repro.core.persistence import load_manifest, load_shard, load_sharded_components
+from repro.core.query import min_plus_prefix
+from repro.utils.validation import check_vertex
+
+INF = float("inf")
+
+
+@dataclass
+class RouterStats:
+    """Routing accounting for one :class:`ShardRouter`."""
+
+    batches: int = 0
+    core_pairs: int = 0
+    cross_shard_pairs: int = 0
+    fanout_calls: int = 0
+    shard_loads: int = 0
+    pairs_per_shard: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten for benchmark/report rows."""
+        return {
+            "batches": self.batches,
+            "core_pairs": self.core_pairs,
+            "cross_shard_pairs": self.cross_shard_pairs,
+            "fanout_calls": self.fanout_calls,
+            "shard_loads": self.shard_loads,
+        }
+
+
+class ShardRouter(BatchMixin):
+    """A :class:`DistanceOracle` over a sharded on-disk label layout.
+
+    Parameters
+    ----------
+    path:
+        The index path, its ``<path>.shards/`` layout directory, or the
+        ``manifest.json`` inside it.
+    mmap:
+        Map each shard's label buffers read-only from ``.npy`` sidecars
+        (the default; co-located workers share pages) instead of copying
+        them into the process.
+    preload:
+        Load every shard eagerly instead of on first touch.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], mmap: bool = True, preload: bool = False
+    ) -> None:
+        components, manifest, shard_dir = load_sharded_components(path)
+        self.path = shard_dir
+        self.manifest = manifest
+        self.graph = components["graph"]
+        self.parameters = components["parameters"]
+        self.contraction = components["contraction"]
+        self.hierarchy = components["hierarchy"]
+        self.construction_seconds = components["construction_seconds"]
+        self.resolver = BatchResolver(self.contraction, self.hierarchy)
+        self._mmap = mmap
+        #: shard edge sequence over core vertex ids ([0, b1, ..., m])
+        self._edges = np.asarray(manifest["boundaries"], dtype=np.int64)
+        self._shards: List[Optional[FlatLabelling]] = [None] * (len(self._edges) - 1)
+        self.stats = RouterStats()
+        # guards lazy shard loading and the stats counters: the router is
+        # documented to sit under the thread-based CoalescingServer, so
+        # concurrent distances() calls must not double-load a shard or
+        # lose counter increments (the numpy reads themselves are safe)
+        self._lock = threading.Lock()
+        if preload:
+            for shard_id in range(self.num_shards):
+                self._shard(shard_id)
+
+    # ------------------------------------------------------------------ #
+    # shard management
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the layout."""
+        return len(self._shards)
+
+    @property
+    def loaded_shard_ids(self) -> List[int]:
+        """Ids of the shards this router has loaded so far."""
+        return [k for k, shard in enumerate(self._shards) if shard is not None]
+
+    def _shard(self, shard_id: int) -> FlatLabelling:
+        shard = self._shards[shard_id]
+        if shard is None:
+            with self._lock:
+                shard = self._shards[shard_id]
+                if shard is not None:  # lost the race; another thread loaded it
+                    return shard
+                # the router's local-id arithmetic is pinned to the
+                # boundaries read at construction; if the layout was
+                # re-sharded since, lazily loading a rewritten shard would
+                # silently mix the two partitions - fail loudly instead
+                _, manifest = load_manifest(self.path)
+                if manifest["boundaries"] != self.manifest["boundaries"]:
+                    raise RuntimeError(
+                        f"{self.path} was re-sharded (boundaries "
+                        f"{manifest['boundaries']} != {self.manifest['boundaries']}) "
+                        f"since this router opened; re-open the ShardRouter"
+                    )
+                shard = load_shard(self.path, shard_id, mmap=self._mmap)
+                self._shards[shard_id] = shard
+                self.stats.shard_loads += 1
+        return shard
+
+    def shard_of(self, core_vertices: np.ndarray) -> np.ndarray:
+        """Shard id owning each core vertex (vectorised range lookup)."""
+        return np.searchsorted(self._edges, core_vertices, side="right") - 1
+
+    # ------------------------------------------------------------------ #
+    # protocol metadata
+    # ------------------------------------------------------------------ #
+    @property
+    def supports_batch(self) -> bool:
+        """The fan-out performs the engine's vectorised min-plus per shard."""
+        return True
+
+    @property
+    def index_size_bytes(self) -> int:
+        """Total label bytes across shards plus contracted-vertex records.
+
+        Computed from the manifest's per-shard sizes, so it matches the
+        monolithic index without loading a single shard.
+        """
+        total = 0
+        for shard in self.manifest["shards"]:
+            total += (
+                int(shard["num_entries"]) * 8
+                + 2 * int(shard["num_levels"])
+                + 8 * int(shard["num_vertices"])
+            )
+        return total + self.contraction.num_contracted * 16
+
+    def label_size_bytes(self) -> int:
+        """Alias for :attr:`index_size_bytes` (harness compatibility)."""
+        return self.index_size_bytes
+
+    # ------------------------------------------------------------------ #
+    # scalar path
+    # ------------------------------------------------------------------ #
+    def distance(self, s: int, t: int) -> float:
+        """Exact distance between ``s`` and ``t`` (original ids)."""
+        n = self.contraction.num_original
+        check_vertex(s, n, "s")
+        check_vertex(t, n, "t")
+        resolved, core_s, core_t, offset = self.contraction.resolve_query(s, t)
+        if resolved is not None:
+            return resolved
+        return offset + self._core_scalar(core_s, core_t)[0]
+
+    def distance_with_hub_count(self, s: int, t: int) -> Tuple[float, int]:
+        """Distance plus the number of label entries inspected."""
+        n = self.contraction.num_original
+        check_vertex(s, n, "s")
+        check_vertex(t, n, "t")
+        resolved, core_s, core_t, offset = self.contraction.resolve_query(s, t)
+        if resolved is not None:
+            return resolved, 0
+        value, hubs = self._core_scalar(core_s, core_t)
+        return offset + value, hubs
+
+    def _core_scalar(self, core_s: int, core_t: int) -> Tuple[float, int]:
+        """Min-plus over the (possibly distinct) shards of two core vertices."""
+        depth = self.hierarchy.lca_depth(core_s, core_t)
+        return min_plus_prefix(
+            self._level_list(core_s, depth), self._level_list(core_t, depth)
+        )
+
+    def _level_list(self, core_vertex: int, depth: int) -> List[float]:
+        shard_id = int(self.shard_of(np.asarray([core_vertex], dtype=np.int64))[0])
+        local = core_vertex - int(self._edges[shard_id])
+        return self._shard(shard_id).level_array(local, depth)
+
+    # ------------------------------------------------------------------ #
+    # batch path
+    # ------------------------------------------------------------------ #
+    def distances(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Exact distances for a batch of ``(s, t)`` pairs, fanned out by
+        the shard owning each source vertex and re-assembled in input
+        order; bit-identical to the monolithic engine.
+        """
+        pair_array = as_pair_array(pairs)
+        if pair_array.size == 0:
+            return np.empty(0, dtype=np.float64)
+        s = np.ascontiguousarray(pair_array[:, 0])
+        t = np.ascontiguousarray(pair_array[:, 1])
+        self.resolver.validate_vertices(s, t)
+        out, core_mask, cs, ct, offsets = self.resolver.resolve(s, t)
+        with self._lock:
+            self.stats.batches += 1
+        if core_mask.any():
+            out[core_mask] = offsets + self._core_distances(cs, ct)
+        return out
+
+    def one_to_many(self, s: int, targets: Sequence[int]) -> np.ndarray:
+        """Distances from ``s`` to every vertex of ``targets`` (one source
+        shard, targets gathered per shard).
+
+        Overrides the mixin only to range-check the source up front (like
+        the engine does), even when ``targets`` is empty.
+        """
+        if isinstance(s, np.integer):
+            s = int(s)
+        check_vertex(s, self.contraction.num_original, "s")
+        return self.distances(pairs_from_source(s, targets))
+
+    # many_to_many: inherited from BatchMixin, which builds the pair grid
+    # and evaluates it through the routed ``distances`` above.
+
+    # ------------------------------------------------------------------ #
+    def _core_distances(self, cs: np.ndarray, ct: np.ndarray) -> np.ndarray:
+        """Route core pairs to per-source-shard fan-out calls."""
+        result = np.full(len(cs), INF, dtype=np.float64)
+        equal = cs == ct
+        result[equal] = 0.0
+        work = ~equal
+        if not work.any():
+            with self._lock:
+                self.stats.core_pairs += len(cs)
+            return result
+
+        depth = self.resolver.lca_depths(cs, ct)
+        source_shard = self.shard_of(cs)
+        target_shard = self.shard_of(ct)
+        fanout_calls = 0
+        pairs_per_shard: Dict[int, int] = {}
+        for shard_id in np.unique(source_shard[work]).tolist():
+            mask = work & (source_shard == shard_id)
+            result[mask] = self._fanout(
+                int(shard_id), cs[mask], ct[mask], target_shard[mask], depth[mask]
+            )
+            fanout_calls += 1
+            pairs_per_shard[int(shard_id)] = int(mask.sum())
+        with self._lock:
+            stats = self.stats
+            stats.core_pairs += len(cs)
+            stats.cross_shard_pairs += int((source_shard[work] != target_shard[work]).sum())
+            stats.fanout_calls += fanout_calls
+            for shard_id, count in pairs_per_shard.items():
+                stats.pairs_per_shard[shard_id] = (
+                    stats.pairs_per_shard.get(shard_id, 0) + count
+                )
+        return result
+
+    def _fanout(
+        self,
+        source_shard_id: int,
+        cs: np.ndarray,
+        ct: np.ndarray,
+        target_shard: np.ndarray,
+        depth: np.ndarray,
+    ) -> np.ndarray:
+        """One vectorised min-plus call for the pairs of one source shard.
+
+        The source side gathers from a single shard buffer; the target
+        side is gathered per target shard (cross-shard pairs are the
+        point of the router).  Performs exactly the engine's grouped
+        gather + ``minimum.reduceat``, so results are bit-identical.
+        """
+        source = self._shard(source_shard_id)
+        k_s = source.vertex_indptr[cs - self._edges[source_shard_id]] + depth
+        start_s = source.level_indptr[k_s]
+        len_s = source.level_indptr[k_s + 1] - start_s
+
+        start_t = np.empty(len(ct), dtype=np.int64)
+        len_t = np.empty(len(ct), dtype=np.int64)
+        for shard_id in np.unique(target_shard).tolist():
+            shard = self._shard(int(shard_id))
+            mask = target_shard == shard_id
+            k_t = shard.vertex_indptr[ct[mask] - self._edges[shard_id]] + depth[mask]
+            start_t[mask] = shard.level_indptr[k_t]
+            len_t[mask] = shard.level_indptr[k_t + 1] - start_t[mask]
+
+        lengths = np.minimum(len_s, len_t)
+        result = np.full(len(cs), INF, dtype=np.float64)
+        total = int(lengths.sum())
+        if total == 0:
+            return result
+
+        group_starts = np.cumsum(lengths) - lengths
+        within = np.arange(total, dtype=np.int64) - np.repeat(group_starts, lengths)
+        source_values = source.values[np.repeat(start_s, lengths) + within]
+        idx_t = np.repeat(start_t, lengths) + within
+        target_values = np.empty(total, dtype=np.float64)
+        element_shard = np.repeat(target_shard, lengths)
+        for shard_id in np.unique(target_shard).tolist():
+            selection = element_shard == shard_id
+            if selection.any():
+                target_values[selection] = self._shard(int(shard_id)).values[
+                    idx_t[selection]
+                ]
+        sums = source_values + target_values
+
+        nonempty = lengths > 0
+        result[nonempty] = np.minimum.reduceat(sums, group_starts[nonempty])
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(path={str(self.path)!r}, num_shards={self.num_shards}, "
+            f"loaded={len(self.loaded_shard_ids)})"
+        )

@@ -57,6 +57,89 @@ class TestRoundTrip:
         assert flat.to_labelling().labels == nested.labels
 
 
+class TestPartitioning:
+    """slice_vertices / partition / concat: lossless, re-based, guarded."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_concat_partition_is_identity(self, seed):
+        flat = FlatLabelling.from_labelling(random_nested_labelling(seed, num_vertices=17))
+        for boundaries in ([0, 17], [0, 5, 17], [0, 1, 6, 12, 17], [0, 0, 17, 17]):
+            parts = flat.partition(boundaries)
+            assert len(parts) == len(boundaries) - 1
+            assert FlatLabelling.concat(parts) == flat
+
+    def test_slice_is_self_contained(self):
+        flat = FlatLabelling.from_labelling(random_nested_labelling(3, num_vertices=10))
+        part = flat.slice_vertices(4, 8)
+        assert part.num_vertices == 4
+        # re-based index arrays: the slice starts at offset zero
+        assert part.vertex_indptr[0] == 0
+        assert part.level_indptr[0] == 0
+        assert part.vertex_indptr.dtype == np.int64
+        assert part.level_indptr.dtype == np.int64
+        assert part.values.dtype == np.float64
+        # local vertex v maps to parent vertex v + 4, level by level
+        for local in range(4):
+            assert part.num_levels(local) == flat.num_levels(local + 4)
+            for depth in range(part.num_levels(local)):
+                assert part.level_array(local, depth) == flat.level_array(local + 4, depth)
+
+    def test_slice_values_are_views_not_copies(self):
+        flat = FlatLabelling.from_labelling(random_nested_labelling(1, num_vertices=9))
+        part = flat.slice_vertices(2, 7)
+        assert part.values.base is not None  # zero-copy view of the parent buffer
+
+    def test_empty_and_full_slices(self):
+        flat = FlatLabelling.from_labelling(random_nested_labelling(2, num_vertices=6))
+        assert flat.slice_vertices(0, 6) == flat
+        empty = flat.slice_vertices(3, 3)
+        assert empty.num_vertices == 0
+        assert empty.total_entries() == 0
+
+    def test_concat_of_nothing_is_empty(self):
+        empty = FlatLabelling.concat([])
+        assert empty.num_vertices == 0
+        assert empty.total_entries() == 0
+
+    def test_invalid_ranges_rejected(self):
+        flat = FlatLabelling.from_labelling(random_nested_labelling(0, num_vertices=5))
+        with pytest.raises(ValueError):
+            flat.slice_vertices(3, 2)
+        with pytest.raises(ValueError):
+            flat.slice_vertices(0, 6)
+        with pytest.raises(ValueError):
+            flat.slice_vertices(-1, 3)
+        with pytest.raises(ValueError):
+            flat.partition([0, 3])  # must end at num_vertices
+        with pytest.raises(ValueError):
+            flat.partition([1, 5])  # must start at 0
+        with pytest.raises(ValueError):
+            flat.partition([0, 4, 2, 5])  # must be monotone
+
+    def test_even_boundaries(self):
+        assert FlatLabelling.even_boundaries(10, 1) == [0, 10]
+        assert FlatLabelling.even_boundaries(10, 4) == [0, 2, 5, 8, 10]
+        assert FlatLabelling.even_boundaries(2, 4)[0] == 0
+        assert FlatLabelling.even_boundaries(2, 4)[-1] == 2
+        with pytest.raises(ValueError):
+            FlatLabelling.even_boundaries(10, 0)
+
+    def test_writable_memmap_rejected(self, tmp_path):
+        """A shard must never be able to scribble on shared label pages."""
+        flat = FlatLabelling.from_labelling(random_nested_labelling(4, num_vertices=5))
+        path = tmp_path / "values.npy"
+        np.save(path, flat.values)
+        writable = np.load(path, mmap_mode="r+")
+        with pytest.raises(ValueError, match="read-only"):
+            FlatLabelling(flat.num_vertices, writable, flat.level_indptr, flat.vertex_indptr)
+        # the read-only mapping the serving layer hands out is accepted
+        readonly = np.load(path, mmap_mode="r")
+        rebuilt = FlatLabelling(
+            flat.num_vertices, readonly, flat.level_indptr, flat.vertex_indptr
+        )
+        assert rebuilt == flat
+
+
 class TestMetricsParity:
     @pytest.mark.parametrize("seed", range(4))
     def test_size_metrics_match_nested(self, seed):

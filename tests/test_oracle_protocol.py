@@ -3,7 +3,9 @@
 One shared fixture graph, eight oracles (HC2L plus the seven baselines),
 and the same assertions for each: the batch methods must return exactly
 (``==``, not ``approx``) what a caller-side scalar loop returns, typed as
-``float64`` numpy arrays, with the protocol metadata present.
+``float64`` numpy arrays, with the protocol metadata present.  The
+:class:`ShardRouter` gets the same treatment at 1, 2 and 3 shards,
+asserted bit-identical to the monolithic engine.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from repro.baselines.pll import PrunedLandmarkLabelling
 from repro.core.index import HC2LIndex
 from repro.core.oracle import DistanceOracle
 from repro.graph.generators import RoadNetworkSpec, synthetic_road_network
+from repro.serving.shards import ShardRouter
 
 from helpers import random_query_pairs
 
@@ -118,6 +121,12 @@ class TestConformance:
         with pytest.raises(ValueError):
             oracle.distances([(0.5, 1.5)])
 
+    def test_float_source_rejected_by_one_to_many(self, name, oracles):
+        """int(2.7) must not silently answer from vertex 2."""
+        oracle = oracles[name]
+        with pytest.raises(ValueError):
+            oracle.one_to_many(2.7, [0, 1, 3])
+
     def test_out_of_range_rejected(self, name, oracles, fixture_graph):
         oracle = oracles[name]
         n = fixture_graph.num_vertices
@@ -167,6 +176,102 @@ def test_index_size_matches_label_size(fixture_graph):
     for name in ORACLE_NAMES:
         oracle = ORACLE_BUILDERS[name](fixture_graph)
         assert oracle.index_size_bytes == oracle.label_size_bytes()
+
+
+# --------------------------------------------------------------------- #
+# ShardRouter conformance: bit-identical to the monolithic engine
+# --------------------------------------------------------------------- #
+SHARD_COUNTS = (1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def shard_routers(oracles, tmp_path_factory):
+    """Routers over sharded layouts of the conformance index, per count."""
+    index = oracles["HC2L"]
+    routers = {}
+    for count in SHARD_COUNTS:
+        path = tmp_path_factory.mktemp(f"shards{count}") / "index.npz"
+        index.save_sharded(path, num_shards=count)
+        routers[count] = ShardRouter(path)
+    return routers
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+class TestShardRouterConformance:
+    def test_satisfies_protocol(self, num_shards, shard_routers):
+        router = shard_routers[num_shards]
+        assert isinstance(router, DistanceOracle)
+        assert router.num_shards == num_shards
+        assert router.supports_batch is True
+
+    def test_metadata_matches_monolithic_index(self, num_shards, shard_routers, oracles):
+        router = shard_routers[num_shards]
+        index = oracles["HC2L"]
+        assert router.index_size_bytes == index.index_size_bytes
+        assert router.construction_seconds == index.construction_seconds
+
+    def test_scalar_bit_identical_to_engine(self, num_shards, shard_routers, oracles, conformance_pairs):
+        router = shard_routers[num_shards]
+        index = oracles["HC2L"]
+        for s, t in conformance_pairs:
+            assert router.distance(s, t) == index.distance(s, t)
+
+    def test_batch_bit_identical_to_engine(self, num_shards, shard_routers, oracles, conformance_pairs):
+        router = shard_routers[num_shards]
+        index = oracles["HC2L"]
+        batch = router.distances(conformance_pairs)
+        assert isinstance(batch, np.ndarray)
+        assert batch.dtype == np.float64
+        assert batch.tolist() == index.distances(conformance_pairs).tolist()
+        if num_shards > 1:
+            # the random workload must actually exercise the fan-out
+            assert router.stats.cross_shard_pairs > 0
+
+    def test_explicit_cross_shard_pairs(self, num_shards, shard_routers, oracles):
+        """Pairs whose endpoints live in different shards, by construction."""
+        router = shard_routers[num_shards]
+        index = oracles["HC2L"]
+        core_to_original = index.contraction.core_to_original
+        edges = router.manifest["boundaries"]
+        # one core vertex from each shard's range, mapped back to original ids
+        picks = [core_to_original[lo] for lo in edges[:-1]]
+        pairs = [(s, t) for s in picks for t in picks]
+        assert router.distances(pairs).tolist() == index.distances(pairs).tolist()
+        for s, t in pairs:
+            assert router.distance(s, t) == index.distance(s, t)
+
+    def test_one_to_many_bit_identical(self, num_shards, shard_routers, oracles, fixture_graph):
+        router = shard_routers[num_shards]
+        index = oracles["HC2L"]
+        targets = list(range(0, fixture_graph.num_vertices, 3))
+        assert router.one_to_many(4, targets).tolist() == index.one_to_many(4, targets).tolist()
+
+    def test_many_to_many_bit_identical(self, num_shards, shard_routers, oracles):
+        router = shard_routers[num_shards]
+        index = oracles["HC2L"]
+        sources = [0, 9, 17, 101]
+        targets = [2, 9, 33, 71, 118]
+        assert (
+            router.many_to_many(sources, targets).tolist()
+            == index.many_to_many(sources, targets).tolist()
+        )
+
+    def test_hub_counts_match(self, num_shards, shard_routers, oracles, conformance_pairs):
+        router = shard_routers[num_shards]
+        index = oracles["HC2L"]
+        for s, t in conformance_pairs[:15]:
+            assert router.distance_with_hub_count(s, t) == index.distance_with_hub_count(s, t)
+
+    def test_rejects_bad_inputs_like_engine(self, num_shards, shard_routers, fixture_graph):
+        router = shard_routers[num_shards]
+        n = fixture_graph.num_vertices
+        with pytest.raises(ValueError):
+            router.distances([(0, n)])
+        with pytest.raises(ValueError):
+            router.distance(0, n)
+        with pytest.raises(ValueError):
+            router.distances([(0.5, 1.5)])
+        assert router.distances([]).shape == (0,)
 
 
 def test_dynamic_index_speaks_the_protocol(fixture_graph):

@@ -1,4 +1,5 @@
-"""The versioned .npz index format: round-trips, validation, legacy pickle."""
+"""The versioned on-disk formats: round-trips, validation, legacy pickle,
+and the sharded layout (manifest + base + per-shard archives)."""
 
 from __future__ import annotations
 
@@ -8,7 +9,18 @@ import numpy as np
 import pytest
 
 from repro.core.index import HC2LIndex
-from repro.core.persistence import FORMAT_NAME, FORMAT_VERSION, load_index, save_index
+from repro.core.persistence import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_FILENAME,
+    load_index,
+    load_index_sharded,
+    load_manifest,
+    load_shard,
+    save_index,
+    save_index_sharded,
+    shard_directory,
+)
 
 from helpers import random_query_pairs
 
@@ -112,6 +124,130 @@ class TestValidation:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(ValueError):
             HC2LIndex.load(tmp_path / "does-not-exist.npz")
+
+
+class TestVersionCompatibility:
+    def test_version_1_archives_still_load(self, small_graph, built_index, tmp_path):
+        """Archives written before the sharded layout (version 1) load fine."""
+        path = tmp_path / "v1.npz"
+        built_index.save(path)
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        header = json.loads(bytes(arrays["header"].tobytes()).decode("utf-8"))
+        header["version"] = 1
+        header.pop("label_layout", None)  # v1 headers predate the key
+        arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8).copy()
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        loaded = HC2LIndex.load(path)
+        pairs = random_query_pairs(small_graph, 30, seed=9)
+        assert loaded.distances(pairs).tolist() == built_index.distances(pairs).tolist()
+
+    def test_current_archives_declare_version_2(self, built_index, tmp_path):
+        path = tmp_path / "v2.npz"
+        built_index.save(path)
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+        assert header["version"] == FORMAT_VERSION == 2
+        assert header["label_layout"] == "inline"
+
+
+class TestShardedLayout:
+    def test_layout_files(self, built_index, tmp_path):
+        path = tmp_path / "index.npz"
+        built_index.save(path)
+        layout = save_index_sharded(built_index, path, num_shards=3)
+        assert layout == shard_directory(path)
+        assert (layout / MANIFEST_FILENAME).exists()
+        assert (layout / "base.npz").exists()
+        _, manifest = load_manifest(path)
+        assert len(manifest["shards"]) == 3
+        for shard in manifest["shards"]:
+            assert (layout / shard["file"]).exists()
+        core_n = built_index.contraction.core.num_vertices
+        assert manifest["boundaries"][0] == 0
+        assert manifest["boundaries"][-1] == core_n
+
+    def test_round_trip_through_concat(self, small_graph, built_index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index_sharded(built_index, path, num_shards=4)
+        rebuilt = load_index_sharded(path)
+        assert rebuilt.flat_labelling() == built_index.flat_labelling()
+        pairs = random_query_pairs(small_graph, 60, seed=12)
+        assert rebuilt.distances(pairs).tolist() == built_index.distances(pairs).tolist()
+        assert rebuilt.parameters == built_index.parameters
+        assert rebuilt.describe() == built_index.describe()
+
+    def test_shards_reassemble_the_labelling(self, built_index, tmp_path):
+        from repro.core.flat import FlatLabelling
+
+        path = tmp_path / "index.npz"
+        save_index_sharded(built_index, path, num_shards=3)
+        parts = [load_shard(path, k) for k in range(3)]
+        assert FlatLabelling.concat(parts) == built_index.flat_labelling()
+
+    def test_shard_mmap_is_read_only(self, built_index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index_sharded(built_index, path, num_shards=2)
+        shard = load_shard(path, 1, mmap=True)
+        assert isinstance(shard.values, np.memmap)
+        assert not shard.values.flags.writeable
+        layout = shard_directory(path)
+        assert (layout / "shard-0001.npz.mmap" / "label_values.npy").exists()
+
+    def test_explicit_boundaries(self, built_index, tmp_path):
+        path = tmp_path / "index.npz"
+        core_n = built_index.contraction.core.num_vertices
+        cut = core_n // 3
+        save_index_sharded(built_index, path, boundaries=[0, cut, core_n])
+        _, manifest = load_manifest(path)
+        assert manifest["boundaries"] == [0, cut, core_n]
+        assert load_shard(path, 0).num_vertices == cut
+
+    def test_resharding_drops_orphan_files(self, built_index, tmp_path):
+        path = tmp_path / "index.npz"
+        layout = save_index_sharded(built_index, path, num_shards=4)
+        assert (layout / "shard-0003.npz").exists()
+        load_shard(path, 3, mmap=True)  # materialise a label-sized sidecar dir
+        assert (layout / "shard-0003.npz.mmap").is_dir()
+        save_index_sharded(built_index, path, num_shards=2)
+        assert not (layout / "shard-0003.npz").exists()
+        assert not (layout / "shard-0003.npz.mmap").exists()
+        assert load_index_sharded(path).flat_labelling() == built_index.flat_labelling()
+
+    def test_no_stray_tmp_files_after_save(self, built_index, tmp_path):
+        """Archives are written via tmp + atomic rename; nothing lingers."""
+        path = tmp_path / "index.npz"
+        layout = save_index_sharded(built_index, path, num_shards=2)
+        leftovers = [p.name for p in layout.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_base_archive_refuses_plain_load(self, built_index, tmp_path):
+        """base.npz has no inline labels; load_index must say so clearly."""
+        path = tmp_path / "index.npz"
+        layout = save_index_sharded(built_index, path, num_shards=2)
+        with pytest.raises(ValueError, match="sharded"):
+            load_index(layout / "base.npz")
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="manifest"):
+            load_manifest(tmp_path / "nothing.npz")
+
+    def test_corrupt_manifest_rejected(self, built_index, tmp_path):
+        path = tmp_path / "index.npz"
+        layout = save_index_sharded(built_index, path, num_shards=2)
+        manifest_path = layout / MANIFEST_FILENAME
+        broken = json.loads(manifest_path.read_text())
+        broken["format"] = "something-else"
+        manifest_path.write_text(json.dumps(broken))
+        with pytest.raises(ValueError, match="format"):
+            load_manifest(path)
+
+    def test_shard_id_out_of_range(self, built_index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index_sharded(built_index, path, num_shards=2)
+        with pytest.raises(ValueError, match="shard"):
+            load_shard(path, 5)
 
 
 class TestLegacyPickle:

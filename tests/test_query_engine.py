@@ -161,7 +161,7 @@ class TestEngineInternals:
         cs = np.asarray([rng.randrange(n) for _ in range(200)], dtype=np.int64)
         ct = np.asarray([rng.randrange(n) for _ in range(200)], dtype=np.int64)
         expected = [index.hierarchy.lca_depth(int(a), int(b)) for a, b in zip(cs, ct)]
-        assert engine._lca_depths(cs, ct).tolist() == expected
+        assert engine.resolver.lca_depths(cs, ct).tolist() == expected
 
     def test_engine_is_cached(self, small_index):
         assert small_index.engine is small_index.engine

@@ -111,6 +111,19 @@ class TestCachingOracle:
         cached.distance(0, 5)
         assert cached.stats.pair_misses == 2
 
+    def test_float_ids_rejected_regardless_of_cache_state(self, index):
+        """A warm cache must not turn an invalid query into a hit."""
+        cached = CachingOracle(index)
+        with pytest.raises(ValueError):
+            cached.distance(2.7, 3)  # cold cache
+        cached.distance(2, 3)
+        with pytest.raises(ValueError):
+            cached.distance(2.7, 3)  # warm cache: int(2.7) must not alias (2, 3)
+        targets = [0, 1, 3]
+        cached.one_to_many(2, targets)
+        with pytest.raises(ValueError):
+            cached.one_to_many(2.7, targets)  # same rule for the row cache
+
 
 # --------------------------------------------------------------------- #
 # CoalescingServer
