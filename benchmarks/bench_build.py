@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Construction benchmark across shortest-path backends.
+
+Builds the HC2L index for one generated road-like graph once per selected
+:mod:`repro.core.backends` backend and records the per-phase wall-clock
+breakdown:
+
+* ``contraction`` - the degree-one contraction of the input graph,
+* ``hierarchy`` - balanced cuts (Algorithms 1-2),
+* ``labelling`` - ranking + pruneability-tracking searches (the dominant
+  phase; this is what the backends accelerate),
+* ``shortcuts`` - border searches + redundancy filtering (Algorithm 3),
+* ``flatten`` - packing the nested labelling into the flat buffers.
+
+The labellings produced by every backend are verified **bit-identical**
+before anything is written, so a speed-up can never hide a wrong label.
+The rows land in ``BENCH_build.json`` (uploaded by CI next to
+``BENCH_query.json``) so build-time regressions are tracked across PRs
+the same way query regressions are.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_build.py \
+        [--vertices 3000] [--backends heap,csr] [--output BENCH_build.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro import RoadNetworkSpec, synthetic_road_network
+from repro.core.backends import BACKEND_NAMES, resolve_backend, scipy_available
+from repro.core.construction import HC2LBuilder
+from repro.core.flat import FlatLabelling
+from repro.graph.contraction import contract_degree_one
+
+PHASES = ("contraction", "hierarchy", "labelling", "shortcuts", "flatten")
+
+
+def bench_backend(name: str, graph, leaf_size: int):
+    """One full construction under ``name``, with the per-phase breakdown."""
+    backend = resolve_backend(name)
+    total_start = time.perf_counter()
+
+    contract_start = time.perf_counter()
+    contraction = contract_degree_one(graph)
+    contraction_seconds = time.perf_counter() - contract_start
+
+    builder = HC2LBuilder(leaf_size=leaf_size, backend=backend)
+    hierarchy, labelling, stats = builder.build(contraction.core)
+
+    flatten_start = time.perf_counter()
+    flat = FlatLabelling.from_labelling(labelling)
+    flatten_seconds = time.perf_counter() - flatten_start
+    total_seconds = time.perf_counter() - total_start
+
+    row: Dict[str, object] = {
+        "backend": name,
+        "resolved_backend": backend.name,
+        "total_seconds": round(total_seconds, 4),
+        "seconds_contraction": round(contraction_seconds, 4),
+        "seconds_flatten": round(flatten_seconds, 4),
+        "num_nodes": stats.num_nodes,
+        "num_shortcuts": stats.num_shortcuts,
+        "tree_height": hierarchy.height(),
+        "label_entries": flat.total_entries(),
+    }
+    for phase, seconds in stats.timer.durations.items():
+        row[f"seconds_{phase}"] = round(seconds, 4)
+    return row, flat
+
+
+def run_benchmark(
+    num_vertices: int,
+    seed: int = 2024,
+    backends: List[str] | None = None,
+    leaf_size: int = 12,
+) -> dict:
+    """Build under every selected backend, verify labels match, return the record."""
+    selected = backends or ["heap", "csr"]
+    unknown = [name for name in selected if name not in BACKEND_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown backends {unknown}; available: {list(BACKEND_NAMES)}")
+
+    network = synthetic_road_network(
+        RoadNetworkSpec("bench-build", num_vertices=num_vertices, seed=seed)
+    )
+    graph = network.distance_graph
+
+    rows: List[Dict[str, object]] = []
+    flats: Dict[str, FlatLabelling] = {}
+    for name in selected:
+        print(f"  {name}: building on {graph.num_vertices} vertices ...")
+        row, flat = bench_backend(name, graph, leaf_size)
+        rows.append(row)
+        flats[name] = flat
+        print(f"  {name}: {row['total_seconds']}s total")
+
+    # a faster backend that builds different labels is a bug, not a win
+    reference_name = selected[0]
+    reference = flats[reference_name]
+    for name in selected[1:]:
+        if flats[name] != reference:
+            raise AssertionError(
+                f"backend {name!r} produced labels different from {reference_name!r}"
+            )
+
+    heap_row = next((row for row in rows if row["backend"] == "heap"), None)
+    csr_row = next((row for row in rows if row["backend"] == "csr"), None)
+    speedup = None
+    if heap_row and csr_row:
+        speedup = round(
+            float(heap_row["total_seconds"]) / max(float(csr_row["total_seconds"]), 1e-9), 2
+        )
+        csr_row["speedup_vs_heap"] = speedup
+
+    return {
+        "benchmark": "build",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "leaf_size": leaf_size,
+        "scipy_available": scipy_available(),
+        # headline numbers kept top-level for cross-PR continuity
+        "heap_total_seconds": heap_row["total_seconds"] if heap_row else None,
+        "csr_total_seconds": csr_row["total_seconds"] if csr_row else None,
+        "csr_speedup_vs_heap": speedup,
+        "rows": rows,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=3000)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--leaf-size", type=int, default=12)
+    parser.add_argument(
+        "--backends",
+        default="heap,csr",
+        help=f"comma separated subset of {list(BACKEND_NAMES)}",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_build.json",
+    )
+    args = parser.parse_args()
+
+    names = [name.strip() for name in args.backends.split(",") if name.strip()]
+    record = run_benchmark(args.vertices, args.seed, names, args.leaf_size)
+    payload = json.dumps(record, indent=2) + "\n"
+    # write-then-rename so an interrupted run never leaves a torn record
+    tmp = args.output.with_name(args.output.name + ".tmp")
+    tmp.write_text(payload, encoding="utf-8")
+    tmp.replace(args.output)
+
+    print(payload)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,8 +13,10 @@ road-like graph and times the same random query workload through
   sharded on-disk layout swept across shard counts {1, 2, 4} (one row
   per count, with the router-overhead ratio vs. the monolithic engine).
 
-Scalar/batch results are verified identical before anything is written.
-The per-oracle rows land in ``BENCH_query.json`` (uploaded by CI) so the
+Scalar/batch results are verified identical before anything is written,
+and a sweep method that raises aborts the whole run (no partial record is
+ever written), so the per-oracle BENCH trajectory can never silently drop
+an oracle.  The rows land in ``BENCH_query.json`` (uploaded by CI) so the
 performance trajectory is tracked across PRs.
 
 Run with::
@@ -178,26 +180,47 @@ def run_benchmark(
     rows: List[Dict[str, object]] = []
     hc2l_index = None
     for name in selected:
-        build_start = time.perf_counter()
-        oracle = ORACLE_BUILDERS[name](graph)
-        build_seconds = time.perf_counter() - build_start
-        workload = pairs[: max(200, num_queries // 10)] if name in REDUCED_WORKLOAD else pairs
-        print(f"  {name}: built in {build_seconds:.2f}s, timing {len(workload)} queries ...")
-        rows.append(bench_oracle(name, oracle, workload, build_seconds))
+        # a sweep method that raises must kill the whole run with the
+        # method's name attached - quietly skipping it (or emitting a
+        # partial row) would silently drop the oracle from the BENCH
+        # trajectory and read as a removal instead of a failure
+        try:
+            build_start = time.perf_counter()
+            oracle = ORACLE_BUILDERS[name](graph)
+            build_seconds = time.perf_counter() - build_start
+            workload = pairs[: max(200, num_queries // 10)] if name in REDUCED_WORKLOAD else pairs
+            print(f"  {name}: built in {build_seconds:.2f}s, timing {len(workload)} queries ...")
+            row = bench_oracle(name, oracle, workload, build_seconds)
+        except Exception as error:
+            raise SystemExit(
+                f"oracle {name!r} failed during the sweep ({error!r}); "
+                f"refusing to write a BENCH_query.json without it"
+            ) from error
+        rows.append(row)
         if name == "HC2L":
             hc2l_index = oracle
 
     if hc2l_index is not None:
-        rows.extend(bench_serving_paths(hc2l_index, graph, num_queries, seed))
-        counts = shard_counts if shard_counts is not None else [1, 2, 4]
-        if counts:
-            print(f"  HC2L+router: sweeping shard counts {counts} ...")
-            with tempfile.TemporaryDirectory() as workdir:
-                rows.extend(
-                    router_overhead_rows(
-                        hc2l_index, pairs, workdir, shard_counts=counts
+        try:
+            rows.extend(bench_serving_paths(hc2l_index, graph, num_queries, seed))
+            counts = shard_counts if shard_counts is not None else [1, 2, 4]
+            if counts:
+                print(f"  HC2L+router: sweeping shard counts {counts} ...")
+                with tempfile.TemporaryDirectory() as workdir:
+                    rows.extend(
+                        router_overhead_rows(
+                            hc2l_index, pairs, workdir, shard_counts=counts
+                        )
                     )
-                )
+        except Exception as error:
+            raise SystemExit(
+                f"HC2L serving-path sweep failed ({error!r}); "
+                f"refusing to write a BENCH_query.json without those rows"
+            ) from error
+
+    missing = [name for name in selected if not any(r["oracle"] == name for r in rows)]
+    if missing:
+        raise SystemExit(f"sweep finished without rows for {missing}; not writing a partial record")
 
     hc2l_row = next((row for row in rows if row["oracle"] == "HC2L"), {})
     return {
@@ -240,7 +263,11 @@ def main() -> None:
     names = [name.strip() for name in args.oracles.split(",") if name.strip()]
     counts = [int(c) for c in args.shard_counts.split(",") if c.strip()]
     record = run_benchmark(args.vertices, args.queries, args.seed, names, counts)
-    args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    # write-then-rename so an interrupted run never leaves a torn record
+    payload = json.dumps(record, indent=2) + "\n"
+    tmp = args.output.with_name(args.output.name + ".tmp")
+    tmp.write_text(payload, encoding="utf-8")
+    tmp.replace(args.output)
 
     print(json.dumps(record, indent=2))
     print(f"\nwrote {args.output}")

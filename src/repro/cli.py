@@ -51,6 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--no-tail-pruning", action="store_true", help="disable tail pruning")
     build.add_argument("--no-contraction", action="store_true", help="disable degree-one contraction")
     build.add_argument("--workers", type=int, default=0, help=">=2 uses the parallel builder")
+    build.add_argument(
+        "--backend",
+        choices=["auto", "heap", "csr"],
+        default="auto",
+        help=(
+            "shortest-path backend for the construction searches: heap "
+            "(pure-Python Dijkstra), csr (batched scipy/numpy searches), "
+            "or auto (csr when scipy is available; the default)"
+        ),
+    )
 
     shard = subparsers.add_parser(
         "shard", help="split a saved index into a sharded layout for multi-worker serving"
@@ -141,6 +151,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         tail_pruning=not args.no_tail_pruning,
         contract=not args.no_contraction,
         num_workers=args.workers,
+        backend=args.backend,
     )
     index.save(args.output)
     summary = index.describe()

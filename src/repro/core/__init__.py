@@ -10,6 +10,13 @@ Public entry point is :class:`repro.core.index.HC2LIndex`, which bundles
 plus the parallel construction variant HC2L_p (Section 4.4).
 """
 
+from repro.core.backends import (
+    CSRBackend,
+    HeapBackend,
+    ShortestPathBackend,
+    resolve_backend,
+    scipy_available,
+)
 from repro.core.index import HC2LIndex, HC2LParameters
 from repro.core.labelling import HC2LLabelling
 from repro.core.construction import HC2LBuilder, ConstructionStats
@@ -25,4 +32,9 @@ __all__ = [
     "ConstructionStats",
     "DistanceOracle",
     "BatchMixin",
+    "ShortestPathBackend",
+    "HeapBackend",
+    "CSRBackend",
+    "resolve_backend",
+    "scipy_available",
 ]

@@ -1,0 +1,269 @@
+"""Pluggable shortest-path backends for HC2L construction.
+
+Construction cost is dominated by single-source searches: one
+pruneability-tracking search per cut vertex for the ranking pass
+(Equation 6) and again for the labelling pass (Algorithm 5), plus one
+plain search per border vertex for the shortcut computation
+(Algorithm 3).  The original implementation runs all of them through the
+interpreted binary-heap Dijkstra of :mod:`repro.core.pruned_dijkstra` /
+:meth:`~repro.core.flat.FlatWorkingGraph.dijkstra`.
+
+:class:`ShortestPathBackend` is the seam between those passes and the
+search implementation.  Two backends ship:
+
+``heap``
+    The existing pure-Python binary-heap searches, unchanged.  Always
+    available; the reference for bit-identical comparisons.
+
+``csr``
+    Heap-free searches over the CSR snapshot: distances come from one
+    *batched* ``scipy.sparse.csgraph.dijkstra`` call per node (all cut /
+    border sources at once, C speed) - or, when scipy is missing, from a
+    vectorised numpy Bellman-Ford sweep - and the pruneability flags are
+    recovered from the finished distance arrays by the shortest-path-DAG
+    pass of :func:`~repro.core.pruned_dijkstra.prune_flags_from_distances`.
+    Because the ranking and labelling passes search from the same cut
+    vertices, the per-source distance rows are cached on the node's
+    :class:`~repro.core.flat.FlatWorkingGraph` snapshot, halving the
+    distance work per node.  Both Dijkstra variants perform the same
+    ``dist[u] + w`` float64 relaxations, so distances - and therefore
+    labels - are bit-identical to the heap backend (asserted by the
+    backend-equivalence tests).
+
+Tiny subgraphs (the bulk of the recursion's nodes by count, not by cost)
+are delegated to the heap searches even under ``csr``: below a few dozen
+vertices the per-call overhead of building a scipy matrix outweighs the
+heap loop.  Since both produce identical results, mixing is safe.
+
+``resolve_backend`` maps the ``"auto"`` / ``"heap"`` / ``"csr"`` names
+used by :class:`~repro.core.index.HC2LParameters` and the CLI's
+``repro build --backend`` to backend instances; ``auto`` picks ``csr``
+when scipy is importable and ``heap`` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.flat import FlatWorkingGraph
+from repro.core.pruned_dijkstra import dist_and_prune_dense, prune_flags_from_distances
+
+INF = float("inf")
+
+BACKEND_NAMES = ("auto", "heap", "csr")
+
+try:  # pragma: no cover - exercised via whichever env runs the suite
+    from scipy.sparse import csr_matrix as _scipy_csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+except ImportError:  # pragma: no cover
+    _scipy_csr_matrix = None
+    _scipy_dijkstra = None
+
+
+def scipy_available() -> bool:
+    """Whether the scipy csgraph routines can back the ``csr`` backend."""
+    return _scipy_dijkstra is not None
+
+
+class ShortestPathBackend:
+    """Interface of a construction-side shortest-path implementation.
+
+    All vertex ids are dense local ids of the ``flat`` snapshot; distance
+    rows cover every vertex of the snapshot with ``inf`` for unreached
+    ones.  Implementations must return distances bit-identical to the
+    heap Dijkstra (same float64 relaxations), which makes backends freely
+    interchangeable mid-build.
+    """
+
+    name: str = "abstract"
+
+    def sssp_many(self, flat: FlatWorkingGraph, sources: Sequence[int]) -> List[Sequence[float]]:
+        """Single-source distance rows for a batch of sources."""
+        raise NotImplementedError
+
+    def dist_and_prune_many(
+        self,
+        flat: FlatWorkingGraph,
+        roots: Sequence[int],
+        prune_sets: Sequence[Sequence[int]],
+    ) -> Tuple[List[Sequence[float]], List[Sequence[bool]]]:
+        """Distances + Algorithm 4 pruneability flags for a batch of roots.
+
+        ``prune_sets[i]`` is the prune set of ``roots[i]`` (the ranking
+        pass prunes against every other cut vertex, the labelling pass
+        against the earlier-ranked prefix).
+        """
+        raise NotImplementedError
+
+
+class HeapBackend(ShortestPathBackend):
+    """The pure-Python binary-heap searches (always available)."""
+
+    name = "heap"
+
+    def sssp_many(self, flat: FlatWorkingGraph, sources: Sequence[int]) -> List[Sequence[float]]:
+        return [flat.dijkstra(source) for source in sources]
+
+    def dist_and_prune_many(
+        self,
+        flat: FlatWorkingGraph,
+        roots: Sequence[int],
+        prune_sets: Sequence[Sequence[int]],
+    ) -> Tuple[List[Sequence[float]], List[Sequence[bool]]]:
+        dists: List[Sequence[float]] = []
+        prunes: List[Sequence[bool]] = []
+        for root, prune_ids in zip(roots, prune_sets):
+            d, p = dist_and_prune_dense(flat, root, prune_ids)
+            dists.append(d)
+            prunes.append(p)
+        return dists, prunes
+
+
+class CSRBackend(ShortestPathBackend):
+    """Heap-free searches over the CSR snapshot (scipy or numpy).
+
+    Parameters
+    ----------
+    min_vertices:
+        Snapshots smaller than this are delegated to the heap backend -
+        the fixed per-call cost of assembling a scipy matrix dominates on
+        the recursion's many tiny leaf nodes.  Results are identical
+        either way.
+    """
+
+    name = "csr"
+
+    _DIST_CACHE = "csr_dist_rows"
+    _MATRIX_CACHE = "csr_matrix"
+
+    def __init__(self, min_vertices: int = 32) -> None:
+        self.min_vertices = min_vertices
+        self._heap = HeapBackend()
+
+    # ------------------------------------------------------------------ #
+    def sssp_many(self, flat: FlatWorkingGraph, sources: Sequence[int]) -> List[Sequence[float]]:
+        if self._delegate(flat):
+            return self._heap.sssp_many(flat, sources)
+        rows = self._distance_rows(flat, sources)
+        return [rows[source] for source in sources]
+
+    def dist_and_prune_many(
+        self,
+        flat: FlatWorkingGraph,
+        roots: Sequence[int],
+        prune_sets: Sequence[Sequence[int]],
+    ) -> Tuple[List[Sequence[float]], List[Sequence[bool]]]:
+        if self._delegate(flat):
+            return self._heap.dist_and_prune_many(flat, roots, prune_sets)
+        rows = self._distance_rows(flat, roots)
+        dists: List[Sequence[float]] = []
+        prunes: List[Sequence[bool]] = []
+        for root, prune_ids in zip(roots, prune_sets):
+            dist = rows[root]
+            dists.append(dist)
+            prunes.append(prune_flags_from_distances(flat, root, prune_ids, dist))
+        return dists, prunes
+
+    # ------------------------------------------------------------------ #
+    def _delegate(self, flat: FlatWorkingGraph) -> bool:
+        """Whether this snapshot should run on the heap searches instead."""
+        if len(flat.vertices) < self.min_vertices:
+            return True
+        # scipy's sparse matrices treat explicit zeros as missing edges;
+        # zero-weight edges are legal in Graph, so route them to the heap
+        if "has_zero_weight" not in flat.cache:
+            weights = flat.weights
+            flat.cache["has_zero_weight"] = bool(weights) and min(weights) == 0.0
+        return bool(flat.cache["has_zero_weight"])
+
+    def _distance_rows(
+        self, flat: FlatWorkingGraph, sources: Sequence[int]
+    ) -> Dict[int, List[float]]:
+        """Distance rows for ``sources``, cached on the snapshot.
+
+        The ranking and labelling passes search from the same cut
+        vertices; whichever runs first pays for the batched scipy call,
+        the second hits the cache.
+        """
+        cache: Dict[int, List[float]] = flat.cache.setdefault(self._DIST_CACHE, {})  # type: ignore[assignment]
+        missing = sorted({int(s) for s in sources if s not in cache})
+        if missing:
+            if _scipy_dijkstra is not None:
+                matrix = flat.cache.get(self._MATRIX_CACHE)
+                if matrix is None:
+                    indptr, indices, weights = flat.csr_arrays()
+                    n = len(flat.vertices)
+                    matrix = _scipy_csr_matrix((weights, indices, indptr), shape=(n, n))
+                    flat.cache[self._MATRIX_CACHE] = matrix
+                # the snapshot already stores both directions of every
+                # undirected edge, so treat it as a (symmetric) digraph
+                block = _scipy_dijkstra(matrix, directed=True, indices=missing)
+                block = np.atleast_2d(np.asarray(block, dtype=np.float64))
+            else:
+                block = _numpy_multi_source(flat, missing)
+            for source, row in zip(missing, block):
+                # plain lists: the flag pass and the label-assembly loops
+                # index per element, which is several times faster on
+                # lists than on numpy scalars
+                cache[source] = row.tolist()
+        return cache
+
+
+def _numpy_multi_source(flat: FlatWorkingGraph, sources: Sequence[int]) -> np.ndarray:
+    """Vectorised Bellman-Ford sweeps (the scipy-free ``csr`` fallback).
+
+    Converges in (longest shortest-path hop count) sweeps of one
+    ``np.minimum.at`` scatter each; every relaxation performs the same
+    ``dist[u] + w`` float64 addition as Dijkstra, and the fixpoint takes
+    the same minima, so the resulting distances are bit-identical.
+    """
+    indptr, indices, weights = flat.csr_arrays()
+    n = len(flat.vertices)
+    tails = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    block = np.full((len(sources), n), INF, dtype=np.float64)
+    for row, source in zip(block, sources):
+        row[source] = 0.0
+        while True:
+            previous = row.copy()
+            candidates = row[tails] + weights
+            np.minimum.at(row, indices, candidates)
+            if np.array_equal(row, previous):
+                break
+    return block
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+_INSTANCES: Dict[str, ShortestPathBackend] = {}
+
+BackendSpec = Union[str, ShortestPathBackend, None]
+
+
+def resolve_backend(spec: BackendSpec = "auto") -> ShortestPathBackend:
+    """Map a backend name (or instance, or ``None``) to a backend instance.
+
+    ``"auto"`` (and ``None``) pick ``csr`` when scipy is importable and
+    ``heap`` otherwise; explicit ``"csr"`` works without scipy through the
+    numpy fallback.  Instances pass through untouched, so callers can
+    inject a tuned :class:`CSRBackend` directly.
+    """
+    if isinstance(spec, ShortestPathBackend):
+        return spec
+    name = check_backend_name("auto" if spec is None else str(spec))
+    if name == "auto":
+        name = "csr" if scipy_available() else "heap"
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = HeapBackend() if name == "heap" else CSRBackend()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def check_backend_name(name: str) -> str:
+    """Validate a backend name without instantiating it (parameter checks)."""
+    if name not in BACKEND_NAMES:
+        raise ValueError(f"unknown shortest-path backend {name!r}; expected one of {BACKEND_NAMES}")
+    return name

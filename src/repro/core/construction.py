@@ -24,6 +24,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.core.backends import BackendSpec, ShortestPathBackend, resolve_backend
 from repro.core.flat import FlatWorkingGraph
 from repro.core.labelling import HC2LLabelling, node_distance_arrays
 from repro.core.ranking import CutRanking, rank_cut_vertices
@@ -78,6 +79,11 @@ class HC2LBuilder:
     max_depth:
         Hard recursion limit; deeper subgraphs become leaves.  Mostly a
         safety net for adversarial inputs.
+    backend:
+        The :class:`~repro.core.backends.ShortestPathBackend` running the
+        construction searches (``"auto"``, ``"heap"``, ``"csr"``, or an
+        instance); ``"auto"`` picks the CSR backend when scipy is
+        available.  Labels are bit-identical across backends.
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class HC2LBuilder:
         leaf_size: int = 12,
         tail_pruning: bool = True,
         max_depth: int = 60,
+        backend: BackendSpec = "auto",
     ) -> None:
         self.beta = check_balance_parameter(beta)
         if leaf_size < 1:
@@ -93,6 +100,7 @@ class HC2LBuilder:
         self.leaf_size = leaf_size
         self.tail_pruning = tail_pruning
         self.max_depth = max_depth
+        self.backend: ShortestPathBackend = resolve_backend(backend)
 
     # ------------------------------------------------------------------ #
     def build(self, graph: Graph) -> Tuple[BalancedTreeHierarchy, HC2LLabelling, ConstructionStats]:
@@ -157,9 +165,11 @@ class HC2LBuilder:
         assert cut_result is not None
         with stats.timer.measure("labelling"):
             flat = FlatWorkingGraph(adjacency)
-            ranking = rank_cut_vertices(adjacency, cut_result.cut, flat=flat)
+            ranking = rank_cut_vertices(
+                adjacency, cut_result.cut, flat=flat, backend=self.backend
+            )
             arrays, cut_distances = node_distance_arrays(
-                adjacency, ranking, self.tail_pruning, flat=flat
+                adjacency, ranking, self.tail_pruning, flat=flat, backend=self.backend
             )
         node = hierarchy.add_node(depth, bits, ranking.ordered, parent, side, is_leaf=False)
         hierarchy.set_subtree_size(node.index, n)
@@ -178,7 +188,11 @@ class HC2LBuilder:
                 continue
             with stats.timer.measure("shortcuts"):
                 shortcuts = compute_shortcuts(
-                    adjacency, ranking.ordered, child_vertices, cut_distances
+                    adjacency,
+                    ranking.ordered,
+                    child_vertices,
+                    cut_distances,
+                    backend=self.backend,
                 )
                 child = child_adjacency(adjacency, child_vertices, shortcuts)
             stats.num_shortcuts += len(shortcuts)
@@ -210,8 +224,12 @@ class HC2LBuilder:
         """Terminate the recursion: every remaining vertex joins the node's cut."""
         with stats.timer.measure("labelling"):
             flat = FlatWorkingGraph(adjacency)
-            ranking: CutRanking = rank_cut_vertices(adjacency, vertices, flat=flat)
-            arrays, _ = node_distance_arrays(adjacency, ranking, self.tail_pruning, flat=flat)
+            ranking: CutRanking = rank_cut_vertices(
+                adjacency, vertices, flat=flat, backend=self.backend
+            )
+            arrays, _ = node_distance_arrays(
+                adjacency, ranking, self.tail_pruning, flat=flat, backend=self.backend
+            )
         node = hierarchy.add_node(depth, bits, ranking.ordered, parent, side, is_leaf=True)
         hierarchy.set_subtree_size(node.index, len(vertices))
         stats.num_nodes += 1

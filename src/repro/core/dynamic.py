@@ -20,6 +20,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backends import ShortestPathBackend, resolve_backend
 from repro.core.construction import ConstructionStats
 from repro.core.index import HC2LIndex, HC2LParameters
 from repro.core.labelling import HC2LLabelling, node_distance_arrays
@@ -56,12 +57,14 @@ def relabel(index: HC2LIndex, new_graph: Graph) -> HC2LIndex:
     labelling = HC2LLabelling(core.num_vertices)
     stats = ConstructionStats()
     adjacency = working_graph_from(core)
+    # legacy pickled parameters may predate the backend field
+    backend = resolve_backend(getattr(index.parameters, "backend", "auto"))
 
     new_hierarchy = _copy_hierarchy_structure(hierarchy)
     roots = [node for node in hierarchy.nodes if node.parent is None]
     for root in roots:
         _relabel_node(
-            index, root, adjacency, new_hierarchy, labelling, stats, index.parameters
+            index, root, adjacency, new_hierarchy, labelling, stats, index.parameters, backend
         )
 
     elapsed = time.perf_counter() - start
@@ -84,6 +87,7 @@ def _relabel_node(
     labelling: HC2LLabelling,
     stats: ConstructionStats,
     parameters: HC2LParameters,
+    backend: ShortestPathBackend,
 ) -> None:
     """Recompute ranking, labels and shortcuts for one node of the old tree."""
     old_hierarchy = index.hierarchy
@@ -91,9 +95,11 @@ def _relabel_node(
         from repro.core.flat import FlatWorkingGraph
 
         flat = FlatWorkingGraph(adjacency)
-        ranking: CutRanking = rank_cut_vertices(adjacency, node.cut, flat=flat)
+        ranking: CutRanking = rank_cut_vertices(
+            adjacency, node.cut, flat=flat, backend=backend
+        )
         arrays, cut_distances = node_distance_arrays(
-            adjacency, ranking, parameters.tail_pruning, flat=flat
+            adjacency, ranking, parameters.tail_pruning, flat=flat, backend=backend
         )
     new_node = new_hierarchy.nodes[node.index]
     new_node.cut = list(ranking.ordered)
@@ -114,10 +120,14 @@ def _relabel_node(
         child_node = old_hierarchy.nodes[child_index]
         child_vertices = old_hierarchy.subtree_vertices(child_index)
         with stats.timer.measure("shortcuts"):
-            shortcuts = compute_shortcuts(adjacency, ranking.ordered, child_vertices, cut_distances)
+            shortcuts = compute_shortcuts(
+                adjacency, ranking.ordered, child_vertices, cut_distances, backend=backend
+            )
             child_adj = child_adjacency(adjacency, child_vertices, shortcuts)
         stats.num_shortcuts += len(shortcuts)
-        _relabel_node(index, child_node, child_adj, new_hierarchy, labelling, stats, parameters)
+        _relabel_node(
+            index, child_node, child_adj, new_hierarchy, labelling, stats, parameters, backend
+        )
 
 
 def _copy_hierarchy_structure(hierarchy: BalancedTreeHierarchy) -> BalancedTreeHierarchy:

@@ -22,6 +22,7 @@ the scalar ones - the tests assert ``==``, not ``approx``.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,6 +30,7 @@ import numpy as np
 from repro.core.flat import FlatLabelling
 from repro.core.oracle import as_pair_array, pairs_from_source
 from repro.core.oracle import as_vertex_ids as _as_vertex_ids
+from repro.core.tree_resolve import TreeDistanceResolver
 from repro.graph.contraction import ContractedGraph
 from repro.hierarchy.tree import BalancedTreeHierarchy
 from repro.utils.validation import check_vertex
@@ -59,6 +61,11 @@ class BatchResolver:
         self.hierarchy = hierarchy
         self._root = np.asarray(contraction.root, dtype=np.int64)
         self._dist_to_root = np.asarray(contraction.dist_to_root, dtype=np.float64)
+        self._tree_resolver: Optional[TreeDistanceResolver] = None
+        # guards the lazy Euler-tour build: the resolver is shared by the
+        # ShardRouter, whose distances() is documented safe for concurrent
+        # callers, and the build walks every contracted vertex
+        self._tree_resolver_lock = threading.Lock()
         original_to_core = np.asarray(contraction.original_to_core, dtype=np.int64)
         #: core id of each original vertex's attachment root
         self._root_core = original_to_core[self._root]
@@ -69,6 +76,16 @@ class BatchResolver:
             self._vertex_bits = np.asarray(hierarchy.vertex_bits, dtype=np.int64)
         else:  # pragma: no cover - needs a >62-level hierarchy
             self._vertex_bits = None
+
+    def __getstate__(self) -> dict:
+        """Drop the (unpicklable) lock; legacy pickle support only."""
+        state = self.__dict__.copy()
+        del state["_tree_resolver_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._tree_resolver_lock = threading.Lock()
 
     def validate_vertices(self, s: np.ndarray, t: np.ndarray) -> None:
         """Range-check both endpoint arrays (original vertex ids)."""
@@ -96,17 +113,38 @@ class BatchResolver:
         root_t = self._root[t]
         same_root = (root_s == root_t) & ~same
         if same_root.any():
-            # both endpoints hang off the same attachment tree: resolved by
-            # the in-tree LCA walk (rare; scalar loop)
-            tree_distance = self.contraction.tree_lca_distance
-            positions = np.nonzero(same_root)[0]
-            out[positions] = [tree_distance(int(s[i]), int(t[i])) for i in positions]
+            # both endpoints hang off the same attachment tree: answered by
+            # the Euler-tour RMQ resolver (vectorised; bit-identical to the
+            # scalar tree_lca_distance walk)
+            out[same_root] = self.tree_resolver.distances(s[same_root], t[same_root])
 
         core_mask = ~same & ~same_root
         cs = self._root_core[s[core_mask]]
         ct = self._root_core[t[core_mask]]
         offsets = self._dist_to_root[s[core_mask]] + self._dist_to_root[t[core_mask]]
         return out, core_mask, cs, ct, offsets
+
+    @property
+    def tree_resolver(self) -> TreeDistanceResolver:
+        """The Euler-tour LCA structure over the attachment trees.
+
+        Built lazily on the first batch that actually contains a same-root
+        pair, so engines serving core-only workloads pay nothing.
+        """
+        resolver = self._tree_resolver
+        if resolver is None:
+            with self._tree_resolver_lock:
+                resolver = self._tree_resolver
+                if resolver is None:  # still unbuilt: this thread builds it
+                    contraction = self.contraction
+                    resolver = TreeDistanceResolver(
+                        parent=np.asarray(contraction.parent, dtype=np.int64),
+                        depth=np.asarray(contraction.depth, dtype=np.int64),
+                        root=self._root,
+                        dist_to_root=self._dist_to_root,
+                    )
+                    self._tree_resolver = resolver
+        return resolver
 
     def lca_depths(self, cs: np.ndarray, ct: np.ndarray) -> np.ndarray:
         """Vectorised Section 4.3 LCA depth (common bitstring prefix length)."""

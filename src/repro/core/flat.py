@@ -27,7 +27,7 @@ three pointer indirections.  This module provides the flat counterparts:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -303,9 +303,17 @@ class FlatWorkingGraph:
     the *same* working subgraph; flattening the dict-of-dicts once lets all
     of those searches iterate plain lists with dense integer ids instead of
     hashing original vertex ids on every edge relaxation.
+
+    The snapshot also carries the state the pluggable shortest-path
+    backends (:mod:`repro.core.backends`) need when they process all of a
+    node's searches together: :meth:`csr_arrays` exposes the same CSR
+    triple as typed numpy arrays, and :attr:`cache` is a scratch dict
+    whose lifetime matches the snapshot (per-source distance rows, the
+    scipy matrix) - it dies with the node, so nothing accumulates across
+    the recursion.
     """
 
-    __slots__ = ("vertices", "dense_id", "indptr", "indices", "weights")
+    __slots__ = ("vertices", "dense_id", "indptr", "indices", "weights", "cache", "_np_csr")
 
     def __init__(self, adjacency: WorkingAdjacency) -> None:
         #: dense id -> original vertex id, in sorted original-id order
@@ -324,9 +332,22 @@ class FlatWorkingGraph:
         self.indptr: List[int] = indptr
         self.indices: List[int] = indices
         self.weights: List[float] = weights
+        #: backend scratch space (distance-row cache, scipy matrix, ...)
+        self.cache: Dict[str, object] = {}
+        self._np_csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     def __len__(self) -> int:
         return len(self.vertices)
+
+    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(indptr, indices, weights)`` triple as typed numpy arrays."""
+        if self._np_csr is None:
+            self._np_csr = (
+                np.asarray(self.indptr, dtype=np.int64),
+                np.asarray(self.indices, dtype=np.int64),
+                np.asarray(self.weights, dtype=np.float64),
+            )
+        return self._np_csr
 
     def dense_ids(self, vertices: Sequence[int]) -> List[int]:
         """Dense ids of a sequence of original vertex ids."""

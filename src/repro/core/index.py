@@ -63,6 +63,11 @@ class HC2LParameters:
     num_workers:
         0 or 1 builds sequentially (HC2L); >= 2 uses the parallel builder
         (HC2L_p, Section 4.4).
+    backend:
+        Shortest-path backend for the construction searches: ``"heap"``
+        (pure-Python binary heap), ``"csr"`` (batched scipy / numpy
+        searches over the CSR snapshot), or ``"auto"`` (csr when scipy is
+        importable).  Labels are bit-identical across backends.
     """
 
     beta: float = 0.2
@@ -70,13 +75,17 @@ class HC2LParameters:
     tail_pruning: bool = True
     contract: bool = True
     num_workers: int = 0
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
+        from repro.core.backends import check_backend_name
+
         check_balance_parameter(self.beta)
         if self.leaf_size < 1:
             raise ValueError("leaf_size must be >= 1")
         if self.num_workers < 0:
             raise ValueError("num_workers must be >= 0")
+        check_backend_name(self.backend)
 
 
 def _identity_contraction(graph: Graph) -> ContractedGraph:
@@ -186,12 +195,14 @@ class HC2LIndex:
                 leaf_size=parameters.leaf_size,
                 tail_pruning=parameters.tail_pruning,
                 num_workers=parameters.num_workers,
+                backend=parameters.backend,
             )
         else:
             builder = HC2LBuilder(
                 beta=parameters.beta,
                 leaf_size=parameters.leaf_size,
                 tail_pruning=parameters.tail_pruning,
+                backend=parameters.backend,
             )
         hierarchy, labelling, stats = builder.build(core)
         elapsed = time.perf_counter() - start

@@ -20,8 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.backends import BackendSpec, resolve_backend
 from repro.core.flat import FlatWorkingGraph
-from repro.core.pruned_dijkstra import dist_and_prune_dense
 from repro.core.ranking import CutRanking
 from repro.partition.working_graph import WorkingAdjacency
 
@@ -33,6 +35,7 @@ def node_distance_arrays(
     ranking: CutRanking,
     tail_pruning: bool = True,
     flat: "FlatWorkingGraph | None" = None,
+    backend: BackendSpec = None,
 ) -> Tuple[Dict[int, List[float]], Dict[int, Mapping[int, float]]]:
     """Compute the per-vertex distance arrays for one tree node (Algorithm 5).
 
@@ -48,6 +51,10 @@ def node_distance_arrays(
     flat:
         Optional pre-built CSR snapshot of ``adjacency`` (the construction
         builds one per node and shares it with the ranking pass).
+    backend:
+        The :class:`~repro.core.backends.ShortestPathBackend` running the
+        per-cut-vertex searches (name, instance, or ``None`` for the
+        default).
 
     Returns
     -------
@@ -64,34 +71,38 @@ def node_distance_arrays(
     # One CSR snapshot shared by all |cut| searches of this node.
     if flat is None:
         flat = FlatWorkingGraph(adjacency)
+    search = resolve_backend(backend)
     cut_dense = flat.dense_ids(ordered_cut)
-    dists: List[List[float]] = []
-    prunes: List[List[bool]] = []
-    for i, cut_id in enumerate(cut_dense):
-        d, p = dist_and_prune_dense(flat, cut_id, cut_dense[:i])
-        dists.append(d)
-        prunes.append(p)
+    prune_sets = [cut_dense[:i] for i in range(len(cut_dense))]
+    dists, prunes = search.dist_and_prune_many(flat, cut_dense, prune_sets)
 
     vertices = flat.vertices
-    cut_distances: Dict[int, Mapping[int, float]] = {
-        ordered_cut[i]: {
-            vertices[j]: d for j, d in enumerate(dists[i]) if d != INF
-        }
-        for i in range(len(ordered_cut))
-    }
-
     num_searches = len(cut_dense)
-    arrays: Dict[int, List[float]] = {}
-    for j, v in enumerate(vertices):
-        if tail_pruning:
-            keep = 0
-            for i in range(num_searches):
-                if not prunes[i][j]:
-                    keep = i
-            length = keep + 1
-        else:
-            length = num_searches
-        arrays[v] = [dists[i][j] for i in range(length)]
+    dist_matrix = np.asarray(dists, dtype=np.float64)
+    cut_distances: Dict[int, Mapping[int, float]] = {}
+    for i, cut_vertex in enumerate(ordered_cut):
+        row = dist_matrix[i].tolist()
+        reached = np.nonzero(np.isfinite(dist_matrix[i]))[0].tolist()
+        cut_distances[cut_vertex] = {vertices[j]: row[j] for j in reached}
+
+    # Tail pruning (Definition 4.18): keep, per vertex, the prefix up to
+    # the last search whose shortest path does NOT run through an
+    # earlier-ranked cut vertex.  Vectorised over the (search, vertex)
+    # flag matrix; the values extracted are exactly the search distances,
+    # so the arrays are bit-identical to the per-pair assembly.
+    if tail_pruning:
+        not_pruned = ~np.asarray(prunes, dtype=bool)
+        any_kept = not_pruned.any(axis=0)
+        keep = np.where(
+            any_kept, num_searches - 1 - np.argmax(not_pruned[::-1, :], axis=0), 0
+        )
+        lengths = (keep + 1).tolist()
+    else:
+        lengths = [num_searches] * len(vertices)
+
+    arrays: Dict[int, List[float]] = {
+        v: dist_matrix[: lengths[j], j].tolist() for j, v in enumerate(vertices)
+    }
     return arrays, cut_distances
 
 

@@ -21,7 +21,9 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor, wait
 from typing import List, Optional
 
+from repro.core.backends import BackendSpec
 from repro.core.construction import ConstructionStats, HC2LBuilder
+from repro.core.flat import FlatWorkingGraph
 from repro.core.labelling import HC2LLabelling, node_distance_arrays
 from repro.core.ranking import rank_cut_vertices
 from repro.graph.graph import Graph
@@ -47,8 +49,15 @@ class ParallelHC2LBuilder(HC2LBuilder):
         max_depth: int = 60,
         num_workers: int = 4,
         parallel_threshold: int = 64,
+        backend: BackendSpec = "auto",
     ) -> None:
-        super().__init__(beta=beta, leaf_size=leaf_size, tail_pruning=tail_pruning, max_depth=max_depth)
+        super().__init__(
+            beta=beta,
+            leaf_size=leaf_size,
+            tail_pruning=tail_pruning,
+            max_depth=max_depth,
+            backend=backend,
+        )
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
@@ -119,8 +128,11 @@ class ParallelHC2LBuilder(HC2LBuilder):
                 force_leaf = True
 
         if force_leaf:
-            ranking = rank_cut_vertices(adjacency, vertices)
-            arrays, _ = node_distance_arrays(adjacency, ranking, self.tail_pruning)
+            flat = FlatWorkingGraph(adjacency)
+            ranking = rank_cut_vertices(adjacency, vertices, flat=flat, backend=self.backend)
+            arrays, _ = node_distance_arrays(
+                adjacency, ranking, self.tail_pruning, flat=flat, backend=self.backend
+            )
             with self._lock:
                 node = hierarchy.add_node(depth, bits, ranking.ordered, parent, side, is_leaf=True)
                 hierarchy.set_subtree_size(node.index, n)
@@ -131,8 +143,11 @@ class ParallelHC2LBuilder(HC2LBuilder):
             return node.index
 
         assert cut_result is not None
-        ranking = rank_cut_vertices(adjacency, cut_result.cut)
-        arrays, cut_distances = node_distance_arrays(adjacency, ranking, self.tail_pruning)
+        flat = FlatWorkingGraph(adjacency)
+        ranking = rank_cut_vertices(adjacency, cut_result.cut, flat=flat, backend=self.backend)
+        arrays, cut_distances = node_distance_arrays(
+            adjacency, ranking, self.tail_pruning, flat=flat, backend=self.backend
+        )
         with self._lock:
             node = hierarchy.add_node(depth, bits, ranking.ordered, parent, side, is_leaf=False)
             hierarchy.set_subtree_size(node.index, n)
@@ -149,7 +164,9 @@ class ParallelHC2LBuilder(HC2LBuilder):
         for child_vertices, child_side, child_bit in children:
             if not child_vertices:
                 continue
-            shortcuts = compute_shortcuts(adjacency, ranking.ordered, child_vertices, cut_distances)
+            shortcuts = compute_shortcuts(
+                adjacency, ranking.ordered, child_vertices, cut_distances, backend=self.backend
+            )
             child = child_adjacency(adjacency, child_vertices, shortcuts)
             with self._lock:
                 stats.num_shortcuts += len(shortcuts)

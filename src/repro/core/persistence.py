@@ -83,6 +83,8 @@ def _index_header(index: "HC2LIndex", label_layout: str) -> dict:
             "tail_pruning": parameters.tail_pruning,
             "contract": parameters.contract,
             "num_workers": parameters.num_workers,
+            # absent in pre-backend archives; HC2LParameters defaults it
+            "backend": getattr(parameters, "backend", "auto"),
         },
         "construction_seconds": index.construction_seconds,
         "extra": dict(index._extra),

@@ -7,6 +7,18 @@ vertices).  The priority queue orders ties on distance so that flagged
 entries win, which makes the flag mean "there exists a shortest path
 through P" rather than "the particular tree path found goes through P" -
 exactly the semantics required by the tail-pruning rule (Definition 4.18).
+
+Two implementations of that semantics live here:
+
+* :func:`dist_and_prune` / :func:`dist_and_prune_dense` - the heap-based
+  search computing distances and flags in one pass (the classic form), and
+* :func:`prune_flags_from_distances` - the flag half alone, derived from an
+  *already computed* distance array by one pass over the shortest-path DAG
+  in ascending distance order.  This is what lets the CSR backend
+  (:mod:`repro.core.backends`) obtain the distances from a heap-free
+  vectorised search (one batched ``scipy.sparse.csgraph`` call for all of
+  a node's cut vertices) and still produce flags - and therefore labels -
+  bit-identical to the heap search.
 """
 
 from __future__ import annotations
@@ -14,6 +26,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.flat import FlatWorkingGraph
 from repro.partition.working_graph import WorkingAdjacency
@@ -146,3 +160,66 @@ def dist_and_prune_dense(
             push(heap, (d + weights[i], child_not_pruneable, counter, neighbour))
             counter += 1
     return dist, through
+
+
+def prune_flags_from_distances(
+    flat: FlatWorkingGraph,
+    root: int,
+    prune_ids: Sequence[int],
+    dist: Sequence[float],
+) -> List[bool]:
+    """Recover Algorithm 4's pruneability flags from a finished SSSP.
+
+    ``dist`` must be the exact single-source distance array from ``root``
+    over ``flat`` (``inf`` for unreached vertices).  A vertex ``v`` is
+    flagged iff some shortest path from the root to ``v`` passes through
+    the prune set, i.e. iff it has a shortest-path-DAG parent ``u``
+    (``dist[u] + w(u, v) == dist[v]``) that is in the prune set or flagged
+    itself.  With strictly positive edge weights every DAG parent settles
+    strictly before its child, so processing vertices in ascending
+    distance order resolves the recursion in a single pass and yields
+    flags bit-identical to the ``through`` half of
+    :func:`dist_and_prune_dense`.
+
+    Zero-weight edges are **rejected**: they tie parent and child
+    distances, where the heap search's flags depend on its settle order
+    and no distance-derived pass can reproduce them.  Callers (the
+    ``csr`` backend) route zero-weight snapshots to the heap search
+    instead.
+    """
+    n = len(flat.vertices)
+    indptr, indices, weights = flat.indptr, flat.indices, flat.weights
+    # cached on the snapshot (same key the csr backend's delegation check
+    # writes), so the O(E) scan runs once per node, not once per cut vertex
+    has_zero_weight = flat.cache.get("has_zero_weight")
+    if has_zero_weight is None:
+        has_zero_weight = bool(weights) and min(weights) == 0.0
+        flat.cache["has_zero_weight"] = has_zero_weight
+    if has_zero_weight:
+        raise ValueError(
+            "prune_flags_from_distances requires strictly positive edge "
+            "weights (zero-weight ties make the heap search's flags "
+            "order-dependent); run dist_and_prune_dense instead"
+        )
+    in_prune = bytearray(n)
+    for p in prune_ids:
+        in_prune[p] = 1
+    in_prune[root] = 0
+
+    dist_array = np.asarray(dist, dtype=np.float64)
+    finite = np.isfinite(dist_array)
+    order = np.argsort(dist_array[finite], kind="stable")
+    settle_order = np.nonzero(finite)[0][order].tolist()
+
+    dist_list: List[float] = dist_array.tolist()
+    through = [False] * n
+    for v in settle_order:
+        if v == root:
+            continue
+        d_v = dist_list[v]
+        for i in range(indptr[v], indptr[v + 1]):
+            u = indices[i]
+            if dist_list[u] + weights[i] == d_v and (in_prune[u] or through[u]):
+                through[v] = True
+                break
+    return through

@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.backends import BackendSpec, resolve_backend
 from repro.core.flat import FlatWorkingGraph
-from repro.core.pruned_dijkstra import dist_and_prune_dense
 from repro.partition.working_graph import WorkingAdjacency
 
 
@@ -34,28 +34,34 @@ def rank_cut_vertices(
     adjacency: WorkingAdjacency,
     cut: Sequence[int],
     flat: Optional[FlatWorkingGraph] = None,
+    backend: BackendSpec = None,
 ) -> CutRanking:
     """Rank the cut vertices of a node by their coverage count (Equation 6).
 
-    For each cut vertex ``v`` we run one pruneability-tracking Dijkstra
-    with the other cut vertices as the prune set; the coverage count
-    ``P#(v)`` is the number of vertices whose shortest path from ``v``
-    passes through another cut vertex.  Ties break on the vertex id so
+    For each cut vertex ``v`` we run one pruneability-tracking search with
+    the other cut vertices as the prune set; the coverage count ``P#(v)``
+    is the number of vertices whose shortest path from ``v`` passes
+    through another cut vertex.  Ties break on the vertex id so
     construction is deterministic.
 
     ``flat`` may pass in a pre-built CSR snapshot of ``adjacency`` (the
-    construction shares one snapshot between ranking and labelling).
+    construction shares one snapshot between ranking and labelling, which
+    also lets the ``csr`` backend reuse the distance rows across the two
+    passes).  ``backend`` selects the
+    :class:`~repro.core.backends.ShortestPathBackend` running the
+    searches.
     """
     cut_list = list(cut)
     if len(cut_list) <= 1:
         return CutRanking(ordered=cut_list, coverage={v: 0 for v in cut_list})
     if flat is None:
         flat = FlatWorkingGraph(adjacency)
+    search = resolve_backend(backend)
     cut_dense = flat.dense_ids(cut_list)
-    coverage: Dict[int, int] = {}
-    for v, v_dense in zip(cut_list, cut_dense):
-        prune_ids = [c for c in cut_dense if c != v_dense]
-        _, through = dist_and_prune_dense(flat, v_dense, prune_ids)
-        coverage[v] = sum(through)
+    prune_sets = [[c for c in cut_dense if c != v_dense] for v_dense in cut_dense]
+    _, prunes = search.dist_and_prune_many(flat, cut_dense, prune_sets)
+    coverage: Dict[int, int] = {
+        v: int(sum(through)) for v, through in zip(cut_list, prunes)
+    }
     ordered = sorted(cut_list, key=lambda v: (coverage[v], v))
     return CutRanking(ordered=ordered, coverage=coverage)

@@ -53,6 +53,31 @@ def star_graph(n: int, weight: float = 1.0) -> Graph:
     return graph
 
 
+def caterpillar_graph(
+    spine: int, legs: int, weight: float = 1.0, leg_weight: Optional[float] = None
+) -> Graph:
+    """A caterpillar: a path of ``spine`` vertices, each carrying ``legs`` leaves.
+
+    Vertices ``0..spine-1`` form the spine; leaf ``k`` of spine vertex
+    ``s`` is ``spine + s * legs + k``.  Every leaf has degree one, so the
+    degree-one contraction removes the whole fringe (and, for ``spine``
+    small enough, chews into the spine) - the topology that forces the
+    same-attachment-tree resolve path of the query engine.
+    """
+    if spine < 1:
+        raise ValueError(f"spine must be at least 1, got {spine}")
+    if legs < 0:
+        raise ValueError(f"legs must be non-negative, got {legs}")
+    graph = Graph(spine + spine * legs)
+    for s in range(spine - 1):
+        graph.add_edge(s, s + 1, weight)
+    leg_w = weight if leg_weight is None else leg_weight
+    for s in range(spine):
+        for k in range(legs):
+            graph.add_edge(s, spine + s * legs + k, leg_w)
+    return graph
+
+
 def complete_graph(n: int, weight: float = 1.0) -> Graph:
     """A complete graph on ``n`` vertices (small n only; used in tests)."""
     graph = Graph(n)

@@ -52,6 +52,7 @@ def compute_shortcuts(
     cut: Sequence[int],
     partition: Sequence[int],
     cut_distances: Mapping[int, Mapping[int, float]],
+    backend: object = None,
 ) -> List[Shortcut]:
     """Compute the non-redundant shortcuts for one partition (Algorithm 3).
 
@@ -68,6 +69,9 @@ def compute_shortcuts(
         For each cut vertex, its single-source distances over the parent
         subgraph.  The labelling step computes these anyway (Algorithm 5),
         so the caller passes them in rather than recomputing.
+    backend:
+        The :class:`~repro.core.backends.ShortestPathBackend` running the
+        per-border searches (name, instance, or ``None`` for the default).
 
     Returns
     -------
@@ -79,17 +83,18 @@ def compute_shortcuts(
         return []
 
     # Lines 3-6: within-partition distances between border vertices.  The
-    # partition subgraph is flattened once (CSR, dense ids) and each border
-    # runs a dense search over it - same distances as searching the parent
-    # adjacency restricted to the partition, without per-edge membership
-    # checks or vertex-id hashing.
+    # partition subgraph is flattened once (CSR, dense ids) and the
+    # backend searches from every border over it - same distances as
+    # searching the parent adjacency restricted to the partition, without
+    # per-edge membership checks or vertex-id hashing (and one batched
+    # scipy call for all borders under the csr backend).
+    from repro.core.backends import resolve_backend
     from repro.core.flat import FlatWorkingGraph
 
     flat = FlatWorkingGraph(restrict_adjacency(adjacency, partition))
     border_dense = flat.dense_ids(borders)
-    within: Dict[int, List[float]] = {
-        b: flat.dijkstra(b_dense) for b, b_dense in zip(borders, border_dense)
-    }
+    rows = resolve_backend(backend).sssp_many(flat, border_dense)
+    within: Dict[int, Sequence[float]] = dict(zip(borders, rows))
     dense_of = dict(zip(borders, border_dense))
 
     # Lines 7-8: true distances, allowing travel through the cut.

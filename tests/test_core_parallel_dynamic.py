@@ -142,3 +142,69 @@ class TestDynamicIndex:
         dynamic = DynamicHC2LIndex(small_graph)
         assert dynamic.label_size_bytes() > 0
         assert dynamic.index.tree_height() >= 1
+
+
+class TestDynamicBatchProtocol:
+    """DynamicHC2LIndex under the batch DistanceOracle protocol.
+
+    The relabelling pass swaps the whole underlying index; these tests pin
+    that the *batch* entry points observe the refreshed labels (a stale
+    engine would silently serve pre-update distances) and that the loud
+    topology-change rejection survives the batch path.
+    """
+
+    def _updated(self, graph, factor: float = 4.0, count: int = 6):
+        dynamic = DynamicHC2LIndex(graph)
+        updates = {}
+        for u, v, w in list(graph.edges())[:count]:
+            dynamic.update_edge_weight(u, v, w * factor)
+            updates[(u, v)] = w * factor
+        return dynamic, graph.reweighted(updates)
+
+    def test_relabel_then_distances_matches_fresh_build(self, small_graph):
+        dynamic, new_graph = self._updated(small_graph)
+        fresh = HC2LIndex.build(new_graph)
+        pairs = random_query_pairs(small_graph, 80, seed=23)
+        got = dynamic.distances(pairs)
+        assert dynamic.pending_updates() == 0, "distances() must flush first"
+        expected = fresh.distances(pairs)
+        for (s, t), a, b in zip(pairs, got.tolist(), expected.tolist()):
+            assert_distance_equal(b, a)
+        # batch answers stay bit-identical to the dynamic index's own scalars
+        for (s, t), value in zip(pairs, got.tolist()):
+            assert dynamic.distance(s, t) == value
+
+    def test_relabel_then_one_to_many_matches_fresh_build(self, small_graph):
+        dynamic, new_graph = self._updated(small_graph, factor=0.25)
+        fresh = HC2LIndex.build(new_graph)
+        targets = list(range(0, small_graph.num_vertices, 3))
+        got = dynamic.one_to_many(5, targets)
+        expected = fresh.one_to_many(5, targets)
+        for a, b in zip(got.tolist(), expected.tolist()):
+            assert_distance_equal(b, a)
+        matrix = dynamic.many_to_many([1, 5, 9], targets)
+        expected_matrix = fresh.many_to_many([1, 5, 9], targets)
+        assert matrix.shape == expected_matrix.shape
+        for a, b in zip(matrix.ravel().tolist(), expected_matrix.ravel().tolist()):
+            assert_distance_equal(b, a)
+
+    def test_topology_rejection_stays_loud_under_batch_use(self, small_graph):
+        dynamic = DynamicHC2LIndex(small_graph)
+        pairs = random_query_pairs(small_graph, 10, seed=3)
+        dynamic.distances(pairs)  # warm the engine through the batch path
+        with pytest.raises(KeyError, match="topology changes require a rebuild"):
+            dynamic.update_edge_weight(0, 0, 1.0)
+        missing = next(
+            (u, v)
+            for u in range(small_graph.num_vertices)
+            for v in range(u + 1, small_graph.num_vertices)
+            if not small_graph.has_edge(u, v)
+        )
+        with pytest.raises(KeyError, match="topology changes require a rebuild"):
+            dynamic.update_edge_weight(*missing, 2.0)
+        # a buffered legal update still flushes on the next batch call
+        u, v, w = next(iter(small_graph.edges()))
+        dynamic.update_edge_weight(u, v, w * 2)
+        assert dynamic.pending_updates() == 1
+        dynamic.distances(pairs)
+        assert dynamic.pending_updates() == 0

@@ -1,0 +1,174 @@
+"""Differential fuzzing: every serving path against a Dijkstra reference.
+
+Seeded random graphs - including caterpillar and tree-heavy topologies
+whose degree-one contraction forces the same-attachment-tree resolve path
+that the conformance suites never exercise - are checked oracle-vs-
+Dijkstra across
+
+* the monolithic :class:`HC2LIndex` (scalar and batch),
+* a two-shard :class:`~repro.serving.shards.ShardRouter` over the sharded
+  on-disk layout, and
+* an index reloaded with memory-mapped label buffers.
+
+All weights are small integers, so every path sum is exactly
+representable in float64 and the comparisons can assert ``==`` (true
+bit-identity), not ``approx`` - a silently wrong answer on a tree-heavy
+batch cannot hide behind a tolerance.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.index import HC2LIndex
+from repro.graph.builders import caterpillar_graph, graph_from_edges
+from repro.graph.graph import Graph
+from repro.graph.search import dijkstra
+from repro.serving import ShardRouter
+
+INF = float("inf")
+
+
+# --------------------------------------------------------------------- #
+# seeded graph generators (integer weights => exact float64 arithmetic)
+# --------------------------------------------------------------------- #
+def _random_tree(rng: random.Random, n: int) -> List[Tuple[int, int, float]]:
+    return [(rng.randrange(v), v, float(rng.randrange(1, 16))) for v in range(1, n)]
+
+
+def _fuzz_graph(case: str, seed: int) -> Graph:
+    """One deterministic fuzz graph per (case, seed)."""
+    # zlib.crc32 is stable across processes (str.hash is salted)
+    rng = random.Random(zlib.crc32(case.encode()) * 10_007 + seed)
+    if case == "caterpillar":
+        # a pure tree: the whole component contracts into one attachment
+        # tree, so EVERY off-diagonal pair takes the same-root path
+        spine = rng.randrange(6, 14)
+        legs = rng.randrange(1, 4)
+        return caterpillar_graph(spine, legs, weight=float(rng.randrange(1, 9)))
+    if case == "caterpillar_with_core":
+        # caterpillar + a chord closing a cycle: part of the spine
+        # survives as core, the fringe hangs off it in attachment trees
+        spine = rng.randrange(8, 16)
+        legs = rng.randrange(1, 4)
+        graph = caterpillar_graph(spine, legs, weight=float(rng.randrange(1, 9)))
+        graph.add_edge(0, spine - 1, float(rng.randrange(1, 16)))
+        graph.add_edge(0, spine // 2, float(rng.randrange(1, 16)))
+        return graph
+    if case == "random_tree":
+        n = rng.randrange(20, 70)
+        return graph_from_edges(_random_tree(rng, n), num_vertices=n)
+    if case == "tree_heavy":
+        # spanning tree plus very few extra edges: a small core with
+        # large attachment trees hanging off it
+        n = rng.randrange(30, 90)
+        edges = _random_tree(rng, n)
+        for _ in range(rng.randrange(1, 4)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.append((u, v, float(rng.randrange(1, 16))))
+        return graph_from_edges(edges, num_vertices=n)
+    if case == "sparse":
+        n = rng.randrange(25, 80)
+        edges = _random_tree(rng, n)
+        for _ in range(n):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.append((u, v, float(rng.randrange(1, 16))))
+        return graph_from_edges(edges, num_vertices=n)
+    if case == "disconnected":
+        # two tree-heavy components + an isolated vertex; cross pairs are inf
+        rng_a, rng_b = random.Random(seed * 3 + 1), random.Random(seed * 3 + 2)
+        n_a, n_b = rng_a.randrange(10, 30), rng_b.randrange(10, 30)
+        edges = _random_tree(rng_a, n_a)
+        edges += [(u + n_a, v + n_a, w) for u, v, w in _random_tree(rng_b, n_b)]
+        return graph_from_edges(edges, num_vertices=n_a + n_b + 1)
+    raise AssertionError(f"unknown fuzz case {case!r}")
+
+
+def _query_pairs(graph: Graph, index: HC2LIndex, seed: int) -> List[Tuple[int, int]]:
+    """Random pairs plus every same-attachment-tree pair (the hot path under test)."""
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(120)]
+    pairs += [(v, v) for v in range(0, n, max(1, n // 7))]
+    root = index.contraction.root
+    same_root = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if root[u] == root[v]
+    ]
+    rng.shuffle(same_root)
+    return pairs + same_root[:400]
+
+
+def _reference(graph: Graph, pairs: List[Tuple[int, int]]) -> List[float]:
+    rows = {}
+    out = []
+    for s, t in pairs:
+        if s not in rows:
+            rows[s] = dijkstra(graph, s)
+        out.append(rows[s][t])
+    return out
+
+
+FUZZ_CASES = [
+    "caterpillar",
+    "caterpillar_with_core",
+    "random_tree",
+    "tree_heavy",
+    "sparse",
+    "disconnected",
+]
+
+
+@pytest.mark.parametrize("case", FUZZ_CASES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestDifferentialFuzz:
+    def test_engine_scalar_batch_and_dijkstra_agree(self, case, seed):
+        graph = _fuzz_graph(case, seed)
+        index = HC2LIndex.build(graph, leaf_size=4)
+        pairs = _query_pairs(graph, index, seed)
+        reference = _reference(graph, pairs)
+
+        batch = index.distances(pairs)
+        # scalar vs batch: bit-identical, no tolerance
+        for (s, t), value in zip(pairs, batch.tolist()):
+            assert index.distance(s, t) == value
+        # oracle vs Dijkstra: integer weights make path sums exact
+        assert batch.tolist() == reference
+
+    def test_shard_router_matches_engine(self, case, seed, tmp_path):
+        graph = _fuzz_graph(case, seed)
+        index = HC2LIndex.build(graph, leaf_size=4)
+        pairs = _query_pairs(graph, index, seed)
+        expected = index.distances(pairs)
+
+        path = tmp_path / "fuzz.npz"
+        index.save_sharded(path, num_shards=2)
+        router = ShardRouter(path)
+        got = router.distances(pairs)
+        assert got.tolist() == expected.tolist()
+        # the router's scalar path goes through the same contraction
+        # resolution; spot-check it stays bit-identical too
+        for s, t in pairs[:40]:
+            assert router.distance(s, t) == index.distance(s, t)
+
+    def test_mmap_loaded_index_matches_engine(self, case, seed, tmp_path):
+        graph = _fuzz_graph(case, seed)
+        index = HC2LIndex.build(graph, leaf_size=4)
+        pairs = _query_pairs(graph, index, seed)
+        expected = index.distances(pairs)
+
+        path = tmp_path / "fuzz-mono.npz"
+        index.save(path)
+        loaded = HC2LIndex.load(path, mmap_labels=True)
+        got = loaded.distances(pairs)
+        assert got.tolist() == expected.tolist()
+        assert isinstance(got, np.ndarray) and got.dtype == np.float64

@@ -1,0 +1,166 @@
+"""Euler-tour tree resolver vs the scalar LCA walk (regression pin).
+
+PR 3's conformance suite never exercised the same-attachment-tree branch
+of ``BatchResolver.resolve`` (its road-network fixtures contract only
+shallow fringes).  These tests pin the vectorised Euler-tour + RMQ
+resolver against the original scalar
+:meth:`~repro.graph.contraction.ContractedGraph.tree_lca_distance` walk
+on *every* same-root pair of fixture trees, asserting bit-identical
+results (``==``, no tolerance).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BatchResolver
+from repro.core.index import HC2LIndex
+from repro.core.tree_resolve import TreeDistanceResolver
+from repro.graph.builders import caterpillar_graph, graph_from_edges, path_graph, star_graph
+from repro.graph.contraction import contract_degree_one
+
+
+def _all_same_root_pairs(contraction):
+    n = contraction.num_original
+    root = contraction.root
+    return [
+        (u, v)
+        for u, v in itertools.product(range(n), repeat=2)
+        if u != v and root[u] == root[v]
+    ]
+
+
+def _resolver_for(graph) -> TreeDistanceResolver:
+    contraction = contract_degree_one(graph)
+    return contraction, TreeDistanceResolver(
+        parent=np.asarray(contraction.parent, dtype=np.int64),
+        depth=np.asarray(contraction.depth, dtype=np.int64),
+        root=np.asarray(contraction.root, dtype=np.int64),
+        dist_to_root=np.asarray(contraction.dist_to_root, dtype=np.float64),
+    )
+
+
+class TestTreeDistanceResolver:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: caterpillar_graph(9, 3, weight=2.0, leg_weight=3.0),
+            lambda: path_graph(17, weight=1.5),
+            lambda: star_graph(12, weight=2.5),
+        ],
+        ids=["caterpillar", "path", "star"],
+    )
+    def test_bit_identical_on_every_same_root_pair(self, graph_factory):
+        """The fixture trees contract entirely; every pair is a tree pair."""
+        graph = graph_factory()
+        contraction, resolver = _resolver_for(graph)
+        pairs = _all_same_root_pairs(contraction)
+        assert pairs, "fixture must exercise the same-root path"
+        u = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        v = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        got = resolver.distances(u, v)
+        for (a, b), value in zip(pairs, got.tolist()):
+            assert contraction.tree_lca_distance(a, b) == value
+
+    def test_lca_matches_parent_walk(self):
+        """The RMQ LCA equals the textbook two-pointer walk on a random tree."""
+        rng = random.Random(11)
+        n = 60
+        edges = [(rng.randrange(v), v, float(rng.randrange(1, 9))) for v in range(1, n)]
+        graph = graph_from_edges(edges, num_vertices=n)
+        contraction, resolver = _resolver_for(graph)
+
+        def walk_lca(a, b):
+            da, db = contraction.depth[a], contraction.depth[b]
+            while da > db:
+                a, da = contraction.parent[a], da - 1
+            while db > da:
+                b, db = contraction.parent[b], db - 1
+            while a != b:
+                a, b = contraction.parent[a], contraction.parent[b]
+            return a
+
+        pairs = _all_same_root_pairs(contraction)
+        rng.shuffle(pairs)
+        pairs = pairs[:500]
+        u = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        v = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        got = resolver.lca(u, v).tolist()
+        for (a, b), lca in zip(pairs, got):
+            assert walk_lca(a, b) == lca
+
+    def test_empty_and_trivial_trees(self):
+        """A graph whose contraction removes nothing yields an empty tour."""
+        graph = graph_from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]  # triangle: no degree-1
+        )
+        _, resolver = _resolver_for(graph)
+        assert resolver.num_members == 0
+
+
+class TestBatchResolverTreePath:
+    def test_engine_same_root_pairs_match_scalar_walk(self):
+        """End to end: batch distances equal the scalar walk on a caterpillar."""
+        graph = caterpillar_graph(8, 2, weight=2.0, leg_weight=5.0)
+        # close a cycle so a core survives and trees attach to it
+        graph.add_edge(0, 7, 3.0)
+        index = HC2LIndex.build(graph, leaf_size=4)
+        contraction = index.contraction
+        pairs = _all_same_root_pairs(contraction)
+        assert pairs, "caterpillar fringe must form attachment trees"
+        batch = index.distances(pairs)
+        for (u, v), value in zip(pairs, batch.tolist()):
+            assert contraction.tree_lca_distance(u, v) == value
+            assert index.distance(u, v) == value
+
+    def test_resolver_scalar_loop_is_gone(self):
+        """resolve() must not fall back to per-pair tree_lca_distance calls."""
+        graph = caterpillar_graph(6, 2)
+        index = HC2LIndex.build(graph, leaf_size=4)
+        engine = index.engine
+        pairs = _all_same_root_pairs(index.contraction)[:50]
+        calls = []
+        original = index.contraction.tree_lca_distance
+        index.contraction.tree_lca_distance = lambda u, v: calls.append((u, v)) or original(u, v)
+        try:
+            engine.distances(pairs)
+        finally:
+            index.contraction.tree_lca_distance = original
+        assert calls == [], "batch resolve still loops over tree_lca_distance"
+
+    def test_tree_resolver_is_lazy(self):
+        """Core-only batches never build the Euler structure."""
+        graph = graph_from_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+        index = HC2LIndex.build(graph, leaf_size=2)
+        engine = index.engine
+        engine.distances([(0, 1), (1, 2), (2, 3)])
+        assert engine.resolver._tree_resolver is None
+
+    def test_shared_resolver_serves_router_and_engine(self, tmp_path):
+        """BatchResolver (and so the tree path) is the same code under ShardRouter."""
+        from repro.serving import ShardRouter
+
+        graph = caterpillar_graph(10, 3, weight=1.0, leg_weight=4.0)
+        graph.add_edge(0, 9, 2.0)
+        index = HC2LIndex.build(graph, leaf_size=4)
+        pairs = _all_same_root_pairs(index.contraction)
+        path = tmp_path / "tree.npz"
+        index.save_sharded(path, num_shards=3)
+        router = ShardRouter(path)
+        assert isinstance(router.resolver, BatchResolver)
+        assert router.distances(pairs).tolist() == index.distances(pairs).tolist()
+
+    def test_deep_chain_spans(self):
+        """A long path tree stresses every sparse-table level of the RMQ."""
+        graph = path_graph(130, weight=1.0)
+        contraction, resolver = _resolver_for(graph)
+        pairs = _all_same_root_pairs(contraction)
+        u = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        v = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        got = resolver.distances(u, v)
+        # on a unit path the distance is |u - v|
+        assert got.tolist() == np.abs(u - v).astype(np.float64).tolist()
