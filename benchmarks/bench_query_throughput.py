@@ -47,8 +47,8 @@ from repro.baselines import (
     PrunedHighwayLabelling,
     PrunedLandmarkLabelling,
 )
-from repro.experiments.sharding import router_overhead_rows
-from repro.experiments.workloads import skewed_pairs
+from repro.experiments.sharding import boundary_locality_rows, router_overhead_rows
+from repro.experiments.workloads import neighborhood_pairs, skewed_pairs
 from repro.serving import CachingOracle, CoalescingServer
 
 ORACLE_BUILDERS = {
@@ -212,6 +212,19 @@ def run_benchmark(
                             hc2l_index, pairs, workdir, shard_counts=counts
                         )
                     )
+                # shard-boundary locality: the same neighbourhood workload
+                # through even vs hierarchy-aligned boundaries, one row per
+                # mode with the cross-shard pair fraction (tracked across
+                # PRs like the throughput rows)
+                local = neighborhood_pairs(graph, min(num_queries, 4000), seed=seed)
+                if local:
+                    print("  HC2L+router: comparing shard-boundary layouts ...")
+                    with tempfile.TemporaryDirectory() as workdir:
+                        rows.extend(
+                            boundary_locality_rows(
+                                hc2l_index, local, workdir, num_shards=4
+                            )
+                        )
         except Exception as error:
             raise SystemExit(
                 f"HC2L serving-path sweep failed ({error!r}); "

@@ -61,6 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
             "or auto (csr when scipy is available; the default)"
         ),
     )
+    build.add_argument(
+        "--tree-sidecar",
+        action="store_true",
+        help=(
+            "also persist the Euler-tour tree resolver next to the index "
+            "(<output>.tree/) so mmap-loading workers skip the per-process "
+            "rebuild"
+        ),
+    )
 
     shard = subparsers.add_parser(
         "shard", help="split a saved index into a sharded layout for multi-worker serving"
@@ -68,6 +77,17 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("index", help="path to an index written by 'repro build'")
     shard.add_argument(
         "--shards", type=int, default=2, help="number of vertex-range shards (default 2)"
+    )
+    shard.add_argument(
+        "--boundaries",
+        choices=["even", "hierarchy"],
+        default="even",
+        help=(
+            "shard boundary layout: even core-id ranges (default) or "
+            "hierarchy (labels stored in subtree DFS order, boundaries "
+            "aligned with the hierarchy's top cuts so nearby queries stay "
+            "inside one shard)"
+        ),
     )
     shard.add_argument(
         "--allow-pickle",
@@ -153,7 +173,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         backend=args.backend,
     )
-    index.save(args.output)
+    index.save(args.output, tree_sidecar=args.tree_sidecar)
     summary = index.describe()
     print(f"saved to {args.output}")
     print(
@@ -181,14 +201,17 @@ def _parse_pairs(args: argparse.Namespace) -> List[tuple[int, int]]:
 
 def _cmd_shard(args: argparse.Namespace) -> int:
     index = HC2LIndex.load(args.index, allow_pickle=args.allow_pickle)
-    layout = index.save_sharded(args.index, num_shards=args.shards)
+    layout = index.save_sharded(
+        args.index, num_shards=args.shards, boundaries=args.boundaries
+    )
     from repro.core.persistence import load_manifest
 
     _, manifest = load_manifest(layout)
-    print(f"sharded {args.index} into {layout}")
+    unit = "core vertices" if manifest["vertex_order"] == "identity" else "DFS positions"
+    print(f"sharded {args.index} into {layout} ({args.boundaries} boundaries)")
     for shard in manifest["shards"]:
         print(
-            f"  {shard['file']}: core vertices [{shard['lo']}, {shard['hi']}), "
+            f"  {shard['file']}: {unit} [{shard['lo']}, {shard['hi']}), "
             f"{shard['num_entries']} label entries"
         )
     print("serve it with: repro query --shards " + str(args.index) + " s,t ...")

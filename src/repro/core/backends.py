@@ -56,9 +56,11 @@ BACKEND_NAMES = ("auto", "heap", "csr")
 
 try:  # pragma: no cover - exercised via whichever env runs the suite
     from scipy.sparse import csr_matrix as _scipy_csr_matrix
+    from scipy.sparse.csgraph import connected_components as _scipy_components
     from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
 except ImportError:  # pragma: no cover
     _scipy_csr_matrix = None
+    _scipy_components = None
     _scipy_dijkstra = None
 
 
@@ -79,9 +81,28 @@ class ShortestPathBackend:
 
     name: str = "abstract"
 
+    #: max-flow implementation the partition layer's balanced cuts should
+    #: use: ``"dinitz"`` (the reference pure-Python solver) or ``"matrix"``
+    #: (scipy ``maximum_flow`` / numpy Edmonds-Karp over edge arrays).  The
+    #: canonical minimum vertex cuts are unique across all maximum flows,
+    #: so the choice never changes a cut - only how fast it is found.
+    flow_method: str = "dinitz"
+
     def sssp_many(self, flat: FlatWorkingGraph, sources: Sequence[int]) -> List[Sequence[float]]:
         """Single-source distance rows for a batch of sources."""
         raise NotImplementedError
+
+    def components(self, flat: FlatWorkingGraph) -> List[List[int]]:
+        """Connected components of a snapshot, in canonical form.
+
+        Each component is a sorted list of *original* vertex ids and the
+        components are ordered by their smallest member - exactly the
+        output contract of
+        :func:`repro.graph.components.components_of_adjacency`, so the
+        partition layer can swap between the dict walk and the backend
+        without changing a single tie-break.
+        """
+        return _components_python(flat)
 
     def dist_and_prune_many(
         self,
@@ -134,12 +155,17 @@ class CSRBackend(ShortestPathBackend):
     """
 
     name = "csr"
+    flow_method = "matrix"
 
     _DIST_CACHE = "csr_dist_rows"
     _MATRIX_CACHE = "csr_matrix"
 
-    def __init__(self, min_vertices: int = 32) -> None:
+    def __init__(self, min_vertices: int = 32, components_min_vertices: int = 2048) -> None:
         self.min_vertices = min_vertices
+        # the component scan crosses over much later than the distance
+        # searches: one O(E) python BFS beats a scipy matrix round-trip
+        # until the snapshot is a few thousand vertices
+        self.components_min_vertices = components_min_vertices
         self._heap = HeapBackend()
 
     # ------------------------------------------------------------------ #
@@ -165,6 +191,33 @@ class CSRBackend(ShortestPathBackend):
             dists.append(dist)
             prunes.append(prune_flags_from_distances(flat, root, prune_ids, dist))
         return dists, prunes
+
+    def components(self, flat: FlatWorkingGraph) -> List[List[int]]:
+        if (
+            _scipy_components is None
+            or _scipy_csr_matrix is None
+            or len(flat.vertices) < self.components_min_vertices
+        ):
+            return _components_python(flat)
+        indptr, indices, weights = flat.csr_arrays()
+        n = len(flat.vertices)
+        # weights play no role in connectivity; a ones data array also
+        # sidesteps scipy's explicit-zero == missing-edge convention
+        matrix = _scipy_csr_matrix(
+            (np.ones(len(indices), dtype=np.int8), indices, indptr), shape=(n, n)
+        )
+        _, labels = _scipy_components(matrix, directed=False)
+        order = np.argsort(labels, kind="stable")  # dense ids ascending per label
+        boundaries = np.nonzero(np.diff(labels[order]))[0] + 1
+        vertices = flat.vertices
+        groups = [
+            [vertices[i] for i in block.tolist()]
+            for block in np.split(order, boundaries)
+        ]
+        # canonical: each group is already sorted (stable sort over
+        # ascending dense ids); order groups by their smallest member
+        groups.sort(key=lambda component: component[0])
+        return groups
 
     # ------------------------------------------------------------------ #
     def _delegate(self, flat: FlatWorkingGraph) -> bool:
@@ -209,6 +262,32 @@ class CSRBackend(ShortestPathBackend):
                 # lists than on numpy scalars
                 cache[source] = row.tolist()
         return cache
+
+
+def _components_python(flat: FlatWorkingGraph) -> List[List[int]]:
+    """Reference connected components over the CSR lists (canonical form)."""
+    indptr, indices = flat.indptr, flat.indices
+    vertices = flat.vertices
+    n = len(vertices)
+    seen = [False] * n
+    components: List[List[int]] = []
+    for start in range(n):  # ascending dense id == ascending original id
+        if seen[start]:
+            continue
+        seen[start] = True
+        stack = [start]
+        component = [start]
+        while stack:
+            v = stack.pop()
+            for i in range(indptr[v], indptr[v + 1]):
+                w = indices[i]
+                if not seen[w]:
+                    seen[w] = True
+                    component.append(w)
+                    stack.append(w)
+        component.sort()
+        components.append([vertices[i] for i in component])
+    return components
 
 
 def _numpy_multi_source(flat: FlatWorkingGraph, sources: Sequence[int]) -> np.ndarray:

@@ -151,9 +151,15 @@ class HC2LBuilder:
 
         cut_result: Optional[BalancedCutResult] = None
         force_leaf = n <= self.leaf_size or depth >= self.max_depth
+        flat: Optional[FlatWorkingGraph] = None
         if not force_leaf:
+            # one CSR snapshot per node, shared by the hierarchy phase
+            # (seed searches, component scans) and the labelling passes
+            # (which also share the csr backend's distance-row cache)
+            with stats.timer.measure("snapshot"):
+                flat = FlatWorkingGraph(adjacency)
             with stats.timer.measure("hierarchy"):
-                cut_result = balanced_cut(adjacency, self.beta)
+                cut_result = balanced_cut(beta=self.beta, flat=flat, backend=self.backend)
             if not cut_result.part_a or not cut_result.part_b:
                 force_leaf = True
 
@@ -162,9 +168,8 @@ class HC2LBuilder:
                 adjacency, vertices, depth, bits, parent, side, hierarchy, labelling, stats
             )
 
-        assert cut_result is not None
+        assert cut_result is not None and flat is not None
         with stats.timer.measure("labelling"):
-            flat = FlatWorkingGraph(adjacency)
             ranking = rank_cut_vertices(
                 adjacency, cut_result.cut, flat=flat, backend=self.backend
             )

@@ -34,7 +34,10 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (labelling imports us)
     from repro.core.labelling import HC2LLabelling
 
-from repro.partition.working_graph import WorkingAdjacency
+#: dict-of-dicts adjacency keyed by original vertex ids.  Defined here (not
+#: imported from :mod:`repro.partition.working_graph`) so the partition layer
+#: can import the CSR snapshot without a circular dependency.
+WorkingAdjacency = Dict[int, Dict[int, float]]
 
 INF = float("inf")
 
@@ -228,6 +231,52 @@ class FlatLabelling:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         return [round(k * num_vertices / num_shards) for k in range(num_shards + 1)]
 
+    def reorder(self, order: Sequence[int]) -> "FlatLabelling":
+        """A labelling whose position ``p`` holds the labels of vertex ``order[p]``.
+
+        ``order`` must be a permutation of ``0 .. num_vertices - 1``.  The
+        per-vertex level arrays are byte-identical, only their placement in
+        the buffers changes - this is how the hierarchy-aligned sharded
+        layout stores labels in subtree (DFS) order so that shard ranges
+        follow the hierarchy's top cuts.  ``reorder(order)`` followed by
+        ``reorder(inverse)`` round-trips exactly.
+        """
+        order_array = np.asarray(order, dtype=np.int64)
+        n = self.num_vertices
+        if len(order_array) != n or not np.array_equal(
+            np.sort(order_array), np.arange(n, dtype=np.int64)
+        ):
+            raise ValueError(
+                f"order must be a permutation of 0..{n - 1}, got {len(order_array)} entries"
+            )
+        vertex_indptr = self.vertex_indptr
+        level_indptr = self.level_indptr
+        # per-vertex level counts and value counts, gathered in target order
+        level_counts = (vertex_indptr[1:] - vertex_indptr[:-1])[order_array]
+        new_vertex_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(level_counts, out=new_vertex_indptr[1:])
+        # flat index of every (vertex, depth) level in target order
+        total_levels = int(new_vertex_indptr[-1])
+        starts = vertex_indptr[order_array]
+        within = np.arange(total_levels, dtype=np.int64) - np.repeat(
+            new_vertex_indptr[:-1], level_counts
+        )
+        old_levels = np.repeat(starts, level_counts) + within
+        lengths = level_indptr[old_levels + 1] - level_indptr[old_levels]
+        new_level_indptr = np.zeros(total_levels + 1, dtype=np.int64)
+        np.cumsum(lengths, out=new_level_indptr[1:])
+        total_values = int(new_level_indptr[-1])
+        value_within = np.arange(total_values, dtype=np.int64) - np.repeat(
+            new_level_indptr[:-1], lengths
+        )
+        values = self.values[np.repeat(level_indptr[old_levels], lengths) + value_within]
+        return FlatLabelling(
+            num_vertices=n,
+            values=values,
+            level_indptr=new_level_indptr,
+            vertex_indptr=new_vertex_indptr,
+        )
+
     # ------------------------------------------------------------------ #
     # element access (mirrors HC2LLabelling)
     # ------------------------------------------------------------------ #
@@ -338,6 +387,70 @@ class FlatWorkingGraph:
 
     def __len__(self) -> int:
         return len(self.vertices)
+
+    @classmethod
+    def from_csr(
+        cls,
+        vertices: Sequence[int],
+        indptr: Sequence[int],
+        indices: Sequence[int],
+        weights: Sequence[float],
+    ) -> "FlatWorkingGraph":
+        """Build a snapshot directly from CSR components (no dict walk).
+
+        ``vertices`` maps dense ids to original ids and must be sorted
+        ascending (the invariant every snapshot maintains); ``indices``
+        holds dense ids.  Used by :meth:`induce` to restrict a snapshot
+        with numpy array operations instead of dict comprehensions.
+        """
+        snapshot = cls.__new__(cls)
+        snapshot.vertices = list(vertices)
+        snapshot.dense_id = {v: i for i, v in enumerate(snapshot.vertices)}
+        snapshot.indptr = list(indptr)
+        snapshot.indices = list(indices)
+        snapshot.weights = list(weights)
+        snapshot.cache = {}
+        snapshot._np_csr = None
+        return snapshot
+
+    def induce(self, members: Sequence[int]) -> "FlatWorkingGraph":
+        """The snapshot induced on ``members`` (original vertex ids).
+
+        The restriction runs entirely on the numpy CSR arrays - the flat
+        counterpart of
+        :func:`repro.partition.working_graph.restrict_adjacency`, without
+        touching a single dict.  Edge (and therefore relaxation) order is
+        preserved, so searches over the induced snapshot are bit-identical
+        to searches over a snapshot built from a restricted dict.
+        """
+        indptr, indices, weights = self.csr_arrays()
+        n = len(self.vertices)
+        keep = np.zeros(n, dtype=bool)
+        member_dense = np.asarray(self.dense_ids(members), dtype=np.int64)
+        keep[member_dense] = True
+        member_dense = np.nonzero(keep)[0]  # sorted dense ids = sorted originals
+        new_id = np.full(n, -1, dtype=np.int64)
+        new_id[member_dense] = np.arange(len(member_dense), dtype=np.int64)
+
+        tails = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        edge_keep = keep[tails] & keep[indices]
+        new_tails = new_id[tails[edge_keep]]
+        new_indptr = np.zeros(len(member_dense) + 1, dtype=np.int64)
+        np.add.at(new_indptr[1:], new_tails, 1)
+        np.cumsum(new_indptr, out=new_indptr)
+        new_indices = new_id[indices[edge_keep]]
+        new_weights = weights[edge_keep]
+        vertex_list = [self.vertices[i] for i in member_dense.tolist()]
+        snapshot = FlatWorkingGraph.from_csr(
+            vertex_list,
+            new_indptr.tolist(),
+            new_indices.tolist(),
+            new_weights.tolist(),
+        )
+        # the numpy triple is already built - seed the cache so the csr
+        # backend does not reconvert the lists it was derived from
+        snapshot._np_csr = (new_indptr, new_indices, np.ascontiguousarray(new_weights))
+        return snapshot
 
     def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The ``(indptr, indices, weights)`` triple as typed numpy arrays."""

@@ -282,6 +282,15 @@ class HC2LIndex:
             self._engine = engine
         return engine
 
+    def attach_tree_resolver(self, resolver) -> None:
+        """Install a pre-built Euler-tour tree resolver on the engine.
+
+        Used by the mmap load path when a persisted sidecar
+        (:func:`repro.core.persistence.save_tree_sidecar`) is present, so
+        serving skips the per-process tour rebuild.
+        """
+        self.engine.resolver.attach_tree_resolver(resolver)
+
     # ------------------------------------------------------------------ #
     # queries (DistanceOracle protocol)
     # ------------------------------------------------------------------ #
@@ -393,21 +402,27 @@ class HC2LIndex:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
-    def save(self, path: Union[str, Path]) -> None:
+    def save(self, path: Union[str, Path], tree_sidecar: bool = False) -> None:
         """Serialise the index to ``path`` (versioned ``.npz`` format).
 
         The archive stores the flat label buffers plus typed arrays for the
         graph, contraction and hierarchy; see :mod:`repro.core.persistence`.
+        With ``tree_sidecar=True`` the Euler-tour tree resolver is also
+        persisted under ``<path>.tree/`` so mmap loads skip the
+        per-process rebuild (see
+        :func:`repro.core.persistence.save_tree_sidecar`).
         """
-        from repro.core.persistence import save_index
+        from repro.core.persistence import save_index, save_tree_sidecar
 
         save_index(self, path)
+        if tree_sidecar:
+            save_tree_sidecar(self, path)
 
     def save_sharded(
         self,
         path: Union[str, Path],
         num_shards: int = 2,
-        boundaries: Optional[Sequence[int]] = None,
+        boundaries: Union[str, Sequence[int], None] = None,
     ) -> Path:
         """Write the index as a sharded layout under ``<path>.shards/``.
 

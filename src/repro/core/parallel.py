@@ -121,9 +121,12 @@ class ParallelHC2LBuilder(HC2LBuilder):
 
         force_leaf = n <= self.leaf_size or depth >= self.max_depth
         cut_result = None
+        flat: Optional[FlatWorkingGraph] = None
         if not force_leaf:
+            with stats.timer.measure("snapshot"):
+                flat = FlatWorkingGraph(adjacency)
             with stats.timer.measure("hierarchy"):
-                cut_result = balanced_cut(adjacency, self.beta)
+                cut_result = balanced_cut(beta=self.beta, flat=flat, backend=self.backend)
             if not cut_result.part_a or not cut_result.part_b:
                 force_leaf = True
 
@@ -142,8 +145,7 @@ class ParallelHC2LBuilder(HC2LBuilder):
                 labelling.append_level(v, arrays[v])
             return node.index
 
-        assert cut_result is not None
-        flat = FlatWorkingGraph(adjacency)
+        assert cut_result is not None and flat is not None
         ranking = rank_cut_vertices(adjacency, cut_result.cut, flat=flat, backend=self.backend)
         arrays, cut_distances = node_distance_arrays(
             adjacency, ranking, self.tail_pruning, flat=flat, backend=self.backend

@@ -54,16 +54,28 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.index import HC2LIndex
 
 FORMAT_NAME = "hc2l-index"
-#: current single-archive version; bumped when the sharded layout landed
-#: (version-2 headers carry a ``label_layout`` key)
-FORMAT_VERSION = 2
+#: current single-archive version; version 2 added the ``label_layout``
+#: header key (sharded layouts), version 3 persists the hierarchy's DFS
+#: subtree ranges (``hier_node_range_lo/hi`` + ``hier_core_position``) so
+#: hierarchy-aligned shard boundaries load without re-walking the tree
+FORMAT_VERSION = 3
 #: single-archive versions this build can read
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 SHARDED_FORMAT_NAME = "hc2l-index-shards"
-SHARDED_FORMAT_VERSION = 1
+#: manifest version 2 added the ``vertex_order`` key (``identity`` for the
+#: classic core-id ranges, ``hierarchy`` for DFS-ordered subtree ranges);
+#: version-1 layouts still load and imply identity order
+SHARDED_FORMAT_VERSION = 2
+SUPPORTED_SHARDED_VERSIONS = (1, 2)
+#: accepted ``vertex_order`` manifest values
+VERTEX_ORDERS = ("identity", "hierarchy")
 MANIFEST_FILENAME = "manifest.json"
 BASE_FILENAME = "base.npz"
+
+TREE_SIDECAR_FORMAT = "hc2l-tree-resolver"
+TREE_SIDECAR_VERSION = 1
+TREE_SIDECAR_META = "meta.json"
 
 
 # --------------------------------------------------------------------- #
@@ -194,6 +206,12 @@ def _pack_hierarchy(arrays: Dict[str, np.ndarray], hierarchy: BalancedTreeHierar
 
     arrays["hier_vertex_node"] = np.asarray(hierarchy.vertex_node, dtype=np.int64)
 
+    # version 3: the DFS linearisation backing hierarchy-aligned shards
+    position = hierarchy.subtree_ranges()
+    arrays["hier_core_position"] = np.asarray(position, dtype=np.int64)
+    arrays["hier_node_range_lo"] = np.asarray([n.range_lo for n in nodes], dtype=np.int64)
+    arrays["hier_node_range_hi"] = np.asarray([n.range_hi for n in nodes], dtype=np.int64)
+
 
 # --------------------------------------------------------------------- #
 # load
@@ -236,7 +254,14 @@ def load_index(
                 f"labels); open it with repro.serving.ShardRouter or "
                 f"load_index_sharded instead"
             )
-        return _unpack_index(archive, header, path=path, mmap_labels=mmap_labels)
+        index = _unpack_index(archive, header, path=path, mmap_labels=mmap_labels)
+    if mmap_labels:
+        # the mmap path is the shared-page serving entry point: also map
+        # the Euler-tour sidecar when a fresh one sits next to the labels
+        resolver = load_tree_sidecar(path, index.contraction, mmap=True)
+        if resolver is not None:
+            index.attach_tree_resolver(resolver)
+    return index
 
 
 def _validate_header(archive, path: Union[str, Path]) -> dict:
@@ -325,6 +350,108 @@ def mmap_label_arrays(path: Union[str, Path]) -> Dict[str, np.ndarray]:
         name: np.load(sidecar_dir / f"{name}.npy", mmap_mode="r")
         for name in LABEL_ARRAY_NAMES
     }
+
+
+def tree_sidecar_directory(path: Union[str, Path]) -> Path:
+    """The ``<path>.tree/`` sidecar directory of an index path."""
+    return Path(str(path) + ".tree")
+
+
+def save_tree_sidecar(index: "HC2LIndex", path: Union[str, Path]) -> Path:
+    """Persist the Euler-tour tree resolver next to the index at ``path``.
+
+    The :class:`~repro.core.tree_resolve.TreeDistanceResolver` is normally
+    rebuilt lazily per process (a full walk over every contracted vertex);
+    persisting its arrays as versioned ``.npy`` sidecars under
+    ``<path>.tree/`` shaves that cold-start cost for tree-heavy serving
+    workloads - ``load_index(..., mmap_labels=True)`` maps them read-only,
+    so co-located workers share one physical copy of the tour.  Answers
+    are bit-identical to a freshly built resolver.  Returns the sidecar
+    directory.
+    """
+    resolver = index.engine.resolver.tree_resolver
+    path = Path(path)
+    sidecar_dir = tree_sidecar_directory(path)
+    sidecar_dir.mkdir(parents=True, exist_ok=True)
+    arrays = resolver.state_arrays()
+    for name, array in arrays.items():
+        final = sidecar_dir / f"{name}.npy"
+        temporary = sidecar_dir / f".{name}.{os.getpid()}.tmp.npy"
+        np.save(temporary, np.ascontiguousarray(array))
+        os.replace(temporary, final)  # concurrent loaders never map a torn file
+    archive_stat = path.stat() if path.exists() else None
+    meta = {
+        "format": TREE_SIDECAR_FORMAT,
+        "version": TREE_SIDECAR_VERSION,
+        "num_members": resolver.num_members,
+        "num_original": index.contraction.num_original,
+        # identity of the archive this sidecar belongs to; mtime *equality*
+        # (not ordering) makes the staleness check immune to coarse
+        # filesystem mtime granularity
+        "archive_mtime_ns": archive_stat.st_mtime_ns if archive_stat else None,
+        "archive_size": archive_stat.st_size if archive_stat else None,
+    }
+    meta_path = sidecar_dir / TREE_SIDECAR_META
+    temporary = sidecar_dir / f".{TREE_SIDECAR_META}.{os.getpid()}.tmp"
+    temporary.write_text(json.dumps(meta, indent=2) + "\n", encoding="utf-8")
+    # the meta file is written last: its presence marks a complete sidecar
+    os.replace(temporary, meta_path)
+    return sidecar_dir
+
+
+def load_tree_sidecar(path: Union[str, Path], contraction: ContractedGraph, mmap: bool = True):
+    """Load the tree-resolver sidecar of the index at ``path``, if usable.
+
+    Returns a ready :class:`~repro.core.tree_resolve.TreeDistanceResolver`
+    or ``None`` when no sidecar exists, it has an unknown format/version,
+    it disagrees with the index (vertex count, member set), or the archive
+    was rewritten since the sidecar was saved (the meta file records the
+    archive's exact mtime and size at save time, so a rewrite - even
+    within the filesystem's mtime granularity window - invalidates the
+    sidecar).
+    """
+    from repro.core.tree_resolve import TreeDistanceResolver
+
+    path = Path(path)
+    sidecar_dir = tree_sidecar_directory(path)
+    meta_path = sidecar_dir / TREE_SIDECAR_META
+    if not meta_path.exists() or not path.exists():
+        return None
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    except ValueError:
+        return None
+    if (
+        meta.get("format") != TREE_SIDECAR_FORMAT
+        or meta.get("version") != TREE_SIDECAR_VERSION
+        or int(meta.get("num_original", -1)) != contraction.num_original
+    ):
+        return None
+    archive_stat = path.stat()
+    if (
+        meta.get("archive_mtime_ns") != archive_stat.st_mtime_ns
+        or meta.get("archive_size") != archive_stat.st_size
+    ):
+        return None
+    arrays = {}
+    for name in TreeDistanceResolver.STATE_ARRAY_NAMES:
+        array_path = sidecar_dir / f"{name}.npy"
+        if not array_path.exists():
+            return None
+        arrays[name] = np.load(array_path, mmap_mode="r" if mmap else None)
+    if len(arrays["members"]) != int(meta.get("num_members", -1)):
+        return None
+    # the member set is fully determined by the contraction; a mismatch
+    # means the sidecar belongs to a different index (e.g. one built with
+    # contraction disabled on the same graph)
+    root = np.asarray(contraction.root, dtype=np.int64)
+    contracted = np.nonzero(root != np.arange(len(root), dtype=np.int64))[0]
+    expected_members = np.unique(np.concatenate([contracted, root[contracted]]))
+    if not np.array_equal(np.asarray(arrays["members"]), expected_members):
+        return None
+    return TreeDistanceResolver.from_state(
+        np.asarray(contraction.dist_to_root, dtype=np.float64), arrays
+    )
 
 
 def _unpack_components(archive, header: dict) -> dict:
@@ -426,6 +553,15 @@ def _unpack_hierarchy(archive, num_vertices: int) -> BalancedTreeHierarchy:
             node = hierarchy.nodes[node_index]
             hierarchy.vertex_depth[v] = node.depth
             hierarchy.vertex_bits[v] = node.bits
+
+    if "hier_core_position" in archive.files:  # version >= 3
+        range_lo = archive["hier_node_range_lo"].tolist()
+        range_hi = archive["hier_node_range_hi"].tolist()
+        for node, lo, hi in zip(hierarchy.nodes, range_lo, range_hi):
+            node.range_lo = lo
+            node.range_hi = hi
+        hierarchy.set_core_positions(archive["hier_core_position"].tolist())
+    # older archives: subtree_ranges() recomputes the walk on first use
     return hierarchy
 
 
@@ -448,22 +584,42 @@ def save_index_sharded(
     index: "HC2LIndex",
     path: Union[str, Path],
     num_shards: int = 2,
-    boundaries: Optional[Sequence[int]] = None,
+    boundaries: Union[str, Sequence[int], None] = None,
 ) -> Path:
     """Write ``index`` as a sharded layout under ``<path>.shards/``.
 
     The label buffers are partitioned by *core* vertex range into
-    ``num_shards`` (or along explicit ``boundaries``, the full edge
-    sequence ``[0, ..., core_num_vertices]``) self-contained shard
-    archives; everything else (graph, contraction, hierarchy, header)
-    goes into one small ``base.npz``.  Returns the layout directory.
-    Shards reuse the single-archive label member names, so
-    :func:`mmap_label_arrays` maps each shard's buffers read-only with
-    the existing sidecar machinery.
+    ``num_shards`` self-contained shard archives; everything else (graph,
+    contraction, hierarchy, header) goes into one small ``base.npz``.
+    Returns the layout directory.  Shards reuse the single-archive label
+    member names, so :func:`mmap_label_arrays` maps each shard's buffers
+    read-only with the existing sidecar machinery.
+
+    ``boundaries`` selects the layout:
+
+    * ``None`` or ``"even"`` - split the core id range evenly;
+    * ``"hierarchy"`` - store the labels in the hierarchy's DFS order and
+      split along subtree edges derived from the top cuts
+      (:func:`repro.hierarchy.tree.derive_shard_boundaries`), so
+      subtree-local query traffic stays inside one shard;
+    * an explicit edge sequence ``[0, ..., core_num_vertices]`` over core
+      ids.
     """
+    from repro.hierarchy.tree import derive_shard_boundaries
+
     flat = index.flat_labelling()
-    if boundaries is None:
+    vertex_order = "identity"
+    if boundaries is None or (isinstance(boundaries, str) and boundaries == "even"):
         boundaries = FlatLabelling.even_boundaries(flat.num_vertices, num_shards)
+    elif isinstance(boundaries, str):
+        if boundaries != "hierarchy":
+            raise ValueError(
+                f"unknown boundaries mode {boundaries!r}; expected 'even', "
+                f"'hierarchy' or an explicit edge sequence"
+            )
+        boundaries, order = derive_shard_boundaries(index.hierarchy, num_shards)
+        flat = flat.reorder(order)
+        vertex_order = "hierarchy"
     parts = flat.partition(boundaries)
 
     shard_dir = shard_directory(path)
@@ -499,6 +655,9 @@ def save_index_sharded(
         "base": BASE_FILENAME,
         "core_num_vertices": flat.num_vertices,
         "num_original": index.contraction.num_original,
+        # boundaries are positions in `vertex_order` space: core ids for
+        # "identity", hierarchy DFS positions for "hierarchy"
+        "vertex_order": vertex_order,
         "boundaries": edges,
         "shards": shards,
     }
@@ -543,10 +702,15 @@ def load_manifest(path: Union[str, Path]) -> Tuple[Path, dict]:
             f"{manifest_path} has format {manifest.get('format')!r}, "
             f"expected {SHARDED_FORMAT_NAME!r}"
         )
-    if manifest.get("version") != SHARDED_FORMAT_VERSION:
+    if manifest.get("version") not in SUPPORTED_SHARDED_VERSIONS:
         raise ValueError(
             f"{manifest_path} has manifest version {manifest.get('version')!r}; "
-            f"this build reads version {SHARDED_FORMAT_VERSION}"
+            f"this build reads versions {list(SUPPORTED_SHARDED_VERSIONS)}"
+        )
+    if manifest.setdefault("vertex_order", "identity") not in VERTEX_ORDERS:
+        raise ValueError(
+            f"{manifest_path} has vertex_order {manifest['vertex_order']!r}; "
+            f"this build reads {list(VERTEX_ORDERS)}"
         )
     edges = manifest.get("boundaries", [])
     if len(edges) != len(manifest.get("shards", [])) + 1:
@@ -616,4 +780,10 @@ def load_index_sharded(path: Union[str, Path]) -> "HC2LIndex":
 
     components, manifest, _ = load_sharded_components(path)
     parts = [load_shard(path, k) for k in range(len(manifest["shards"]))]
-    return HC2LIndex(flat=FlatLabelling.concat(parts), **components)
+    flat = FlatLabelling.concat(parts)
+    if manifest["vertex_order"] == "hierarchy":
+        # position p of the concatenation holds the labels of the vertex at
+        # DFS position p; gathering through the position array restores the
+        # core-id order losslessly
+        flat = flat.reorder(components["hierarchy"].subtree_ranges())
+    return HC2LIndex(flat=flat, **components)

@@ -29,8 +29,7 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.flat import FlatWorkingGraph
-from repro.partition.working_graph import WorkingAdjacency
+from repro.core.flat import FlatWorkingGraph, WorkingAdjacency
 
 INF = float("inf")
 

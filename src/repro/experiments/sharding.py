@@ -91,6 +91,49 @@ def router_overhead_rows(
     return rows
 
 
+def boundary_locality_rows(
+    index: HC2LIndex,
+    pairs: Sequence[QueryPair],
+    workdir: Union[str, Path],
+    num_shards: int = 4,
+    modes: Sequence[str] = ("even", "hierarchy"),
+) -> List[Dict[str, object]]:
+    """Compare shard-boundary layouts on the cross-shard pair fraction.
+
+    Shards ``index`` once per mode under ``workdir`` and replays the same
+    ``pairs`` batch through a preloaded router, verifying the answers are
+    bit-identical to the monolithic engine (the layouts only move label
+    bytes around).  Returns one row per mode carrying the router stats -
+    most importantly ``cross_shard_fraction``, the locality metric the
+    hierarchy-aligned boundaries exist to push down on neighbourhood-style
+    traffic (:func:`repro.experiments.workloads.neighborhood_pairs`).
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    pairs = list(pairs)
+    baseline = index.distances(pairs)
+    rows: List[Dict[str, object]] = []
+    for mode in modes:
+        path = workdir / f"boundaries-{mode}.npz"
+        index.save_sharded(path, num_shards=num_shards, boundaries=mode)
+        router = ShardRouter(path, preload=True)
+        answers = router.distances(pairs)
+        if answers.tolist() != baseline.tolist():
+            raise AssertionError(
+                f"router answers diverged from the engine under {mode!r} boundaries"
+            )
+        rows.append(
+            {
+                "oracle": f"HC2L+router(shards={num_shards},boundaries={mode})",
+                "num_queries": len(pairs),
+                "num_shards": num_shards,
+                "boundaries": mode,
+                **router.stats.as_dict(),
+            }
+        )
+    return rows
+
+
 def _timed(oracle, pairs: Sequence[QueryPair]) -> float:
     start = time.perf_counter()
     oracle.distances(pairs)

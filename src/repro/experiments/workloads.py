@@ -82,6 +82,50 @@ def skewed_pairs(
     return pairs
 
 
+def neighborhood_pairs(
+    graph: Graph,
+    count: int,
+    seed: Seed = None,
+    max_hops: int = 3,
+) -> List[QueryPair]:
+    """Locality-skewed query pairs: both endpoints a few hops apart.
+
+    Models navigation-style traffic (route refinements, nearby-POI
+    lookups) where the two endpoints are close in the network: a random
+    source is drawn uniformly, then a target from its ``max_hops``-hop
+    BFS ball.  This is the workload sharding layouts compete on - pairs
+    inside one hierarchy subtree stay inside one shard under
+    hierarchy-aligned boundaries, while id-range shards scatter them.
+    Self-pairs and isolated sources are skipped.
+    """
+    rng = make_rng(seed)
+    n = graph.num_vertices
+    if n < 2 or count <= 0:
+        return []
+    pairs: List[QueryPair] = []
+    attempts = 0
+    while len(pairs) < count and attempts < 50 * count:
+        attempts += 1
+        s = rng.randrange(n)
+        ball = [s]
+        seen = {s}
+        frontier = [s]
+        for _ in range(max_hops):
+            next_frontier: List[int] = []
+            for v in frontier:
+                for w in graph.neighbor_ids(v):
+                    if w not in seen:
+                        seen.add(w)
+                        ball.append(w)
+                        next_frontier.append(w)
+            frontier = next_frontier
+        if len(ball) < 2:
+            continue
+        t = ball[rng.randrange(1, len(ball))]
+        pairs.append((s, t))
+    return pairs
+
+
 @dataclass
 class StratifiedWorkload:
     """The ten distance-stratified query sets of Figure 6."""

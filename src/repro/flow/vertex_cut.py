@@ -13,20 +13,51 @@ The paper notes that the maximal flow admits two canonical vertex cuts: the
 one closest to ``S`` (inner edges whose tail is residual-reachable from S)
 and the one closest to ``T``.  Both are returned so the caller can pick the
 more balanced option.
+
+Two max-flow solvers back the reduction, selected by ``method``:
+
+``dinitz``
+    The reference pure-Python Dinitz solver (:mod:`repro.flow.dinitz`),
+    unchanged since the original reproduction.
+
+``matrix``
+    The split network as typed edge arrays, solved by
+    ``scipy.sparse.csgraph.maximum_flow`` (C speed) - or, without scipy,
+    by an Edmonds-Karp loop whose per-augmentation BFS runs as vectorised
+    numpy frontier sweeps.  This is the fast path the ``csr`` construction
+    backend routes the hierarchy phase through.
+
+Both solvers return the *same* canonical cuts: for any maximum flow, the
+set of nodes residual-reachable from the source is the unique minimal
+source side over all minimum cuts (and symmetrically for the sink), so the
+extracted vertex cuts do not depend on which maximum flow was found.  The
+partition-layer backend tests pin this equality down on seeded graphs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.flow.dinitz import DinitzMaxFlow, FlowNetwork
 
 WorkingAdjacency = Dict[int, Dict[int, float]]
 
-#: Capacity standing in for "infinite" on outer edges; any value larger than
-#: the number of vertices works because inner edges bound the flow.
+#: Capacity standing in for "infinite" on outer edges of the Dinitz path;
+#: any value larger than the number of vertices works because inner edges
+#: bound the flow.
 _OUTER_CAPACITY = float("inf")
+
+FLOW_METHODS = ("dinitz", "matrix")
+
+try:  # pragma: no cover - exercised via whichever env runs the suite
+    from scipy.sparse import csr_matrix as _scipy_csr_matrix
+    from scipy.sparse.csgraph import maximum_flow as _scipy_maximum_flow
+except ImportError:  # pragma: no cover
+    _scipy_csr_matrix = None
+    _scipy_maximum_flow = None
 
 
 @dataclass
@@ -58,6 +89,7 @@ def minimum_st_vertex_cut(
     adjacency: WorkingAdjacency,
     source_attached: Iterable[int],
     sink_attached: Iterable[int],
+    method: str = "dinitz",
 ) -> MinVertexCutResult:
     """Minimum vertex cut separating the virtual terminals S and T.
 
@@ -72,6 +104,9 @@ def minimum_st_vertex_cut(
         (``N_S`` in Algorithm 2).
     sink_attached:
         Vertices receiving an edge to the virtual sink ``T`` (``N_T``).
+    method:
+        ``"dinitz"`` or ``"matrix"`` (see the module docstring); both
+        produce identical cuts.
 
     Returns
     -------
@@ -81,60 +116,389 @@ def minimum_st_vertex_cut(
     """
     vertices: List[int] = sorted(adjacency)
     index = {v: i for i, v in enumerate(vertices)}
-    k = len(vertices)
-
-    def v_in(i: int) -> int:
-        return 2 * i
-
-    def v_out(i: int) -> int:
-        return 2 * i + 1
-
-    source_node = 2 * k
-    sink_node = 2 * k + 1
-    network = FlowNetwork(2 * k + 2)
-
-    inner_edges: List[int] = []
-    for i in range(k):
-        inner_edges.append(network.add_edge(v_in(i), v_out(i), 1.0))
-
+    tails: List[int] = []
+    heads: List[int] = []
     for v in vertices:
         vi = index[v]
         for w in adjacency[v]:
             wi = index.get(w)
             if wi is None:
                 continue
-            # add each undirected edge once per direction of travel
-            network.add_edge(v_out(vi), v_in(wi), _OUTER_CAPACITY)
+            # each undirected edge appears once per direction of travel
+            tails.append(vi)
+            heads.append(wi)
+    attach_s = sorted(index[v] for v in set(source_attached) if v in index)
+    attach_t = sorted(index[v] for v in set(sink_attached) if v in index)
+    return minimum_vertex_cut_region(
+        vertices, tails, heads, attach_s, attach_t, method=method
+    )
 
-    attached_to_source: Set[int] = {v for v in source_attached if v in index}
-    attached_to_sink: Set[int] = {v for v in sink_attached if v in index}
-    for v in attached_to_source:
-        network.add_edge(source_node, v_in(index[v]), _OUTER_CAPACITY)
-    for v in attached_to_sink:
-        network.add_edge(v_out(index[v]), sink_node, _OUTER_CAPACITY)
 
-    solver = DinitzMaxFlow(network, source_node, sink_node)
-    flow_value = solver.solve(flow_limit=float(k) + 1.0)
-    cut_size = int(round(flow_value))
+def minimum_vertex_cut_region(
+    vertices: Sequence[int],
+    tails: Sequence[int],
+    heads: Sequence[int],
+    attach_s: Sequence[int],
+    attach_t: Sequence[int],
+    method: str = "dinitz",
+) -> MinVertexCutResult:
+    """Minimum S-T vertex cut of a flow region given as edge arrays.
 
-    source_side = solver.source_side()
-    sink_side = solver.sink_side()
+    ``vertices`` maps region-local ids to original vertex ids; ``tails`` /
+    ``heads`` list every *directed* edge of the region (both directions of
+    each undirected edge) in local ids; ``attach_s`` / ``attach_t`` are the
+    local ids attached to the virtual terminals.  This is the entry point
+    the array-based balanced cut uses - no dict adjacency is materialised.
+    """
+    if method not in FLOW_METHODS:
+        raise ValueError(f"unknown flow method {method!r}; expected one of {FLOW_METHODS}")
+    k = len(vertices)
+
+    if method == "dinitz":
+        source_side, sink_side, flow_value = _solve_dinitz(k, tails, heads, attach_s, attach_t)
+    else:
+        source_side, sink_side, flow_value = _solve_matrix(k, tails, heads, attach_s, attach_t)
 
     cut_near_source = [
         vertices[i]
         for i in range(k)
-        if v_in(i) in source_side and v_out(i) not in source_side
+        if source_side[2 * i] and not source_side[2 * i + 1]
     ]
     cut_near_sink = [
         vertices[i]
         for i in range(k)
-        if v_out(i) in sink_side and v_in(i) not in sink_side
+        if sink_side[2 * i + 1] and not sink_side[2 * i]
     ]
     return MinVertexCutResult(
-        cut_size=cut_size,
+        cut_size=int(round(flow_value)),
         cut_closest_to_source=sorted(cut_near_source),
         cut_closest_to_sink=sorted(cut_near_sink),
     )
+
+
+# --------------------------------------------------------------------- #
+# solvers
+# --------------------------------------------------------------------- #
+def _solve_dinitz(
+    k: int,
+    tails: Sequence[int],
+    heads: Sequence[int],
+    attach_s: Sequence[int],
+    attach_t: Sequence[int],
+) -> Tuple[Sequence[bool], Sequence[bool], float]:
+    """The reference Dinitz solver over a :class:`FlowNetwork`."""
+    source_node = 2 * k
+    sink_node = 2 * k + 1
+    network = FlowNetwork(2 * k + 2)
+    for i in range(k):
+        network.add_edge(2 * i, 2 * i + 1, 1.0)
+    for vi, wi in zip(tails, heads):
+        network.add_edge(2 * vi + 1, 2 * wi, _OUTER_CAPACITY)
+    for vi in attach_s:
+        network.add_edge(source_node, 2 * vi, _OUTER_CAPACITY)
+    for vi in attach_t:
+        network.add_edge(2 * vi + 1, sink_node, _OUTER_CAPACITY)
+
+    solver = DinitzMaxFlow(network, source_node, sink_node)
+    flow_value = solver.solve(flow_limit=float(k) + 1.0)
+    reach_source = solver.source_side()
+    reach_sink = solver.sink_side()
+    num_nodes = 2 * k + 2
+    source_side = [node in reach_source for node in range(num_nodes)]
+    sink_side = [node in reach_sink for node in range(num_nodes)]
+    return source_side, sink_side, flow_value
+
+
+def _split_network_arrays(
+    k: int,
+    tails: Sequence[int],
+    heads: Sequence[int],
+    attach_s: Sequence[int],
+    attach_t: Sequence[int],
+) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """The split network as ``(num_nodes, src, dst, cap, source, sink)``.
+
+    Capacities are integers: 1 on inner edges, ``k + 1`` (an unreachable
+    bound - every augmenting path crosses a unit inner edge, so no edge
+    ever carries more than ``k`` units) standing in for infinity on outer
+    and terminal edges.  Saturation behaviour therefore matches the
+    float-infinity Dinitz network exactly.
+    """
+    big = k + 1
+    tails = np.asarray(tails, dtype=np.int64)
+    heads = np.asarray(heads, dtype=np.int64)
+    attach_s = np.asarray(attach_s, dtype=np.int64)
+    attach_t = np.asarray(attach_t, dtype=np.int64)
+    inner = np.arange(k, dtype=np.int64)
+    src = np.concatenate([2 * inner, 2 * tails + 1, np.full(len(attach_s), 2 * k), 2 * attach_t + 1])
+    dst = np.concatenate([2 * inner + 1, 2 * heads, 2 * attach_s, np.full(len(attach_t), 2 * k + 1)])
+    cap = np.concatenate(
+        [
+            np.ones(k, dtype=np.int64),
+            np.full(len(tails) + len(attach_s) + len(attach_t), big, dtype=np.int64),
+        ]
+    )
+    return 2 * k + 2, src, dst, cap, 2 * k, 2 * k + 1
+
+
+#: Regions smaller than this solve faster with the compact Edmonds-Karp
+#: loop than with a scipy matrix round-trip (fixed sparse-constructor cost).
+_MATRIX_SMALL_REGION = 256
+
+
+def _solve_matrix(
+    k: int,
+    tails: Sequence[int],
+    heads: Sequence[int],
+    attach_s: Sequence[int],
+    attach_t: Sequence[int],
+) -> Tuple[Sequence[bool], Sequence[bool], float]:
+    """Array-based solver family for the ``matrix`` method.
+
+    Small regions run a compact Edmonds-Karp over paired edge arrays (the
+    flow value is bounded by the cut size, so only a handful of BFS rounds
+    run); larger regions go through ``scipy.sparse.csgraph.maximum_flow``
+    (or the numpy Edmonds-Karp without scipy).  All of them extract the
+    canonical cuts from residual reachability, which is identical for
+    every maximum flow - mixing solvers never changes a cut.
+    """
+    if k < _MATRIX_SMALL_REGION:
+        return _solve_python_ek(k, tails, heads, attach_s, attach_t)
+    num_nodes, src, dst, cap, source, sink = _split_network_arrays(
+        k, tails, heads, attach_s, attach_t
+    )
+    if _scipy_maximum_flow is not None and _scipy_csr_matrix is not None:
+        flow_value, res_src, res_dst = _scipy_residual_edges(num_nodes, src, dst, cap, source, sink)
+    else:
+        flow_value, res_src, res_dst = _numpy_residual_edges(num_nodes, src, dst, cap, source, sink)
+    source_side = _reachable(num_nodes, res_src, res_dst, source)
+    sink_side = _reachable(num_nodes, res_dst, res_src, sink)  # reversed edges
+    return source_side, sink_side, float(flow_value)
+
+
+def _solve_python_ek(
+    k: int,
+    tails: Sequence[int],
+    heads: Sequence[int],
+    attach_s: Sequence[int],
+    attach_t: Sequence[int],
+) -> Tuple[List[bool], List[bool], float]:
+    """Compact Edmonds-Karp over paired edge lists (small regions).
+
+    Integer capacities, flat ``e_to`` / ``e_cap`` lists with ``index ^ 1``
+    partner addressing, one BFS per unit of flow.  The unit inner edges
+    bound the augmentation count by the cut size.
+    """
+    from collections import deque
+
+    num_nodes = 2 * k + 2
+    source = 2 * k
+    sink = 2 * k + 1
+    big = k + 1
+    e_to: List[int] = []
+    e_cap: List[int] = []
+    adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+
+    def add(u: int, v: int, capacity: int) -> None:
+        index = len(e_to)
+        e_to.append(v)
+        e_cap.append(capacity)
+        e_to.append(u)
+        e_cap.append(0)
+        adjacency[u].append(index)
+        adjacency[v].append(index + 1)
+
+    for i in range(k):
+        add(2 * i, 2 * i + 1, 1)
+    for vi, wi in zip(tails, heads):
+        add(2 * int(vi) + 1, 2 * int(wi), big)
+    for vi in attach_s:
+        add(source, 2 * int(vi), big)
+    for vi in attach_t:
+        add(2 * int(vi) + 1, sink, big)
+
+    total = 0
+    parent = [-1] * num_nodes
+    while True:
+        for i in range(num_nodes):
+            parent[i] = -1
+        parent[source] = -2
+        queue = deque([source])
+        while queue:
+            v = queue.popleft()
+            if v == sink:
+                break
+            for edge in adjacency[v]:
+                if e_cap[edge] > 0:
+                    w = e_to[edge]
+                    if parent[w] == -1:
+                        parent[w] = edge
+                        queue.append(w)
+        if parent[sink] == -1:
+            break
+        path: List[int] = []
+        node = sink
+        while node != source:
+            edge = parent[node]
+            path.append(edge)
+            node = e_to[edge ^ 1]
+        bottleneck = min(e_cap[edge] for edge in path)
+        for edge in path:
+            e_cap[edge] -= bottleneck
+            e_cap[edge ^ 1] += bottleneck
+        total += bottleneck
+
+    source_side = [False] * num_nodes
+    source_side[source] = True
+    stack = [source]
+    while stack:
+        v = stack.pop()
+        for edge in adjacency[v]:
+            if e_cap[edge] > 0:
+                w = e_to[edge]
+                if not source_side[w]:
+                    source_side[w] = True
+                    stack.append(w)
+    sink_side = [False] * num_nodes
+    sink_side[sink] = True
+    stack = [sink]
+    while stack:
+        v = stack.pop()
+        # an edge u -> v is usable towards the sink iff its residual
+        # capacity is positive, so scan v's partner edges (as in Dinitz)
+        for edge in adjacency[v]:
+            if e_cap[edge ^ 1] > 0:
+                w = e_to[edge]
+                if not sink_side[w]:
+                    sink_side[w] = True
+                    stack.append(w)
+    return source_side, sink_side, float(total)
+
+
+def _scipy_residual_edges(
+    num_nodes: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    cap: np.ndarray,
+    source: int,
+    sink: int,
+) -> Tuple[int, np.ndarray, np.ndarray]:
+    """Max flow via scipy; returns the positive-residual edge list."""
+    matrix = _scipy_csr_matrix((cap, (src, dst)), shape=(num_nodes, num_nodes))
+    result = _scipy_maximum_flow(matrix, source, sink)
+    # result.flow is antisymmetric and contains an (explicit) entry for the
+    # reverse of every capacity edge, so capacity - flow evaluated over the
+    # union of both sparsity patterns yields every positive-residual edge:
+    # unsaturated forward edges and backward edges carrying flow
+    residual = (matrix - result.flow).tocoo()
+    positive = residual.data > 0
+    return int(result.flow_value), residual.row[positive], residual.col[positive]
+
+
+def _numpy_residual_edges(
+    num_nodes: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    cap: np.ndarray,
+    source: int,
+    sink: int,
+) -> Tuple[int, np.ndarray, np.ndarray]:
+    """Edmonds-Karp with numpy frontier BFS (the scipy-free fast path).
+
+    Augmenting paths are found by a vectorised BFS that records, for every
+    newly reached node, the residual edge it was reached through; the path
+    walk-back and capacity update are short scalar loops (path length, not
+    graph size).  Unit inner capacities bound the number of augmentations
+    by the cut size, so only a handful of BFS rounds run per region.
+    """
+    # paired residual edges: forward edge 2e, reverse edge 2e + 1
+    e_to = np.empty(2 * len(src), dtype=np.int64)
+    e_to[0::2] = dst
+    e_to[1::2] = src
+    e_from = np.empty_like(e_to)
+    e_from[0::2] = src
+    e_from[1::2] = dst
+    e_cap = np.zeros(2 * len(src), dtype=np.int64)
+    e_cap[0::2] = cap
+
+    order = np.argsort(e_from, kind="stable")
+    sorted_edges = order  # edge ids grouped by tail node
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.add.at(indptr[1:], e_from, 1)
+    np.cumsum(indptr, out=indptr)
+
+    total = 0
+    no_parent = 2 * len(src)  # larger than any edge id
+    while True:
+        parent_edge = np.full(num_nodes, no_parent, dtype=np.int64)
+        visited = np.zeros(num_nodes, dtype=bool)
+        visited[source] = True
+        frontier = np.asarray([source], dtype=np.int64)
+        while frontier.size and not visited[sink]:
+            edges = sorted_edges[_frontier_slots(indptr, frontier)]
+            usable = e_cap[edges] > 0
+            edges = edges[usable]
+            targets = e_to[edges]
+            fresh = ~visited[targets]
+            edges = edges[fresh]
+            targets = targets[fresh]
+            if edges.size == 0:
+                break
+            # several edges may reach the same node in one sweep; keep the
+            # lowest edge id per target (deterministic, any choice yields
+            # the same final cut)
+            np.minimum.at(parent_edge, targets, edges)
+            frontier = np.unique(targets)
+            visited[frontier] = True
+        if not visited[sink]:
+            break
+        # walk the augmenting path back from the sink
+        path: List[int] = []
+        node = sink
+        while node != source:
+            edge = int(parent_edge[node])
+            path.append(edge)
+            node = int(e_from[edge])
+        bottleneck = int(min(e_cap[edge] for edge in path))
+        for edge in path:
+            e_cap[edge] -= bottleneck
+            e_cap[edge ^ 1] += bottleneck
+        total += bottleneck
+
+    positive = e_cap > 0
+    return total, e_from[positive], e_to[positive]
+
+
+def _frontier_slots(indptr: np.ndarray, frontier: np.ndarray) -> np.ndarray:
+    """Flat CSR slot indices of every entry owned by the frontier nodes.
+
+    The one subtle piece of index arithmetic both numpy BFS loops share:
+    for each node ``v`` in ``frontier`` it expands to the index range
+    ``indptr[v] .. indptr[v + 1] - 1``, concatenated.
+    """
+    counts = indptr[frontier + 1] - indptr[frontier]
+    return np.repeat(indptr[frontier], counts) + (
+        np.arange(int(counts.sum()), dtype=np.int64)
+        - np.repeat(np.cumsum(counts) - counts, counts)
+    )
+
+
+def _reachable(num_nodes: int, src: np.ndarray, dst: np.ndarray, start: int) -> np.ndarray:
+    """Boolean reachability mask over ``(src, dst)`` edges from ``start``."""
+    order = np.argsort(src, kind="stable")
+    dst = np.asarray(dst, dtype=np.int64)[order]
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.add.at(indptr[1:], np.asarray(src, dtype=np.int64), 1)
+    np.cumsum(indptr, out=indptr)
+    seen = np.zeros(num_nodes, dtype=bool)
+    seen[start] = True
+    frontier = np.asarray([start], dtype=np.int64)
+    while frontier.size:
+        targets = dst[_frontier_slots(indptr, frontier)]
+        targets = np.unique(targets[~seen[targets]])
+        seen[targets] = True
+        frontier = targets
+    return seen
 
 
 def is_vertex_cut(

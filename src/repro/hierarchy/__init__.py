@@ -7,6 +7,6 @@ vertices is the length of the common prefix of their bitstrings - an O(1)
 operation, which is the paper's replacement for RMQ-based LCA indexes.
 """
 
-from repro.hierarchy.tree import BalancedTreeHierarchy, TreeNode
+from repro.hierarchy.tree import BalancedTreeHierarchy, TreeNode, derive_shard_boundaries
 
-__all__ = ["BalancedTreeHierarchy", "TreeNode"]
+__all__ = ["BalancedTreeHierarchy", "TreeNode", "derive_shard_boundaries"]

@@ -16,7 +16,7 @@ whose cut it belongs to, or a leaf node).  The structure supports:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -53,6 +53,10 @@ class TreeNode:
     right: Optional[int] = None
     subtree_size: int = 0
     is_leaf: bool = False
+    #: subtree range ``[range_lo, range_hi)`` in the hierarchy DFS order
+    #: (see :meth:`BalancedTreeHierarchy.subtree_ranges`); -1 until computed
+    range_lo: int = -1
+    range_hi: int = -1
 
 
 class BalancedTreeHierarchy:
@@ -67,6 +71,9 @@ class BalancedTreeHierarchy:
         self.vertex_depth: List[int] = [0] * num_vertices
         #: bitstring of each vertex's node
         self.vertex_bits: List[int] = [0] * num_vertices
+        #: DFS position of each vertex (see :meth:`subtree_ranges`); lazily
+        #: computed, or restored directly from a version-3 archive
+        self._core_position: Optional[List[int]] = None
 
     # ------------------------------------------------------------------ #
     # construction API (used by the HC2L builder)
@@ -234,6 +241,61 @@ class BalancedTreeHierarchy:
                     return False
         return True
 
+    # ------------------------------------------------------------------ #
+    # subtree ranges (the hierarchy-aligned shard layout)
+    # ------------------------------------------------------------------ #
+    def subtree_ranges(self) -> List[int]:
+        """Linearise the hierarchy and return the DFS position of each vertex.
+
+        The DFS order visits each node's cut vertices (in their stored
+        rank order) before descending into the left and then the right
+        subtree.  In the resulting position space every subtree occupies
+        one contiguous range, recorded on the nodes as
+        ``[range_lo, range_hi)``; this is what makes range-sharded label
+        stores *hierarchy-aligned* - a shard boundary placed at a subtree
+        edge never splits the vertices the construction's cuts grouped
+        together.  Computed once and cached (the hierarchy is append-only
+        after construction); version-3 archives persist the result so
+        loading skips the walk.
+        """
+        if self._core_position is not None:
+            return self._core_position
+        position: List[int] = [-1] * self.num_vertices
+        cursor = 0
+        roots = [node.index for node in self.nodes if node.parent is None]
+        for root in roots:
+            stack = [root]
+            while stack:
+                index = stack.pop()
+                node = self.nodes[index]
+                node.range_lo = cursor
+                for vertex in node.cut:
+                    position[vertex] = cursor
+                    cursor += 1
+                # defer range_hi until the subtree size is known below
+                if node.right is not None:
+                    stack.append(node.right)
+                if node.left is not None:
+                    stack.append(node.left)
+        # a subtree's vertices are exactly its subgraph's vertices, so the
+        # contiguous DFS range ends subtree_size positions after it starts
+        for node in self.nodes:
+            node.range_hi = node.range_lo + node.subtree_size
+        self._core_position = position
+        return position
+
+    def set_core_positions(self, position: Sequence[int]) -> None:
+        """Restore persisted DFS positions (and per-node ranges) on load."""
+        self._core_position = [int(p) for p in position]
+
+    def core_order(self) -> List[int]:
+        """Vertex at each DFS position (the inverse of :meth:`subtree_ranges`)."""
+        position = self.subtree_ranges()
+        order = [-1] * self.num_vertices
+        for vertex, pos in enumerate(position):
+            order[pos] = vertex
+        return order
+
     def subtree_vertices(self, node_index: int) -> List[int]:
         """All graph vertices mapped into the subtree rooted at ``node_index``."""
         result: List[int] = []
@@ -258,3 +320,67 @@ class BalancedTreeHierarchy:
             "internal_nodes": float(self.num_internal_nodes()),
             "lca_bytes": float(self.lca_storage_bytes()),
         }
+
+
+def derive_shard_boundaries(
+    hierarchy: BalancedTreeHierarchy, num_shards: int
+) -> Tuple[List[int], List[int]]:
+    """Shard boundaries aligned with the hierarchy's top cuts.
+
+    Returns ``(boundaries, order)``: ``order`` is the hierarchy DFS order
+    (position ``p`` holds vertex ``order[p]``; every subtree contiguous)
+    and ``boundaries`` is a monotone edge sequence
+    ``[0, b_1, ..., num_vertices]`` over *positions* with exactly
+    ``num_shards`` ranges.  Interior boundaries are placed at subtree
+    starts whenever the tree offers one, descending from the root and
+    splitting each range proportionally to the sizes of the two child
+    blocks - so shards follow the construction's own cuts, which is what
+    makes subtree-local query traffic stay inside one shard.
+
+    Both this edge sequence and the even split tile the vertex range with
+    no gap or overlap; the property tests pin that down.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    m = hierarchy.num_vertices
+    if not hierarchy.nodes:
+        return [round(k * m / num_shards) for k in range(num_shards + 1)], list(range(m))
+    hierarchy.subtree_ranges()
+    order = hierarchy.core_order()
+    nodes = hierarchy.nodes
+    roots = [node.index for node in nodes if node.parent is None]
+    edges = [0]
+
+    def split(node_index: int, lo: int, hi: int, shards: int) -> None:
+        """Append the upper edges of ``shards`` ranges tiling ``[lo, hi)``."""
+        if shards == 1:
+            edges.append(hi)
+            return
+        node = nodes[node_index]
+        left, right = node.left, node.right
+        if left is None and right is None:
+            # no subtree edge to snap to (leaf asked to split further):
+            # fall back to an even split of the remaining positions
+            for j in range(1, shards):
+                edges.append(lo + round(j * (hi - lo) / shards))
+            edges.append(hi)
+            return
+        if left is None or right is None:
+            child = left if left is not None else right
+            # the cut block in front of the lone child joins its first range
+            split(child, lo, hi, shards)
+            return
+        boundary = nodes[right].range_lo  # first position of the right subtree
+        left_block = boundary - lo  # cut block + left subtree
+        span = hi - lo
+        left_shards = max(1, min(shards - 1, round(shards * left_block / span)))
+        split(left, lo, boundary, left_shards)
+        split(right, boundary, hi, shards - left_shards)
+
+    if len(roots) == 1:
+        split(roots[0], 0, m, num_shards)
+    else:  # pragma: no cover - a hierarchy forest only arises in edge cases
+        for k in range(1, num_shards):
+            edges.append(round(k * m / num_shards))
+        edges.append(m)
+    return edges, order

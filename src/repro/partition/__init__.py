@@ -2,8 +2,10 @@
 
 This package implements Section 4.1 of the paper:
 
-* :mod:`repro.partition.working_graph` - lightweight mutable dict-of-dict
-  subgraphs plus Dijkstra on them,
+* :mod:`repro.partition.working_graph` - working subgraphs: the mutable
+  dict-of-dict maps child graphs are assembled in, plus the CSR snapshot
+  (:data:`~repro.partition.working_graph.CSRSnapshot`) every construction
+  search runs over through the shortest-path backend seam,
 * :mod:`repro.partition.partition` - Algorithm 1 (BalancedPartition),
 * :mod:`repro.partition.cut` - Algorithm 2 (BalancedCut), and
 * :mod:`repro.partition.shortcuts` - Algorithm 3 (AddShortcuts) together
@@ -11,6 +13,7 @@ This package implements Section 4.1 of the paper:
 """
 
 from repro.partition.working_graph import (
+    CSRSnapshot,
     WorkingAdjacency,
     dijkstra_adjacency,
     farthest_vertex_adjacency,
@@ -22,6 +25,7 @@ from repro.partition.cut import BalancedCutResult, balanced_cut
 from repro.partition.shortcuts import Shortcut, compute_shortcuts, is_distance_preserving
 
 __all__ = [
+    "CSRSnapshot",
     "WorkingAdjacency",
     "working_graph_from",
     "restrict_adjacency",

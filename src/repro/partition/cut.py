@@ -8,17 +8,31 @@ components of ``G \\ V_cut`` to the two sides while maximising balance.
 The paper extracts two canonical minimum cuts from the maximal flow (the
 one closest to ``S`` and the one closest to ``T``) and keeps whichever
 yields the more balanced final partition; this module does the same.
+
+Everything graph-shaped runs on the node's CSR snapshot
+(:class:`~repro.core.flat.FlatWorkingGraph`): border and terminal
+attachment sets are computed with vectorised edge-mask scans, the flow
+region is carved out of the CSR arrays without materialising a dict, and
+the component re-assignment uses the
+:class:`~repro.core.backends.ShortestPathBackend` component scan.  The
+backend also selects the max-flow solver (``dinitz`` reference vs the
+scipy/numpy ``matrix`` path); the canonical cuts are unique across all
+maximum flows, so every backend produces bit-identical cuts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
-from repro.flow.vertex_cut import minimum_st_vertex_cut
-from repro.graph.components import components_of_adjacency
+import numpy as np
+
+from repro.core.backends import BackendSpec, ShortestPathBackend, resolve_backend
+from repro.core.flat import FlatWorkingGraph
+from repro.flow.vertex_cut import minimum_vertex_cut_region
 from repro.partition.partition import balanced_partition
-from repro.partition.working_graph import WorkingAdjacency, restrict_adjacency
+from repro.partition.working_graph import WorkingAdjacency
+from repro.utils.validation import check_balance_parameter
 
 
 @dataclass
@@ -44,47 +58,95 @@ class BalancedCutResult:
         return max(len(self.part_a), len(self.part_b)) / total
 
 
-def balanced_cut(adjacency: WorkingAdjacency, beta: float = 0.2) -> BalancedCutResult:
-    """Compute a balanced vertex cut of a working adjacency (Algorithm 2)."""
-    partition = balanced_partition(adjacency, beta)
+def balanced_cut(
+    adjacency: Optional[WorkingAdjacency] = None,
+    beta: float = 0.2,
+    flat: Optional[FlatWorkingGraph] = None,
+    backend: BackendSpec = None,
+) -> BalancedCutResult:
+    """Compute a balanced vertex cut of a working subgraph (Algorithm 2).
+
+    ``adjacency`` may be omitted when a pre-built CSR snapshot is passed
+    as ``flat`` (the hierarchy builder shares one snapshot per node with
+    the ranking and labelling passes); ``backend`` selects the
+    :class:`~repro.core.backends.ShortestPathBackend` running the seed
+    searches, component scans and the max-flow solver.  ``beta`` must lie
+    in ``(0, 0.5]`` (Definition 4.1) - validated here so an invalid
+    balance parameter fails loudly before any search runs.
+    """
+    check_balance_parameter(beta)
+    if flat is None:
+        if adjacency is None:
+            raise ValueError("provide the subgraph as 'adjacency' or 'flat'")
+        flat = FlatWorkingGraph(adjacency)
+    search = resolve_backend(backend)
+
+    partition = balanced_partition(beta=beta, flat=flat, backend=search)
     initial_a, cut_region, initial_b = (
         partition.initial_a,
         partition.cut_region,
         partition.initial_b,
     )
-    set_a, set_b, set_c = set(initial_a), set(initial_b), set(cut_region)
 
-    if not set_a or not set_b:
+    if not initial_a or not initial_b:
         # Degenerate split (tiny or pathological subgraph): report the whole
         # cut region as the cut so the caller can decide to stop recursing.
-        return BalancedCutResult(sorted(set_a), sorted(set_c), sorted(set_b))
+        return BalancedCutResult(sorted(initial_a), sorted(cut_region), sorted(initial_b))
+
+    n = len(flat.vertices)
+    indptr, indices, _ = flat.csr_arrays()
+    tails = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+
+    # side of each dense vertex: 0 = P'_A, 1 = P'_B, 2 = cut region C
+    side = np.full(n, 2, dtype=np.int8)
+    side[flat.dense_ids(initial_a)] = 0
+    side[flat.dense_ids(initial_b)] = 1
 
     # Lines 3-4: vertices incident to a cross-partition edge.
-    border_a = {v for v in set_a if any(w in set_b for w in adjacency[v])}
-    border_b = {v for v in set_b if any(w in set_a for w in adjacency[v])}
+    tail_side = side[tails]
+    head_side = side[indices]
+    border_a = np.zeros(n, dtype=bool)
+    border_a[tails[(tail_side == 0) & (head_side == 1)]] = True
+    border_b = np.zeros(n, dtype=bool)
+    border_b[tails[(tail_side == 1) & (head_side == 0)]] = True
 
-    # Lines 5-11: build the flow subgraph over C union C_A union C_B and the
+    # Lines 5-11: the flow subgraph over C union C_A union C_B and the
     # terminal attachment sets N_S / N_T.
-    flow_vertices = set_c | border_a | border_b
-    flow_adjacency = restrict_adjacency(adjacency, flow_vertices)
-    attach_s = set(border_a)
-    attach_t = set(border_b)
-    interior_a = set_a - border_a
-    interior_b = set_b - border_b
-    for v in set_c:
-        neighbours = adjacency[v]
-        if any(w in interior_a for w in neighbours):
-            attach_s.add(v)
-        if any(w in interior_b for w in neighbours):
-            attach_t.add(v)
+    in_cut = side == 2
+    flow_mask = in_cut | border_a | border_b
+    interior_a = (side == 0) & ~border_a
+    interior_b = (side == 1) & ~border_b
+    attach_s = border_a.copy()
+    attach_t = border_b.copy()
+    touches_interior_a = np.zeros(n, dtype=bool)
+    touches_interior_a[tails[interior_a[indices]]] = True
+    touches_interior_b = np.zeros(n, dtype=bool)
+    touches_interior_b[tails[interior_b[indices]]] = True
+    attach_s |= in_cut & touches_interior_a
+    attach_t |= in_cut & touches_interior_b
 
-    # Line 12: minimum s-t vertex cut via Dinitz on the split graph.
-    result = minimum_st_vertex_cut(flow_adjacency, attach_s, attach_t)
+    # Carve the flow region out of the CSR arrays: local ids are ascending
+    # dense ids, matching the sorted-vertex numbering of the dict path.
+    local = np.full(n, -1, dtype=np.int64)
+    region_dense = np.nonzero(flow_mask)[0]
+    local[region_dense] = np.arange(len(region_dense), dtype=np.int64)
+    edge_keep = flow_mask[tails] & flow_mask[indices]
+    region_vertices = [flat.vertices[i] for i in region_dense.tolist()]
+
+    # Line 12: minimum s-t vertex cut via the backend-selected solver.
+    result = minimum_vertex_cut_region(
+        region_vertices,
+        local[tails[edge_keep]],
+        local[indices[edge_keep]],
+        local[np.nonzero(attach_s)[0]],
+        local[np.nonzero(attach_t)[0]],
+        method=search.flow_method,
+    )
 
     # Lines 13-15 for each canonical cut, then keep the more balanced one.
     best: BalancedCutResult | None = None
     for cut in result.candidate_cuts():
-        assignment = _assign_components(adjacency, cut, set_a, set_b)
+        assignment = _assign_components(flat, cut, search)
         if best is None or assignment.balance() < best.balance():
             best = assignment
     assert best is not None
@@ -92,10 +154,9 @@ def balanced_cut(adjacency: WorkingAdjacency, beta: float = 0.2) -> BalancedCutR
 
 
 def _assign_components(
-    adjacency: WorkingAdjacency,
+    flat: FlatWorkingGraph,
     cut: Sequence[int],
-    seed_a: Set[int],
-    seed_b: Set[int],
+    search: ShortestPathBackend,
 ) -> BalancedCutResult:
     """Assign the components of ``G \\ cut`` to the two sides, maximising balance.
 
@@ -106,9 +167,8 @@ def _assign_components(
     assigned purely by balance, as in the paper's pseudo-code.
     """
     cut_set = set(cut)
-    remaining = [v for v in adjacency if v not in cut_set]
-    sub = restrict_adjacency(adjacency, remaining)
-    components = components_of_adjacency(sub)
+    remaining = [v for v in flat.vertices if v not in cut_set]
+    components = search.components(flat.induce(remaining))
     components.sort(key=lambda c: (-len(c), c[0]))
 
     part_a: List[int] = []
@@ -151,4 +211,3 @@ def separates(adjacency: WorkingAdjacency, result: BalancedCutResult) -> bool:
             seen.add(w)
             stack.append(w)
     return True
-

@@ -22,20 +22,29 @@ The implementation follows the paper's pseudo-code closely:
    the remainder and the bottleneck finally added to the cut region.
 4. Otherwise each initial partition is closed under its boundary weight so
    whole equivalence classes stay together.
+
+All searches run over a CSR snapshot
+(:class:`~repro.core.flat.FlatWorkingGraph`) through the pluggable
+:class:`~repro.core.backends.ShortestPathBackend` seam - the same seam the
+labelling and shortcut passes use - so the seed selection is one batched
+scipy call per source under the ``csr`` backend and the reference heap
+Dijkstra under ``heap``, with bit-identical distances either way.  The
+seed searches share a per-call memo of distance rows: the third search
+(from ``v_B``) frequently lands back on the arbitrary start vertex, in
+which case the first search's distance array is reused instead of being
+recomputed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.partition.working_graph import (
-    WorkingAdjacency,
-    dijkstra_adjacency,
-    farthest_vertex_adjacency,
-    restrict_adjacency,
-)
-from repro.graph.components import components_of_adjacency
+import numpy as np
+
+from repro.core.backends import BackendSpec, ShortestPathBackend, resolve_backend
+from repro.core.flat import FlatWorkingGraph
+from repro.partition.working_graph import WorkingAdjacency
 from repro.utils.validation import check_balance_parameter
 
 INF = float("inf")
@@ -61,18 +70,28 @@ class BalancedPartitionResult:
 
 
 def balanced_partition(
-    adjacency: WorkingAdjacency,
+    adjacency: Optional[WorkingAdjacency] = None,
     beta: float = 0.2,
     _depth: int = 0,
+    flat: Optional[FlatWorkingGraph] = None,
+    backend: BackendSpec = None,
 ) -> BalancedPartitionResult:
-    """Compute a balanced partition of a working adjacency (Algorithm 1).
+    """Compute a balanced partition of a working subgraph (Algorithm 1).
 
     Parameters
     ----------
     adjacency:
-        Working adjacency of the subgraph to split (not modified).
+        Working adjacency of the subgraph to split (not modified).  May be
+        omitted when ``flat`` is given.
     beta:
         Balance parameter from Definition 4.1, ``0 < beta <= 0.5``.
+    flat:
+        Pre-built CSR snapshot of ``adjacency``; the hierarchy builder
+        passes the per-node snapshot it shares with the labelling pass.
+    backend:
+        The :class:`~repro.core.backends.ShortestPathBackend` running the
+        seed searches and component scans (name, instance, or ``None``
+        for the default).
 
     Returns
     -------
@@ -80,65 +99,104 @@ def balanced_partition(
         The two initial partitions and the cut region.
     """
     check_balance_parameter(beta)
-    vertices = sorted(adjacency)
+    if flat is None:
+        if adjacency is None:
+            raise ValueError("provide the subgraph as 'adjacency' or 'flat'")
+        flat = FlatWorkingGraph(adjacency)
+    search = resolve_backend(backend)
+
+    vertices = flat.vertices  # sorted ascending, dense id == rank
     n = len(vertices)
     if n == 0:
         return BalancedPartitionResult([], [], [])
     if n == 1:
         return BalancedPartitionResult([], list(vertices), [])
 
-    components = components_of_adjacency(adjacency)
+    components = search.components(flat)
     if len(components) > 1:
-        return _partition_disconnected(adjacency, components, beta, n, _depth)
+        return _partition_disconnected(flat, components, beta, n, _depth, search)
 
     # --- connected case ----------------------------------------------- #
-    # Lines 11-12: pick seeds as far apart as possible.
-    arbitrary = vertices[0]
-    seed_a, _, _ = farthest_vertex_adjacency(adjacency, arbitrary)
-    seed_b, _, dist_a = farthest_vertex_adjacency(adjacency, seed_a)
-    dist_b = dijkstra_adjacency(adjacency, seed_b)
+    # Lines 11-12: pick seeds as far apart as possible.  Distance rows are
+    # memoised by source so the third search can reuse the first one when
+    # the farthest vertex from v_A turns out to be the arbitrary start.
+    rows: Dict[int, np.ndarray] = {}
 
-    # Line 13: partition weights.
-    pw: Dict[int, float] = {v: dist_a.get(v, INF) - dist_b.get(v, INF) for v in vertices}
-    ordered = sorted(vertices, key=lambda v: (pw[v], v))
+    def distance_row(source: int) -> np.ndarray:
+        row = rows.get(source)
+        if row is None:
+            row = np.asarray(search.sssp_many(flat, [source])[0], dtype=np.float64)
+            rows[source] = row
+        return row
+
+    seed_a = _farthest_dense(distance_row(0), 0)
+    dist_a = distance_row(seed_a)
+    seed_b = _farthest_dense(dist_a, seed_a)
+    dist_b = distance_row(seed_b)
+
+    # Line 13: partition weights (dense order == ascending vertex id; the
+    # subgraph is connected here, so every entry is finite).
+    pw = dist_a - dist_b
+    ordered = np.argsort(pw, kind="stable")  # ties break on the dense id
 
     # Lines 14-15: initial partitions of size beta * |V|.
     k = max(1, int(beta * n))
-    head = ordered[:k]
-    tail = ordered[-k:]
-    w_a = max(pw[v] for v in head)
-    w_b = min(pw[v] for v in tail)
+    w_a = float(pw[ordered[:k]].max())
+    w_b = float(pw[ordered[-k:]].min())
 
     if w_a == w_b:
         # Lines 16-22: bottleneck handling - one equivalence class spans
         # both boundaries; remove its member closest to seed_a and retry.
-        equivalence_class = [v for v in vertices if pw[v] == w_a]
-        bottleneck = min(equivalence_class, key=lambda v: (dist_a.get(v, INF), v))
-        remaining = [v for v in vertices if v != bottleneck]
-        reduced = restrict_adjacency(adjacency, remaining)
-        inner = balanced_partition(reduced, beta, _depth + 1)
+        equivalence_class = np.nonzero(pw == w_a)[0]
+        # np.argmin keeps the first minimum, i.e. the smallest vertex id
+        bottleneck = int(equivalence_class[np.argmin(dist_a[equivalence_class])])
+        keep = np.ones(n, dtype=bool)
+        keep[bottleneck] = False
+        remaining = [vertices[i] for i in np.nonzero(keep)[0].tolist()]
+        reduced = flat.induce(remaining)
+        inner = balanced_partition(
+            beta=beta, _depth=_depth + 1, flat=reduced, backend=search
+        )
         return BalancedPartitionResult(
             initial_a=inner.initial_a,
-            cut_region=sorted(inner.cut_region + [bottleneck]),
+            cut_region=sorted(inner.cut_region + [vertices[bottleneck]]),
             initial_b=inner.initial_b,
         )
 
     # Lines 23-25: close the initial partitions under their boundary weight
     # so equivalence classes are never split.
-    initial_a = sorted(v for v in vertices if pw[v] <= w_a)
-    initial_b = sorted(v for v in vertices if pw[v] >= w_b)
-    in_a = set(initial_a)
-    in_b = set(initial_b)
-    cut_region = sorted(v for v in vertices if v not in in_a and v not in in_b)
+    mask_a = pw <= w_a
+    mask_b = pw >= w_b
+    initial_a = [vertices[i] for i in np.nonzero(mask_a)[0].tolist()]
+    initial_b = [vertices[i] for i in np.nonzero(mask_b)[0].tolist()]
+    cut_region = [vertices[i] for i in np.nonzero(~mask_a & ~mask_b)[0].tolist()]
     return BalancedPartitionResult(initial_a, cut_region, initial_b)
 
 
+def _farthest_dense(row: np.ndarray, source: int) -> int:
+    """Dense id of the vertex farthest from ``source`` in a distance row.
+
+    Ties break on the smaller vertex id (dense ids are ascending original
+    ids); unreachable vertices are ignored, and an isolated source is its
+    own farthest vertex - the exact contract of the historical
+    :func:`~repro.partition.working_graph.farthest_vertex_adjacency`.
+    """
+    finite = np.isfinite(row)
+    if not finite.any():
+        return source
+    best = float(row[finite].max())
+    if best <= 0.0:
+        return source
+    return int(np.nonzero(finite & (row == best))[0][0])
+
+
 def _partition_disconnected(
-    adjacency: WorkingAdjacency,
+    flat: FlatWorkingGraph,
     components: List[List[int]],
     beta: float,
     n: int,
     depth: int,
+    search: ShortestPathBackend,
 ) -> BalancedPartitionResult:
     """Lines 2-10 of Algorithm 1: the input graph is disconnected."""
     components = sorted(components, key=lambda c: (-len(c), c[0]))
@@ -146,8 +204,8 @@ def _partition_disconnected(
     if len(largest) > (1.0 - beta) * n:
         # Partition inside the largest component; all other components join
         # the cut region (they are cheap to separate later).
-        sub = restrict_adjacency(adjacency, largest)
-        inner = balanced_partition(sub, beta, depth + 1)
+        sub = flat.induce(largest)
+        inner = balanced_partition(beta=beta, _depth=depth + 1, flat=sub, backend=search)
         others = [v for comp in components[1:] for v in comp]
         return BalancedPartitionResult(
             initial_a=inner.initial_a,
@@ -156,7 +214,7 @@ def _partition_disconnected(
         )
     second = components[1] if len(components) > 1 else []
     used = set(largest) | set(second)
-    rest = sorted(v for v in adjacency if v not in used)
+    rest = sorted(v for v in flat.vertices if v not in used)
     return BalancedPartitionResult(
         initial_a=sorted(largest),
         cut_region=rest,

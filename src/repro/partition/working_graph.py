@@ -1,12 +1,26 @@
-"""Mutable working subgraphs used during hierarchy construction.
+"""Working subgraphs used during hierarchy construction.
 
 The recursive bisection repeatedly (a) restricts the graph to one side of a
-cut and (b) adds shortcut edges to keep it distance preserving.  Doing this
-on the immutable :class:`repro.graph.Graph` would require copying and
-re-indexing at every level, so the construction instead works on plain
-``dict[vertex, dict[neighbour, weight]]`` adjacency maps keyed by the
-*original* vertex ids.  This module provides the helpers for building,
-restricting and searching those maps.
+cut and (b) adds shortcut edges to keep it distance preserving.  Two
+representations cooperate:
+
+* the *mutable* ``dict[vertex, dict[neighbour, weight]]`` adjacency maps
+  keyed by original vertex ids (``WorkingAdjacency``) remain the format
+  child subgraphs are assembled in - shortcut edges are added in place -
+  and the reference the dict-based helpers here operate on;
+* the *search* side runs on an immutable CSR snapshot
+  (:class:`~repro.core.flat.FlatWorkingGraph`, re-exported here as
+  :data:`CSRSnapshot`): the hierarchy builder flattens each node's
+  adjacency once and the partition, ranking, labelling and shortcut
+  passes all search that snapshot through the pluggable
+  :class:`~repro.core.backends.ShortestPathBackend` seam.  Snapshots
+  restrict with numpy array operations
+  (:meth:`~repro.core.flat.FlatWorkingGraph.induce`) instead of dict
+  comprehensions.
+
+The dict-based searches below are kept as the bit-identical reference
+(and for callers that hold plain adjacency maps); the snapshot paths
+perform the same float64 relaxations, so distances agree exactly.
 """
 
 from __future__ import annotations
@@ -14,9 +28,13 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core.flat import FlatWorkingGraph
 from repro.graph.graph import Graph
 
 WorkingAdjacency = Dict[int, Dict[int, float]]
+
+#: The CSR-snapshot representation of a working subgraph (see module docs).
+CSRSnapshot = FlatWorkingGraph
 
 INF = float("inf")
 

@@ -55,12 +55,23 @@ class RouterStats:
     shard_loads: int = 0
     pairs_per_shard: Dict[int, int] = field(default_factory=dict)
 
+    def cross_shard_fraction(self) -> float:
+        """Fraction of core pairs whose endpoints live in different shards.
+
+        The locality metric the shard layouts compete on: hierarchy-aligned
+        boundaries exist to push this down for subtree-local traffic.
+        """
+        if self.core_pairs == 0:
+            return 0.0
+        return self.cross_shard_pairs / self.core_pairs
+
     def as_dict(self) -> Dict[str, float]:
         """Flatten for benchmark/report rows."""
         return {
             "batches": self.batches,
             "core_pairs": self.core_pairs,
             "cross_shard_pairs": self.cross_shard_pairs,
+            "cross_shard_fraction": round(self.cross_shard_fraction(), 4),
             "fanout_calls": self.fanout_calls,
             "shard_loads": self.shard_loads,
         }
@@ -95,7 +106,19 @@ class ShardRouter(BatchMixin):
         self.construction_seconds = components["construction_seconds"]
         self.resolver = BatchResolver(self.contraction, self.hierarchy)
         self._mmap = mmap
-        #: shard edge sequence over core vertex ids ([0, b1, ..., m])
+        #: how label rows are ordered on disk: "identity" (classic core-id
+        #: ranges) or "hierarchy" (DFS subtree ranges)
+        self.vertex_order: str = manifest.get("vertex_order", "identity")
+        if self.vertex_order == "hierarchy":
+            # storage position of each core vertex; the base archive of a
+            # hierarchy layout persists the DFS walk, so these are exactly
+            # the positions the labels were reordered by at save time
+            self._position: Optional[np.ndarray] = np.asarray(
+                self.hierarchy.subtree_ranges(), dtype=np.int64
+            )
+        else:
+            self._position = None
+        #: shard edge sequence over storage positions ([0, b1, ..., m])
         self._edges = np.asarray(manifest["boundaries"], dtype=np.int64)
         self._shards: List[Optional[FlatLabelling]] = [None] * (len(self._edges) - 1)
         self.stats = RouterStats()
@@ -144,9 +167,21 @@ class ShardRouter(BatchMixin):
                 self.stats.shard_loads += 1
         return shard
 
+    def positions_of(self, core_vertices: np.ndarray) -> np.ndarray:
+        """Storage position of each core vertex (identity unless the layout
+        stores labels in hierarchy DFS order)."""
+        if self._position is None:
+            return core_vertices
+        return self._position[core_vertices]
+
+    def _shards_of_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Shard id owning each storage position (single home of the
+        ``side='right'`` boundary convention)."""
+        return np.searchsorted(self._edges, positions, side="right") - 1
+
     def shard_of(self, core_vertices: np.ndarray) -> np.ndarray:
         """Shard id owning each core vertex (vectorised range lookup)."""
-        return np.searchsorted(self._edges, core_vertices, side="right") - 1
+        return self._shards_of_positions(self.positions_of(core_vertices))
 
     # ------------------------------------------------------------------ #
     # protocol metadata
@@ -208,8 +243,9 @@ class ShardRouter(BatchMixin):
         )
 
     def _level_list(self, core_vertex: int, depth: int) -> List[float]:
-        shard_id = int(self.shard_of(np.asarray([core_vertex], dtype=np.int64))[0])
-        local = core_vertex - int(self._edges[shard_id])
+        position = self.positions_of(np.asarray([core_vertex], dtype=np.int64))
+        shard_id = int(self._shards_of_positions(position)[0])
+        local = int(position[0]) - int(self._edges[shard_id])
         return self._shard(shard_id).level_array(local, depth)
 
     # ------------------------------------------------------------------ #
@@ -261,14 +297,18 @@ class ShardRouter(BatchMixin):
             return result
 
         depth = self.resolver.lca_depths(cs, ct)
-        source_shard = self.shard_of(cs)
-        target_shard = self.shard_of(ct)
+        # all storage arithmetic below runs on positions (== core ids for
+        # the identity layout); the LCA above always uses core ids
+        ps = self.positions_of(cs)
+        pt = self.positions_of(ct)
+        source_shard = self._shards_of_positions(ps)
+        target_shard = self._shards_of_positions(pt)
         fanout_calls = 0
         pairs_per_shard: Dict[int, int] = {}
         for shard_id in np.unique(source_shard[work]).tolist():
             mask = work & (source_shard == shard_id)
             result[mask] = self._fanout(
-                int(shard_id), cs[mask], ct[mask], target_shard[mask], depth[mask]
+                int(shard_id), ps[mask], pt[mask], target_shard[mask], depth[mask]
             )
             fanout_calls += 1
             pairs_per_shard[int(shard_id)] = int(mask.sum())
@@ -286,34 +326,36 @@ class ShardRouter(BatchMixin):
     def _fanout(
         self,
         source_shard_id: int,
-        cs: np.ndarray,
-        ct: np.ndarray,
+        ps: np.ndarray,
+        pt: np.ndarray,
         target_shard: np.ndarray,
         depth: np.ndarray,
     ) -> np.ndarray:
         """One vectorised min-plus call for the pairs of one source shard.
 
-        The source side gathers from a single shard buffer; the target
-        side is gathered per target shard (cross-shard pairs are the
-        point of the router).  Performs exactly the engine's grouped
-        gather + ``minimum.reduceat``, so results are bit-identical.
+        ``ps`` / ``pt`` are storage positions (core ids under the identity
+        layout, DFS positions under the hierarchy layout).  The source
+        side gathers from a single shard buffer; the target side is
+        gathered per target shard (cross-shard pairs are the point of the
+        router).  Performs exactly the engine's grouped gather +
+        ``minimum.reduceat``, so results are bit-identical.
         """
         source = self._shard(source_shard_id)
-        k_s = source.vertex_indptr[cs - self._edges[source_shard_id]] + depth
+        k_s = source.vertex_indptr[ps - self._edges[source_shard_id]] + depth
         start_s = source.level_indptr[k_s]
         len_s = source.level_indptr[k_s + 1] - start_s
 
-        start_t = np.empty(len(ct), dtype=np.int64)
-        len_t = np.empty(len(ct), dtype=np.int64)
+        start_t = np.empty(len(pt), dtype=np.int64)
+        len_t = np.empty(len(pt), dtype=np.int64)
         for shard_id in np.unique(target_shard).tolist():
             shard = self._shard(int(shard_id))
             mask = target_shard == shard_id
-            k_t = shard.vertex_indptr[ct[mask] - self._edges[shard_id]] + depth[mask]
+            k_t = shard.vertex_indptr[pt[mask] - self._edges[shard_id]] + depth[mask]
             start_t[mask] = shard.level_indptr[k_t]
             len_t[mask] = shard.level_indptr[k_t + 1] - start_t[mask]
 
         lengths = np.minimum(len_s, len_t)
-        result = np.full(len(cs), INF, dtype=np.float64)
+        result = np.full(len(ps), INF, dtype=np.float64)
         total = int(lengths.sum())
         if total == 0:
             return result

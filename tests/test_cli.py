@@ -58,6 +58,38 @@ class TestBuildAndQuery:
         out = capsys.readouterr().out
         assert "construction" in out
 
+    def test_build_with_tree_sidecar(self, tmp_path, dimacs_file, capsys):
+        from repro.core.persistence import tree_sidecar_directory
+
+        index_path = tmp_path / "sidecar.idx"
+        code = main(
+            ["build", "--graph", str(dimacs_file), "-o", str(index_path), "--tree-sidecar"]
+        )
+        assert code == 0
+        assert (tree_sidecar_directory(index_path) / "meta.json").exists()
+
+    @pytest.mark.parametrize("mode", ["even", "hierarchy"])
+    def test_shard_boundaries_modes(self, tmp_path, dimacs_file, capsys, mode, small_oracle):
+        from repro.core.persistence import load_manifest
+
+        index_path = tmp_path / "shards.idx"
+        assert main(["build", "--graph", str(dimacs_file), "-o", str(index_path)]) == 0
+        assert main(
+            ["shard", str(index_path), "--shards", "3", "--boundaries", mode]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"({mode} boundaries)" in out
+        _, manifest = load_manifest(index_path)
+        assert len(manifest["shards"]) == 3
+        expected = "hierarchy" if mode == "hierarchy" else "identity"
+        assert manifest["vertex_order"] == expected
+
+        assert main(["query", "--shards", str(index_path), "0,5"]) == 0
+        line = capsys.readouterr().out.strip().splitlines()[0]
+        assert float(line.split("\t")[2]) == pytest.approx(
+            small_oracle.distance(0, 5), rel=1e-6
+        )
+
     def test_query_from_stdin(self, tmp_path, dimacs_file, capsys, monkeypatch):
         index_path = tmp_path / "ny.idx"
         main(["build", "--graph", str(dimacs_file), "-o", str(index_path)])

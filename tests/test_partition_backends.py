@@ -1,0 +1,172 @@
+"""Backend equivalence of the partition layer (Algorithms 1-2).
+
+The balanced cuts drive everything downstream - the hierarchy shape, the
+labels, the shard boundaries - so a backend that produced a *different*
+(even if valid) cut would silently change the whole index.  These tests
+pin down bit-identical cuts across
+
+* the ``heap`` and ``csr`` backends (seed searches, component scans),
+* every max-flow solver behind the seam: the reference Dinitz, the
+  compact Edmonds-Karp, scipy ``maximum_flow`` and the numpy
+  Edmonds-Karp fallback (the canonical minimum cuts are unique across
+  all maximum flows, which is what makes the solvers interchangeable).
+
+CI runs this module as a dedicated smoke step so partition-layer backend
+drift fails loudly, separately from the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.flow.vertex_cut as vertex_cut_module
+from repro.core.backends import CSRBackend, HeapBackend
+from repro.core.flat import FlatWorkingGraph
+from repro.flow.vertex_cut import minimum_st_vertex_cut
+from repro.graph.builders import graph_from_edges
+from repro.partition.cut import balanced_cut, separates
+from repro.partition.partition import balanced_partition
+from repro.partition.working_graph import working_graph_from
+from repro.graph.generators import RoadNetworkSpec, synthetic_road_network
+
+
+def _seeded_adjacency(seed: int, n_lo: int = 40, n_hi: int = 120):
+    """A connected-ish random weighted graph as a working adjacency."""
+    rng = random.Random(seed)
+    n = rng.randrange(n_lo, n_hi)
+    edges = []
+    for v in range(1, n):
+        u = rng.randrange(v)  # spanning tree keeps it mostly connected
+        edges.append((u, v, float(rng.randrange(1, 9))))
+    for _ in range(2 * n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.append((u, v, float(rng.randrange(1, 9))))
+    graph = graph_from_edges(edges, num_vertices=n)
+    return working_graph_from(graph)
+
+
+class TestCutBackendEquality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_heap_and_csr_cuts_are_identical(self, seed):
+        adjacency = _seeded_adjacency(seed)
+        reference = balanced_cut(adjacency, backend=HeapBackend())
+        fast = balanced_cut(adjacency, backend=CSRBackend(min_vertices=0))
+        assert reference.part_a == fast.part_a
+        assert reference.cut == fast.cut
+        assert reference.part_b == fast.part_b
+        assert separates(adjacency, fast)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_csr_without_scipy_matches(self, seed, monkeypatch):
+        import repro.core.backends as backends_module
+
+        monkeypatch.setattr(backends_module, "_scipy_dijkstra", None)
+        monkeypatch.setattr(backends_module, "_scipy_csr_matrix", None)
+        monkeypatch.setattr(backends_module, "_scipy_components", None)
+        monkeypatch.setattr(vertex_cut_module, "_scipy_maximum_flow", None)
+        # exercise both the python and the numpy Edmonds-Karp regions
+        monkeypatch.setattr(vertex_cut_module, "_MATRIX_SMALL_REGION", 30)
+        adjacency = _seeded_adjacency(seed)
+        reference = balanced_cut(adjacency, backend=HeapBackend())
+        fast = balanced_cut(adjacency, backend=CSRBackend(min_vertices=0))
+        assert (reference.part_a, reference.cut, reference.part_b) == (
+            fast.part_a,
+            fast.cut,
+            fast.part_b,
+        )
+
+    def test_road_network_cuts_are_identical(self):
+        network = synthetic_road_network(
+            RoadNetworkSpec("cut-smoke", num_vertices=350, seed=2024)
+        )
+        adjacency = working_graph_from(network.distance_graph)
+        reference = balanced_cut(adjacency, backend=HeapBackend())
+        fast = balanced_cut(adjacency, backend=CSRBackend(min_vertices=0))
+        assert (reference.part_a, reference.cut, reference.part_b) == (
+            fast.part_a,
+            fast.cut,
+            fast.part_b,
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_partition_backend_equality(self, seed):
+        adjacency = _seeded_adjacency(seed, n_lo=20, n_hi=80)
+        a = balanced_partition(adjacency, backend=HeapBackend())
+        b = balanced_partition(adjacency, backend=CSRBackend(min_vertices=0))
+        assert a.initial_a == b.initial_a
+        assert a.cut_region == b.cut_region
+        assert a.initial_b == b.initial_b
+
+
+class TestFlowSolverEquality:
+    def _instance(self, seed: int):
+        rng = random.Random(seed)
+        n = rng.randrange(12, 60)
+        adjacency = _seeded_adjacency(seed, n_lo=n, n_hi=n + 1)
+        vertices = sorted(adjacency)
+        k = len(vertices)
+        attach_s = {vertices[i] for i in range(0, k, 5)}
+        attach_t = {vertices[i] for i in range(2, k, 7)} - attach_s
+        return adjacency, attach_s, attach_t
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_all_solvers_agree(self, seed, monkeypatch):
+        adjacency, attach_s, attach_t = self._instance(seed)
+        if not attach_s or not attach_t:
+            pytest.skip("degenerate terminal sets")
+        reference = minimum_st_vertex_cut(adjacency, attach_s, attach_t, method="dinitz")
+        results = {}
+        # compact python Edmonds-Karp (small-region branch)
+        monkeypatch.setattr(vertex_cut_module, "_MATRIX_SMALL_REGION", 10**9)
+        results["python-ek"] = minimum_st_vertex_cut(adjacency, attach_s, attach_t, "matrix")
+        # scipy maximum_flow branch
+        monkeypatch.setattr(vertex_cut_module, "_MATRIX_SMALL_REGION", 0)
+        if vertex_cut_module._scipy_maximum_flow is not None:
+            results["scipy"] = minimum_st_vertex_cut(adjacency, attach_s, attach_t, "matrix")
+        # numpy Edmonds-Karp fallback branch
+        monkeypatch.setattr(vertex_cut_module, "_scipy_maximum_flow", None)
+        results["numpy-ek"] = minimum_st_vertex_cut(adjacency, attach_s, attach_t, "matrix")
+        for name, result in results.items():
+            assert result.cut_size == reference.cut_size, name
+            assert result.cut_closest_to_source == reference.cut_closest_to_source, name
+            assert result.cut_closest_to_sink == reference.cut_closest_to_sink, name
+
+    def test_unknown_method_rejected(self):
+        adjacency = _seeded_adjacency(1, n_lo=10, n_hi=11)
+        with pytest.raises(ValueError, match="flow method"):
+            minimum_st_vertex_cut(adjacency, {0}, {1}, method="bogus")
+
+
+class TestValidationAndDedupe:
+    @pytest.mark.parametrize("beta", [0.0, -0.1, 0.6, 1.5])
+    def test_balanced_cut_validates_beta(self, beta):
+        adjacency = _seeded_adjacency(0, n_lo=10, n_hi=11)
+        with pytest.raises(ValueError, match="beta"):
+            balanced_cut(adjacency, beta)
+
+    def test_balanced_cut_requires_a_subgraph(self):
+        with pytest.raises(ValueError, match="adjacency"):
+            balanced_cut()
+
+    def test_seed_search_memo_reuses_first_row(self):
+        """On a path, the farthest vertex from seed_a is the start vertex
+        again, so the third seed search must hit the memo instead of
+        re-running (the double-BFS dedupe)."""
+
+        calls = []
+
+        class CountingBackend(HeapBackend):
+            def sssp_many(self, flat, sources):
+                calls.extend(int(s) for s in sources)
+                return super().sssp_many(flat, sources)
+
+        path = graph_from_edges(
+            [(i, i + 1, 1.0) for i in range(30)], num_vertices=31
+        )
+        balanced_partition(working_graph_from(path), backend=CountingBackend())
+        # arbitrary start 0 -> seed_a = 30 -> farthest from 30 is 0 again:
+        # exactly two searches run, the third reuses the first row
+        assert calls == [0, 30]

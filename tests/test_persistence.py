@@ -143,12 +143,33 @@ class TestVersionCompatibility:
         pairs = random_query_pairs(small_graph, 30, seed=9)
         assert loaded.distances(pairs).tolist() == built_index.distances(pairs).tolist()
 
-    def test_current_archives_declare_version_2(self, built_index, tmp_path):
+    def test_version_2_archives_still_load(self, small_graph, built_index, tmp_path):
+        """Archives written before the subtree ranges (version 2) load fine."""
         path = tmp_path / "v2.npz"
         built_index.save(path)
         with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        header = json.loads(bytes(arrays["header"].tobytes()).decode("utf-8"))
+        header["version"] = 2
+        # v2 archives predate the persisted DFS linearisation
+        for name in ("hier_core_position", "hier_node_range_lo", "hier_node_range_hi"):
+            arrays.pop(name)
+        arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8).copy()
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        loaded = HC2LIndex.load(path)
+        pairs = random_query_pairs(small_graph, 30, seed=9)
+        assert loaded.distances(pairs).tolist() == built_index.distances(pairs).tolist()
+        # the DFS linearisation is recomputed on demand and matches
+        assert loaded.hierarchy.subtree_ranges() == built_index.hierarchy.subtree_ranges()
+
+    def test_current_archives_declare_version_3(self, built_index, tmp_path):
+        path = tmp_path / "v3.npz"
+        built_index.save(path)
+        with np.load(path, allow_pickle=False) as archive:
             header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
-        assert header["version"] == FORMAT_VERSION == 2
+            assert "hier_core_position" in archive.files
+        assert header["version"] == FORMAT_VERSION == 3
         assert header["label_layout"] == "inline"
 
 
