@@ -25,10 +25,23 @@ The rows land in ``BENCH_build.json`` (uploaded by CI next to
 ``BENCH_query.json``) so build-time regressions are tracked across PRs
 the same way query regressions are.
 
+``--scaling`` additionally sweeps a scaling curve: one graph per size in
+``--sizes``, built once per construction *mode* (``serial``/``thread``/
+``process`` x ``heap``/``csr``), with every mode's labels verified
+bit-identical against the first before any row is recorded.  Each mode
+row carries the same per-phase breakdown plus ``speedup_vs_heap[_phase]``
+against the same-size ``serial-heap`` row and - on ``process-csr`` -
+``speedup_vs_thread_csr`` against the same-size, same-worker-count
+``thread-csr`` row.  Every row also lists its five slowest hierarchy
+nodes (``slowest_nodes``), so a pathological cut shows up with its depth
+and vertex count rather than hiding inside a phase total.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_build.py \
-        [--vertices 3000] [--backends heap,csr] [--output BENCH_build.json]
+        [--vertices 3000] [--backends heap,csr] [--output BENCH_build.json] \
+        [--scaling] [--sizes 1000,10000,100000] \
+        [--modes serial-heap,...,process-csr] [--scaling-workers 2]
 """
 
 from __future__ import annotations
@@ -37,15 +50,36 @@ import argparse
 import json
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro import RoadNetworkSpec, synthetic_road_network
 from repro.core.backends import BACKEND_NAMES, resolve_backend, scipy_available
-from repro.core.construction import HC2LBuilder
+from repro.core.construction import ConstructionStats, HC2LBuilder
 from repro.core.flat import FlatLabelling
+from repro.core.parallel import ParallelHC2LBuilder
 from repro.graph.contraction import contract_degree_one
 
 PHASES = ("contraction", "snapshot", "hierarchy", "labelling", "shortcuts", "flatten")
+
+#: Scaling-curve construction modes: name -> (parallel_mode, backend).
+#: ``parallel_mode`` ``None`` runs the plain sequential builder.
+SCALING_MODES: Dict[str, Tuple[Optional[str], str]] = {
+    "serial-heap": (None, "heap"),
+    "serial-csr": (None, "csr"),
+    "thread-heap": ("thread", "heap"),
+    "thread-csr": ("thread", "csr"),
+    "process-heap": ("process", "heap"),
+    "process-csr": ("process", "csr"),
+}
+
+
+def _top_nodes(stats: ConstructionStats, k: int = 5) -> List[Dict[str, object]]:
+    """The ``k`` slowest hierarchy nodes as ``{depth, vertices, seconds}`` rows."""
+    slowest = sorted(stats.node_timings, key=lambda t: t[2], reverse=True)[:k]
+    return [
+        {"depth": depth, "vertices": vertices, "seconds": round(seconds, 4)}
+        for depth, vertices, seconds in slowest
+    ]
 
 
 def bench_backend(name: str, graph, leaf_size: int):
@@ -78,7 +112,149 @@ def bench_backend(name: str, graph, leaf_size: int):
     }
     for phase, seconds in stats.timer.durations.items():
         row[f"seconds_{phase}"] = round(seconds, 4)
+    row["slowest_nodes"] = _top_nodes(stats)
     return row, flat
+
+
+def bench_mode(mode: str, graph, leaf_size: int, workers: int):
+    """One full construction under a scaling mode, with the phase breakdown.
+
+    Serial modes run :class:`HC2LBuilder` directly; thread/process modes
+    run :class:`ParallelHC2LBuilder` with ``workers`` workers.  The
+    process modes return the flat labelling straight from the streaming
+    assembly (its packing time is the ``flatten`` phase of the builder's
+    timer); the others flatten the nested labelling here, exactly like
+    :func:`bench_backend`.
+    """
+    parallel_mode, backend_name = SCALING_MODES[mode]
+    backend = resolve_backend(backend_name)
+    total_start = time.perf_counter()
+
+    contract_start = time.perf_counter()
+    contraction = contract_degree_one(graph)
+    contraction_seconds = time.perf_counter() - contract_start
+
+    if parallel_mode is None:
+        builder = HC2LBuilder(leaf_size=leaf_size, backend=backend)
+    else:
+        builder = ParallelHC2LBuilder(
+            leaf_size=leaf_size,
+            backend=backend,
+            num_workers=workers,
+            parallel_mode=parallel_mode,
+        )
+    hierarchy, labelling, stats = builder.build(contraction.core)
+
+    if isinstance(labelling, FlatLabelling):
+        flat = labelling
+        flatten_seconds = stats.timer.get("flatten")
+    else:
+        flatten_start = time.perf_counter()
+        flat = FlatLabelling.from_labelling(labelling)
+        flatten_seconds = time.perf_counter() - flatten_start
+    total_seconds = time.perf_counter() - total_start
+
+    row: Dict[str, object] = {
+        "mode": mode,
+        "backend": backend_name,
+        "parallel_mode": parallel_mode,
+        "workers": 1 if parallel_mode is None else workers,
+        "total_seconds": round(total_seconds, 4),
+        "seconds_contraction": round(contraction_seconds, 4),
+        "seconds_flatten": round(flatten_seconds, 4),
+        "num_nodes": stats.num_nodes,
+        "num_shortcuts": stats.num_shortcuts,
+        "num_tasks": stats.num_tasks,
+        "tree_height": hierarchy.height(),
+        "label_entries": flat.total_entries(),
+    }
+    for phase, seconds in stats.timer.durations.items():
+        row[f"seconds_{phase}"] = round(seconds, 4)
+    row["slowest_nodes"] = _top_nodes(stats)
+    return row, flat
+
+
+def run_scaling(
+    sizes: List[int],
+    modes: List[str] | None = None,
+    workers: int = 2,
+    seed: int = 2024,
+    leaf_size: int = 12,
+) -> dict:
+    """Scaling curve: one graph per size, one build per mode, rows per size.
+
+    Every mode's labels are verified bit-identical against the first
+    selected mode **before** the size's rows are composed - a faster mode
+    with different labels aborts the whole benchmark.
+    """
+    selected = modes or list(SCALING_MODES)
+    unknown = [mode for mode in selected if mode not in SCALING_MODES]
+    if unknown:
+        raise SystemExit(f"unknown modes {unknown}; available: {list(SCALING_MODES)}")
+
+    size_records: List[Dict[str, object]] = []
+    for num_vertices in sizes:
+        network = synthetic_road_network(
+            RoadNetworkSpec("bench-scaling", num_vertices=num_vertices, seed=seed)
+        )
+        graph = network.distance_graph
+        rows: Dict[str, Dict[str, object]] = {}
+        flats: Dict[str, FlatLabelling] = {}
+        for mode in selected:
+            print(f"  [{num_vertices}] {mode}: building ...", flush=True)
+            row, flat = bench_mode(mode, graph, leaf_size, workers)
+            rows[mode] = row
+            flats[mode] = flat
+            print(f"  [{num_vertices}] {mode}: {row['total_seconds']}s total", flush=True)
+
+        reference_mode = selected[0]
+        for mode in selected[1:]:
+            if flats[mode] != flats[reference_mode]:
+                raise AssertionError(
+                    f"mode {mode!r} produced labels different from "
+                    f"{reference_mode!r} at {num_vertices} vertices"
+                )
+
+        heap_row = rows.get("serial-heap")
+        if heap_row is not None:
+            for mode in selected:
+                if mode == "serial-heap":
+                    continue
+                row = rows[mode]
+                row["speedup_vs_heap"] = round(
+                    float(heap_row["total_seconds"])
+                    / max(float(row["total_seconds"]), 1e-9),
+                    2,
+                )
+                for phase in PHASES:
+                    key = f"seconds_{phase}"
+                    if key in heap_row and key in row:
+                        row[f"speedup_vs_heap_{phase}"] = round(
+                            float(heap_row[key]) / max(float(row[key]), 1e-9), 2
+                        )
+        thread_row = rows.get("thread-csr")
+        process_row = rows.get("process-csr")
+        if thread_row is not None and process_row is not None:
+            process_row["speedup_vs_thread_csr"] = round(
+                float(thread_row["total_seconds"])
+                / max(float(process_row["total_seconds"]), 1e-9),
+                2,
+            )
+
+        size_records.append(
+            {
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "rows": [rows[mode] for mode in selected],
+            }
+        )
+    return {
+        "workers": workers,
+        "leaf_size": leaf_size,
+        "seed": seed,
+        "modes": selected,
+        "sizes": size_records,
+    }
 
 
 def run_benchmark(
@@ -164,10 +340,37 @@ def main() -> None:
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_build.json",
     )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="also sweep the construction-mode scaling curve over --sizes",
+    )
+    parser.add_argument(
+        "--sizes",
+        default="1000,10000,100000",
+        help="comma separated scaling-curve graph sizes",
+    )
+    parser.add_argument(
+        "--modes",
+        default=",".join(SCALING_MODES),
+        help=f"comma separated subset of {list(SCALING_MODES)}",
+    )
+    parser.add_argument(
+        "--scaling-workers",
+        type=int,
+        default=2,
+        help="worker count for the thread/process scaling modes",
+    )
     args = parser.parse_args()
 
     names = [name.strip() for name in args.backends.split(",") if name.strip()]
     record = run_benchmark(args.vertices, args.seed, names, args.leaf_size)
+    if args.scaling:
+        sizes = [int(size) for size in args.sizes.split(",") if size.strip()]
+        modes = [mode.strip() for mode in args.modes.split(",") if mode.strip()]
+        record["scaling"] = run_scaling(
+            sizes, modes, args.scaling_workers, args.seed, args.leaf_size
+        )
     payload = json.dumps(record, indent=2) + "\n"
     # write-then-rename so an interrupted run never leaves a torn record
     tmp = args.output.with_name(args.output.name + ".tmp")

@@ -50,7 +50,22 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--leaf-size", type=int, default=12, help="recursion cut-off (default 12)")
     build.add_argument("--no-tail-pruning", action="store_true", help="disable tail pruning")
     build.add_argument("--no-contraction", action="store_true", help="disable degree-one contraction")
-    build.add_argument("--workers", type=int, default=0, help=">=2 uses the parallel builder")
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count: 1 builds sequentially, >=2 uses the parallel builder",
+    )
+    build.add_argument(
+        "--parallel-mode",
+        choices=["thread", "process"],
+        default="thread",
+        help=(
+            "execution of the parallel builder (with --workers >= 2): "
+            "thread (shared-memory pool, GIL-bound) or process "
+            "(self-contained subtree work units on a process pool)"
+        ),
+    )
     build.add_argument(
         "--backend",
         choices=["auto", "heap", "csr"],
@@ -171,6 +186,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         tail_pruning=not args.no_tail_pruning,
         contract=not args.no_contraction,
         num_workers=args.workers,
+        parallel_mode=args.parallel_mode,
         backend=args.backend,
     )
     index.save(args.output, tree_sidecar=args.tree_sidecar)

@@ -21,8 +21,9 @@ how the reference implementation described in the paper organises the work
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.backends import BackendSpec, ShortestPathBackend, resolve_backend
 from repro.core.flat import FlatWorkingGraph
@@ -37,6 +38,21 @@ from repro.utils.timer import Timer
 from repro.utils.validation import check_balance_parameter
 
 
+#: execution modes of the parallel builder: ``thread`` fans the recursion
+#: out over a thread pool (the reference parallel path), ``process`` ships
+#: self-contained subtree work units to a process pool.
+PARALLEL_MODES = ("thread", "process")
+
+
+def check_parallel_mode(name: str) -> str:
+    """Validate a parallel-mode name, loudly."""
+    if name not in PARALLEL_MODES:
+        raise ValueError(
+            f"unknown parallel_mode {name!r}; expected one of {list(PARALLEL_MODES)}"
+        )
+    return name
+
+
 @dataclass
 class ConstructionStats:
     """Counters and timings collected while building an HC2L index."""
@@ -47,6 +63,13 @@ class ConstructionStats:
     num_shortcuts: int = 0
     num_empty_cuts: int = 0
     max_depth: int = 0
+    #: work units handed to a worker pool (0 for sequential builds and for
+    #: process-mode builds that fell back to the serial path)
+    num_tasks: int = 0
+    #: per-node ``(depth, num_vertices, seconds)`` records, where seconds
+    #: covers the node's own cut + ranking + labelling + child-derivation
+    #: work (recursion excluded); feeds the bench's construction-skew view
+    node_timings: List[Tuple[int, int, float]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten to a plain dict for reporting."""
@@ -56,6 +79,7 @@ class ConstructionStats:
             "num_shortcuts": float(self.num_shortcuts),
             "num_empty_cuts": float(self.num_empty_cuts),
             "max_depth": float(self.max_depth),
+            "num_tasks": float(self.num_tasks),
             "total_seconds": self.timer.total(),
         }
         for name, seconds in self.timer.durations.items():
@@ -147,6 +171,7 @@ class HC2LBuilder:
         n = len(vertices)
         if n == 0:
             return None
+        node_started = time.perf_counter()
         stats.max_depth = max(stats.max_depth, depth)
 
         cut_result: Optional[BalancedCutResult] = None
@@ -188,6 +213,9 @@ class HC2LBuilder:
             (cut_result.part_a, "left", 0),
             (cut_result.part_b, "right", 1),
         )
+        # derive both child graphs before recursing so the per-node timing
+        # below covers exactly this node's own work (no recursion inside)
+        pending = []
         for child_vertices, child_side, child_bit in children:
             if not child_vertices:
                 continue
@@ -201,6 +229,9 @@ class HC2LBuilder:
                 )
                 child = child_adjacency(adjacency, child_vertices, shortcuts)
             stats.num_shortcuts += len(shortcuts)
+            pending.append((child, child_side, child_bit))
+        stats.node_timings.append((depth, n, time.perf_counter() - node_started))
+        for child, child_side, child_bit in pending:
             self._build_node(
                 child,
                 depth + 1,
@@ -227,6 +258,7 @@ class HC2LBuilder:
         stats: ConstructionStats,
     ) -> int:
         """Terminate the recursion: every remaining vertex joins the node's cut."""
+        node_started = time.perf_counter()
         with stats.timer.measure("labelling"):
             flat = FlatWorkingGraph(adjacency)
             ranking: CutRanking = rank_cut_vertices(
@@ -241,4 +273,5 @@ class HC2LBuilder:
         stats.num_leaves += 1
         for v in vertices:
             labelling.append_level(v, arrays[v])
+        stats.node_timings.append((depth, len(vertices), time.perf_counter() - node_started))
         return node.index

@@ -224,6 +224,61 @@ class FlatLabelling:
             value_base += int(part.level_indptr[-1])
         return cls(num_vertices, values, level_indptr, vertex_indptr)
 
+    def merge_levels(self, other: "FlatLabelling") -> "FlatLabelling":
+        """Concatenate two labellings *per vertex*: my levels, then ``other``'s.
+
+        Both labellings must cover the same vertices in the same order; the
+        result stores, for every vertex, first all levels of ``self`` and
+        then all levels of ``other``.  This is how the process-parallel
+        construction combines the ancestor-level prefix a subtree inherited
+        from the nodes above it with the label fragment the subtree worker
+        produced - entirely with vectorised gathers, level arrays stay
+        byte-identical.
+        """
+        if self.num_vertices != other.num_vertices:
+            raise ValueError(
+                f"cannot merge labellings over {self.num_vertices} and "
+                f"{other.num_vertices} vertices"
+            )
+        n = self.num_vertices
+        counts_a = self.vertex_indptr[1:] - self.vertex_indptr[:-1]
+        counts_b = other.vertex_indptr[1:] - other.vertex_indptr[:-1]
+        new_vertex_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts_a + counts_b, out=new_vertex_indptr[1:])
+        total_a = int(self.vertex_indptr[-1])
+        total_b = int(other.vertex_indptr[-1])
+        total_levels = total_a + total_b
+        # destination of every source level: a-levels lead, b-levels follow
+        dst_a = np.repeat(new_vertex_indptr[:-1], counts_a) + (
+            np.arange(total_a, dtype=np.int64) - np.repeat(self.vertex_indptr[:-1], counts_a)
+        )
+        dst_b = np.repeat(new_vertex_indptr[:-1] + counts_a, counts_b) + (
+            np.arange(total_b, dtype=np.int64) - np.repeat(other.vertex_indptr[:-1], counts_b)
+        )
+        src = np.empty(total_levels, dtype=np.int64)
+        src[dst_a] = np.arange(total_a, dtype=np.int64)
+        src[dst_b] = total_a + np.arange(total_b, dtype=np.int64)
+        # gather lengths/starts from the virtual [self.values, other.values] buffer
+        lengths = np.concatenate([np.diff(self.level_indptr), np.diff(other.level_indptr)])[src]
+        starts = np.concatenate(
+            [self.level_indptr[:-1], other.level_indptr[:-1] + self.values.shape[0]]
+        )[src]
+        new_level_indptr = np.zeros(total_levels + 1, dtype=np.int64)
+        np.cumsum(lengths, out=new_level_indptr[1:])
+        total_values = int(new_level_indptr[-1])
+        value_within = np.arange(total_values, dtype=np.int64) - np.repeat(
+            new_level_indptr[:-1], lengths
+        )
+        values = np.concatenate([self.values, other.values])[
+            np.repeat(starts, lengths) + value_within
+        ]
+        return FlatLabelling(
+            num_vertices=n,
+            values=values,
+            level_indptr=new_level_indptr,
+            vertex_indptr=new_vertex_indptr,
+        )
+
     @staticmethod
     def even_boundaries(num_vertices: int, num_shards: int) -> List[int]:
         """The edge sequence of an (almost) even ``num_shards``-way split."""
@@ -362,7 +417,7 @@ class FlatWorkingGraph:
     the recursion.
     """
 
-    __slots__ = ("vertices", "dense_id", "indptr", "indices", "weights", "cache", "_np_csr")
+    __slots__ = ("vertices", "dense_id", "_indptr", "_indices", "_weights", "cache", "_np_csr")
 
     def __init__(self, adjacency: WorkingAdjacency) -> None:
         #: dense id -> original vertex id, in sorted original-id order
@@ -378,12 +433,35 @@ class FlatWorkingGraph:
                 indices.append(dense_id[w])
                 weights.append(weight)
             indptr.append(len(indices))
-        self.indptr: List[int] = indptr
-        self.indices: List[int] = indices
-        self.weights: List[float] = weights
+        self._indptr: Optional[List[int]] = indptr
+        self._indices: Optional[List[int]] = indices
+        self._weights: Optional[List[float]] = weights
         #: backend scratch space (distance-row cache, scipy matrix, ...)
         self.cache: Dict[str, object] = {}
         self._np_csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # The python-list CSR views materialise lazily: array-born snapshots
+    # (induce / from_csr_arrays) carry only the numpy triple, and backends
+    # that vectorise over it (csr) never pay for per-edge python objects.
+    # The list-walking searches (heap backend, flat.dijkstra) touch these
+    # properties and get the same lists as before, built on first access.
+    @property
+    def indptr(self) -> List[int]:
+        if self._indptr is None:
+            self._indptr = self._np_csr[0].tolist()
+        return self._indptr
+
+    @property
+    def indices(self) -> List[int]:
+        if self._indices is None:
+            self._indices = self._np_csr[1].tolist()
+        return self._indices
+
+    @property
+    def weights(self) -> List[float]:
+        if self._weights is None:
+            self._weights = self._np_csr[2].tolist()
+        return self._weights
 
     def __len__(self) -> int:
         return len(self.vertices)
@@ -400,17 +478,46 @@ class FlatWorkingGraph:
 
         ``vertices`` maps dense ids to original ids and must be sorted
         ascending (the invariant every snapshot maintains); ``indices``
-        holds dense ids.  Used by :meth:`induce` to restrict a snapshot
-        with numpy array operations instead of dict comprehensions.
+        holds dense ids.
         """
         snapshot = cls.__new__(cls)
         snapshot.vertices = list(vertices)
         snapshot.dense_id = {v: i for i, v in enumerate(snapshot.vertices)}
-        snapshot.indptr = list(indptr)
-        snapshot.indices = list(indices)
-        snapshot.weights = list(weights)
+        snapshot._indptr = list(indptr)
+        snapshot._indices = list(indices)
+        snapshot._weights = list(weights)
         snapshot.cache = {}
         snapshot._np_csr = None
+        return snapshot
+
+    @classmethod
+    def from_csr_arrays(
+        cls,
+        vertices: Sequence[int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+    ) -> "FlatWorkingGraph":
+        """Build a snapshot that owns only the typed numpy CSR triple.
+
+        The python-list views materialise lazily on first access (see the
+        ``indptr`` / ``indices`` / ``weights`` properties), so snapshots
+        produced by array restrictions (:meth:`induce`) stay free of
+        per-edge python objects on the vectorised backends.  Used by
+        :meth:`induce` and the process-parallel work units.
+        """
+        snapshot = cls.__new__(cls)
+        snapshot.vertices = list(vertices)
+        snapshot.dense_id = {v: i for i, v in enumerate(snapshot.vertices)}
+        snapshot._indptr = None
+        snapshot._indices = None
+        snapshot._weights = None
+        snapshot.cache = {}
+        snapshot._np_csr = (
+            np.asarray(indptr, dtype=np.int64),
+            np.asarray(indices, dtype=np.int64),
+            np.ascontiguousarray(weights, dtype=np.float64),
+        )
         return snapshot
 
     def induce(self, members: Sequence[int]) -> "FlatWorkingGraph":
@@ -441,16 +548,92 @@ class FlatWorkingGraph:
         new_indices = new_id[indices[edge_keep]]
         new_weights = weights[edge_keep]
         vertex_list = [self.vertices[i] for i in member_dense.tolist()]
-        snapshot = FlatWorkingGraph.from_csr(
-            vertex_list,
-            new_indptr.tolist(),
-            new_indices.tolist(),
-            new_weights.tolist(),
+        return FlatWorkingGraph.from_csr_arrays(
+            vertex_list, new_indptr, new_indices, new_weights
         )
-        # the numpy triple is already built - seed the cache so the csr
-        # backend does not reconvert the lists it was derived from
-        snapshot._np_csr = (new_indptr, new_indices, np.ascontiguousarray(new_weights))
-        return snapshot
+
+    def induce_with_shortcuts(
+        self, members: Sequence[int], shortcuts: Sequence
+    ) -> "FlatWorkingGraph":
+        """The induced snapshot on ``members`` with ``shortcuts`` overlaid.
+
+        CSR counterpart of
+        :func:`repro.partition.shortcuts.child_adjacency` (restrict, then
+        ``apply_shortcuts``).  Equivalent to
+        ``self.induce(members).overlay_shortcuts(shortcuts)``; callers that
+        already hold the induced snapshot (the construction reuses the one
+        the shortcut computation searched) overlay it directly.
+        """
+        return self.induce(members).overlay_shortcuts(shortcuts)
+
+    def overlay_shortcuts(self, shortcuts: Sequence) -> "FlatWorkingGraph":
+        """A snapshot with ``shortcuts`` overlaid on this one's edges.
+
+        Replicates the dict path's (``apply_shortcuts``) edge-order
+        semantics exactly so searches stay bit-identical: a shortcut that
+        improves an existing edge updates its weight *in place* (position
+        unchanged), a new shortcut edge is appended *after* the vertex's
+        existing edges, in shortcut order - precisely where a dict insert
+        would put it.  Returns ``self`` unchanged when there are no
+        shortcuts.
+        """
+        snapshot = self
+        if not shortcuts:
+            return snapshot
+        indptr, indices, weights = snapshot.csr_arrays()
+        weights = weights.copy()
+        dense_id = snapshot.dense_id
+
+        def edge_position(tail: int, head: int) -> int:
+            for i in range(int(indptr[tail]), int(indptr[tail + 1])):
+                if indices[i] == head:
+                    return i
+            return -1
+
+        #: per dense vertex, the (head, weight) edges appended by shortcuts
+        extras: Dict[int, List[Tuple[int, float]]] = {}
+        for shortcut in shortcuts:
+            du = dense_id.get(shortcut.u)
+            dv = dense_id.get(shortcut.v)
+            if du is None or dv is None:
+                continue
+            position = edge_position(du, dv)
+            if position >= 0:
+                if shortcut.weight < weights[position]:
+                    weights[position] = shortcut.weight
+                    weights[edge_position(dv, du)] = shortcut.weight
+            else:
+                extras.setdefault(du, []).append((dv, shortcut.weight))
+                extras.setdefault(dv, []).append((du, shortcut.weight))
+
+        if extras:
+            n = len(snapshot.vertices)
+            extra_counts = np.zeros(n, dtype=np.int64)
+            for tail, added in extras.items():
+                extra_counts[tail] = len(added)
+            old_degrees = np.diff(indptr)
+            new_indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(old_degrees + extra_counts, out=new_indptr[1:])
+            total = int(new_indptr[-1])
+            new_indices = np.empty(total, dtype=np.int64)
+            new_weights = np.empty(total, dtype=np.float64)
+            # existing edges keep their relative order, shifted by the
+            # appended edges of all earlier vertices
+            destinations = np.arange(len(indices), dtype=np.int64) + np.repeat(
+                new_indptr[:-1] - indptr[:-1], old_degrees
+            )
+            new_indices[destinations] = indices
+            new_weights[destinations] = weights
+            for tail, added in extras.items():
+                base = int(new_indptr[tail + 1]) - len(added)
+                for offset, (head, weight) in enumerate(added):
+                    new_indices[base + offset] = head
+                    new_weights[base + offset] = weight
+            indptr, indices, weights = new_indptr, new_indices, new_weights
+
+        return FlatWorkingGraph.from_csr_arrays(
+            snapshot.vertices, indptr, indices, weights
+        )
 
     def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The ``(indptr, indices, weights)`` triple as typed numpy arrays."""

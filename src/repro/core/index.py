@@ -61,8 +61,14 @@ class HC2LParameters:
     contract:
         Whether to run the degree-one contraction before labelling.
     num_workers:
-        0 or 1 builds sequentially (HC2L); >= 2 uses the parallel builder
-        (HC2L_p, Section 4.4).
+        1 builds sequentially (HC2L); >= 2 uses the parallel builder
+        (HC2L_p, Section 4.4) with this many workers.  Must be >= 1.
+    parallel_mode:
+        Execution of the parallel builder when ``num_workers >= 2``:
+        ``"thread"`` (shared-memory thread pool, the reference path) or
+        ``"process"`` (self-contained subtree work units on a process
+        pool; see :mod:`repro.core.parallel`).  Labels are bit-identical
+        across modes and worker counts.
     backend:
         Shortest-path backend for the construction searches: ``"heap"``
         (pure-Python binary heap), ``"csr"`` (batched scipy / numpy
@@ -74,17 +80,20 @@ class HC2LParameters:
     leaf_size: int = 12
     tail_pruning: bool = True
     contract: bool = True
-    num_workers: int = 0
+    num_workers: int = 1
+    parallel_mode: str = "thread"
     backend: str = "auto"
 
     def __post_init__(self) -> None:
         from repro.core.backends import check_backend_name
+        from repro.core.construction import check_parallel_mode
 
         check_balance_parameter(self.beta)
         if self.leaf_size < 1:
             raise ValueError("leaf_size must be >= 1")
-        if self.num_workers < 0:
-            raise ValueError("num_workers must be >= 0")
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
+        check_parallel_mode(self.parallel_mode)
         check_backend_name(self.backend)
 
 
@@ -196,6 +205,7 @@ class HC2LIndex:
                 tail_pruning=parameters.tail_pruning,
                 num_workers=parameters.num_workers,
                 backend=parameters.backend,
+                parallel_mode=parameters.parallel_mode,
             )
         else:
             builder = HC2LBuilder(
@@ -206,14 +216,19 @@ class HC2LIndex:
             )
         hierarchy, labelling, stats = builder.build(core)
         elapsed = time.perf_counter() - start
+        # the process-parallel builder streams the labels directly into
+        # flat buffers; hand them over as-is instead of round-tripping
+        # through the nested form
+        flat = labelling if isinstance(labelling, FlatLabelling) else None
         return cls(
             graph=graph,
             parameters=parameters,
             contraction=contraction,
             hierarchy=hierarchy,
-            labelling=labelling,
+            labelling=None if flat is not None else labelling,
             stats=stats,
             construction_seconds=elapsed,
+            flat=flat,
         )
 
     # ------------------------------------------------------------------ #

@@ -31,7 +31,7 @@ INF = float("inf")
 
 
 def node_distance_arrays(
-    adjacency: WorkingAdjacency,
+    adjacency: "WorkingAdjacency | None",
     ranking: CutRanking,
     tail_pruning: bool = True,
     flat: "FlatWorkingGraph | None" = None,
@@ -43,6 +43,9 @@ def node_distance_arrays(
     ----------
     adjacency:
         Working adjacency of the node's (distance-preserving) subgraph.
+        May be ``None`` when a pre-built CSR snapshot is passed as
+        ``flat`` (the dict-free construction path never materialises the
+        dict form).
     ranking:
         The ranked cut vertices of the node (Equation 6 order).
     tail_pruning:
@@ -64,9 +67,12 @@ def node_distance_arrays(
         each cut vertex to its full single-source distance map, which the
         shortcut computation (Algorithm 3) reuses.
     """
+    if adjacency is None and flat is None:
+        raise ValueError("provide the subgraph as 'adjacency' or 'flat'")
     ordered_cut = ranking.ordered
     if not ordered_cut:
-        return {v: [] for v in adjacency.keys()}, {}
+        vertices = flat.vertices if adjacency is None else list(adjacency.keys())
+        return {v: [] for v in vertices}, {}
 
     # One CSR snapshot shared by all |cut| searches of this node.
     if flat is None:

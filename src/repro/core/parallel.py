@@ -1,29 +1,63 @@
 """Parallel HC2L construction (HC2L_p, Section 4.4).
 
-The paper parallelises two things: (a) the two sides of every balanced cut
-are processed by separate threads, and (b) within a node, the per-cut /
-per-border Dijkstra searches run in parallel.  This module mirrors (a)
-with a :class:`concurrent.futures.ThreadPoolExecutor`: whenever a child
-subgraph is large enough, its recursion is submitted as a task instead of
-being processed inline.
+The paper parallelises the recursion: the two sides of every balanced cut
+are processed concurrently.  This module offers two executions of that
+idea, selected by ``parallel_mode``:
 
-A note on expectations: the reference implementation is C++ where threads
-run truly concurrently.  Under CPython's GIL the pure-Python searches do
-not overlap, so the measured speed-up is modest; the benchmark in
-``benchmarks/test_parallel_construction.py`` reports whatever is achieved
-and EXPERIMENTS.md discusses the gap.  The code path, the work splitting
-and the determinism of the result are the same as in the paper.
+``thread``
+    The reference parallel path.  Child recursions large enough are
+    submitted to a :class:`concurrent.futures.ThreadPoolExecutor`; the
+    shared hierarchy / labelling / statistics are lock-guarded.  Threads
+    share memory, so nothing is copied - but under CPython's GIL the
+    pure-Python searches do not overlap, so the measured speed-up is
+    modest (the reference implementation is C++ where threads run truly
+    concurrently).  ``benchmarks/test_parallel_construction.py`` reports
+    whatever is achieved and EXPERIMENTS.md discusses the gap.
+
+``process``
+    Independent hierarchy subtrees are shipped to a
+    :class:`concurrent.futures.ProcessPoolExecutor` as self-contained
+    work units: the induced CSR arrays travel as numpy buffers (cheap to
+    pickle, no ``Graph`` objects cross the boundary), each worker runs
+    the dict-free recursion of :mod:`repro.core.flat_build`, and the
+    coordinator streams the returned label fragments into one flat
+    :class:`~repro.core.flat.FlatLabelling` in hierarchy DFS order.
+    Processes sidestep the GIL, at the price of pickling each unit in
+    and its label block out - below the size crossover (small graphs,
+    ``num_vertices <= parallel_threshold``) the builder simply falls
+    back to the serial path.  The top of the hierarchy is expanded
+    inline (snapshot reuse: child snapshots are derived from the parent
+    CSR plus the shortcut overlay, never rebuilt from dicts), and peak
+    memory is bounded by the frontier of in-flight units rather than the
+    whole nested labelling.
+
+Both modes produce labels bit-identical to the sequential
+:class:`~repro.core.construction.HC2LBuilder` for every worker count;
+``tests/test_process_parallel.py`` pins the full mode x backend x workers
+matrix and ``tests/test_differential_fuzz.py`` covers graph families.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor, wait
-from typing import List, Optional
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.backends import BackendSpec
-from repro.core.construction import ConstructionStats, HC2LBuilder
-from repro.core.flat import FlatWorkingGraph
+from repro.core.construction import ConstructionStats, HC2LBuilder, check_parallel_mode
+from repro.core.flat import FlatLabelling, FlatWorkingGraph
+from repro.core.flat_build import (
+    SubtreeResult,
+    build_subtree,
+    build_subtree_payload,
+    fragment_from_levels,
+    node_step,
+)
 from repro.core.labelling import HC2LLabelling, node_distance_arrays
 from repro.core.ranking import rank_cut_vertices
 from repro.graph.graph import Graph
@@ -34,11 +68,13 @@ from repro.partition.working_graph import WorkingAdjacency, working_graph_from
 
 
 class ParallelHC2LBuilder(HC2LBuilder):
-    """HC2L builder that fans the recursion out over a thread pool.
+    """HC2L builder that fans the recursion out over a worker pool.
 
-    Parameters mirror :class:`HC2LBuilder`; ``num_workers`` sets the thread
-    pool size and ``parallel_threshold`` the minimum subgraph size for
-    which a child is handed to the pool rather than processed inline.
+    Parameters mirror :class:`HC2LBuilder`; ``num_workers`` sets the pool
+    size, ``parallel_threshold`` the minimum subgraph size for which work
+    is handed to the pool rather than processed inline, and
+    ``parallel_mode`` selects threads (shared memory, GIL-bound) or
+    processes (self-contained subtree units, see the module docstring).
     """
 
     def __init__(
@@ -50,6 +86,7 @@ class ParallelHC2LBuilder(HC2LBuilder):
         num_workers: int = 4,
         parallel_threshold: int = 64,
         backend: BackendSpec = "auto",
+        parallel_mode: str = "thread",
     ) -> None:
         super().__init__(
             beta=beta,
@@ -59,16 +96,33 @@ class ParallelHC2LBuilder(HC2LBuilder):
             backend=backend,
         )
         if num_workers < 1:
-            raise ValueError("num_workers must be >= 1")
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers
         self.parallel_threshold = parallel_threshold
+        self.parallel_mode = check_parallel_mode(parallel_mode)
         self._lock = threading.Lock()
         self._futures: List[Future] = []
         self._executor: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------ #
     def build(self, graph: Graph):
-        """Build hierarchy + labelling using ``num_workers`` threads."""
+        """Build hierarchy + labelling using ``num_workers`` workers.
+
+        Thread mode returns the nested :class:`HC2LLabelling` like the
+        sequential builder; process mode returns the labels directly as a
+        :class:`~repro.core.flat.FlatLabelling` (the fragments are
+        streamed into the flat layout, the nested form never exists) -
+        except on small graphs (``num_vertices <= parallel_threshold``),
+        where it falls back to the serial nested build.
+        """
+        if self.parallel_mode == "process":
+            return self._build_process(graph)
+        return self._build_threaded(graph)
+
+    # ------------------------------------------------------------------ #
+    # thread mode (the reference parallel path)
+    # ------------------------------------------------------------------ #
+    def _build_threaded(self, graph: Graph):
         stats = ConstructionStats()
         hierarchy = BalancedTreeHierarchy(graph.num_vertices)
         labelling = HC2LLabelling(graph.num_vertices)
@@ -100,7 +154,18 @@ class ParallelHC2LBuilder(HC2LBuilder):
         self._executor = None
         return hierarchy, labelling, stats
 
-    # ------------------------------------------------------------------ #
+    @contextmanager
+    def _timed(self, stats: ConstructionStats, name: str) -> Iterator[None]:
+        """Thread-safe :meth:`Timer.measure`: the read-modify-write of the
+        shared durations dict happens under the builder lock."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                stats.timer.durations[name] = stats.timer.get(name) + elapsed
+
     def _build_node(
         self,
         adjacency: WorkingAdjacency,
@@ -116,6 +181,7 @@ class ParallelHC2LBuilder(HC2LBuilder):
         n = len(vertices)
         if n == 0:
             return None
+        node_started = time.perf_counter()
         with self._lock:
             stats.max_depth = max(stats.max_depth, depth)
 
@@ -123,33 +189,36 @@ class ParallelHC2LBuilder(HC2LBuilder):
         cut_result = None
         flat: Optional[FlatWorkingGraph] = None
         if not force_leaf:
-            with stats.timer.measure("snapshot"):
+            with self._timed(stats, "snapshot"):
                 flat = FlatWorkingGraph(adjacency)
-            with stats.timer.measure("hierarchy"):
+            with self._timed(stats, "hierarchy"):
                 cut_result = balanced_cut(beta=self.beta, flat=flat, backend=self.backend)
             if not cut_result.part_a or not cut_result.part_b:
                 force_leaf = True
 
         if force_leaf:
-            flat = FlatWorkingGraph(adjacency)
-            ranking = rank_cut_vertices(adjacency, vertices, flat=flat, backend=self.backend)
-            arrays, _ = node_distance_arrays(
-                adjacency, ranking, self.tail_pruning, flat=flat, backend=self.backend
-            )
+            with self._timed(stats, "labelling"):
+                flat = FlatWorkingGraph(adjacency)
+                ranking = rank_cut_vertices(adjacency, vertices, flat=flat, backend=self.backend)
+                arrays, _ = node_distance_arrays(
+                    adjacency, ranking, self.tail_pruning, flat=flat, backend=self.backend
+                )
             with self._lock:
                 node = hierarchy.add_node(depth, bits, ranking.ordered, parent, side, is_leaf=True)
                 hierarchy.set_subtree_size(node.index, n)
                 stats.num_nodes += 1
                 stats.num_leaves += 1
+                stats.node_timings.append((depth, n, time.perf_counter() - node_started))
             for v in vertices:
                 labelling.append_level(v, arrays[v])
             return node.index
 
         assert cut_result is not None and flat is not None
-        ranking = rank_cut_vertices(adjacency, cut_result.cut, flat=flat, backend=self.backend)
-        arrays, cut_distances = node_distance_arrays(
-            adjacency, ranking, self.tail_pruning, flat=flat, backend=self.backend
-        )
+        with self._timed(stats, "labelling"):
+            ranking = rank_cut_vertices(adjacency, cut_result.cut, flat=flat, backend=self.backend)
+            arrays, cut_distances = node_distance_arrays(
+                adjacency, ranking, self.tail_pruning, flat=flat, backend=self.backend
+            )
         with self._lock:
             node = hierarchy.add_node(depth, bits, ranking.ordered, parent, side, is_leaf=False)
             hierarchy.set_subtree_size(node.index, n)
@@ -163,15 +232,23 @@ class ParallelHC2LBuilder(HC2LBuilder):
             (cut_result.part_a, "left", 0),
             (cut_result.part_b, "right", 1),
         )
+        # derive both child graphs before submitting/recursing so the
+        # per-node timing covers exactly this node's own work
+        pending = []
         for child_vertices, child_side, child_bit in children:
             if not child_vertices:
                 continue
-            shortcuts = compute_shortcuts(
-                adjacency, ranking.ordered, child_vertices, cut_distances, backend=self.backend
-            )
-            child = child_adjacency(adjacency, child_vertices, shortcuts)
+            with self._timed(stats, "shortcuts"):
+                shortcuts = compute_shortcuts(
+                    adjacency, ranking.ordered, child_vertices, cut_distances, backend=self.backend
+                )
+                child = child_adjacency(adjacency, child_vertices, shortcuts)
             with self._lock:
                 stats.num_shortcuts += len(shortcuts)
+            pending.append((child, child_side, child_bit, len(child_vertices)))
+        with self._lock:
+            stats.node_timings.append((depth, n, time.perf_counter() - node_started))
+        for child, child_side, child_bit, child_n in pending:
             args = (
                 child,
                 depth + 1,
@@ -182,10 +259,279 @@ class ParallelHC2LBuilder(HC2LBuilder):
                 labelling,
                 stats,
             )
-            if self._executor is not None and len(child_vertices) >= self.parallel_threshold:
+            if self._executor is not None and child_n >= self.parallel_threshold:
                 future = self._executor.submit(self._build_node, *args)
                 with self._lock:
                     self._futures.append(future)
+                    stats.num_tasks += 1
             else:
                 self._build_node(*args)
         return node.index
+
+    # ------------------------------------------------------------------ #
+    # process mode (self-contained subtree units)
+    # ------------------------------------------------------------------ #
+    def _build_process(self, graph: Graph):
+        stats = ConstructionStats()
+        hierarchy = BalancedTreeHierarchy(graph.num_vertices)
+        if graph.num_vertices == 0:
+            return hierarchy, HC2LLabelling(0), stats
+        n_total = graph.num_vertices
+        if n_total <= self.parallel_threshold:
+            # below the pickling crossover a pool costs more than it saves
+            return HC2LBuilder.build(self, graph)
+
+        adjacency = working_graph_from(graph)
+        with stats.timer.measure("snapshot"):
+            root = FlatWorkingGraph(adjacency)
+        del adjacency
+        # subtrees at most this large become work units; the cap keeps at
+        # least ~4 units per worker in flight for load balance while the
+        # floor stops units too small to amortise their pickling
+        ship_max = max(self.parallel_threshold, -(-n_total // (4 * self.num_workers)))
+
+        #: vertex -> label levels of already-processed ancestor nodes, for
+        #: vertices whose own cut level has not been reached yet.  Entries
+        #: are popped the moment a vertex enters a fragment, so this holds
+        #: only the frontier of in-flight subtrees, never the whole graph.
+        prefix: Dict[int, List[List[float]]] = {}
+        #: preorder construction events ("node" for inline nodes, "unit"
+        #: for shipped subtrees); replayed in order during assembly so
+        #: hierarchy node indices match the sequential build exactly
+        events: List[Tuple] = []
+        #: per-fragment (vertex ids, FlatLabelling) pairs; unit slots are
+        #: reserved at submission and filled when the result is merged
+        fragments: List[Optional[Tuple[np.ndarray, FlatLabelling]]] = []
+
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(limit, 10_000))
+        try:
+            with ProcessPoolExecutor(max_workers=self.num_workers) as executor:
+                self._expand(
+                    root, 0, 0, -1, None, stats, prefix, fragments, events, executor, ship_max
+                )
+                if prefix:
+                    raise AssertionError(
+                        f"{len(prefix)} vertices never reached a label fragment"
+                    )
+                # replay the events in preorder: inline nodes go straight
+                # into the hierarchy, unit results are awaited and grafted
+                event_to_hier: Dict[int, int] = {}
+                for event_index, event in enumerate(events):
+                    if event[0] == "node":
+                        _, depth, bits, cut, parent_event, side, is_leaf, n = event
+                        parent_idx = event_to_hier[parent_event] if parent_event >= 0 else None
+                        node = hierarchy.add_node(depth, bits, cut, parent_idx, side, is_leaf=is_leaf)
+                        hierarchy.set_subtree_size(node.index, n)
+                        event_to_hier[event_index] = node.index
+                    else:
+                        _, slot, handle, prefix_frag, unit_vertices, parent_event, side = event
+                        result: SubtreeResult = (
+                            handle.result() if isinstance(handle, Future) else handle
+                        )
+                        self._merge_subtree(
+                            result, parent_event, side, event_to_hier, hierarchy, stats
+                        )
+                        # the worker's fragment is in subtree-DFS order;
+                        # align the inherited ancestor prefix to it, then
+                        # concatenate levels per vertex (prefix first)
+                        order = np.searchsorted(unit_vertices, result.dfs_vertices)
+                        fragments[slot] = (
+                            result.dfs_vertices,
+                            prefix_frag.reorder(order).merge_levels(result.fragment()),
+                        )
+        finally:
+            sys.setrecursionlimit(limit)
+
+        with stats.timer.measure("flatten"):
+            order_concat = (
+                np.concatenate([fragment[0] for fragment in fragments])
+                if fragments
+                else np.empty(0, dtype=np.int64)
+            )
+            if not np.array_equal(
+                np.sort(order_concat), np.arange(n_total, dtype=np.int64)
+            ):
+                raise AssertionError(
+                    "label fragments do not cover every vertex exactly once"
+                )
+            flat_all = FlatLabelling.concat([fragment[1] for fragment in fragments])
+            perm = np.empty(n_total, dtype=np.int64)
+            perm[order_concat] = np.arange(n_total, dtype=np.int64)
+            labelling = flat_all.reorder(perm)
+        return hierarchy, labelling, stats
+
+    def _expand(
+        self,
+        flat: FlatWorkingGraph,
+        depth: int,
+        bits: int,
+        parent_event: int,
+        side: Optional[str],
+        stats: ConstructionStats,
+        prefix: Dict[int, List[List[float]]],
+        fragments: List[Optional[Tuple[np.ndarray, FlatLabelling]]],
+        events: List[Tuple],
+        executor: ProcessPoolExecutor,
+        ship_max: int,
+    ) -> None:
+        """Expand the top of the hierarchy inline, spawning subtree units.
+
+        Nodes larger than ``ship_max`` are processed here (cut + ranking +
+        labelling + child snapshots via the shortcut overlay); anything at
+        or below it becomes a work unit.  Runs single-threaded in the
+        coordinating process, so statistics need no locking.
+        """
+        n = len(flat.vertices)
+        if n == 0:
+            return
+        if n <= ship_max:
+            self._spawn_unit(
+                flat, depth, bits, parent_event, side, stats, prefix, fragments, events, executor
+            )
+            return
+        node_started = time.perf_counter()
+        stats.max_depth = max(stats.max_depth, depth)
+        step = node_step(
+            flat,
+            depth,
+            beta=self.beta,
+            leaf_size=self.leaf_size,
+            tail_pruning=self.tail_pruning,
+            max_depth=self.max_depth,
+            backend=self.backend,
+            timer=stats.timer,
+        )
+        event_index = len(events)
+        ordered = step.ranking.ordered
+        stats.num_nodes += 1
+        if step.is_leaf:
+            stats.num_leaves += 1
+        elif not ordered:
+            stats.num_empty_cuts += 1
+        # vertices assigned to this node's cut have their full label now:
+        # the inherited ancestor levels plus this node's array.  Stream
+        # them out as a finished fragment immediately.
+        if ordered:
+            fragments.append(
+                (
+                    np.asarray(ordered, dtype=np.int64),
+                    fragment_from_levels(
+                        [prefix.pop(v, []) + [step.arrays[v]] for v in ordered]
+                    ),
+                )
+            )
+        events.append(("node", depth, bits, ordered, parent_event, side, step.is_leaf, n))
+        if step.is_leaf:
+            stats.node_timings.append((depth, n, time.perf_counter() - node_started))
+            return
+        cut_set = set(ordered)
+        for v in flat.vertices:
+            if v not in cut_set:
+                prefix.setdefault(v, []).append(step.arrays[v])
+        stats.num_shortcuts += sum(child[3] for child in step.children)
+        stats.node_timings.append((depth, n, time.perf_counter() - node_started))
+        for child_flat, child_side, child_bit, _ in step.children:
+            self._expand(
+                child_flat,
+                depth + 1,
+                (bits << 1) | child_bit,
+                event_index,
+                child_side,
+                stats,
+                prefix,
+                fragments,
+                events,
+                executor,
+                ship_max,
+            )
+
+    def _spawn_unit(
+        self,
+        flat: FlatWorkingGraph,
+        depth: int,
+        bits: int,
+        parent_event: int,
+        side: Optional[str],
+        stats: ConstructionStats,
+        prefix: Dict[int, List[List[float]]],
+        fragments: List[Optional[Tuple[np.ndarray, FlatLabelling]]],
+        events: List[Tuple],
+        executor: ProcessPoolExecutor,
+    ) -> None:
+        """Turn one subtree into a work unit (pool task or inline call)."""
+        n = len(flat.vertices)
+        slot = len(fragments)
+        fragments.append(None)
+        unit_vertices = np.asarray(flat.vertices, dtype=np.int64)
+        prefix_frag = fragment_from_levels([prefix.pop(v, []) for v in flat.vertices])
+        if n >= self.parallel_threshold:
+            indptr, indices, weights = flat.csr_arrays()
+            payload = {
+                "vertices": unit_vertices,
+                "indptr": indptr,
+                "indices": indices,
+                "weights": weights,
+                "depth": depth,
+                "bits": bits,
+                "beta": self.beta,
+                "leaf_size": self.leaf_size,
+                "tail_pruning": self.tail_pruning,
+                "max_depth": self.max_depth,
+                # ship by name: instances don't cross process boundaries
+                "backend": self.backend.name,
+            }
+            handle = executor.submit(build_subtree_payload, payload)
+            stats.num_tasks += 1
+        else:
+            # too small to amortise pickling; same dict-free recursion,
+            # run inline with the exact backend instance
+            handle = build_subtree(
+                flat,
+                depth,
+                bits,
+                beta=self.beta,
+                leaf_size=self.leaf_size,
+                tail_pruning=self.tail_pruning,
+                max_depth=self.max_depth,
+                backend=self.backend,
+            )
+        events.append(("unit", slot, handle, prefix_frag, unit_vertices, parent_event, side))
+
+    def _merge_subtree(
+        self,
+        result: SubtreeResult,
+        parent_event: int,
+        side: Optional[str],
+        event_to_hier: Dict[int, int],
+        hierarchy: BalancedTreeHierarchy,
+        stats: ConstructionStats,
+    ) -> None:
+        """Graft a unit's node records and statistics into the globals."""
+        local_to_global: List[int] = []
+        for i in range(len(result.depths)):
+            parent_local = result.parents[i]
+            if parent_local < 0:
+                parent_idx = event_to_hier[parent_event] if parent_event >= 0 else None
+                side_i = side
+            else:
+                parent_idx = local_to_global[parent_local]
+                side_i = result.sides[i]
+            node = hierarchy.add_node(
+                result.depths[i],
+                result.bits[i],
+                result.cuts[i],
+                parent_idx,
+                side_i,
+                is_leaf=result.leaf_flags[i],
+            )
+            hierarchy.set_subtree_size(node.index, result.sizes[i])
+            local_to_global.append(node.index)
+        stats.num_nodes += len(result.depths)
+        stats.num_leaves += result.num_leaves
+        stats.num_empty_cuts += result.num_empty_cuts
+        stats.num_shortcuts += result.num_shortcuts
+        stats.max_depth = max(stats.max_depth, result.max_depth)
+        stats.node_timings.extend(result.node_timings)
+        for name, seconds in result.durations.items():
+            stats.timer.durations[name] = stats.timer.get(name) + seconds

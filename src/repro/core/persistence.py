@@ -95,8 +95,9 @@ def _index_header(index: "HC2LIndex", label_layout: str) -> dict:
             "tail_pruning": parameters.tail_pruning,
             "contract": parameters.contract,
             "num_workers": parameters.num_workers,
-            # absent in pre-backend archives; HC2LParameters defaults it
+            # absent in pre-backend archives; HC2LParameters defaults them
             "backend": getattr(parameters, "backend", "auto"),
+            "parallel_mode": getattr(parameters, "parallel_mode", "thread"),
         },
         "construction_seconds": index.construction_seconds,
         "extra": dict(index._extra),
@@ -484,9 +485,16 @@ def _unpack_components(archive, header: dict) -> dict:
         max_depth=int(stats_header["max_depth"]),
     )
 
+    # archives written before the parallel-mode rework stored
+    # ``num_workers: 0`` for sequential builds; HC2LParameters now
+    # requires >= 1, so normalise legacy headers on the way in
+    parameters = dict(header["parameters"])
+    if int(parameters.get("num_workers", 1)) < 1:
+        parameters["num_workers"] = 1
+
     return {
         "graph": graph,
-        "parameters": HC2LParameters(**header["parameters"]),
+        "parameters": HC2LParameters(**parameters),
         "contraction": contraction,
         "hierarchy": hierarchy,
         "stats": stats,

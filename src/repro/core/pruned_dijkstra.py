@@ -174,11 +174,16 @@ def prune_flags_from_distances(
     flagged iff some shortest path from the root to ``v`` passes through
     the prune set, i.e. iff it has a shortest-path-DAG parent ``u``
     (``dist[u] + w(u, v) == dist[v]``) that is in the prune set or flagged
-    itself.  With strictly positive edge weights every DAG parent settles
-    strictly before its child, so processing vertices in ascending
-    distance order resolves the recursion in a single pass and yields
-    flags bit-identical to the ``through`` half of
-    :func:`dist_and_prune_dense`.
+    itself.  Unrolling the recursion, ``v`` is flagged iff the DAG
+    contains a path of one or more edges from a prune vertex to ``v`` -
+    plain reachability, which a worklist propagation seeded at the prune
+    set computes touching only the out-edges of prune/flagged vertices.
+    With strictly positive edge weights the DAG is acyclic and the root
+    can never be flagged, so the fixpoint is order-independent and
+    bit-identical to the ``through`` half of
+    :func:`dist_and_prune_dense`; unlike the full search it costs nothing
+    when the prune set is small or upstream of few vertices (the labelling
+    pass's first sources prune almost nothing).
 
     Zero-weight edges are **rejected**: they tie parent and child
     distances, where the heap search's flags depend on its settle order
@@ -200,25 +205,34 @@ def prune_flags_from_distances(
             "weights (zero-weight ties make the heap search's flags "
             "order-dependent); run dist_and_prune_dense instead"
         )
-    in_prune = bytearray(n)
-    for p in prune_ids:
-        in_prune[p] = 1
-    in_prune[root] = 0
-
-    dist_array = np.asarray(dist, dtype=np.float64)
-    finite = np.isfinite(dist_array)
-    order = np.argsort(dist_array[finite], kind="stable")
-    settle_order = np.nonzero(finite)[0][order].tolist()
-
-    dist_list: List[float] = dist_array.tolist()
+    dist_list: List[float] = (
+        dist if isinstance(dist, list) else np.asarray(dist, dtype=np.float64).tolist()
+    )
     through = [False] * n
-    for v in settle_order:
-        if v == root:
+    stack: List[int] = []
+    # Seed: every DAG child of a prune vertex is flagged.  The snapshot
+    # stores both directions of each undirected edge, so a vertex's CSR
+    # row enumerates its DAG out-edges directly (dist[v] + w == dist[c]).
+    for p in prune_ids:
+        if p == root:
             continue
+        d_p = dist_list[p]
+        if d_p == INF:
+            continue
+        for i in range(indptr[p], indptr[p + 1]):
+            c = indices[i]
+            if not through[c] and d_p + weights[i] == dist_list[c]:
+                through[c] = True
+                stack.append(c)
+    # Propagate: flagged vertices flag their own DAG children.  Each
+    # vertex enters the stack at most once (marked before pushing), so
+    # the whole pass is linear in the edges leaving flagged vertices.
+    while stack:
+        v = stack.pop()
         d_v = dist_list[v]
         for i in range(indptr[v], indptr[v + 1]):
-            u = indices[i]
-            if dist_list[u] + weights[i] == d_v and (in_prune[u] or through[u]):
-                through[v] = True
-                break
+            c = indices[i]
+            if not through[c] and d_v + weights[i] == dist_list[c]:
+                through[c] = True
+                stack.append(c)
     return through

@@ -31,7 +31,7 @@ class CutRanking:
 
 
 def rank_cut_vertices(
-    adjacency: WorkingAdjacency,
+    adjacency: Optional[WorkingAdjacency],
     cut: Sequence[int],
     flat: Optional[FlatWorkingGraph] = None,
     backend: BackendSpec = None,
@@ -55,6 +55,8 @@ def rank_cut_vertices(
     if len(cut_list) <= 1:
         return CutRanking(ordered=cut_list, coverage={v: 0 for v in cut_list})
     if flat is None:
+        if adjacency is None:
+            raise ValueError("provide the subgraph as 'adjacency' or 'flat'")
         flat = FlatWorkingGraph(adjacency)
     search = resolve_backend(backend)
     cut_dense = flat.dense_ids(cut_list)

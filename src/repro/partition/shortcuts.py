@@ -14,13 +14,18 @@ which this module eliminates to keep the working graphs sparse.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.partition.working_graph import (
     WorkingAdjacency,
     dijkstra_adjacency,
     restrict_adjacency,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.flat import FlatWorkingGraph
 
 INF = float("inf")
 
@@ -47,12 +52,34 @@ def border_vertices(
     return sorted(v for v in partition if any(w in cut_set for w in adjacency[v]))
 
 
+def border_vertices_flat(
+    flat: "FlatWorkingGraph", partition: Iterable[int], cut: Iterable[int]
+) -> List[int]:
+    """CSR counterpart of :func:`border_vertices`: one edge-mask scan.
+
+    Same set in the same (sorted) order - dense ids ascend with original
+    ids - so the downstream shortcut enumeration is bit-identical to the
+    dict path.
+    """
+    indptr, indices, _ = flat.csr_arrays()
+    n = len(flat.vertices)
+    part_mask = np.zeros(n, dtype=bool)
+    part_mask[flat.dense_ids(partition)] = True
+    cut_mask = np.zeros(n, dtype=bool)
+    cut_mask[flat.dense_ids(cut)] = True
+    tails = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    border_dense = np.unique(tails[part_mask[tails] & cut_mask[indices]])
+    return [flat.vertices[i] for i in border_dense.tolist()]
+
+
 def compute_shortcuts(
-    adjacency: WorkingAdjacency,
+    adjacency: Optional[WorkingAdjacency],
     cut: Sequence[int],
     partition: Sequence[int],
     cut_distances: Mapping[int, Mapping[int, float]],
     backend: object = None,
+    flat: "FlatWorkingGraph | None" = None,
+    within_flat: "FlatWorkingGraph | None" = None,
 ) -> List[Shortcut]:
     """Compute the non-redundant shortcuts for one partition (Algorithm 3).
 
@@ -60,7 +87,9 @@ def compute_shortcuts(
     ----------
     adjacency:
         Working adjacency of the *parent* subgraph (partition + cut + the
-        other partition), which is distance preserving by induction.
+        other partition), which is distance preserving by induction.  May
+        be ``None`` when the parent's CSR snapshot is passed as ``flat``
+        instead (the dict-free construction path).
     cut:
         The cut vertices separating the partitions.
     partition:
@@ -72,13 +101,29 @@ def compute_shortcuts(
     backend:
         The :class:`~repro.core.backends.ShortestPathBackend` running the
         per-border searches (name, instance, or ``None`` for the default).
+    flat:
+        Optional CSR snapshot of the parent subgraph.  When given, the
+        borders come from one vectorised edge scan and the
+        within-partition subgraph is derived with
+        :meth:`~repro.core.flat.FlatWorkingGraph.induce` instead of a dict
+        restriction - same searches, same shortcuts, no dict churn.
+    within_flat:
+        Optional pre-induced snapshot of ``partition`` (must equal
+        ``flat.induce(partition)``).  The construction passes it in and
+        reuses the same snapshot for the child overlay, so each child is
+        induced exactly once.
 
     Returns
     -------
     list of Shortcut
         Shortcuts to add to the child working graph for ``partition``.
     """
-    borders = border_vertices(adjacency, partition, cut)
+    if flat is not None:
+        borders = border_vertices_flat(flat, partition, cut)
+    elif adjacency is not None:
+        borders = border_vertices(adjacency, partition, cut)
+    else:
+        raise ValueError("provide the parent subgraph as 'adjacency' or 'flat'")
     if len(borders) < 2:
         return []
 
@@ -91,9 +136,13 @@ def compute_shortcuts(
     from repro.core.backends import resolve_backend
     from repro.core.flat import FlatWorkingGraph
 
-    flat = FlatWorkingGraph(restrict_adjacency(adjacency, partition))
-    border_dense = flat.dense_ids(borders)
-    rows = resolve_backend(backend).sssp_many(flat, border_dense)
+    if within_flat is None:
+        if flat is not None:
+            within_flat = flat.induce(partition)
+        else:
+            within_flat = FlatWorkingGraph(restrict_adjacency(adjacency, partition))
+    border_dense = within_flat.dense_ids(borders)
+    rows = resolve_backend(backend).sssp_many(within_flat, border_dense)
     within: Dict[int, Sequence[float]] = dict(zip(borders, rows))
     dense_of = dict(zip(borders, border_dense))
 

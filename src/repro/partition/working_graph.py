@@ -44,6 +44,26 @@ def working_graph_from(graph: Graph, vertices: Optional[Iterable[int]] = None) -
     return graph.adjacency_dict(vertices)
 
 
+def adjacency_from_csr(snapshot: FlatWorkingGraph) -> WorkingAdjacency:
+    """Rebuild a mutable working adjacency from a CSR snapshot.
+
+    The inverse of flattening: per-vertex neighbour dicts are populated in
+    CSR edge order, so re-flattening the result reproduces the snapshot
+    exactly (dict insertion order is the edge order).  Lets dict-based
+    helpers and tests consume subgraphs produced by the dict-free paths
+    (:meth:`~repro.core.flat.FlatWorkingGraph.induce` /
+    :meth:`~repro.core.flat.FlatWorkingGraph.induce_with_shortcuts`).
+    """
+    vertices = snapshot.vertices
+    indptr, indices, weights = snapshot.indptr, snapshot.indices, snapshot.weights
+    adjacency: WorkingAdjacency = {v: {} for v in vertices}
+    for dense, v in enumerate(vertices):
+        neighbours = adjacency[v]
+        for i in range(indptr[dense], indptr[dense + 1]):
+            neighbours[vertices[indices[i]]] = weights[i]
+    return adjacency
+
+
 def restrict_adjacency(adjacency: WorkingAdjacency, vertices: Iterable[int]) -> WorkingAdjacency:
     """Induce a working adjacency on ``vertices`` (new dicts, originals untouched)."""
     member = set(vertices)

@@ -172,3 +172,25 @@ class TestDifferentialFuzz:
         got = loaded.distances(pairs)
         assert got.tolist() == expected.tolist()
         assert isinstance(got, np.ndarray) and got.dtype == np.float64
+
+
+@pytest.mark.parametrize("case", FUZZ_CASES)
+class TestProcessParallelFuzz:
+    """Process-mode construction is bit-identical across graph families."""
+
+    def test_process_build_matches_serial(self, case):
+        from repro.core.construction import HC2LBuilder
+        from repro.core.flat import FlatLabelling
+        from repro.core.parallel import ParallelHC2LBuilder
+
+        graph = _fuzz_graph(case, seed=0)
+        _, reference, _ = HC2LBuilder(leaf_size=4).build(graph)
+        reference_flat = FlatLabelling.from_labelling(reference)
+
+        builder = ParallelHC2LBuilder(
+            leaf_size=4, parallel_mode="process", num_workers=2, parallel_threshold=8
+        )
+        _, labelling, _ = builder.build(graph)
+        if not isinstance(labelling, FlatLabelling):
+            labelling = FlatLabelling.from_labelling(labelling)
+        assert labelling == reference_flat

@@ -170,3 +170,69 @@ class TestValidationAndDedupe:
         # arbitrary start 0 -> seed_a = 30 -> farthest from 30 is 0 again:
         # exactly two searches run, the third reuses the first row
         assert calls == [0, 30]
+
+
+class TestFlatShortcutPaths:
+    """The dict-free shortcut/snapshot paths match the dict reference."""
+
+    def _cut_setup(self, seed: int):
+        from repro.partition.working_graph import dijkstra_adjacency
+
+        adjacency = _seeded_adjacency(seed, n_lo=50, n_hi=90)
+        result = balanced_cut(adjacency, beta=0.25)
+        if not result.cut or not result.part_a:
+            pytest.skip("degenerate cut for this seed")
+        cut_distances = {
+            c: dijkstra_adjacency(adjacency, c) for c in result.cut
+        }
+        return adjacency, result, cut_distances
+
+    @pytest.mark.parametrize("seed", [3, 11, 27])
+    def test_compute_shortcuts_flat_matches_dict(self, seed):
+        from repro.partition.shortcuts import compute_shortcuts
+
+        adjacency, result, cut_distances = self._cut_setup(seed)
+        flat = FlatWorkingGraph(adjacency)
+        for part in (result.part_a, result.part_b):
+            via_dict = compute_shortcuts(adjacency, result.cut, part, cut_distances)
+            via_flat = compute_shortcuts(
+                None, result.cut, part, cut_distances, flat=flat
+            )
+            via_within = compute_shortcuts(
+                None,
+                result.cut,
+                part,
+                cut_distances,
+                flat=flat,
+                within_flat=flat.induce(part),
+            )
+            assert via_flat == via_dict
+            assert via_within == via_dict
+
+    @pytest.mark.parametrize("seed", [3, 11, 27])
+    def test_induce_with_shortcuts_matches_child_adjacency(self, seed):
+        from repro.partition.shortcuts import child_adjacency, compute_shortcuts
+        from repro.partition.working_graph import adjacency_from_csr
+
+        adjacency, result, cut_distances = self._cut_setup(seed)
+        flat = FlatWorkingGraph(adjacency)
+        for part in (result.part_a, result.part_b):
+            shortcuts = compute_shortcuts(adjacency, result.cut, part, cut_distances)
+            reference = child_adjacency(adjacency, part, shortcuts)
+            child = flat.induce_with_shortcuts(part, shortcuts)
+            assert adjacency_from_csr(child) == reference
+
+    @pytest.mark.parametrize("seed", [5, 19])
+    def test_adjacency_from_csr_round_trips(self, seed):
+        from repro.partition.working_graph import adjacency_from_csr
+
+        adjacency = _seeded_adjacency(seed, n_lo=30, n_hi=60)
+        flat = FlatWorkingGraph(adjacency)
+        rebuilt = adjacency_from_csr(flat)
+        assert rebuilt == adjacency
+        # re-flattening reproduces the snapshot's exact edge order
+        again = FlatWorkingGraph(rebuilt)
+        assert again.vertices == flat.vertices
+        assert again.indptr == flat.indptr
+        assert again.indices == flat.indices
+        assert again.weights == flat.weights

@@ -1,0 +1,225 @@
+"""Tests for the process-parallel construction path.
+
+The process mode ships self-contained CSR work units to worker processes
+and streams the returned label blocks into the flat layout, so the key
+property is *bit-identity*: for every ``parallel_mode`` x ``backend`` x
+``num_workers`` combination the labels (and the hierarchy) must equal the
+serial heap build exactly - not approximately.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.construction import HC2LBuilder, PARALLEL_MODES, check_parallel_mode
+from repro.core.flat import FlatLabelling
+from repro.core.index import HC2LIndex, HC2LParameters
+from repro.core.labelling import HC2LLabelling
+from repro.core.parallel import ParallelHC2LBuilder
+
+from helpers import assert_distance_equal
+
+
+def _flat_of(labelling) -> FlatLabelling:
+    if isinstance(labelling, FlatLabelling):
+        return labelling
+    return FlatLabelling.from_labelling(labelling)
+
+
+def _hierarchy_signature(hierarchy):
+    return [
+        (n.depth, n.bits, n.cut, n.parent, n.left, n.right, n.subtree_size, n.is_leaf)
+        for n in hierarchy.nodes
+    ]
+
+
+class TestBitIdentityMatrix:
+    """{thread, process} x {heap, csr} x {1, 2, 4} workers == serial heap."""
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    @pytest.mark.parametrize("backend", ["heap", "csr"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_labels_match_serial_heap(self, medium_graph, mode, backend, workers):
+        serial = HC2LBuilder(leaf_size=8, backend="heap")
+        _, reference, _ = serial.build(medium_graph)
+        reference_flat = _flat_of(reference)
+
+        builder = ParallelHC2LBuilder(
+            leaf_size=8,
+            backend=backend,
+            num_workers=workers,
+            parallel_mode=mode,
+            parallel_threshold=16,
+        )
+        _, labelling, _ = builder.build(medium_graph)
+        assert _flat_of(labelling) == reference_flat
+
+    def test_process_hierarchy_matches_serial(self, medium_graph):
+        serial_h, _, _ = HC2LBuilder(leaf_size=8, backend="csr").build(medium_graph)
+        builder = ParallelHC2LBuilder(
+            leaf_size=8,
+            backend="csr",
+            num_workers=2,
+            parallel_mode="process",
+            parallel_threshold=16,
+        )
+        process_h, _, _ = builder.build(medium_graph)
+        # the coordinator replays its expansion events in preorder, so the
+        # node indices - not just the node set - match the serial recursion
+        assert _hierarchy_signature(process_h) == _hierarchy_signature(serial_h)
+
+    def test_disconnected_graph(self, disconnected_graph):
+        _, reference, _ = HC2LBuilder(leaf_size=2, backend="heap").build(disconnected_graph)
+        builder = ParallelHC2LBuilder(
+            leaf_size=2,
+            backend="csr",
+            num_workers=2,
+            parallel_mode="process",
+            parallel_threshold=4,
+        )
+        _, labelling, _ = builder.build(disconnected_graph)
+        assert _flat_of(labelling) == _flat_of(reference)
+
+    def test_process_distances_exact(self, small_graph, small_oracle, query_pairs_small):
+        index = HC2LIndex.build(
+            small_graph, num_workers=2, parallel_mode="process", backend="csr"
+        )
+        for s, t in query_pairs_small:
+            assert_distance_equal(small_oracle.distance(s, t), index.distance(s, t))
+
+
+class TestProcessFallback:
+    def test_small_graph_builds_serially(self, small_graph):
+        # below the parallel threshold the coordinator runs the plain
+        # sequential builder: no tasks, nested labels
+        builder = ParallelHC2LBuilder(
+            num_workers=2, parallel_mode="process", parallel_threshold=256
+        )
+        hierarchy, labelling, stats = builder.build(small_graph)
+        assert stats.num_tasks == 0
+        assert isinstance(labelling, HC2LLabelling)
+        _, reference, _ = HC2LBuilder().build(small_graph)
+        assert _flat_of(labelling) == _flat_of(reference)
+
+    def test_default_threshold_keeps_tiny_graphs_serial(self):
+        from repro.graph.builders import path_graph
+
+        graph = path_graph(40, weight=1.5)
+        builder = ParallelHC2LBuilder(num_workers=2, parallel_mode="process")
+        _, labelling, stats = builder.build(graph)
+        assert stats.num_tasks == 0
+        assert isinstance(labelling, HC2LLabelling)
+
+    def test_large_enough_graph_ships_tasks(self, medium_graph):
+        builder = ParallelHC2LBuilder(
+            num_workers=2, parallel_mode="process", parallel_threshold=16, leaf_size=8
+        )
+        hierarchy, labelling, stats = builder.build(medium_graph)
+        assert stats.num_tasks > 0
+        assert isinstance(labelling, FlatLabelling)
+        assert hierarchy.check_vertex_assignment()
+
+    def test_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        hierarchy, labelling, stats = ParallelHC2LBuilder(
+            num_workers=2, parallel_mode="process"
+        ).build(Graph(0))
+        assert stats.num_nodes == 0
+        assert len(hierarchy.nodes) == 0
+
+
+class TestParameterValidation:
+    def test_unknown_parallel_mode_builder(self):
+        with pytest.raises(ValueError, match="unknown parallel_mode"):
+            ParallelHC2LBuilder(parallel_mode="fibers")
+
+    def test_unknown_parallel_mode_parameters(self):
+        with pytest.raises(ValueError, match="unknown parallel_mode"):
+            HC2LParameters(parallel_mode="gpu")
+
+    def test_bad_worker_count_parameters(self):
+        with pytest.raises(ValueError, match="num_workers must be >= 1"):
+            HC2LParameters(num_workers=0)
+        with pytest.raises(ValueError, match="num_workers must be >= 1"):
+            HC2LParameters(num_workers=-3)
+
+    def test_bad_worker_count_builder(self):
+        with pytest.raises(ValueError, match="num_workers must be >= 1"):
+            ParallelHC2LBuilder(num_workers=0)
+
+    def test_check_parallel_mode_lists_known_modes(self):
+        for mode in PARALLEL_MODES:
+            check_parallel_mode(mode)
+        with pytest.raises(ValueError, match="thread"):
+            check_parallel_mode("nope")
+
+
+class TestPersistenceRoundTrip:
+    def test_parallel_mode_round_trips(self, small_graph, tmp_path):
+        index = HC2LIndex.build(
+            small_graph, num_workers=2, parallel_mode="process", backend="csr"
+        )
+        path = tmp_path / "process.npz"
+        index.save(path)
+        loaded = HC2LIndex.load(path)
+        assert loaded.parameters.parallel_mode == "process"
+        assert loaded.parameters.num_workers == 2
+        assert loaded.flat_labelling() == index.flat_labelling()
+
+    def test_legacy_header_defaults(self, small_graph, tmp_path):
+        # a pre-parallel_mode archive (and one carrying a nonsensical
+        # num_workers) must load with today's defaults instead of tripping
+        # the new validation
+        index = HC2LIndex.build(small_graph)
+        path = tmp_path / "legacy.npz"
+        index.save(path)
+
+        archive = np.load(path, allow_pickle=False)
+        arrays = {name: archive[name] for name in archive.files}
+        header = json.loads(bytes(arrays["header"].tobytes()).decode("utf-8"))
+        header["parameters"].pop("parallel_mode")
+        header["parameters"]["num_workers"] = 0
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ).copy()
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+
+        loaded = HC2LIndex.load(path)
+        assert loaded.parameters.parallel_mode == "thread"
+        assert loaded.parameters.num_workers == 1
+        assert loaded.flat_labelling() == index.flat_labelling()
+
+
+class TestStreamingAssembly:
+    def test_merge_levels_concatenates_per_vertex(self):
+        left = FlatLabelling.from_labelling(
+            HC2LLabelling(num_vertices=2, labels=[[[1.0]], [[2.0, 3.0]]])
+        )
+        right = FlatLabelling.from_labelling(
+            HC2LLabelling(num_vertices=2, labels=[[[4.0], []], [[5.0]]])
+        )
+        merged = left.merge_levels(right)
+        nested = merged.to_labelling()
+        assert nested.labels == [[[1.0], [4.0], []], [[2.0, 3.0], [5.0]]]
+
+    def test_merge_levels_rejects_size_mismatch(self):
+        a = FlatLabelling.from_labelling(HC2LLabelling(num_vertices=1, labels=[[[1.0]]]))
+        b = FlatLabelling.from_labelling(
+            HC2LLabelling(num_vertices=2, labels=[[[1.0]], [[2.0]]])
+        )
+        with pytest.raises(ValueError):
+            a.merge_levels(b)
+
+    def test_node_timings_recorded(self, small_graph):
+        _, _, stats = HC2LBuilder(leaf_size=8).build(small_graph)
+        assert stats.node_timings
+        assert stats.num_nodes == len(stats.node_timings)
+        for depth, vertices, seconds in stats.node_timings:
+            assert depth >= 0
+            assert vertices > 0
+            assert seconds >= 0.0
