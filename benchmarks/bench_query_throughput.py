@@ -9,9 +9,12 @@ road-like graph and times the same random query workload through
   structure allows - ``supports_batch`` is recorded per row), and
 * for HC2L additionally the serving layer: an LRU :class:`CachingOracle`
   on a Zipf-skewed workload (with hit-rate), a :class:`CoalescingServer`
-  fed by concurrent scalar requests, and the :class:`ShardRouter` over a
+  fed by concurrent scalar requests, the :class:`ShardRouter` over a
   sharded on-disk layout swept across shard counts {1, 2, 4} (one row
-  per count, with the router-overhead ratio vs. the monolithic engine).
+  per count, with the router-overhead ratio vs. the monolithic engine),
+  and the multi-process shard fleet in closed loop - concurrent TCP
+  clients replaying locality batches, one row per worker count with
+  p50/p99 latency and the majority-placement hit rate.
 
 Scalar/batch results are verified identical before anything is written,
 and a sweep method that raises aborts the whole run (no partial record is
@@ -47,6 +50,7 @@ from repro.baselines import (
     PrunedHighwayLabelling,
     PrunedLandmarkLabelling,
 )
+from repro.experiments.fleet import fleet_latency_rows
 from repro.experiments.sharding import boundary_locality_rows, router_overhead_rows
 from repro.experiments.workloads import neighborhood_pairs, skewed_pairs
 from repro.serving import CachingOracle, CoalescingServer
@@ -161,9 +165,12 @@ def run_benchmark(
     seed: int = 2024,
     oracles: List[str] | None = None,
     shard_counts: List[int] | None = None,
+    fleet_workers: List[int] | None = None,
 ) -> dict:
     """Build every selected oracle, sweep the workload, return the record."""
     selected = oracles or DEFAULT_ORACLES
+    if fleet_workers is None:
+        fleet_workers = [2, 3]
     unknown = [name for name in selected if name not in ORACLE_BUILDERS]
     if unknown:
         raise SystemExit(f"unknown oracles {unknown}; available: {list(ORACLE_BUILDERS)}")
@@ -225,6 +232,18 @@ def run_benchmark(
                                 hc2l_index, local, workdir, num_shards=4
                             )
                         )
+                if fleet_workers:
+                    print(f"  HC2L+fleet: closed-loop sweep at {fleet_workers} workers ...")
+                    with tempfile.TemporaryDirectory() as workdir:
+                        rows.extend(
+                            fleet_latency_rows(
+                                hc2l_index,
+                                graph,
+                                workdir,
+                                worker_counts=fleet_workers,
+                                seed=seed,
+                            )
+                        )
         except Exception as error:
             raise SystemExit(
                 f"HC2L serving-path sweep failed ({error!r}); "
@@ -267,6 +286,11 @@ def main() -> None:
         help="comma separated shard counts for the router sweep (empty disables it)",
     )
     parser.add_argument(
+        "--fleet-workers",
+        default="2,3",
+        help="comma separated worker counts for the fleet sweep (empty disables it)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_query.json",
@@ -275,7 +299,8 @@ def main() -> None:
 
     names = [name.strip() for name in args.oracles.split(",") if name.strip()]
     counts = [int(c) for c in args.shard_counts.split(",") if c.strip()]
-    record = run_benchmark(args.vertices, args.queries, args.seed, names, counts)
+    workers = [int(w) for w in args.fleet_workers.split(",") if w.strip()]
+    record = run_benchmark(args.vertices, args.queries, args.seed, names, counts, workers)
     # write-then-rename so an interrupted run never leaves a torn record
     payload = json.dumps(record, indent=2) + "\n"
     tmp = args.output.with_name(args.output.name + ".tmp")

@@ -16,6 +16,12 @@ Five subcommands cover the typical workflow of a downstream user:
 ``compare``
     Build HC2L and selected baselines on a dataset and print the
     comparison table (a miniature Table 2).
+``serve``
+    Serve a sharded layout through the multi-process fleet: an asyncio
+    TCP front door placing batches onto shard-owning worker processes.
+``fleet-bench``
+    Run the closed-loop fleet benchmark (p50/p99 latency and
+    majority-placement hit rate per worker count) on a saved index.
 ``generate``
     Write a synthetic road network to a DIMACS ``.gr`` file so it can be
     used with external tools.
@@ -141,6 +147,60 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     compare.add_argument("--queries", type=int, default=1000, help="random query count (default 1000)")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a sharded layout through the multi-process fleet over TCP"
+    )
+    serve.add_argument("index", help="index whose sharded layout ('repro shard') to serve")
+    serve.add_argument("--workers", type=int, default=2, help="worker process count (default 2)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0, help="bind port (default: ephemeral)")
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=0.5,
+        help="scalar coalescing window in milliseconds (default 0.5)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=4096, help="cap on one coalesced batch (default 4096)"
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for N seconds then drain and exit (default: until interrupted)",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        help="write 'host port' to this file once the listener is bound",
+    )
+
+    fleet_bench = subparsers.add_parser(
+        "fleet-bench",
+        help="closed-loop fleet benchmark: p50/p99 latency per worker count",
+    )
+    fleet_bench.add_argument("index", help="path to an index written by 'repro build'")
+    fleet_bench.add_argument(
+        "--workers", default="2,3", help="comma separated worker counts (default 2,3)"
+    )
+    fleet_bench.add_argument(
+        "--shards", type=int, default=4, help="shard count of the bench layout (default 4)"
+    )
+    fleet_bench.add_argument(
+        "--clients", type=int, default=4, help="concurrent TCP clients (default 4)"
+    )
+    fleet_bench.add_argument(
+        "--batches", type=int, default=48, help="number of locality batches (default 48)"
+    )
+    fleet_bench.add_argument(
+        "--batch-size", type=int, default=32, help="pairs per batch (default 32)"
+    )
+    fleet_bench.add_argument(
+        "--allow-pickle",
+        action="store_true",
+        help="also accept legacy pickle index files (runs arbitrary code; trusted files only)",
+    )
 
     generate = subparsers.add_parser("generate", help="write a synthetic road network as DIMACS")
     generate.add_argument("--vertices", type=int, default=1000, help="approximate vertex count")
@@ -283,6 +343,63 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serving.fleet import FleetOracle
+
+    fleet = FleetOracle(
+        args.index,
+        num_workers=args.workers,
+        window_seconds=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+    )
+    try:
+        host, port = fleet.start_tcp(args.host, args.port)
+        print(f"fleet serving {args.index} on {host}:{port} with {args.workers} workers")
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host} {port}\n")
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            print("interrupted; draining ...")
+    finally:
+        fleet.close()
+    print("fleet stopped")
+    return 0
+
+
+def _cmd_fleet_bench(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.experiments.fleet import fleet_latency_rows
+
+    index = HC2LIndex.load(args.index, allow_pickle=args.allow_pickle)
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+    if not worker_counts:
+        print("no worker counts given", file=sys.stderr)
+        return 2
+    with tempfile.TemporaryDirectory() as workdir:
+        rows = fleet_latency_rows(
+            index,
+            index.graph,
+            workdir,
+            worker_counts=worker_counts,
+            num_shards=args.shards,
+            num_clients=args.clients,
+            num_batches=args.batches,
+            batch_size=args.batch_size,
+        )
+    print(json.dumps(rows, indent=2))
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     network = synthetic_road_network(
         RoadNetworkSpec("generated", num_vertices=args.vertices, seed=args.seed)
@@ -302,6 +419,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "shard": _cmd_shard,
         "query": _cmd_query,
         "compare": _cmd_compare,
+        "serve": _cmd_serve,
+        "fleet-bench": _cmd_fleet_bench,
         "generate": _cmd_generate,
     }
     return handlers[args.command](args)

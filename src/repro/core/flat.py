@@ -383,6 +383,41 @@ class FlatLabelling:
         return int((ends - starts).max())
 
     # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the label buffers, closing any backing memory maps.
+
+        Serving processes that recycle workers (the shard fleet) must not
+        rely on GC timing to unmap label files; ``close`` drops this
+        labelling's references and closes each backing ``mmap`` handle
+        eagerly.  A map still exported by another live view (e.g. a
+        :meth:`slice_vertices` shard of the same buffer) survives until
+        that view is released - closing is best-effort per buffer, never
+        an error.  The labelling is unusable afterwards.
+        """
+        for name in ("values", "level_indptr", "vertex_indptr"):
+            buffer = getattr(self, name, None)
+            if buffer is None:
+                continue
+            backing = getattr(buffer, "_mmap", None)
+            # drop our reference first so the buffer no longer counts as
+            # an exporter of the map
+            setattr(self, name, np.empty(0, dtype=buffer.dtype))
+            del buffer
+            if backing is not None:
+                try:
+                    backing.close()
+                except BufferError:
+                    pass  # another live view still exports this map
+
+    def __enter__(self) -> "FlatLabelling":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, FlatLabelling):
             return NotImplemented

@@ -166,6 +166,7 @@ class HC2LIndex:
         self._flat: FlatLabelling = flat
         self._engine: Optional[QueryEngine] = None
         self._labelling_view: Optional[HC2LLabelling] = None
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # construction
@@ -291,11 +292,40 @@ class HC2LIndex:
     @property
     def engine(self) -> QueryEngine:
         """The batch query engine over the flat label storage (cached)."""
+        if getattr(self, "_closed", False):
+            raise RuntimeError("this HC2LIndex is closed")
         engine = self._engine
         if engine is None:
             engine = QueryEngine.from_index(self)
             self._engine = engine
         return engine
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the label buffers, closing any backing memory maps.
+
+        Matters for mmap-loaded indexes (:func:`repro.serving.mmap.load_index_mmap`):
+        worker processes that recycle an index must unmap the ``.npy``
+        sidecars deterministically instead of waiting for GC.  The cached
+        query engine holds direct references into the buffers, so it is
+        dropped first; afterwards every query raises ``RuntimeError``.
+        """
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        # the engine and nested view alias the flat buffers - drop them
+        # before closing so the memmaps have no remaining exporters
+        self._engine = None
+        self._labelling_view = None
+        self._flat.close()
+
+    def __enter__(self) -> "HC2LIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def attach_tree_resolver(self, resolver) -> None:
         """Install a pre-built Euler-tour tree resolver on the engine.
@@ -348,6 +378,8 @@ class HC2LIndex:
 
     def distance_with_hub_count(self, s: int, t: int) -> Tuple[float, int]:
         """Distance plus the number of label entries scanned (Table 3 metric)."""
+        if getattr(self, "_closed", False):
+            raise RuntimeError("this HC2LIndex is closed")
         n = self.contraction.num_original
         check_vertex(s, n, "s")
         check_vertex(t, n, "t")

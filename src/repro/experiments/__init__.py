@@ -12,19 +12,28 @@ synthetic stand-in datasets:
   collects query time, label size, construction time and hub counts,
 * :mod:`repro.experiments.sharding` - shard-router overhead vs. the
   monolithic engine across shard counts,
+* :mod:`repro.experiments.fleet` - closed-loop latency of the
+  multi-process shard fleet per worker count,
 * :mod:`repro.experiments.tables` / :mod:`repro.experiments.figures` -
   assemble the rows/series of Tables 2-5 and Figures 6-7,
 * :mod:`repro.experiments.report` - plain-text rendering.
 """
 
 from repro.experiments.datasets import DATASET_NAMES, dataset_summary, load_dataset
+from repro.experiments.fleet import fleet_latency_rows
 from repro.experiments.methods import METHOD_BUILDERS, MethodSpec, available_methods
-from repro.experiments.workloads import distance_stratified_query_sets, random_pairs
+from repro.experiments.workloads import (
+    distance_stratified_query_sets,
+    neighborhood_batches,
+    random_pairs,
+)
 from repro.experiments.harness import CellResult, run_cell
 from repro.experiments.sharding import router_overhead_rows
 from repro.experiments import figures, report, tables
 
 __all__ = [
+    "fleet_latency_rows",
+    "neighborhood_batches",
     "router_overhead_rows",
     "DATASET_NAMES",
     "load_dataset",

@@ -1,0 +1,150 @@
+"""Closed-loop fleet benchmark (serving-scale experiment).
+
+The shard fleet buys process-level parallelism and crash isolation at
+the cost of placement and IPC per batch.  This workload quantifies the
+trade under realistic conditions: a :class:`~repro.serving.fleet.FleetOracle`
+is started per worker count, and ``num_clients`` concurrent TCP clients
+replay locality-skewed batches (:func:`~repro.experiments.workloads.neighborhood_batches`)
+in closed loop - each client fires its next batch the moment the
+previous answer returns - recording per-request latency.  Every answer
+is verified bit-identical to the monolithic engine before anything is
+timed, and the rows carry the placement stats, so ``BENCH_query.json``
+shows p50/p99 latency *and* the majority-placement hit rate per worker
+count across PRs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.index import HC2LIndex
+from repro.experiments.workloads import neighborhood_batches
+from repro.graph.graph import Graph
+from repro.serving.fleet import FleetClient, FleetOracle
+
+QueryPair = Tuple[int, int]
+
+
+def fleet_latency_rows(
+    index: HC2LIndex,
+    graph: Graph,
+    workdir: Union[str, Path],
+    worker_counts: Sequence[int] = (2, 3),
+    num_shards: int = 4,
+    num_clients: int = 4,
+    num_batches: int = 48,
+    batch_size: int = 32,
+    seed: int = 17,
+) -> List[Dict[str, object]]:
+    """Measure fleet serving latency per worker count.
+
+    Shards ``index`` once under ``workdir`` with hierarchy-aligned
+    boundaries, then for each count in ``worker_counts`` starts a fleet,
+    verifies every batch answer against the monolithic engine (raises
+    ``AssertionError`` on the first divergence - bit-identical or bust),
+    and runs the closed-loop TCP harness.  Returns one row per worker
+    count; raises ``ValueError`` if the graph cannot produce the
+    requested workload, so a silent empty bench can never look like a
+    passing one.
+    """
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    path = workdir / "fleet-bench.npz"
+    index.save_sharded(path, num_shards=num_shards, boundaries="hierarchy")
+
+    batches = neighborhood_batches(graph, num_batches, batch_size, seed=seed)
+    if len(batches) < num_batches:
+        raise ValueError(
+            f"workload generation produced {len(batches)}/{num_batches} "
+            f"batches; the graph is too small or too disconnected for the "
+            f"fleet bench"
+        )
+    baselines = [index.distances(batch) for batch in batches]
+
+    rows: List[Dict[str, object]] = []
+    for num_workers in worker_counts:
+        with FleetOracle(path, num_workers=num_workers) as fleet:
+            for batch, baseline in zip(batches, baselines):
+                answers = fleet.distances(batch)
+                if answers.tolist() != baseline.tolist():
+                    raise AssertionError(
+                        f"fleet answers diverged from the engine at "
+                        f"{num_workers} workers"
+                    )
+            fleet.reset_stats()
+            host, port = fleet.start_tcp()
+            latencies, elapsed = asyncio.run(
+                _closed_loop(host, port, batches, baselines, num_clients)
+            )
+            stats = fleet.stats()
+        latency_ms = np.asarray(latencies, dtype=np.float64) * 1e3
+        total_queries = sum(len(batch) for batch in batches)
+        rows.append(
+            {
+                "oracle": f"HC2L+fleet(workers={num_workers})",
+                "num_workers": num_workers,
+                "num_shards": num_shards,
+                "num_clients": num_clients,
+                "num_batches": len(batches),
+                "batch_size": batch_size,
+                "num_queries": total_queries,
+                "p50_batch_ms": round(float(np.percentile(latency_ms, 50)), 3),
+                "p99_batch_ms": round(float(np.percentile(latency_ms, 99)), 3),
+                "mean_batch_ms": round(float(latency_ms.mean()), 3),
+                "batches_per_second": round(len(batches) / elapsed, 1),
+                "queries_per_second": round(total_queries / elapsed, 1),
+                "majority_hit_rate": stats["majority_hit_rate"],
+                "whole_batches": stats["whole_batches"],
+                "split_batches": stats["split_batches"],
+                "retries": stats["retries"],
+                "restarts": stats["restarts"],
+            }
+        )
+    return rows
+
+
+async def _closed_loop(
+    host: str,
+    port: int,
+    batches: Sequence[Sequence[QueryPair]],
+    baselines: Sequence[np.ndarray],
+    num_clients: int,
+) -> Tuple[List[float], float]:
+    """Drive the batches through ``num_clients`` concurrent TCP clients.
+
+    Client ``c`` owns batches ``c, c + num_clients, ...`` and sends them
+    back-to-back (closed loop: the next request leaves when the previous
+    response lands).  Answers are re-verified against the baselines - a
+    placement or marshalling bug must fail the bench, not skew it.
+    Returns the per-request latencies and the wall-clock of the whole
+    run.
+    """
+
+    async def run_client(client_id: int, client: FleetClient) -> List[float]:
+        latencies: List[float] = []
+        for i in range(client_id, len(batches), num_clients):
+            start = time.perf_counter()
+            answers = await client.distances(batches[i])
+            latencies.append(time.perf_counter() - start)
+            if answers.tolist() != baselines[i].tolist():
+                raise AssertionError(f"fleet TCP answer diverged on batch {i}")
+        return latencies
+
+    clients = [await FleetClient.connect(host, port) for _ in range(num_clients)]
+    try:
+        start = time.perf_counter()
+        per_client = await asyncio.gather(
+            *(run_client(c, client) for c, client in enumerate(clients))
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        for client in clients:
+            await client.aclose()
+    return [latency for latencies in per_client for latency in latencies], elapsed

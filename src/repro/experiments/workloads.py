@@ -126,6 +126,58 @@ def neighborhood_pairs(
     return pairs
 
 
+def neighborhood_batches(
+    graph: Graph,
+    num_batches: int,
+    batch_size: int,
+    seed: Seed = None,
+    max_hops: int = 3,
+) -> List[List[QueryPair]]:
+    """Locality-skewed *batches*: each batch's pairs share one BFS ball.
+
+    The batched counterpart of :func:`neighborhood_pairs`, modelling the
+    request shape of a navigation client (one matrix of refinements
+    around the current position per request): a random anchor is drawn
+    per batch, and every pair of that batch connects two vertices of the
+    anchor's ``max_hops``-hop BFS ball.  Because a ball lives inside one
+    hierarchy subtree most of the time, whole batches land in a single
+    shard under hierarchy-aligned boundaries - the workload the fleet's
+    majority placement (:mod:`repro.serving.fleet.placement`) is measured
+    on.  Anchors whose ball is trivial are re-drawn.
+    """
+    rng = make_rng(seed)
+    n = graph.num_vertices
+    if n < 2 or num_batches <= 0 or batch_size <= 0:
+        return []
+    batches: List[List[QueryPair]] = []
+    attempts = 0
+    while len(batches) < num_batches and attempts < 50 * num_batches:
+        attempts += 1
+        anchor = rng.randrange(n)
+        ball = [anchor]
+        seen = {anchor}
+        frontier = [anchor]
+        for _ in range(max_hops):
+            next_frontier: List[int] = []
+            for v in frontier:
+                for w in graph.neighbor_ids(v):
+                    if w not in seen:
+                        seen.add(w)
+                        ball.append(w)
+                        next_frontier.append(w)
+            frontier = next_frontier
+        if len(ball) < 2:
+            continue
+        batch: List[QueryPair] = []
+        while len(batch) < batch_size:
+            s = ball[rng.randrange(len(ball))]
+            t = ball[rng.randrange(len(ball))]
+            if s != t:
+                batch.append((s, t))
+        batches.append(batch)
+    return batches
+
+
 @dataclass
 class StratifiedWorkload:
     """The ten distance-stratified query sets of Figure 6."""

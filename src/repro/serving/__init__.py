@@ -13,6 +13,10 @@ the pieces that turn a built index into a query service:
   on-disk layout (``repro shard``): shards mmap-load lazily, batches are
   split by the shard owning each source vertex and re-assembled in input
   order.
+* :mod:`repro.serving.fleet` - the multi-process deployment shape: an
+  asyncio :class:`FleetServer` front door (TCP + in-process async +
+  the synchronous :class:`FleetOracle` facade) placing batches onto a
+  pool of shard-owning worker processes by their majority shard.
 
 All layers compose: a typical fleet shards the index once, and each
 worker opens a router (mapping only the shards it is routed), wraps it in
@@ -23,15 +27,29 @@ bit-identical answers - the conformance and serving test suites assert
 
 from repro.serving.cache import CacheStats, CachingOracle
 from repro.serving.coalesce import CoalescingServer
+from repro.serving.fleet import (
+    BatchPlacer,
+    FleetClient,
+    FleetOracle,
+    FleetServer,
+    FleetStats,
+    WorkerPool,
+)
 from repro.serving.mmap import load_index_mmap, shared_label_arrays
 from repro.serving.shards import RouterStats, ShardRouter
 
 __all__ = [
+    "BatchPlacer",
     "CacheStats",
     "CachingOracle",
     "CoalescingServer",
+    "FleetClient",
+    "FleetOracle",
+    "FleetServer",
+    "FleetStats",
     "RouterStats",
     "ShardRouter",
+    "WorkerPool",
     "load_index_mmap",
     "shared_label_arrays",
 ]

@@ -14,10 +14,18 @@ runs the batch, and publishes the results.  Followers simply wait on
 their request's event.  Because batch results are bit-identical to the
 scalar path (a protocol guarantee every oracle is tested for), coalescing
 is invisible to clients except for latency.
+
+This is the *thread-per-client* coalescer.  Its asyncio successor is the
+fleet front door, :class:`repro.serving.fleet.frontdoor.FleetServer`,
+which parks concurrent scalars on ``asyncio.Future``\\ s instead of
+events and places the drained batch onto worker processes; prefer it
+when serving from an event loop or across processes, and this class when
+clients are plain threads sharing one in-process oracle.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -65,6 +73,11 @@ class CoalescingServer:
     max_batch:
         Upper bound on requests drained into one batch call.
 
+    Both knobs are validated loudly at construction (the
+    :class:`~repro.core.parameters.HC2LParameters` style): a serving tier
+    configured with ``window_seconds=inf`` or ``max_batch=0`` must refuse
+    to start, not stall or spin at runtime.
+
     Notes
     -----
     If the inner oracle rejects a batch (e.g. one request carries an
@@ -79,8 +92,14 @@ class CoalescingServer:
         window_seconds: float = 0.001,
         max_batch: int = 4096,
     ) -> None:
-        if window_seconds < 0:
-            raise ValueError(f"window_seconds must be >= 0, got {window_seconds}")
+        if not isinstance(window_seconds, (int, float)) or isinstance(window_seconds, bool):
+            raise ValueError(f"window_seconds must be a number, got {window_seconds!r}")
+        if not math.isfinite(window_seconds) or window_seconds < 0:
+            raise ValueError(
+                f"window_seconds must be finite and >= 0, got {window_seconds}"
+            )
+        if isinstance(max_batch, bool) or not isinstance(max_batch, int):
+            raise ValueError(f"max_batch must be an int, got {max_batch!r}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.oracle = oracle

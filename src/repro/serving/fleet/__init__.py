@@ -1,0 +1,34 @@
+"""Shard-fleet serving: an asyncio front door over worker processes.
+
+The deployment shape of ROADMAP Direction 1: a
+:class:`~repro.serving.fleet.frontdoor.FleetServer` accepts scalar and
+batch distance requests (in-process async, or over a length-prefixed TCP
+protocol), coalesces concurrent scalars with ``asyncio.Future``\\ s, and
+places each batch - whole when it has a clear majority shard, split and
+gathered when genuinely cross-worker - onto a pool of long-lived worker
+processes, each serving shards through the lazy-mmap
+:class:`~repro.serving.shards.ShardRouter`.  Answers stay bit-identical
+to the monolithic engine; the fleet only changes *where* they are
+computed.
+"""
+
+from repro.serving.fleet.frontdoor import FleetClient, FleetServer, FleetStats
+from repro.serving.fleet.oracle import FleetOracle
+from repro.serving.fleet.placement import BatchPlacer, PlacementPlan, owner_shard_by_original
+from repro.serving.fleet.pool import WorkerPool, assign_shards
+from repro.serving.fleet.worker import WorkerCrashError, WorkerHandle, worker_main
+
+__all__ = [
+    "BatchPlacer",
+    "FleetClient",
+    "FleetOracle",
+    "FleetServer",
+    "FleetStats",
+    "PlacementPlan",
+    "WorkerCrashError",
+    "WorkerHandle",
+    "WorkerPool",
+    "assign_shards",
+    "owner_shard_by_original",
+    "worker_main",
+]

@@ -1,0 +1,111 @@
+"""Wire protocol of the fleet front door: length-prefixed JSON frames.
+
+The :class:`~repro.serving.fleet.frontdoor.FleetServer` speaks a
+deliberately small protocol over TCP so that any client - another Python
+process, a load generator, ``netcat`` plus a JSON encoder - can talk to
+it without importing this package:
+
+* every message is one **frame**: a 4-byte big-endian unsigned length
+  followed by that many bytes of UTF-8 JSON;
+* requests carry an ``id`` (echoed back verbatim, so one connection can
+  multiplex concurrent requests), an ``op`` and the op's arguments;
+* responses carry the same ``id`` plus either ``{"ok": true, "value": ...}``
+  or ``{"ok": false, "error": {"type": ..., "message": ...}}``.
+
+Distances may be infinite (disconnected pairs), so frames use Python's
+JSON dialect in which ``Infinity`` is a valid literal - the same
+extension every ``json.loads`` accepts by default.
+
+The ops mirror the :class:`~repro.core.oracle.DistanceOracle` surface:
+``distance``, ``distances``, ``one_to_many``, ``many_to_many``,
+``hub_count`` plus the fleet-management ops ``stats``, ``health`` and
+``ping``.  Errors re-raise client-side as the same builtin exception
+type where possible (``ValueError`` for a bad vertex id stays a
+``ValueError``), so a remote fleet behaves like an in-process oracle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import builtins
+import json
+import struct
+from typing import Optional
+
+#: frames above this size are refused - a corrupt length prefix must not
+#: make the reader allocate gigabytes
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialise one message as a length-prefixed JSON frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES} byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one frame; ``None`` on a clean EOF between frames.
+
+    A connection dropped mid-frame raises ``ConnectionError`` - a half
+    message must never be silently treated as a clean shutdown.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ConnectionError("connection closed mid-frame (length prefix)") from error
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"peer announced a {length} byte frame, above the "
+            f"{MAX_FRAME_BYTES} byte limit"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ConnectionError("connection closed mid-frame (payload)") from error
+    message = json.loads(payload.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError(f"expected a JSON object frame, got {type(message).__name__}")
+    return message
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one frame and flush it."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# --------------------------------------------------------------------- #
+# error marshalling
+# --------------------------------------------------------------------- #
+def error_to_wire(error: BaseException) -> dict:
+    """Flatten an exception for the wire (type name + message)."""
+    return {"type": type(error).__name__, "message": str(error)}
+
+
+def wire_to_error(wire: dict) -> Exception:
+    """Rebuild a client-side exception from a wire error.
+
+    Builtin exception types round-trip as themselves (so a remote
+    ``ValueError`` still ``raises ValueError`` at the client); anything
+    else degrades to ``RuntimeError`` with the original type in the
+    message.
+    """
+    name = str(wire.get("type", "RuntimeError"))
+    message = str(wire.get("message", ""))
+    candidate = getattr(builtins, name, None)
+    if (
+        isinstance(candidate, type)
+        and issubclass(candidate, Exception)
+        and not issubclass(candidate, (SystemExit, KeyboardInterrupt))
+    ):
+        return candidate(message)
+    return RuntimeError(f"{name}: {message}")

@@ -1,0 +1,326 @@
+"""Shard-owning worker processes and their parent-side handles.
+
+One worker = one long-lived process running :func:`worker_main`: it opens
+a :class:`~repro.serving.shards.ShardRouter` over the sharded layout
+(lazy read-only mmaps - co-located workers share label pages through the
+page cache), preloads the shards it *owns*, and then answers a simple
+request/response loop over a ``multiprocessing`` pipe.  Ownership is a
+placement concept, not a correctness one: the router lazily maps any
+foreign shard a cross-worker pair touches, so every worker can answer
+every query bit-identically - locality-aware placement just makes that
+the rare path.
+
+The parent side is :class:`WorkerHandle`: requests are queued and driven
+by one dispatcher thread per worker (send, blocking recv, resolve the
+caller's ``asyncio`` future via ``call_soon_threadsafe``).  The
+dispatcher is also the crash boundary - when the pipe breaks it restarts
+the process in place and **retries the in-flight request** on the fresh
+worker; a request that keeps crashing workers fails loudly with
+``WorkerCrashError`` after its retry budget, and is never silently
+dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.serving.shards import ShardRouter
+
+#: ops a worker understands; anything else is answered with a ValueError
+WORKER_OPS = (
+    "distances",
+    "distance",
+    "hub_count",
+    "ping",
+    "stats",
+    "shutdown",
+    "__crash__",
+)
+
+
+class WorkerCrashError(RuntimeError):
+    """A request failed because its worker crashed and retries ran out."""
+
+
+def worker_main(
+    path: str,
+    worker_id: int,
+    conn,
+    owned_shards: Sequence[int],
+    mmap: bool = True,
+) -> None:
+    """Entry point of one worker process.
+
+    Opens the router, preloads the owned shards, then serves requests
+    until the pipe closes or a ``shutdown`` op arrives.  Every exception
+    raised by the router is caught and shipped back to the parent as an
+    error reply - the worker never dies because a *query* was bad, only
+    the asking request fails (and with the original exception type).
+    """
+    router = ShardRouter(path, mmap=mmap)
+    for shard_id in owned_shards:
+        router._shard(int(shard_id))
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break  # parent went away; nothing left to serve
+        op = request.get("op")
+        if op == "shutdown":
+            conn.send({"ok": True, "value": None})
+            break
+        if op == "__crash__":
+            # test hook: simulate a hard worker crash mid-request (the
+            # parent sees the pipe break with the request in flight)
+            os._exit(13)
+        try:
+            if op == "distances":
+                value = router.distances(request["pairs"])
+            elif op == "distance":
+                value = router.distance(request["s"], request["t"])
+            elif op == "hub_count":
+                value = router.distance_with_hub_count(request["s"], request["t"])
+            elif op == "ping":
+                value = {
+                    "worker_id": worker_id,
+                    "pid": os.getpid(),
+                    "loaded_shards": router.loaded_shard_ids,
+                    "owned_shards": [int(s) for s in owned_shards],
+                }
+            elif op == "stats":
+                value = router.stats.as_dict()
+            else:
+                raise ValueError(f"unknown worker op {op!r}; expected one of {WORKER_OPS}")
+        except BaseException as error:  # noqa: BLE001 - shipped to the caller
+            try:
+                conn.send({"ok": False, "error": error})
+            except Exception:
+                # unpicklable exception: degrade to a picklable summary
+                conn.send(
+                    {"ok": False, "error": RuntimeError(f"{type(error).__name__}: {error}")}
+                )
+        else:
+            conn.send({"ok": True, "value": value})
+    conn.close()
+    router.close()
+
+
+@dataclass
+class _Item:
+    """One queued request with its waiting asyncio future."""
+
+    request: dict
+    future: asyncio.Future
+    loop: asyncio.AbstractEventLoop
+    retries_left: int
+
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class WorkerHandleStats:
+    """Parent-side accounting for one worker (feeds the fleet stats)."""
+
+    requests: int = 0
+    pairs: int = 0
+    retries: int = 0
+    restarts: int = 0
+    owned_shards: List[int] = field(default_factory=list)
+
+
+class WorkerHandle:
+    """Parent-side handle of one worker process.
+
+    ``submit`` may be called from any thread holding a running event
+    loop; results land on the caller's future via
+    ``call_soon_threadsafe``, so the handle composes with the asyncio
+    front door without the front door ever blocking on a pipe.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        worker_id: int,
+        owned_shards: Sequence[int],
+        ctx,
+        mmap: bool = True,
+        max_retries: int = 1,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.path = str(path)
+        self.worker_id = int(worker_id)
+        self.stats = WorkerHandleStats(owned_shards=[int(s) for s in owned_shards])
+        self.max_retries = int(max_retries)
+        self._ctx = ctx
+        self._mmap = mmap
+        self._queue: "queue.Queue[object]" = queue.Queue()
+        self._busy = False  # set by the dispatcher around one request
+        self._lock = threading.Lock()
+        self.process = None
+        self.conn = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn the worker process and its dispatcher thread."""
+        self._spawn()
+        self._thread = threading.Thread(
+            target=self._dispatch_loop,
+            name=f"fleet-worker-{self.worker_id}-dispatch",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        self.process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                self.path,
+                self.worker_id,
+                child_conn,
+                list(self.stats.owned_shards),
+                self._mmap,
+            ),
+            name=f"fleet-worker-{self.worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()  # the child holds its own copy
+        self.conn = parent_conn
+
+    def kill(self) -> None:
+        """Hard-kill the worker process (tests, unhealthy-worker recovery).
+
+        The dispatcher notices on the next request and restarts the
+        process in place; nothing queued is lost.
+        """
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Graceful drain: finish queued work, stop the worker, join.
+
+        The shutdown sentinel rides the same queue as requests, so every
+        request submitted before ``close`` is answered before the worker
+        is told to exit - the no-silently-dropped-requests rule.
+        """
+        if self._thread is None:
+            return
+        self._queue.put(_SHUTDOWN)
+        self._thread.join(timeout=timeout)
+        if self.process is not None and self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=2.0)
+        if self.conn is not None:
+            self.conn.close()
+        self._thread = None
+
+    # ------------------------------------------------------------------ #
+    # request path
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        """Requests queued or in flight on this worker right now."""
+        return self._queue.qsize() + (1 if self._busy else 0)
+
+    def submit(
+        self, request: dict, future: asyncio.Future, loop: asyncio.AbstractEventLoop
+    ) -> None:
+        """Enqueue one request; the future resolves on ``loop``."""
+        self._queue.put(_Item(request, future, loop, self.max_retries))
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                self._graceful_stop()
+                return
+            self._busy = True
+            try:
+                self._serve_item(item)
+            finally:
+                self._busy = False
+
+    def _serve_item(self, item: _Item) -> None:
+        """Send one request, blocking-recv the reply, resolve the future.
+
+        A broken pipe means the worker died with this request in flight:
+        restart the process and retry the request on the fresh worker
+        until its retry budget runs out, then fail it loudly.
+        """
+        while True:
+            try:
+                self.conn.send(item.request)
+                reply = self.conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as error:
+                with self._lock:
+                    self.stats.restarts += 1
+                self._restart()
+                if item.retries_left > 0:
+                    item.retries_left -= 1
+                    with self._lock:
+                        self.stats.retries += 1
+                    continue
+                crash = WorkerCrashError(
+                    f"worker {self.worker_id} crashed serving "
+                    f"{item.request.get('op')!r} and retries are exhausted "
+                    f"(max_retries={self.max_retries}): {error!r}"
+                )
+                self._resolve(item, exception=crash)
+                return
+            with self._lock:
+                self.stats.requests += 1
+                pairs = item.request.get("pairs")
+                if pairs is not None:
+                    self.stats.pairs += len(pairs)
+            if reply["ok"]:
+                self._resolve(item, value=reply["value"])
+            else:
+                self._resolve(item, exception=reply["error"])
+            return
+
+    def _restart(self) -> None:
+        if self.conn is not None:
+            self.conn.close()
+        if self.process is not None:
+            if self.process.is_alive():  # pipe broke but the process lingers
+                self.process.kill()
+            self.process.join(timeout=5.0)
+        self._spawn()
+
+    def _graceful_stop(self) -> None:
+        try:
+            self.conn.send({"op": "shutdown"})
+            self.conn.recv()
+        except (EOFError, OSError, BrokenPipeError):
+            pass  # already dead; close() reaps the process
+        if self.process is not None:
+            self.process.join(timeout=5.0)
+
+    @staticmethod
+    def _resolve(item: _Item, value=None, exception: Optional[BaseException] = None) -> None:
+        def _set() -> None:
+            if item.future.done():  # e.g. cancelled by a gather sibling
+                return
+            if exception is not None:
+                item.future.set_exception(exception)
+            else:
+                item.future.set_result(value)
+
+        try:
+            item.loop.call_soon_threadsafe(_set)
+        except RuntimeError:
+            pass  # the loop is gone (interpreter shutdown); nothing to tell

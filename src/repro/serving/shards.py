@@ -127,6 +127,7 @@ class ShardRouter(BatchMixin):
         # concurrent distances() calls must not double-load a shard or
         # lose counter increments (the numpy reads themselves are safe)
         self._lock = threading.Lock()
+        self._closed = False
         if preload:
             for shard_id in range(self.num_shards):
                 self._shard(shard_id)
@@ -144,7 +145,32 @@ class ShardRouter(BatchMixin):
         """Ids of the shards this router has loaded so far."""
         return [k for k, shard in enumerate(self._shards) if shard is not None]
 
+    def close(self) -> None:
+        """Release every loaded shard, closing mmap handles deterministically.
+
+        Fleet workers recycle routers on restart; waiting for GC to drop
+        the last reference keeps label files mapped (and on some platforms
+        their descriptors open) for an unbounded time.  After ``close``
+        the router raises ``RuntimeError`` on any further query.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            shards, self._shards = self._shards, [None] * self.num_shards
+        for shard in shards:
+            if shard is not None:
+                shard.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _shard(self, shard_id: int) -> FlatLabelling:
+        if self._closed:
+            raise RuntimeError(f"ShardRouter over {self.path} is closed")
         shard = self._shards[shard_id]
         if shard is None:
             with self._lock:
@@ -216,6 +242,8 @@ class ShardRouter(BatchMixin):
     # ------------------------------------------------------------------ #
     def distance(self, s: int, t: int) -> float:
         """Exact distance between ``s`` and ``t`` (original ids)."""
+        if self._closed:
+            raise RuntimeError(f"ShardRouter over {self.path} is closed")
         n = self.contraction.num_original
         check_vertex(s, n, "s")
         check_vertex(t, n, "t")
@@ -256,6 +284,8 @@ class ShardRouter(BatchMixin):
         the shard owning each source vertex and re-assembled in input
         order; bit-identical to the monolithic engine.
         """
+        if self._closed:
+            raise RuntimeError(f"ShardRouter over {self.path} is closed")
         pair_array = as_pair_array(pairs)
         if pair_array.size == 0:
             return np.empty(0, dtype=np.float64)

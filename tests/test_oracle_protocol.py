@@ -274,6 +274,122 @@ class TestShardRouterConformance:
         assert router.distances([]).shape == (0,)
 
 
+# --------------------------------------------------------------------- #
+# Fleet conformance: a 2- and 3-worker fleet, bit-identical to the engine
+# --------------------------------------------------------------------- #
+FLEET_WORKER_COUNTS = (2, 3)
+
+
+@pytest.fixture(scope="module")
+def fleet_layout(oracles, tmp_path_factory):
+    """One 4-shard hierarchy-aligned layout shared by every fleet size."""
+    index = oracles["HC2L"]
+    path = tmp_path_factory.mktemp("fleet") / "index.npz"
+    index.save_sharded(path, num_shards=4, boundaries="hierarchy")
+    return path
+
+
+@pytest.fixture(scope="module", params=FLEET_WORKER_COUNTS)
+def fleet(request, fleet_layout):
+    """A started fleet per worker count (2 workers own 2 shards each;
+    3 workers force an uneven 2+1+1 assignment)."""
+    from repro.serving.fleet import FleetOracle
+
+    oracle = FleetOracle(fleet_layout, num_workers=request.param)
+    yield oracle
+    oracle.close()
+
+
+class TestFleetConformance:
+    def test_satisfies_protocol(self, fleet):
+        assert isinstance(fleet, DistanceOracle)
+        assert fleet.supports_batch is True
+
+    def test_metadata_matches_monolithic_index(self, fleet, oracles):
+        index = oracles["HC2L"]
+        assert fleet.index_size_bytes == index.index_size_bytes
+        assert fleet.construction_seconds == index.construction_seconds
+
+    def test_scalar_bit_identical_to_engine(self, fleet, oracles, conformance_pairs):
+        index = oracles["HC2L"]
+        for s, t in conformance_pairs:
+            assert fleet.distance(s, t) == index.distance(s, t)
+
+    def test_batch_bit_identical_to_engine(self, fleet, oracles, conformance_pairs):
+        index = oracles["HC2L"]
+        batch = fleet.distances(conformance_pairs)
+        assert isinstance(batch, np.ndarray)
+        assert batch.dtype == np.float64
+        assert batch.tolist() == index.distances(conformance_pairs).tolist()
+
+    def test_explicit_cross_worker_batch(self, fleet, oracles):
+        """A batch spread evenly across every worker's shards must take the
+        split-and-gather path and still be bit-identical."""
+        index = oracles["HC2L"]
+        core_to_original = index.contraction.core_to_original
+        # one original vertex per shard range; under the hierarchy layout
+        # the boundary positions map through the DFS order
+        order = index.hierarchy.subtree_ranges()
+        position_to_core = {int(p): core for core, p in enumerate(order)}
+        picks = [
+            core_to_original[position_to_core[int(lo)]]
+            for lo in fleet.server.manifest["boundaries"][:-1]
+        ]
+        pairs = [(s, t) for s in picks for t in picks]
+        before = fleet.stats()["split_batches"]
+        assert fleet.distances(pairs).tolist() == index.distances(pairs).tolist()
+        assert fleet.stats()["split_batches"] == before + 1
+
+    def test_one_to_many_bit_identical(self, fleet, oracles, fixture_graph):
+        index = oracles["HC2L"]
+        targets = list(range(0, fixture_graph.num_vertices, 3))
+        assert fleet.one_to_many(4, targets).tolist() == index.one_to_many(4, targets).tolist()
+
+    def test_many_to_many_bit_identical(self, fleet, oracles):
+        index = oracles["HC2L"]
+        sources = [0, 9, 17, 101]
+        targets = [2, 9, 33, 71, 118]
+        assert (
+            fleet.many_to_many(sources, targets).tolist()
+            == index.many_to_many(sources, targets).tolist()
+        )
+
+    def test_hub_counts_match(self, fleet, oracles, conformance_pairs):
+        index = oracles["HC2L"]
+        for s, t in conformance_pairs[:10]:
+            assert fleet.distance_with_hub_count(s, t) == index.distance_with_hub_count(s, t)
+
+    def test_rejects_bad_inputs_like_engine(self, fleet, fixture_graph):
+        n = fixture_graph.num_vertices
+        with pytest.raises(ValueError):
+            fleet.distances([(0, n)])
+        with pytest.raises(ValueError):
+            fleet.distance(0, n)
+        with pytest.raises(ValueError):
+            fleet.distances([(0.5, 1.5)])
+        assert fleet.distances([]).shape == (0,)
+
+    def test_every_worker_answers(self, fleet):
+        health = fleet.health()
+        assert health["unhealthy"] == []
+        assert sorted(health["healthy"]) == list(range(fleet.server.pool.num_workers))
+
+
+def test_fleet_disconnected_pairs_are_inf(disconnected_graph, tmp_path):
+    """INF answers survive the worker pipe and batch re-assembly."""
+    from repro.serving.fleet import FleetOracle
+
+    index = HC2LIndex.build(disconnected_graph, leaf_size=2)
+    path = tmp_path / "disconnected.npz"
+    index.save_sharded(path, num_shards=2)
+    with FleetOracle(path, num_workers=2) as fleet:
+        batch = fleet.distances([(0, 5), (4, 2), (0, 2)])
+        assert math.isinf(batch[0])
+        assert math.isinf(batch[1])
+        assert batch[2] == index.distance(0, 2)
+        assert math.isinf(fleet.distance(0, 5))
+
+
 def test_dynamic_index_speaks_the_protocol(fixture_graph):
     """DynamicHC2LIndex flushes pending updates through the batch calls."""
     from repro.core.dynamic import DynamicHC2LIndex
