@@ -13,8 +13,10 @@ road-like graph and times the same random query workload through
   sharded on-disk layout swept across shard counts {1, 2, 4} (one row
   per count, with the router-overhead ratio vs. the monolithic engine),
   and the multi-process shard fleet in closed loop - concurrent TCP
-  clients replaying locality batches, one row per worker count with
-  p50/p99 latency and the majority-placement hit rate.
+  clients replaying locality batches and dispatch-style distance
+  matrices, one row per (worker count, wire mode) with p50/p99 latency
+  and the majority-placement hit rate, plus Zipf rows comparing the
+  cross-worker shared cache on vs off (cold and hot passes).
 
 Scalar/batch results are verified identical before anything is written,
 and a sweep method that raises aborts the whole run (no partial record is

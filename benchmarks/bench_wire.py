@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Wire-framing microbenchmark: JSON frames vs binary ndarray frames.
+
+Isolates the serialization cost the fleet pays per request, away from
+placement, IPC and the query engine: for each payload shape the same
+result array is round-tripped (encode + decode) through
+
+* the length-prefixed JSON framing (``encode_frame`` + ``json.loads``
+  of the payload, lists of Python floats on the wire), and
+* the binary framing (``encode_binary_frame`` +
+  ``decode_binary_payload``, raw little-endian float64 bytes viewed
+  with ``np.frombuffer``).
+
+Rows land in ``BENCH_wire.json`` (uploaded by CI next to
+``BENCH_query.json``) with a ``binary_speedup`` field per shape, so a
+regression in either codec is visible across PRs.  Decoded values are
+verified bit-identical between the two framings before anything is
+written.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_wire.py \
+        [--repeats 200] [--output BENCH_wire.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import zlib
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.serving.fleet.protocol import (
+    KIND_RESPONSE,
+    decode_binary_payload,
+    encode_binary_frame,
+    encode_frame,
+)
+
+#: (label, op, result shape) - the reply shapes the fleet actually ships
+PAYLOAD_SHAPES = [
+    ("distances-64", "distances", (64,)),
+    ("distances-512", "distances", (512,)),
+    ("distances-4096", "distances", (4096,)),
+    ("many_to_many-8x8", "many_to_many", (8, 8)),
+    ("many_to_many-32x32", "many_to_many", (32, 32)),
+    ("many_to_many-96x96", "many_to_many", (96, 96)),
+]
+
+
+def _result_array(shape, seed: int) -> np.ndarray:
+    """A realistic distance payload: positive floats with a few infs."""
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(10.0, 50_000.0, size=shape)
+    flat = values.reshape(-1)
+    flat[:: max(len(flat) // 37, 1)] = np.inf  # unreachable pairs exist
+    return np.ascontiguousarray(values)
+
+
+def _strip_prefix(frame: bytes) -> bytes:
+    return frame[4:]
+
+
+def bench_shape(label: str, op: str, shape, repeats: int) -> Dict[str, object]:
+    """Round-trip one payload shape through both framings."""
+    # crc32, not hash(): str hashing is salted per process and would make
+    # the payload (and hence the timings) differ between runs
+    values = _result_array(shape, seed=zlib.crc32(label.encode("utf-8")))
+    request_id = 7
+
+    def json_roundtrip() -> List:
+        frame = encode_frame(
+            {"id": request_id, "ok": True, "value": values.tolist()}
+        )
+        return json.loads(_strip_prefix(frame).decode("utf-8"))["value"]
+
+    def binary_roundtrip() -> np.ndarray:
+        frame = encode_binary_frame(KIND_RESPONSE, op, request_id, [values])
+        return decode_binary_payload(_strip_prefix(frame)).arrays[0]
+
+    # verify both codecs reproduce the payload bit-identically first
+    json_decoded = np.asarray(json_roundtrip(), dtype=np.float64).reshape(shape)
+    binary_decoded = np.asarray(binary_roundtrip()).reshape(shape)
+    if json_decoded.tobytes() != values.tobytes():
+        raise AssertionError(f"{label}: JSON round trip is not bit-identical")
+    if binary_decoded.tobytes() != values.tobytes():
+        raise AssertionError(f"{label}: binary round trip is not bit-identical")
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        json_roundtrip()
+    json_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        binary_roundtrip()
+    binary_seconds = time.perf_counter() - start
+
+    num_values = int(np.prod(shape))
+    json_frame_bytes = len(encode_frame({"id": request_id, "ok": True, "value": values.tolist()}))
+    binary_frame_bytes = len(encode_binary_frame(KIND_RESPONSE, op, request_id, [values]))
+    return {
+        "payload": label,
+        "op": op,
+        "num_values": num_values,
+        "repeats": repeats,
+        "json_frame_bytes": json_frame_bytes,
+        "binary_frame_bytes": binary_frame_bytes,
+        "bytes_ratio": round(json_frame_bytes / binary_frame_bytes, 2),
+        "json_microseconds_per_roundtrip": round(json_seconds / repeats * 1e6, 2),
+        "binary_microseconds_per_roundtrip": round(binary_seconds / repeats * 1e6, 2),
+        "binary_speedup": round(json_seconds / binary_seconds, 2),
+    }
+
+
+def run_benchmark(repeats: int) -> dict:
+    rows = []
+    for label, op, shape in PAYLOAD_SHAPES:
+        print(f"  {label}: {int(np.prod(shape))} floats x {repeats} round trips ...")
+        rows.append(bench_shape(label, op, shape, repeats))
+    return {"benchmark": "wire_framing", "rows": rows}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=200)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_wire.json",
+    )
+    args = parser.parse_args()
+    if args.repeats < 1:
+        raise SystemExit(f"--repeats must be >= 1, got {args.repeats}")
+
+    record = run_benchmark(args.repeats)
+    # write-then-rename so an interrupted run never leaves a torn record
+    payload = json.dumps(record, indent=2) + "\n"
+    tmp = args.output.with_name(args.output.name + ".tmp")
+    tmp.write_text(payload, encoding="utf-8")
+    tmp.replace(args.output)
+
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,10 +18,13 @@ Five subcommands cover the typical workflow of a downstream user:
     comparison table (a miniature Table 2).
 ``serve``
     Serve a sharded layout through the multi-process fleet: an asyncio
-    TCP front door placing batches onto shard-owning worker processes.
+    TCP front door placing batches onto shard-owning worker processes
+    (``--wire`` picks the response framing, ``--shared-cache-slots``
+    enables the cross-worker shared-memory pair cache).
 ``fleet-bench``
     Run the closed-loop fleet benchmark (p50/p99 latency and
-    majority-placement hit rate per worker count) on a saved index.
+    majority-placement hit rate per worker count and wire mode, plus a
+    shared-cache on/off comparison) on a saved index.
 ``generate``
     Write a synthetic road network to a DIMACS ``.gr`` file so it can be
     used with external tools.
@@ -175,6 +178,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write 'host port' to this file once the listener is bound",
     )
+    serve.add_argument(
+        "--wire",
+        choices=["json", "binary"],
+        default="binary",
+        help="TCP response framing for array ops (default binary; JSON "
+        "requests always get JSON replies)",
+    )
+    serve.add_argument(
+        "--shared-cache-slots",
+        type=int,
+        default=0,
+        help="capacity of the cross-worker shared-memory pair cache "
+        "(default 0: disabled)",
+    )
 
     fleet_bench = subparsers.add_parser(
         "fleet-bench",
@@ -195,6 +212,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_bench.add_argument(
         "--batch-size", type=int, default=32, help="pairs per batch (default 32)"
+    )
+    fleet_bench.add_argument(
+        "--wires",
+        default="json,binary",
+        help="comma separated wire modes to sweep (default json,binary)",
+    )
+    fleet_bench.add_argument(
+        "--shared-cache-slots",
+        type=int,
+        default=4096,
+        help="capacity of the cross-worker shared cache during the sweep "
+        "(default 4096; 0 disables it)",
     )
     fleet_bench.add_argument(
         "--allow-pickle",
@@ -353,10 +382,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         window_seconds=args.window_ms / 1000.0,
         max_batch=args.max_batch,
+        wire=args.wire,
+        shared_cache_slots=args.shared_cache_slots,
     )
     try:
         host, port = fleet.start_tcp(args.host, args.port)
-        print(f"fleet serving {args.index} on {host}:{port} with {args.workers} workers")
+        cache = (
+            f"shared cache {args.shared_cache_slots} slots"
+            if args.shared_cache_slots
+            else "shared cache off"
+        )
+        print(
+            f"fleet serving {args.index} on {host}:{port} with "
+            f"{args.workers} workers (wire={args.wire}, {cache})"
+        )
         if args.port_file:
             with open(args.port_file, "w", encoding="utf-8") as handle:
                 handle.write(f"{host} {port}\n")
@@ -385,6 +424,10 @@ def _cmd_fleet_bench(args: argparse.Namespace) -> int:
     if not worker_counts:
         print("no worker counts given", file=sys.stderr)
         return 2
+    wires = [w.strip() for w in args.wires.split(",") if w.strip()]
+    if not wires:
+        print("no wire modes given", file=sys.stderr)
+        return 2
     with tempfile.TemporaryDirectory() as workdir:
         rows = fleet_latency_rows(
             index,
@@ -395,6 +438,8 @@ def _cmd_fleet_bench(args: argparse.Namespace) -> int:
             num_clients=args.clients,
             num_batches=args.batches,
             batch_size=args.batch_size,
+            wires=wires,
+            shared_cache_slots=args.shared_cache_slots,
         )
     print(json.dumps(rows, indent=2))
     return 0

@@ -1,16 +1,26 @@
 """Closed-loop fleet benchmark (serving-scale experiment).
 
 The shard fleet buys process-level parallelism and crash isolation at
-the cost of placement and IPC per batch.  This workload quantifies the
-trade under realistic conditions: a :class:`~repro.serving.fleet.FleetOracle`
-is started per worker count, and ``num_clients`` concurrent TCP clients
-replay locality-skewed batches (:func:`~repro.experiments.workloads.neighborhood_batches`)
-in closed loop - each client fires its next batch the moment the
-previous answer returns - recording per-request latency.  Every answer
-is verified bit-identical to the monolithic engine before anything is
-timed, and the rows carry the placement stats, so ``BENCH_query.json``
-shows p50/p99 latency *and* the majority-placement hit rate per worker
-count across PRs.
+the cost of placement, IPC and serialisation per batch.  This workload
+quantifies the trade under realistic conditions: a
+:class:`~repro.serving.fleet.FleetOracle` is started per
+``(worker count, wire mode)`` combination, and ``num_clients``
+concurrent TCP clients replay locality-skewed traffic in closed loop -
+each client fires its next request the moment the previous answer
+returns - recording per-request latency.  Every answer is verified
+bit-identical to the monolithic engine before anything is timed.
+
+Three phases per fleet configuration land in ``BENCH_query.json``:
+
+* ``neighborhood-batches`` - the pair-batch workload of PR 7, now with
+  a ``wire`` dimension (JSON list frames vs raw binary ndarray frames);
+* ``many_to_many-neighborhood`` - dispatch-tick distance matrices
+  (``matrix_size ** 2`` floats per reply), the serialization-bound
+  shape where the binary wire shows its largest win;
+* ``zipf-pairs`` - Zipf-skewed pair batches replayed twice (cold then
+  hot) against fleets with the shared cross-worker cache on and off,
+  so the cache-hot win and the cache's bookkeeping overhead on the
+  cold pass are both visible.
 """
 
 from __future__ import annotations
@@ -23,11 +33,18 @@ from typing import Dict, List, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.index import HC2LIndex
-from repro.experiments.workloads import neighborhood_batches
+from repro.experiments.workloads import (
+    neighborhood_batches,
+    neighborhood_matrices,
+    skewed_pairs,
+)
 from repro.graph.graph import Graph
 from repro.serving.fleet import FleetClient, FleetOracle
 
 QueryPair = Tuple[int, int]
+
+#: wire modes swept by default (order = row order in the bench output)
+DEFAULT_WIRES = ("json", "binary")
 
 
 def fleet_latency_rows(
@@ -40,20 +57,28 @@ def fleet_latency_rows(
     num_batches: int = 48,
     batch_size: int = 32,
     seed: int = 17,
+    wires: Sequence[str] = DEFAULT_WIRES,
+    shared_cache_slots: int = 4096,
+    num_matrices: int = 24,
+    matrix_size: int = 24,
 ) -> List[Dict[str, object]]:
-    """Measure fleet serving latency per worker count.
+    """Measure fleet serving latency per worker count and wire mode.
 
     Shards ``index`` once under ``workdir`` with hierarchy-aligned
-    boundaries, then for each count in ``worker_counts`` starts a fleet,
-    verifies every batch answer against the monolithic engine (raises
-    ``AssertionError`` on the first divergence - bit-identical or bust),
-    and runs the closed-loop TCP harness.  Returns one row per worker
-    count; raises ``ValueError`` if the graph cannot produce the
-    requested workload, so a silent empty bench can never look like a
-    passing one.
+    boundaries, then for each ``(worker count, wire)`` combination
+    starts a fleet, verifies every answer against the monolithic engine
+    (raises ``AssertionError`` on the first divergence - bit-identical
+    or bust), and runs the closed-loop TCP harness over the pair-batch
+    and distance-matrix workloads.  A final sweep replays Zipf-skewed
+    batches against shared-cache-on and shared-cache-off fleets (cold
+    pass then hot pass).  Raises ``ValueError`` if the graph cannot
+    produce the requested workload, so a silent empty bench can never
+    look like a passing one.
     """
     if num_clients < 1:
         raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if not wires:
+        raise ValueError("wires must name at least one wire mode")
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
     path = workdir / "fleet-bench.npz"
@@ -68,56 +93,261 @@ def fleet_latency_rows(
         )
     baselines = [index.distances(batch) for batch in batches]
 
+    matrices = neighborhood_matrices(graph, num_matrices, matrix_size, seed=seed + 1)
+    if len(matrices) < num_matrices:
+        raise ValueError(
+            f"workload generation produced {len(matrices)}/{num_matrices} "
+            f"matrices; the graph is too small for the many_to_many bench"
+        )
+    matrix_baselines = [
+        index.many_to_many(sources, targets) for sources, targets in matrices
+    ]
+
     rows: List[Dict[str, object]] = []
     for num_workers in worker_counts:
-        with FleetOracle(path, num_workers=num_workers) as fleet:
-            for batch, baseline in zip(batches, baselines):
-                answers = fleet.distances(batch)
-                if answers.tolist() != baseline.tolist():
-                    raise AssertionError(
-                        f"fleet answers diverged from the engine at "
-                        f"{num_workers} workers"
-                    )
-            fleet.reset_stats()
-            host, port = fleet.start_tcp()
-            latencies, elapsed = asyncio.run(
-                _closed_loop(host, port, batches, baselines, num_clients)
+        for wire in wires:
+            rows.extend(
+                _wire_phase_rows(
+                    path,
+                    index,
+                    num_workers=num_workers,
+                    wire=wire,
+                    num_shards=num_shards,
+                    num_clients=num_clients,
+                    shared_cache_slots=shared_cache_slots,
+                    batches=batches,
+                    baselines=baselines,
+                    batch_size=batch_size,
+                    matrices=matrices,
+                    matrix_baselines=matrix_baselines,
+                    matrix_size=matrix_size,
+                )
             )
-            stats = fleet.stats()
-        latency_ms = np.asarray(latencies, dtype=np.float64) * 1e3
-        total_queries = sum(len(batch) for batch in batches)
-        rows.append(
-            {
-                "oracle": f"HC2L+fleet(workers={num_workers})",
-                "num_workers": num_workers,
-                "num_shards": num_shards,
-                "num_clients": num_clients,
-                "num_batches": len(batches),
-                "batch_size": batch_size,
-                "num_queries": total_queries,
-                "p50_batch_ms": round(float(np.percentile(latency_ms, 50)), 3),
-                "p99_batch_ms": round(float(np.percentile(latency_ms, 99)), 3),
-                "mean_batch_ms": round(float(latency_ms.mean()), 3),
-                "batches_per_second": round(len(batches) / elapsed, 1),
-                "queries_per_second": round(total_queries / elapsed, 1),
-                "majority_hit_rate": stats["majority_hit_rate"],
-                "whole_batches": stats["whole_batches"],
-                "split_batches": stats["split_batches"],
-                "retries": stats["retries"],
-                "restarts": stats["restarts"],
-            }
+
+    rows.extend(
+        _shared_cache_rows(
+            path,
+            index,
+            graph,
+            num_workers=worker_counts[0],
+            wire="binary" if "binary" in wires else wires[0],
+            num_shards=num_shards,
+            num_clients=num_clients,
+            shared_cache_slots=shared_cache_slots,
+            num_batches=num_batches,
+            batch_size=batch_size,
+            seed=seed + 2,
         )
+    )
     return rows
 
 
-async def _closed_loop(
+def _wire_phase_rows(
+    path: Path,
+    index: HC2LIndex,
+    *,
+    num_workers: int,
+    wire: str,
+    num_shards: int,
+    num_clients: int,
+    shared_cache_slots: int,
+    batches: Sequence[Sequence[QueryPair]],
+    baselines: Sequence[np.ndarray],
+    batch_size: int,
+    matrices: Sequence[Tuple[List[int], List[int]]],
+    matrix_baselines: Sequence[np.ndarray],
+    matrix_size: int,
+) -> List[Dict[str, object]]:
+    """The pair-batch and matrix phases of one fleet configuration."""
+    with FleetOracle(
+        path,
+        num_workers=num_workers,
+        wire=wire,
+        shared_cache_slots=shared_cache_slots,
+    ) as fleet:
+        # bit-identity wall before anything is timed (also warms the
+        # shared cache identically for every wire, keeping the wire
+        # comparison apples-to-apples)
+        for batch, baseline in zip(batches, baselines):
+            if fleet.distances(batch).tolist() != baseline.tolist():
+                raise AssertionError(
+                    f"fleet answers diverged from the engine at "
+                    f"{num_workers} workers (wire={wire})"
+                )
+        for (sources, targets), baseline in zip(matrices, matrix_baselines):
+            if fleet.many_to_many(sources, targets).tolist() != baseline.tolist():
+                raise AssertionError(
+                    f"fleet many_to_many diverged from the engine at "
+                    f"{num_workers} workers (wire={wire})"
+                )
+        host, port = fleet.start_tcp()
+
+        fleet.reset_stats()
+        latencies, elapsed = asyncio.run(
+            _pair_loop(host, port, batches, baselines, num_clients, wire)
+        )
+        batch_stats = fleet.stats()
+
+        fleet.reset_stats()
+        matrix_latencies, matrix_elapsed = asyncio.run(
+            _matrix_loop(host, port, matrices, matrix_baselines, num_clients, wire)
+        )
+        matrix_stats = fleet.stats()
+
+    common = {
+        "num_workers": num_workers,
+        "wire": wire,
+        "num_shards": num_shards,
+        "num_clients": num_clients,
+        "shared_cache": bool(shared_cache_slots),
+    }
+    total_queries = sum(len(batch) for batch in batches)
+    rows = [
+        {
+            "oracle": f"HC2L+fleet(workers={num_workers},wire={wire})",
+            "workload": "neighborhood-batches",
+            **common,
+            "num_batches": len(batches),
+            "batch_size": batch_size,
+            "num_queries": total_queries,
+            **_latency_fields(latencies, len(batches), total_queries, elapsed),
+            **_placement_fields(batch_stats),
+        },
+        {
+            "oracle": f"HC2L+fleet(workers={num_workers},wire={wire})",
+            "workload": "many_to_many-neighborhood",
+            **common,
+            "num_batches": len(matrices),
+            "matrix_size": matrix_size,
+            "num_queries": len(matrices) * matrix_size * matrix_size,
+            **_latency_fields(
+                matrix_latencies,
+                len(matrices),
+                len(matrices) * matrix_size * matrix_size,
+                matrix_elapsed,
+            ),
+            **_placement_fields(matrix_stats),
+        },
+    ]
+    return rows
+
+
+def _shared_cache_rows(
+    path: Path,
+    index: HC2LIndex,
+    graph: Graph,
+    *,
+    num_workers: int,
+    wire: str,
+    num_shards: int,
+    num_clients: int,
+    shared_cache_slots: int,
+    num_batches: int,
+    batch_size: int,
+    seed: int,
+    exponent: float = 1.3,
+) -> List[Dict[str, object]]:
+    """Cache-on vs cache-off on Zipf traffic, cold pass then hot pass."""
+    pairs = skewed_pairs(graph, num_batches * batch_size, seed=seed, exponent=exponent)
+    if len(pairs) < num_batches * batch_size:
+        raise ValueError(
+            f"workload generation produced {len(pairs)} Zipf pairs, need "
+            f"{num_batches * batch_size}"
+        )
+    batches = [
+        pairs[at : at + batch_size] for at in range(0, len(pairs), batch_size)
+    ]
+    baselines = [index.distances(batch) for batch in batches]
+
+    rows: List[Dict[str, object]] = []
+    # dict.fromkeys dedupes while keeping order, so a sweep launched with
+    # the cache disabled measures the off-fleet once instead of twice
+    for slots in dict.fromkeys((shared_cache_slots, 0)):
+        with FleetOracle(
+            path, num_workers=num_workers, wire=wire, shared_cache_slots=slots
+        ) as fleet:
+            for batch, baseline in zip(batches, baselines):
+                if fleet.distances(batch).tolist() != baseline.tolist():
+                    raise AssertionError(
+                        f"fleet answers diverged on the Zipf workload "
+                        f"(shared_cache_slots={slots})"
+                    )
+            host, port = fleet.start_tcp()
+            # the verification pass above already warmed the cache, so
+            # "cold" here means first timed TCP replay; the cache-off
+            # fleet is the true no-cache reference either way
+            fleet.reset_stats()
+            cold_latencies, _ = asyncio.run(
+                _pair_loop(host, port, batches, baselines, num_clients, wire)
+            )
+            fleet.reset_stats()
+            hot_latencies, hot_elapsed = asyncio.run(
+                _pair_loop(host, port, batches, baselines, num_clients, wire)
+            )
+            stats = fleet.stats()
+        total_queries = sum(len(batch) for batch in batches)
+        row = {
+            "oracle": f"HC2L+fleet(workers={num_workers},wire={wire})",
+            "workload": "zipf-pairs",
+            "num_workers": num_workers,
+            "wire": wire,
+            "num_shards": num_shards,
+            "num_clients": num_clients,
+            "shared_cache": bool(slots),
+            "shared_cache_slots": slots,
+            "zipf_exponent": exponent,
+            "num_batches": len(batches),
+            "batch_size": batch_size,
+            "num_queries": total_queries,
+            **_latency_fields(hot_latencies, len(batches), total_queries, hot_elapsed),
+            "cold_p50_batch_ms": _p50_ms(cold_latencies),
+            **_placement_fields(stats),
+        }
+        if stats["shared_cache"].get("enabled"):
+            cache = stats["shared_cache"]
+            row["shared_cache_hit_rate"] = cache["hit_rate"]
+            row["shared_cache_hits"] = cache["hits"]
+            row["shared_cache_evictions"] = cache["evictions"]
+        rows.append(row)
+    return rows
+
+
+def _p50_ms(latencies: Sequence[float]) -> float:
+    return round(float(np.percentile(np.asarray(latencies) * 1e3, 50)), 3)
+
+
+def _latency_fields(
+    latencies: Sequence[float], num_requests: int, num_queries: int, elapsed: float
+) -> Dict[str, float]:
+    latency_ms = np.asarray(latencies, dtype=np.float64) * 1e3
+    return {
+        "p50_batch_ms": round(float(np.percentile(latency_ms, 50)), 3),
+        "p99_batch_ms": round(float(np.percentile(latency_ms, 99)), 3),
+        "mean_batch_ms": round(float(latency_ms.mean()), 3),
+        "batches_per_second": round(num_requests / elapsed, 1),
+        "queries_per_second": round(num_queries / elapsed, 1),
+    }
+
+
+def _placement_fields(stats: Dict[str, object]) -> Dict[str, object]:
+    return {
+        "majority_hit_rate": stats["majority_hit_rate"],
+        "whole_batches": stats["whole_batches"],
+        "split_batches": stats["split_batches"],
+        "retries": stats["retries"],
+        "restarts": stats["restarts"],
+    }
+
+
+async def _pair_loop(
     host: str,
     port: int,
     batches: Sequence[Sequence[QueryPair]],
     baselines: Sequence[np.ndarray],
     num_clients: int,
+    wire: str,
 ) -> Tuple[List[float], float]:
-    """Drive the batches through ``num_clients`` concurrent TCP clients.
+    """Drive pair batches through ``num_clients`` concurrent TCP clients.
 
     Client ``c`` owns batches ``c, c + num_clients, ...`` and sends them
     back-to-back (closed loop: the next request leaves when the previous
@@ -137,7 +367,39 @@ async def _closed_loop(
                 raise AssertionError(f"fleet TCP answer diverged on batch {i}")
         return latencies
 
-    clients = [await FleetClient.connect(host, port) for _ in range(num_clients)]
+    return await _drive_clients(host, port, num_clients, wire, run_client)
+
+
+async def _matrix_loop(
+    host: str,
+    port: int,
+    matrices: Sequence[Tuple[List[int], List[int]]],
+    baselines: Sequence[np.ndarray],
+    num_clients: int,
+    wire: str,
+) -> Tuple[List[float], float]:
+    """Closed-loop ``many_to_many`` requests (see :func:`_pair_loop`)."""
+
+    async def run_client(client_id: int, client: FleetClient) -> List[float]:
+        latencies: List[float] = []
+        for i in range(client_id, len(matrices), num_clients):
+            sources, targets = matrices[i]
+            start = time.perf_counter()
+            answers = await client.many_to_many(sources, targets)
+            latencies.append(time.perf_counter() - start)
+            if answers.tolist() != baselines[i].tolist():
+                raise AssertionError(f"fleet TCP matrix diverged on request {i}")
+        return latencies
+
+    return await _drive_clients(host, port, num_clients, wire, run_client)
+
+
+async def _drive_clients(
+    host: str, port: int, num_clients: int, wire: str, run_client
+) -> Tuple[List[float], float]:
+    clients = [
+        await FleetClient.connect(host, port, wire=wire) for _ in range(num_clients)
+    ]
     try:
         start = time.perf_counter()
         per_client = await asyncio.gather(

@@ -178,6 +178,53 @@ def neighborhood_batches(
     return batches
 
 
+def neighborhood_matrices(
+    graph: Graph,
+    num_matrices: int,
+    matrix_size: int,
+    seed: Seed = None,
+    max_hops: int = 4,
+) -> List[Tuple[List[int], List[int]]]:
+    """Locality-skewed ``many_to_many`` requests from one BFS ball each.
+
+    The matrix counterpart of :func:`neighborhood_batches`, modelling a
+    dispatch tick (drivers x riders around one hot zone): a random
+    anchor is drawn per request, and both the source and the target list
+    are sampled (with replacement) from the anchor's ``max_hops``-hop
+    BFS ball.  Each request is a ``(sources, targets)`` pair of
+    ``matrix_size`` vertex ids - ``matrix_size ** 2`` result floats, the
+    serialization-bound shape the wire-format benchmarks compare on.
+    Anchors whose ball is trivial are re-drawn.
+    """
+    rng = make_rng(seed)
+    n = graph.num_vertices
+    if n < 2 or num_matrices <= 0 or matrix_size <= 0:
+        return []
+    matrices: List[Tuple[List[int], List[int]]] = []
+    attempts = 0
+    while len(matrices) < num_matrices and attempts < 50 * num_matrices:
+        attempts += 1
+        anchor = rng.randrange(n)
+        ball = [anchor]
+        seen = {anchor}
+        frontier = [anchor]
+        for _ in range(max_hops):
+            next_frontier: List[int] = []
+            for v in frontier:
+                for w in graph.neighbor_ids(v):
+                    if w not in seen:
+                        seen.add(w)
+                        ball.append(w)
+                        next_frontier.append(w)
+            frontier = next_frontier
+        if len(ball) < 2:
+            continue
+        sources = [ball[rng.randrange(len(ball))] for _ in range(matrix_size)]
+        targets = [ball[rng.randrange(len(ball))] for _ in range(matrix_size)]
+        matrices.append((sources, targets))
+    return matrices
+
+
 @dataclass
 class StratifiedWorkload:
     """The ten distance-stratified query sets of Figure 6."""

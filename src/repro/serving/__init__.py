@@ -37,6 +37,7 @@ from repro.serving.fleet import (
 )
 from repro.serving.mmap import load_index_mmap, shared_label_arrays
 from repro.serving.shards import RouterStats, ShardRouter
+from repro.serving.shm_cache import SharedPairCache
 
 __all__ = [
     "BatchPlacer",
@@ -49,6 +50,7 @@ __all__ = [
     "FleetStats",
     "RouterStats",
     "ShardRouter",
+    "SharedPairCache",
     "WorkerPool",
     "load_index_mmap",
     "shared_label_arrays",

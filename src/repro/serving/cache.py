@@ -10,7 +10,12 @@ LRU caches layered over an inner oracle:
   ``distance`` and ``distances`` (misses of a batch are evaluated in one
   vectorised inner call), and
 * a **row cache** over ``one_to_many`` results keyed by
-  ``(source, targets)``, which also backs ``many_to_many``.
+  ``(source, targets)``, which also backs ``many_to_many``, and
+* a **matrix cache** over whole ``many_to_many`` results keyed by
+  ``(sources, targets)`` - repeated dispatch grids (the ride-hailing
+  pattern: the same hot zone queried every tick) skip even the row
+  assembly, and duplicate sources *within* one request are assembled
+  once.
 
 The wrapper is itself a :class:`DistanceOracle`, so it can be stacked
 under the coalescing server or swapped into the experiment harness.
@@ -33,6 +38,7 @@ from repro.core.oracle import DistanceOracle, as_pair_array, as_vertex_ids
 
 PairKey = Tuple[int, int]
 RowKey = Tuple[int, Tuple[int, ...]]
+MatrixKey = Tuple[Tuple[int, ...], Tuple[int, ...]]
 
 
 @dataclass
@@ -43,18 +49,27 @@ class CacheStats:
     pair_misses: int = 0
     row_hits: int = 0
     row_misses: int = 0
+    matrix_hits: int = 0
+    matrix_misses: int = 0
 
     @property
     def requests(self) -> int:
-        """Total lookups across both caches."""
-        return self.pair_hits + self.pair_misses + self.row_hits + self.row_misses
+        """Total lookups across all three caches."""
+        return (
+            self.pair_hits
+            + self.pair_misses
+            + self.row_hits
+            + self.row_misses
+            + self.matrix_hits
+            + self.matrix_misses
+        )
 
     def hit_rate(self) -> float:
         """Fraction of lookups answered from cache (0.0 when idle)."""
         total = self.requests
         if total == 0:
             return 0.0
-        return (self.pair_hits + self.row_hits) / total
+        return (self.pair_hits + self.row_hits + self.matrix_hits) / total
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten for benchmark/report rows."""
@@ -63,6 +78,8 @@ class CacheStats:
             "pair_misses": self.pair_misses,
             "row_hits": self.row_hits,
             "row_misses": self.row_misses,
+            "matrix_hits": self.matrix_hits,
+            "matrix_misses": self.matrix_misses,
             "hit_rate": self.hit_rate(),
         }
 
@@ -82,6 +99,8 @@ class CachingOracle:
         Capacity of the ``(s, t)`` pair cache (entries).
     max_rows:
         Capacity of the ``one_to_many`` row cache (rows).
+    max_matrices:
+        Capacity of the ``many_to_many`` matrix cache (matrices).
     """
 
     def __init__(
@@ -89,17 +108,22 @@ class CachingOracle:
         oracle: DistanceOracle,
         max_pairs: int = 65536,
         max_rows: int = 256,
+        max_matrices: int = 64,
     ) -> None:
         if max_pairs < 1:
             raise ValueError(f"max_pairs must be >= 1, got {max_pairs}")
         if max_rows < 1:
             raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        if max_matrices < 1:
+            raise ValueError(f"max_matrices must be >= 1, got {max_matrices}")
         self.oracle = oracle
         self.max_pairs = max_pairs
         self.max_rows = max_rows
+        self.max_matrices = max_matrices
         self.stats = CacheStats()
         self._pairs: "OrderedDict[PairKey, float]" = OrderedDict()
         self._rows: "OrderedDict[RowKey, np.ndarray]" = OrderedDict()
+        self._matrices: "OrderedDict[MatrixKey, np.ndarray]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # protocol metadata
@@ -162,6 +186,7 @@ class CachingOracle:
         """Drop every cached value (stats are preserved)."""
         self._pairs.clear()
         self._rows.clear()
+        self._matrices.clear()
 
     # ------------------------------------------------------------------ #
     # queries
@@ -229,12 +254,40 @@ class CachingOracle:
         return row.copy()
 
     def many_to_many(self, sources: Sequence[int], targets: Sequence[int]) -> np.ndarray:
-        """Distance matrix assembled from (cacheable) one-to-many rows."""
+        """Distance matrix, served whole from the matrix cache when possible.
+
+        A miss assembles the matrix from (cacheable) ``one_to_many``
+        rows, with in-batch dedup: a source repeated within one request
+        is assembled once and counts as a row hit from its second
+        occurrence on - mirroring how ``distances`` treats duplicate
+        pairs.
+        """
         source_array = as_vertex_ids(np.asarray(sources), "sources")
         target_array = as_vertex_ids(np.asarray(targets), "targets")
+        key: MatrixKey = (
+            tuple(source_array.tolist()),
+            tuple(target_array.tolist()),
+        )
+        matrix = self._matrices.get(key)
+        if matrix is not None:
+            self._matrices.move_to_end(key)
+            self.stats.matrix_hits += 1
+            return matrix.copy()
+        self.stats.matrix_misses += 1
         out = np.empty((len(source_array), len(target_array)), dtype=np.float64)
+        seen: Dict[int, int] = {}
         for i, s in enumerate(source_array.tolist()):
+            first = seen.get(s)
+            if first is not None:
+                self.stats.row_hits += 1  # coalesced with an in-batch row
+                out[i, :] = out[first, :]
+                continue
+            seen[s] = i
             out[i, :] = self.one_to_many(s, target_array)
+        self._matrices[key] = out.copy()
+        self._matrices.move_to_end(key)
+        if len(self._matrices) > self.max_matrices:
+            self._matrices.popitem(last=False)
         return out
 
     def distance_with_hub_count(self, s: int, t: int) -> Tuple[float, int]:

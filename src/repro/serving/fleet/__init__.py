@@ -10,16 +10,33 @@ processes, each serving shards through the lazy-mmap
 :class:`~repro.serving.shards.ShardRouter`.  Answers stay bit-identical
 to the monolithic engine; the fleet only changes *where* they are
 computed.
+
+The TCP plane speaks two framings (:mod:`repro.serving.fleet.protocol`):
+JSON for control ops and netcat-style clients, and a binary frame type
+that moves ``distances`` / ``one_to_many`` / ``many_to_many`` payloads
+as raw ndarray bytes.  Workers optionally share one
+:class:`~repro.serving.shm_cache.SharedPairCache`, so a hot pair pays
+the label min-plus once per *fleet* instead of once per worker.
 """
 
 from repro.serving.fleet.frontdoor import FleetClient, FleetServer, FleetStats
 from repro.serving.fleet.oracle import FleetOracle
 from repro.serving.fleet.placement import BatchPlacer, PlacementPlan, owner_shard_by_original
 from repro.serving.fleet.pool import WorkerPool, assign_shards
+from repro.serving.fleet.protocol import (
+    BinaryMessage,
+    decode_binary_payload,
+    encode_binary_frame,
+    encode_frame,
+)
 from repro.serving.fleet.worker import WorkerCrashError, WorkerHandle, worker_main
 
 __all__ = [
     "BatchPlacer",
+    "BinaryMessage",
+    "decode_binary_payload",
+    "encode_binary_frame",
+    "encode_frame",
     "FleetClient",
     "FleetOracle",
     "FleetServer",

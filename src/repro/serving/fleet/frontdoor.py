@@ -38,13 +38,28 @@ from repro.core.persistence import load_sharded_components
 from repro.serving.fleet.placement import BatchPlacer, owner_shard_by_original
 from repro.serving.fleet.pool import WorkerPool
 from repro.serving.fleet.protocol import (
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    BinaryMessage,
+    encode_binary_frame,
+    encode_frame,
     error_to_wire,
     read_frame,
     wire_to_error,
     write_frame,
 )
+from repro.serving.shm_cache import SharedPairCache
 
 INF = float("inf")
+
+#: wire modes a fleet endpoint can speak (see protocol module docs)
+WIRE_MODES = ("json", "binary")
+
+
+def _validate_wire(wire) -> str:
+    if not isinstance(wire, str) or wire not in WIRE_MODES:
+        raise ValueError(f"wire must be one of {WIRE_MODES}, got {wire!r}")
+    return wire
 
 
 class FleetStats:
@@ -58,8 +73,18 @@ class FleetStats:
         batches = server._batches
         hit_rate = server._whole_batches / batches if batches else 0.0
         workers = server.pool.worker_stats()
+        cache = server.shared_cache
+        if cache is not None:
+            shared_cache: Dict[str, object] = {"enabled": True}
+            shared_cache.update(cache.counters_dict())
+            for row in workers:
+                row["shared_cache"] = cache.counter_row_dict(int(row["worker_id"]))
+        else:
+            shared_cache = {"enabled": False}
         return {
             "num_workers": server.pool.num_workers,
+            "wire": server.wire,
+            "shared_cache": shared_cache,
             "batches": batches,
             "whole_batches": server._whole_batches,
             "split_batches": server._split_batches,
@@ -93,6 +118,16 @@ class FleetServer:
     max_retries:
         Crash-retry budget per request (see
         :class:`~repro.serving.fleet.worker.WorkerHandle`).
+    wire:
+        TCP response framing for the array ops: ``"binary"`` (default)
+        answers binary requests in kind, ``"json"`` forces JSON replies
+        even for binary requests (the negotiated fallback).  JSON
+        requests always get JSON replies in either mode.
+    shared_cache_slots:
+        Capacity of the cross-worker shared-memory pair cache
+        (:class:`~repro.serving.shm_cache.SharedPairCache`); ``0``
+        disables it.  Helps skewed/repeating traffic, pure overhead on
+        uniform-random pairs.
     """
 
     def __init__(
@@ -104,6 +139,8 @@ class FleetServer:
         majority_threshold: float = 0.75,
         max_retries: int = 1,
         mmap: bool = True,
+        wire: str = "binary",
+        shared_cache_slots: int = 0,
     ) -> None:
         # loud validation, HC2LParameters style: a serving tier must refuse
         # a nonsensical configuration at construction, not degrade at 3am
@@ -119,6 +156,15 @@ class FleetServer:
             raise ValueError(f"max_batch must be an int >= 1, got {max_batch!r}")
         if isinstance(max_retries, bool) or not isinstance(max_retries, int) or max_retries < 0:
             raise ValueError(f"max_retries must be an int >= 0, got {max_retries!r}")
+        self.wire = _validate_wire(wire)
+        if (
+            isinstance(shared_cache_slots, bool)
+            or not isinstance(shared_cache_slots, (int, np.integer))
+            or shared_cache_slots < 0
+        ):
+            raise ValueError(
+                f"shared_cache_slots must be an int >= 0, got {shared_cache_slots!r}"
+            )
 
         components, manifest, shard_dir = load_sharded_components(path)
         self.path = shard_dir
@@ -133,13 +179,24 @@ class FleetServer:
         self.max_batch = int(max_batch)
 
         num_shards = len(manifest["boundaries"]) - 1
-        self.pool = WorkerPool(
-            shard_dir,
-            num_shards=num_shards,
-            num_workers=num_workers,
-            mmap=mmap,
-            max_retries=max_retries,
-        )
+        self.shared_cache: Optional[SharedPairCache] = None
+        if shared_cache_slots:
+            self.shared_cache = SharedPairCache.create(
+                int(shared_cache_slots), counter_rows=max(int(num_workers), 1)
+            )
+        try:
+            self.pool = WorkerPool(
+                shard_dir,
+                num_shards=num_shards,
+                num_workers=num_workers,
+                mmap=mmap,
+                max_retries=max_retries,
+                cache_name=self.shared_cache.name if self.shared_cache else None,
+            )
+        except BaseException:
+            if self.shared_cache is not None:
+                self.shared_cache.close()
+            raise
         owner_shard = owner_shard_by_original(
             self.contraction,
             self.hierarchy,
@@ -225,6 +282,8 @@ class FleetServer:
             self._tcp_server = None
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, lambda: self.pool.shutdown(timeout=timeout))
+        if self.shared_cache is not None:
+            self.shared_cache.close()
 
     async def __aenter__(self) -> "FleetServer":
         return await self.start()
@@ -420,6 +479,8 @@ class FleetServer:
         self._scalar_requests = 0
         self._coalesce_flushes = 0
         self.pool.reset_stats()
+        if self.shared_cache is not None:
+            self.shared_cache.reset_counters()
 
     # ------------------------------------------------------------------ #
     # TCP plane
@@ -463,20 +524,75 @@ class FleetServer:
                 pass
 
     async def _serve_request(
-        self, request: dict, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+        self,
+        request: Union[dict, BinaryMessage],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
     ) -> None:
-        request_id = request.get("id")
-        try:
-            value = await self._apply(request)
-        except BaseException as error:  # noqa: BLE001 - shipped to the peer
-            reply = {"id": request_id, "ok": False, "error": error_to_wire(error)}
+        if isinstance(request, BinaryMessage):
+            frame = await self._serve_binary(request)
         else:
-            reply = {"id": request_id, "ok": True, "value": value}
+            request_id = request.get("id")
+            try:
+                value = await self._apply(request)
+            except BaseException as error:  # noqa: BLE001 - shipped to the peer
+                reply = {"id": request_id, "ok": False, "error": error_to_wire(error)}
+            else:
+                reply = {"id": request_id, "ok": True, "value": value}
+            frame = encode_frame(reply)
         try:
             async with write_lock:
-                await write_frame(writer, reply)
+                writer.write(frame)
+                await writer.drain()
         except (ConnectionError, OSError):
             pass  # peer gone; nothing to tell
+
+    async def _serve_binary(self, request: BinaryMessage) -> bytes:
+        """Serve one binary request; errors always fall back to JSON.
+
+        In ``wire="binary"`` mode the ok-reply is a binary frame viewing
+        the result buffer; in ``wire="json"`` mode (the negotiated
+        fallback) the same request gets an ordinary JSON reply.
+        """
+        try:
+            if request.kind != KIND_REQUEST:
+                raise ValueError("expected a binary request frame, got a response kind")
+            value = await self._apply_binary(request)
+        except BaseException as error:  # noqa: BLE001 - shipped to the peer
+            return encode_frame(
+                {"id": request.request_id, "ok": False, "error": error_to_wire(error)}
+            )
+        if self.wire == "binary":
+            return encode_binary_frame(
+                KIND_RESPONSE, request.op, request.request_id, [value]
+            )
+        return encode_frame(
+            {"id": request.request_id, "ok": True, "value": value.tolist()}
+        )
+
+    async def _apply_binary(self, request: BinaryMessage) -> np.ndarray:
+        """Execute one binary request; returns the raw ndarray result."""
+        arrays = request.arrays
+        if request.op == "distances":
+            if len(arrays) != 1 or arrays[0].ndim != 2 or arrays[0].shape[1] != 2:
+                raise ValueError("binary 'distances' expects one (N, 2) int64 array")
+            return await self.distances(arrays[0])
+        if request.op == "one_to_many":
+            if len(arrays) != 2 or arrays[0].size != 1:
+                raise ValueError(
+                    "binary 'one_to_many' expects a one-element source array "
+                    "and a target array"
+                )
+            return await self.one_to_many(
+                int(arrays[0].reshape(-1)[0]), arrays[1].reshape(-1)
+            )
+        if request.op == "many_to_many":
+            if len(arrays) != 2:
+                raise ValueError(
+                    "binary 'many_to_many' expects a source array and a target array"
+                )
+            return await self.many_to_many(arrays[0].reshape(-1), arrays[1].reshape(-1))
+        raise ValueError(f"op {request.op!r} has no binary form")
 
     async def _apply(self, request: dict):
         """Execute one wire request and return a JSON-serialisable value."""
@@ -512,9 +628,21 @@ class FleetClient:
     One connection multiplexes concurrent requests by id; remote errors
     re-raise as their original builtin exception type (see
     :func:`~repro.serving.fleet.protocol.wire_to_error`).
+
+    ``wire="binary"`` sends the array ops (``distances`` /
+    ``one_to_many`` / ``many_to_many``) as binary frames; the reply may
+    come back binary (server in binary mode) or JSON (negotiated
+    fallback) - both resolve to the same float64 arrays.  Control ops
+    are always JSON.
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        wire: str = "json",
+    ) -> None:
+        self.wire = _validate_wire(wire)
         self._reader = reader
         self._writer = writer
         self._write_lock = asyncio.Lock()
@@ -523,9 +651,9 @@ class FleetClient:
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "FleetClient":
+    async def connect(cls, host: str, port: int, wire: str = "json") -> "FleetClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, wire=wire)
 
     async def _read_loop(self) -> None:
         try:
@@ -533,6 +661,12 @@ class FleetClient:
                 reply = await read_frame(self._reader)
                 if reply is None:
                     break
+                if isinstance(reply, BinaryMessage):
+                    future = self._pending.pop(reply.request_id, None)
+                    if future is None or future.done():
+                        continue
+                    future.set_result(reply.arrays[0] if reply.arrays else None)
+                    continue
                 future = self._pending.pop(reply.get("id"), None)
                 if future is None or future.done():
                     continue
@@ -551,39 +685,81 @@ class FleetClient:
             if not future.done():
                 future.set_exception(error)
 
-    async def request(self, op: str, **arguments):
-        """Send one request and await its reply value."""
+    def _register(self) -> Tuple[int, asyncio.Future]:
         loop = asyncio.get_running_loop()
         request_id = self._next_id
         self._next_id += 1
         future = loop.create_future()
         self._pending[request_id] = future
+        return request_id, future
+
+    async def request(self, op: str, **arguments):
+        """Send one JSON request and await its reply value."""
+        request_id, future = self._register()
         message = {"id": request_id, "op": op, **arguments}
         async with self._write_lock:
             await write_frame(self._writer, message)
+        return await future
+
+    async def _request_binary(self, op: str, arrays: List[np.ndarray]):
+        """Send one binary request; the reply may be binary or JSON."""
+        request_id, future = self._register()
+        frame = encode_binary_frame(KIND_REQUEST, op, request_id, arrays)
+        async with self._write_lock:
+            self._writer.write(frame)
+            await self._writer.drain()
         return await future
 
     async def distance(self, s: int, t: int) -> float:
         return float(await self.request("distance", s=int(s), t=int(t)))
 
     async def distances(self, pairs) -> np.ndarray:
-        wire_pairs = [[int(s), int(t)] for s, t in np.asarray(pairs).reshape(-1, 2)]
+        pair_array = np.ascontiguousarray(
+            np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        )
+        if self.wire == "binary":
+            values = await self._request_binary("distances", [pair_array])
+            return np.asarray(values, dtype=np.float64).reshape(-1)
+        wire_pairs = [[int(s), int(t)] for s, t in pair_array]
         values = await self.request("distances", pairs=wire_pairs)
         return np.asarray(values, dtype=np.float64)
 
     async def one_to_many(self, s: int, targets) -> np.ndarray:
+        target_array = np.ascontiguousarray(
+            np.asarray(targets, dtype=np.int64).reshape(-1)
+        )
+        if self.wire == "binary":
+            values = await self._request_binary(
+                "one_to_many", [np.asarray([int(s)], dtype=np.int64), target_array]
+            )
+            return np.asarray(values, dtype=np.float64).reshape(-1)
         values = await self.request(
-            "one_to_many", s=int(s), targets=[int(t) for t in targets]
+            "one_to_many", s=int(s), targets=[int(t) for t in target_array]
         )
         return np.asarray(values, dtype=np.float64)
 
     async def many_to_many(self, sources, targets) -> np.ndarray:
+        source_array = np.ascontiguousarray(
+            np.asarray(sources, dtype=np.int64).reshape(-1)
+        )
+        target_array = np.ascontiguousarray(
+            np.asarray(targets, dtype=np.int64).reshape(-1)
+        )
+        if self.wire == "binary":
+            matrix = await self._request_binary(
+                "many_to_many", [source_array, target_array]
+            )
+            return np.asarray(matrix, dtype=np.float64).reshape(
+                len(source_array), len(target_array)
+            )
         matrix = await self.request(
             "many_to_many",
-            sources=[int(s) for s in sources],
-            targets=[int(t) for t in targets],
+            sources=[int(s) for s in source_array],
+            targets=[int(t) for t in target_array],
         )
-        return np.asarray(matrix, dtype=np.float64)
+        return np.asarray(matrix, dtype=np.float64).reshape(
+            len(source_array), len(target_array)
+        )
 
     async def distance_with_hub_count(self, s: int, t: int) -> Tuple[float, int]:
         value, hubs = await self.request("hub_count", s=int(s), t=int(t))

@@ -56,6 +56,7 @@ class WorkerPool:
         num_workers: int,
         mmap: bool = True,
         max_retries: int = 1,
+        cache_name: Optional[str] = None,
     ) -> None:
         self.path = str(path)
         self.assignment = assign_shards(num_shards, num_workers)
@@ -72,6 +73,7 @@ class WorkerPool:
                 ctx=ctx,
                 mmap=mmap,
                 max_retries=max_retries,
+                cache_name=cache_name,
             )
             for worker_id, owned in enumerate(self.assignment)
         ]

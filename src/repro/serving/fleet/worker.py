@@ -10,6 +10,16 @@ foreign shard a cross-worker pair touches, so every worker can answer
 every query bit-identically - locality-aware placement just makes that
 the rare path.
 
+The pipe speaks the fleet's pipe codec
+(:func:`repro.serving.fleet.protocol.encode_pipe_message`): a
+``distances`` request's pair array and its ndarray reply travel as raw
+binary frames via ``send_bytes`` - no pickling of numeric payloads -
+while control ops and error replies fall back to pickle.  When the
+front door created a :class:`~repro.serving.shm_cache.SharedPairCache`,
+every worker attaches to it and answers ``distances`` through it:
+shared-memory hits skip the router's label min-plus entirely, misses
+are computed once and published for every sibling worker.
+
 The parent side is :class:`WorkerHandle`: requests are queued and driven
 by one dispatcher thread per worker (send, blocking recv, resolve the
 caller's ``asyncio`` future via ``call_soon_threadsafe``).  The
@@ -29,7 +39,9 @@ import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.serving.fleet.protocol import decode_pipe_message, encode_pipe_message
 from repro.serving.shards import ShardRouter
+from repro.serving.shm_cache import SharedPairCache
 
 #: ops a worker understands; anything else is answered with a ValueError
 WORKER_OPS = (
@@ -53,26 +65,37 @@ def worker_main(
     conn,
     owned_shards: Sequence[int],
     mmap: bool = True,
+    cache_name: Optional[str] = None,
 ) -> None:
     """Entry point of one worker process.
 
-    Opens the router, preloads the owned shards, then serves requests
-    until the pipe closes or a ``shutdown`` op arrives.  Every exception
+    Opens the router (and the shared pair cache, when the front door
+    created one), preloads the owned shards, then serves requests until
+    the pipe closes or a ``shutdown`` op arrives.  Every exception
     raised by the router is caught and shipped back to the parent as an
     error reply - the worker never dies because a *query* was bad, only
     the asking request fails (and with the original exception type).
     """
     router = ShardRouter(path, mmap=mmap)
+    cache = (
+        SharedPairCache.attach(cache_name, counter_row=worker_id)
+        if cache_name
+        else None
+    )
     for shard_id in owned_shards:
         router._shard(int(shard_id))
+
+    def send(reply: dict) -> None:
+        conn.send_bytes(encode_pipe_message(reply))
+
     while True:
         try:
-            request = conn.recv()
+            request = decode_pipe_message(conn.recv_bytes())
         except (EOFError, OSError):
             break  # parent went away; nothing left to serve
         op = request.get("op")
         if op == "shutdown":
-            conn.send({"ok": True, "value": None})
+            send({"ok": True, "value": None})
             break
         if op == "__crash__":
             # test hook: simulate a hard worker crash mid-request (the
@@ -80,7 +103,10 @@ def worker_main(
             os._exit(13)
         try:
             if op == "distances":
-                value = router.distances(request["pairs"])
+                if cache is not None:
+                    value = cache.cached_distances(router, request["pairs"])
+                else:
+                    value = router.distances(request["pairs"])
             elif op == "distance":
                 value = router.distance(request["s"], request["t"])
             elif op == "hub_count":
@@ -98,15 +124,17 @@ def worker_main(
                 raise ValueError(f"unknown worker op {op!r}; expected one of {WORKER_OPS}")
         except BaseException as error:  # noqa: BLE001 - shipped to the caller
             try:
-                conn.send({"ok": False, "error": error})
+                send({"ok": False, "error": error})
             except Exception:
                 # unpicklable exception: degrade to a picklable summary
-                conn.send(
+                send(
                     {"ok": False, "error": RuntimeError(f"{type(error).__name__}: {error}")}
                 )
         else:
-            conn.send({"ok": True, "value": value})
+            send({"ok": True, "value": value})
     conn.close()
+    if cache is not None:
+        cache.close()
     router.close()
 
 
@@ -151,6 +179,7 @@ class WorkerHandle:
         ctx,
         mmap: bool = True,
         max_retries: int = 1,
+        cache_name: Optional[str] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -158,6 +187,7 @@ class WorkerHandle:
         self.worker_id = int(worker_id)
         self.stats = WorkerHandleStats(owned_shards=[int(s) for s in owned_shards])
         self.max_retries = int(max_retries)
+        self.cache_name = cache_name
         self._ctx = ctx
         self._mmap = mmap
         self._queue: "queue.Queue[object]" = queue.Queue()
@@ -190,6 +220,7 @@ class WorkerHandle:
                 child_conn,
                 list(self.stats.owned_shards),
                 self._mmap,
+                self.cache_name,
             ),
             name=f"fleet-worker-{self.worker_id}",
             daemon=True,
@@ -263,8 +294,8 @@ class WorkerHandle:
         """
         while True:
             try:
-                self.conn.send(item.request)
-                reply = self.conn.recv()
+                self.conn.send_bytes(encode_pipe_message(item.request))
+                reply = decode_pipe_message(self.conn.recv_bytes())
             except (EOFError, OSError, BrokenPipeError) as error:
                 with self._lock:
                     self.stats.restarts += 1
@@ -303,8 +334,8 @@ class WorkerHandle:
 
     def _graceful_stop(self) -> None:
         try:
-            self.conn.send({"op": "shutdown"})
-            self.conn.recv()
+            self.conn.send_bytes(encode_pipe_message({"op": "shutdown"}))
+            decode_pipe_message(self.conn.recv_bytes())
         except (EOFError, OSError, BrokenPipeError):
             pass  # already dead; close() reaps the process
         if self.process is not None:

@@ -1,0 +1,446 @@
+"""Shared-memory cross-worker pair cache with per-slot seqlocks.
+
+The fleet (:mod:`repro.serving.fleet`) runs one router per worker
+process, so before this module each worker paid the hub-label min-plus
+for a hot pair once *per worker*.  :class:`SharedPairCache` pools those
+hits: one fixed-capacity open-addressed table of ``(u, v) -> distance``
+slots in a ``multiprocessing.shared_memory`` segment, created by the
+front door and attached by every worker.
+
+Concurrency model - readers never block, writers never lock:
+
+* every slot carries a **sequence counter** (seqlock).  A writer bumps
+  it to odd, writes the fields, bumps it back to even; a reader snapshots
+  the counter before and after the field reads and discards the slot if
+  the counter changed or is odd (write in progress / writer died
+  mid-write).  A worker killed mid-write therefore leaves an odd
+  counter behind: readers skip the slot forever (a miss, never garbage,
+  never a hang) and the next writer reclaims it.
+* two *concurrent* writers on one slot can interleave in ways a bare
+  seqlock cannot detect (both end on the same even counter with mixed
+  fields), so every slot also stores a **checksum** over
+  ``(u, v, distance-bits)``; a reader validates it after a stable
+  snapshot and treats a mismatch as a miss.  Distances are
+  deterministic for a fixed index, so two writers racing on the *same*
+  key always write identical bytes - the checksum only has to catch
+  cross-key mixes.
+
+Keys are normalised to ``(min(u, v), max(u, v))`` before hashing - valid
+for the symmetric oracles this repo serves, and the same contract
+:class:`repro.serving.cache.CachingOracle` already documents.
+
+Per-worker counters live in the segment header (one row of
+``hits / misses / fills / evictions`` per worker, single-writer so no
+atomics needed); the parent sums them for the aggregate
+``FleetStats`` section without a round trip to any worker.
+
+Lifecycle note: Python 3.11's ``SharedMemory`` has no ``track=False``.
+Fleet workers are ``spawn`` children, so they share the parent's
+resource-tracker process and their attach-time registrations simply
+de-duplicate against the owner's - the owner's ``unlink`` settles the
+one shared entry.  Attaching from an *unrelated* process (its own
+tracker) is unsupported on 3.11: that tracker would unlink the segment
+out from under the fleet when the foreign process exits.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SharedPairCache", "SLOT_DTYPE", "PROBE_WINDOW"]
+
+#: one cache slot: seqlock counter, normalised key, value, checksum
+SLOT_DTYPE = np.dtype(
+    [
+        ("seq", "<u8"),
+        ("u", "<i8"),
+        ("v", "<i8"),
+        ("dist", "<f8"),
+        ("check", "<u8"),
+    ]
+)
+
+#: linear-probe window; a full window evicts (bounded work per lookup)
+PROBE_WINDOW = 8
+
+_HEADER_DTYPE = np.dtype("<u8")
+_HEADER_WORDS = 4  # magic, version, capacity, counter_rows
+_COUNTER_WORDS = 4  # hits, misses, fills, evictions
+_MAGIC = 0x48433243_50414952  # "HC2C PAIR"
+_VERSION = 1
+
+_U64 = np.uint64
+_ONE = _U64(1)
+
+
+def _mix(z: np.ndarray) -> np.ndarray:
+    """splitmix64 finaliser over a uint64 array (vectorised, wrapping)."""
+    z = z ^ (z >> _U64(30))
+    z = z * _U64(0xBF58476D1CE4E5B9)
+    z = z ^ (z >> _U64(27))
+    z = z * _U64(0x94D049BB133111EB)
+    return z ^ (z >> _U64(31))
+
+
+def _pair_hash(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Hash normalised key columns into uint64 slot indices."""
+    a = u.astype(_U64) + _U64(0x9E3779B97F4A7C15)
+    b = v.astype(_U64) + _U64(0xC2B2AE3D27D4EB4F)
+    return _mix(a * _U64(0xFF51AFD7ED558CCD) ^ _mix(b))
+
+
+def _slot_checksum(u: np.ndarray, v: np.ndarray, dist: np.ndarray) -> np.ndarray:
+    """Checksum binding key and value bits within one slot."""
+    bits = np.ascontiguousarray(dist, dtype="<f8").view(_U64)
+    return _mix(_pair_hash(u, v) ^ bits)
+
+
+def _validate_count(name: str, value, minimum: int = 1) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+class SharedPairCache:
+    """Fixed-capacity shared ``(u, v) -> distance`` table (see module doc).
+
+    Construct through :meth:`create` (owner: allocates + unlinks) or
+    :meth:`attach` (worker: opens an existing segment by name).
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        *,
+        owner: bool,
+        counter_row: Optional[int],
+    ) -> None:
+        self._shm = shm
+        self._owner = owner
+        # read the header through a scoped view: a still-referenced numpy
+        # view would make shm.close() on the error paths raise BufferError
+        header = np.frombuffer(shm.buf, dtype=_HEADER_DTYPE, count=_HEADER_WORDS)
+        magic, version, capacity, counter_rows = (int(x) for x in header)
+        del header
+        if magic != _MAGIC:
+            shm.close()
+            raise ValueError(
+                f"shared memory segment {shm.name!r} is not a SharedPairCache"
+            )
+        if version != _VERSION:
+            shm.close()
+            raise ValueError(f"unsupported SharedPairCache version {version}")
+        self._capacity = capacity
+        self._counter_rows = counter_rows
+        if counter_row is not None:
+            counter_row = _validate_count("counter_row", counter_row, minimum=0)
+            if counter_row >= self._counter_rows:
+                shm.close()
+                raise ValueError(
+                    f"counter_row {counter_row} out of range for "
+                    f"{self._counter_rows} counter rows"
+                )
+        self._counter_row = counter_row
+        offset = _HEADER_WORDS * _HEADER_DTYPE.itemsize
+        self._counters = np.frombuffer(
+            shm.buf,
+            dtype=_HEADER_DTYPE,
+            count=self._counter_rows * _COUNTER_WORDS,
+            offset=offset,
+        ).reshape(self._counter_rows, _COUNTER_WORDS)
+        offset += self._counter_rows * _COUNTER_WORDS * _HEADER_DTYPE.itemsize
+        self._slots = np.frombuffer(
+            shm.buf, dtype=SLOT_DTYPE, count=self._capacity, offset=offset
+        )
+        self._closed = False
+
+    # ----------------------------------------------------------------- #
+    # lifecycle
+    # ----------------------------------------------------------------- #
+    @classmethod
+    def create(cls, slots: int, counter_rows: int = 1) -> "SharedPairCache":
+        """Allocate a fresh segment with ``slots`` capacity.
+
+        ``counter_rows`` is the number of independent stat rows (one per
+        attaching worker).  The creator owns the segment: its
+        :meth:`close` unlinks the backing file.
+        """
+        slots = _validate_count("slots", slots)
+        counter_rows = _validate_count("counter_rows", counter_rows)
+        size = (
+            (_HEADER_WORDS + counter_rows * _COUNTER_WORDS) * _HEADER_DTYPE.itemsize
+            + slots * SLOT_DTYPE.itemsize
+        )
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        header = np.frombuffer(shm.buf, dtype=_HEADER_DTYPE, count=_HEADER_WORDS)
+        header[0] = _MAGIC
+        header[1] = _VERSION
+        header[2] = slots
+        header[3] = counter_rows
+        del header
+        return cls(shm, owner=True, counter_row=None)
+
+    @classmethod
+    def attach(cls, name: str, counter_row: Optional[int] = None) -> "SharedPairCache":
+        """Open an existing segment by name (worker side).
+
+        ``counter_row`` selects the stat row this process increments;
+        pass ``None`` for a read-only / non-counting attachment.
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"shared cache name must be a non-empty string, got {name!r}")
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, owner=False, counter_row=counter_row)
+
+    @property
+    def name(self) -> str:
+        """Segment name to hand to :meth:`attach` in other processes."""
+        return self._shm.name
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def counter_rows(self) -> int:
+        return self._counter_rows
+
+    def _release_views(self) -> None:
+        # numpy views keep the shm buffer exported; drop them before close()
+        self._header = None
+        self._counters = None
+        self._slots = None
+
+    def close(self) -> None:
+        """Detach; the owning side also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._release_views()
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedPairCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("SharedPairCache is closed")
+
+    # ----------------------------------------------------------------- #
+    # lookups
+    # ----------------------------------------------------------------- #
+    @staticmethod
+    def _normalise(pair_array: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        pairs = np.asarray(pair_array, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(f"expected an (N, 2) pair array, got shape {pairs.shape}")
+        return np.minimum(pairs[:, 0], pairs[:, 1]), np.maximum(pairs[:, 0], pairs[:, 1])
+
+    def _probe_indices(self, h: np.ndarray) -> np.ndarray:
+        offsets = np.arange(PROBE_WINDOW, dtype=_U64)
+        return ((h[:, None] + offsets[None, :]) % _U64(self._capacity)).astype(np.int64)
+
+    def get_many(self, pair_array) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised lookup of an ``(N, 2)`` batch.
+
+        Returns ``(values, found)``: ``values[i]`` is valid only where
+        ``found[i]``.  A lookup is wait-free - unstable slots (odd or
+        moving seqlock counters, checksum mismatches) simply count as
+        misses after a few whole-batch retries.
+        """
+        self._check_open()
+        u, v = self._normalise(pair_array)
+        n = len(u)
+        values = np.zeros(n, dtype=np.float64)
+        found = np.zeros(n, dtype=bool)
+        if n == 0 or self._capacity == 0:
+            return values, found
+        idx = self._probe_indices(_pair_hash(u, v))
+        slots = self._slots
+        for _ in range(4):
+            seq_before = slots["seq"][idx]
+            slot_u = slots["u"][idx]
+            slot_v = slots["v"][idx]
+            slot_dist = slots["dist"][idx]
+            slot_check = slots["check"][idx]
+            seq_after = slots["seq"][idx]
+            stable = (
+                (seq_before == seq_after)
+                & ((seq_before & _ONE) == _U64(0))
+                & (seq_before != _U64(0))
+            )
+            match = (
+                stable
+                & (slot_u == u[:, None])
+                & (slot_v == v[:, None])
+                & (slot_check == _slot_checksum(slot_u, slot_v, slot_dist))
+            )
+            hit = match.any(axis=1)
+            first = np.argmax(match, axis=1)
+            newly = hit & ~found
+            if newly.any():
+                rows = np.nonzero(newly)[0]
+                values[rows] = slot_dist[rows, first[rows]]
+                found[rows] = True
+            # only torn reads warrant a retry; a plain absence is final
+            torn = (seq_before != seq_after) | ((seq_before & _ONE) != _U64(0))
+            if not (torn.any(axis=1) & ~found).any():
+                break
+        if self._counter_row is not None:
+            hits = int(found.sum())
+            row = self._counters[self._counter_row]
+            row[0] += _U64(hits)
+            row[1] += _U64(n - hits)
+        return values, found
+
+    def get(self, u: int, v: int) -> Optional[float]:
+        """Scalar lookup; ``None`` on a miss."""
+        values, found = self.get_many(np.array([[u, v]], dtype=np.int64))
+        return float(values[0]) if bool(found[0]) else None
+
+    # ----------------------------------------------------------------- #
+    # publishes
+    # ----------------------------------------------------------------- #
+    def put_many(self, pair_array, values) -> None:
+        """Publish a batch of ``(u, v) -> distance`` entries.
+
+        Slot choice per key: an existing even slot for the same key wins
+        (already published - skip), else the first empty slot in the
+        probe window, else the first crashed slot (stuck odd counter -
+        reclaimed here), else evict the slot at the window head.
+        """
+        self._check_open()
+        u, v = self._normalise(pair_array)
+        dist = np.asarray(values, dtype=np.float64).reshape(-1)
+        if len(dist) != len(u):
+            raise ValueError(
+                f"got {len(u)} pairs but {len(dist)} values"
+            )
+        if len(u) == 0:
+            return
+        idx = self._probe_indices(_pair_hash(u, v))
+        checks = _slot_checksum(u, v, dist)
+        slots = self._slots
+        fills = 0
+        evictions = 0
+        for i in range(len(u)):
+            ui = np.int64(u[i])
+            vi = np.int64(v[i])
+            target = -1
+            stuck = -1
+            duplicate = False
+            for k in idx[i]:
+                seq = slots["seq"][k]
+                if seq == _U64(0):
+                    target = k
+                    break
+                if seq & _ONE:
+                    if stuck < 0:
+                        stuck = k
+                    continue
+                if slots["u"][k] == ui and slots["v"][k] == vi:
+                    duplicate = True
+                    break
+            if duplicate:
+                continue
+            if target < 0:
+                if stuck >= 0:
+                    target = stuck
+                else:
+                    target = idx[i][0]
+                    evictions += 1
+            seq = slots["seq"][target]
+            begin = seq + (_U64(2) if seq & _ONE else _ONE)
+            slots["seq"][target] = begin  # odd: readers back off
+            slots["u"][target] = ui
+            slots["v"][target] = vi
+            slots["dist"][target] = dist[i]
+            slots["check"][target] = checks[i]
+            slots["seq"][target] = begin + _ONE  # even: published
+            fills += 1
+        if self._counter_row is not None:
+            row = self._counters[self._counter_row]
+            row[2] += _U64(fills)
+            row[3] += _U64(evictions)
+
+    def put(self, u: int, v: int, value: float) -> None:
+        """Scalar publish."""
+        self.put_many(
+            np.array([[u, v]], dtype=np.int64), np.array([value], dtype=np.float64)
+        )
+
+    # ----------------------------------------------------------------- #
+    # cache-through helper
+    # ----------------------------------------------------------------- #
+    def cached_distances(self, oracle, pair_array) -> np.ndarray:
+        """Answer a pair batch through the cache.
+
+        Hits come straight from shared memory; misses go to
+        ``oracle.distances`` as one deduplicated batch of normalised
+        keys and are published for every other worker.  Bit-identical to
+        ``oracle.distances(pair_array)`` for symmetric oracles.
+        """
+        pairs = np.asarray(pair_array, dtype=np.int64).reshape(-1, 2)
+        values, found = self.get_many(pairs)
+        if bool(found.all()):
+            return values
+        miss_rows = np.nonzero(~found)[0]
+        u, v = self._normalise(pairs[miss_rows])
+        keys = np.stack([u, v], axis=1)
+        unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
+        miss_values = np.asarray(oracle.distances(unique_keys), dtype=np.float64)
+        values[miss_rows] = miss_values[inverse.reshape(-1)]
+        self.put_many(unique_keys, miss_values)
+        return values
+
+    # ----------------------------------------------------------------- #
+    # stats
+    # ----------------------------------------------------------------- #
+    def counter_row_dict(self, row: int) -> Dict[str, float]:
+        """Stats for one counter row (one worker)."""
+        self._check_open()
+        row = _validate_count("row", row, minimum=0)
+        if row >= self._counter_rows:
+            raise ValueError(f"row {row} out of range for {self._counter_rows} rows")
+        hits, misses, fills, evictions = (int(x) for x in self._counters[row])
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "fills": fills,
+            "evictions": evictions,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        }
+
+    def counters_dict(self) -> Dict[str, float]:
+        """Aggregate stats summed over every counter row."""
+        self._check_open()
+        totals = self._counters.sum(axis=0)
+        hits, misses, fills, evictions = (int(x) for x in totals)
+        lookups = hits + misses
+        return {
+            "slots": self._capacity,
+            "hits": hits,
+            "misses": misses,
+            "fills": fills,
+            "evictions": evictions,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        }
+
+    def reset_counters(self) -> None:
+        """Zero every counter row (call while the fleet is idle)."""
+        self._check_open()
+        self._counters[:] = 0

@@ -381,6 +381,20 @@ class TestFrontDoorValidation:
             FleetServer(fleet_layout, num_workers=True)
         with pytest.raises(ValueError, match="exceeds num_shards"):
             FleetServer(fleet_layout, num_workers=9)
+        with pytest.raises(ValueError, match="wire"):
+            FleetServer(fleet_layout, wire="msgpack")
+        with pytest.raises(ValueError, match="wire"):
+            FleetServer(fleet_layout, wire=1)
+        with pytest.raises(ValueError, match="shared_cache_slots"):
+            FleetServer(fleet_layout, shared_cache_slots=-1)
+        with pytest.raises(ValueError, match="shared_cache_slots"):
+            FleetServer(fleet_layout, shared_cache_slots=True)
+        with pytest.raises(ValueError, match="shared_cache_slots"):
+            FleetServer(fleet_layout, shared_cache_slots="big")
+
+    def test_client_wire_validated(self):
+        with pytest.raises(ValueError, match="wire"):
+            FleetClient(None, None, wire="carrier-pigeon")
 
     def test_not_started_refused(self, fleet_layout):
         from repro.serving.fleet import FleetServer
@@ -435,3 +449,94 @@ class TestDeterministicRelease:
         baseline = fleet_index.distances(workload)
         fleet.kill_worker(1)
         assert fleet.distances(workload).tolist() == baseline.tolist()
+
+
+# --------------------------------------------------------------------- #
+# wire negotiation and the shared cross-worker cache
+# --------------------------------------------------------------------- #
+class TestWireAndSharedCache:
+    def test_json_wire_server_answers_binary_clients_in_json(
+        self, fleet_layout, fleet_index, workload
+    ):
+        """The negotiated fallback: a ``wire="json"`` server answers a
+        binary request with a JSON frame, and the binary client resolves
+        it to the same float64 arrays - callers cannot tell."""
+        baseline = fleet_index.distances(workload)
+        with FleetOracle(fleet_layout, num_workers=2, wire="json") as fleet:
+            assert fleet.wire == "json"
+            host, port = fleet.start_tcp()
+
+            async def drive():
+                async with await FleetClient.connect(host, port, wire="binary") as client:
+                    batch = await client.distances(workload)
+                    assert batch.dtype == np.float64
+                    assert batch.tolist() == baseline.tolist()
+                    matrix = await client.many_to_many([0, 5], [9, 11, 13])
+                    assert (
+                        matrix.tolist()
+                        == fleet_index.many_to_many([0, 5], [9, 11, 13]).tolist()
+                    )
+
+            fleet._run(drive())
+
+    def test_stats_report_wire_and_shared_cache(self, fleet_layout, workload):
+        with FleetOracle(
+            fleet_layout, num_workers=2, shared_cache_slots=256
+        ) as fleet:
+            fleet.distances(workload)
+            fleet.distances(workload)  # the repeat hits the shared cache
+            stats = fleet.stats()
+            assert stats["wire"] == "binary"
+            cache = stats["shared_cache"]
+            assert cache["enabled"] is True
+            assert cache["slots"] == 256
+            assert cache["hits"] > 0
+            assert cache["fills"] > 0
+            assert 0.0 < cache["hit_rate"] <= 1.0
+            # per-worker rows carry their own cache section
+            per_worker = [row["shared_cache"] for row in stats["workers"]]
+            assert sum(row["hits"] for row in per_worker) == cache["hits"]
+            fleet.reset_stats()
+            assert fleet.stats()["shared_cache"]["hits"] == 0
+
+    def test_stats_without_cache_say_disabled(self, fleet):
+        stats = fleet.stats()
+        assert stats["shared_cache"] == {"enabled": False}
+        assert "shared_cache" not in stats["workers"][0]
+
+    def test_cache_hits_stay_bit_identical(self, fleet_layout, fleet_index, workload):
+        """Cold pass fills, warm pass hits - both must equal the engine
+        exactly, including INF handling through the shared segment."""
+        with FleetOracle(
+            fleet_layout, num_workers=2, shared_cache_slots=4096
+        ) as fleet:
+            baseline = fleet_index.distances(workload)
+            assert fleet.distances(workload).tolist() == baseline.tolist()
+            assert fleet.distances(workload).tolist() == baseline.tolist()
+            assert fleet.stats()["shared_cache"]["hits"] >= len(workload)
+
+    def test_worker_crash_with_cache_enabled_stays_identical(
+        self, fleet_layout, fleet_index, workload
+    ):
+        """A worker killed while the shared cache is live must not wedge
+        the segment: the restarted worker re-attaches and answers stay
+        bit-identical (a mid-write death at worst costs a slot)."""
+        baseline = fleet_index.distances(workload)
+        with FleetOracle(
+            fleet_layout, num_workers=2, shared_cache_slots=1024
+        ) as fleet:
+            assert fleet.distances(workload).tolist() == baseline.tolist()
+            fleet.kill_worker(0)
+            assert fleet.distances(workload).tolist() == baseline.tolist()
+            fleet.kill_worker(1)
+            assert fleet.distances(workload).tolist() == baseline.tolist()
+            assert fleet.stats()["restarts"] >= 2
+
+    def test_cache_segment_unlinked_on_close(self, fleet_layout):
+        fleet = FleetOracle(fleet_layout, num_workers=2, shared_cache_slots=64)
+        name = fleet.server.shared_cache.name
+        fleet.close()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

@@ -292,10 +292,14 @@ def fleet_layout(oracles, tmp_path_factory):
 @pytest.fixture(scope="module", params=FLEET_WORKER_COUNTS)
 def fleet(request, fleet_layout):
     """A started fleet per worker count (2 workers own 2 shards each;
-    3 workers force an uneven 2+1+1 assignment)."""
+    3 workers force an uneven 2+1+1 assignment).  The shared cross-worker
+    cache is on, so every conformance assertion below also exercises the
+    cached read path (hits must stay bit-identical to the engine)."""
     from repro.serving.fleet import FleetOracle
 
-    oracle = FleetOracle(fleet_layout, num_workers=request.param)
+    oracle = FleetOracle(
+        fleet_layout, num_workers=request.param, shared_cache_slots=512
+    )
     yield oracle
     oracle.close()
 
@@ -373,6 +377,46 @@ class TestFleetConformance:
         health = fleet.health()
         assert health["unhealthy"] == []
         assert sorted(health["healthy"]) == list(range(fleet.server.pool.num_workers))
+
+
+class TestFleetWireConformance:
+    """The TCP plane at both wire modes, bit-identical to the engine.
+
+    The fleet fixture serves with ``wire="binary"`` (the default), so a
+    binary client gets raw ndarray frames back while a JSON client keeps
+    getting JSON - both against the same shared-cache-enabled fleet, and
+    both must reproduce the engine exactly."""
+
+    @pytest.mark.parametrize("wire", ["json", "binary"])
+    def test_tcp_client_bit_identical(
+        self, fleet, oracles, conformance_pairs, wire
+    ):
+        from repro.serving.fleet import FleetClient
+
+        index = oracles["HC2L"]
+        if fleet.server._tcp_server is None:
+            host, port = fleet.start_tcp()
+        else:
+            host, port = fleet.server._tcp_server.sockets[0].getsockname()
+
+        async def drive():
+            async with await FleetClient.connect(host, port, wire=wire) as client:
+                batch = await client.distances(conformance_pairs)
+                assert batch.dtype == np.float64
+                assert batch.tolist() == index.distances(conformance_pairs).tolist()
+                row = await client.one_to_many(4, [0, 9, 33, 71])
+                assert row.tolist() == index.one_to_many(4, [0, 9, 33, 71]).tolist()
+                matrix = await client.many_to_many([0, 9, 17], [2, 9, 33, 71])
+                assert matrix.shape == (3, 4)
+                assert (
+                    matrix.tolist()
+                    == index.many_to_many([0, 9, 17], [2, 9, 33, 71]).tolist()
+                )
+                # errors stay JSON and re-raise properly in either mode
+                with pytest.raises(ValueError, match="outside the vertex range"):
+                    await client.distances([(0, 10**9)])
+
+        fleet._run(drive())
 
 
 def test_fleet_disconnected_pairs_are_inf(disconnected_graph, tmp_path):

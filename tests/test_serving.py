@@ -82,14 +82,59 @@ class TestCachingOracle:
         assert cached.stats.row_hits == 1
         assert again.tolist() == index.one_to_many(2, targets).tolist()
 
-    def test_many_to_many_identical_and_row_cached(self, index):
+    def test_many_to_many_identical_and_matrix_cached(self, index):
         cached = CachingOracle(index)
         sources = [0, 7, 13]
         targets = [2, 9, 40, 77]
         direct = index.many_to_many(sources, targets)
         assert cached.many_to_many(sources, targets).tolist() == direct.tolist()
+        assert cached.stats.matrix_misses == 1
+        assert cached.stats.row_misses == len(sources)
+        # the repeat request is one matrix hit; no row assembly at all
         assert cached.many_to_many(sources, targets).tolist() == direct.tolist()
-        assert cached.stats.row_hits == len(sources)
+        assert cached.stats.matrix_hits == 1
+        assert cached.stats.row_hits == 0
+
+    def test_many_to_many_returns_copies(self, index):
+        cached = CachingOracle(index)
+        sources, targets = [0, 7], [2, 9, 40]
+        direct = index.many_to_many(sources, targets)
+        first = cached.many_to_many(sources, targets)
+        first[0, 0] = -1.0  # mutating a result must not poison the cache
+        assert cached.many_to_many(sources, targets).tolist() == direct.tolist()
+
+    def test_many_to_many_in_batch_source_dedup(self, index):
+        """A source repeated within one request is assembled once and
+        counts as a row hit from the second occurrence on."""
+        cached = CachingOracle(index)
+        sources = [5, 9, 5, 5]
+        targets = [2, 40]
+        direct = index.many_to_many(sources, targets)
+        assert cached.many_to_many(sources, targets).tolist() == direct.tolist()
+        assert cached.stats.row_misses == 2  # two distinct sources
+        assert cached.stats.row_hits == 2  # the two repeats of source 5
+
+    def test_matrix_cache_respects_capacity(self, index):
+        cached = CachingOracle(index, max_matrices=2)
+        for s in range(4):
+            cached.many_to_many([s], [10, 11])
+        assert len(cached._matrices) <= 2
+        # LRU: the oldest matrix was evicted, the newest still hits
+        cached.many_to_many([3], [10, 11])
+        assert cached.stats.matrix_hits == 1
+        cached.many_to_many([0], [10, 11])
+        assert cached.stats.matrix_misses == 5  # s=0 re-assembled after eviction
+
+    def test_matrix_stats_in_requests_and_hit_rate(self, index):
+        cached = CachingOracle(index)
+        cached.many_to_many([0], [1])
+        cached.many_to_many([0], [1])
+        assert cached.stats.requests == cached.stats.matrix_hits + cached.stats.matrix_misses + cached.stats.row_misses
+        assert cached.stats.hit_rate() > 0.0
+        assert cached.stats.as_dict()["matrix_hits"] == 1
+        cached.clear()
+        cached.many_to_many([0], [1])
+        assert cached.stats.matrix_misses == 2  # clear() drops matrices too
 
     def test_metadata_passthrough(self, index):
         cached = CachingOracle(index)
@@ -102,6 +147,8 @@ class TestCachingOracle:
             CachingOracle(index, max_pairs=0)
         with pytest.raises(ValueError):
             CachingOracle(index, max_rows=0)
+        with pytest.raises(ValueError):
+            CachingOracle(index, max_matrices=0)
 
     def test_clear_preserves_stats(self, index):
         cached = CachingOracle(index)

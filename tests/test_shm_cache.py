@@ -1,0 +1,338 @@
+"""SharedPairCache: correctness, crash safety, seqlock stress.
+
+The shared cache sits on the hot query path of every fleet worker, so
+its failure modes are the interesting part: a writer killed mid-publish
+must never wedge or corrupt readers (seqlock left odd = permanent miss
+until reclaimed), concurrent writers must never produce a readable slot
+whose key and value come from different publishes (checksum), and every
+lookup must stay wait-free.  The cross-process tests spawn real
+processes - the same start method the fleet uses - and one of them
+hard-kills a writer mid-hammer to pin the crash-safety contract.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving.shm_cache import PROBE_WINDOW, SLOT_DTYPE, SharedPairCache
+
+#: spawn matches the fleet's worker start method (and is the only method
+#: whose resource-tracker semantics the cache documents)
+_MP = multiprocessing.get_context("spawn")
+
+
+def _key_value(u: int, v: int) -> float:
+    """The deterministic value every process agrees on for a key.
+
+    The cache's concurrency contract assumes deterministic distances, so
+    the stress writers must honour it: same key, same bytes.
+    """
+    lo, hi = (u, v) if u <= v else (v, u)
+    return float(lo * 1000003 + hi) * 0.5
+
+
+def _stress_keys(num_keys: int) -> np.ndarray:
+    rng = np.random.default_rng(13)
+    return rng.integers(0, 10_000, size=(num_keys, 2), dtype=np.int64)
+
+
+def _hammer_writer(name: str, num_keys: int, seconds: float, seed: int) -> None:
+    """Spawn target: republish the stress keys in random batches."""
+    rng = np.random.default_rng(seed)
+    keys = _stress_keys(num_keys)
+    values = np.array([_key_value(int(u), int(v)) for u, v in keys])
+    cache = SharedPairCache.attach(name, counter_row=0)
+    deadline = time.perf_counter() + seconds
+    try:
+        while time.perf_counter() < deadline:
+            rows = rng.integers(0, num_keys, size=64)
+            cache.put_many(keys[rows], values[rows])
+    finally:
+        cache.close()
+
+
+def _endless_writer(name: str, num_keys: int) -> None:
+    """Spawn target: publish forever (the parent kills this process)."""
+    keys = _stress_keys(num_keys)
+    values = np.array([_key_value(int(u), int(v)) for u, v in keys])
+    cache = SharedPairCache.attach(name)
+    at = 0
+    while True:
+        rows = np.arange(at % num_keys, min(at % num_keys + 64, num_keys))
+        cache.put_many(keys[rows], values[rows])
+        at += 64
+
+
+class TestBasics:
+    def test_scalar_put_get_including_inf(self):
+        with SharedPairCache.create(64) as cache:
+            assert cache.get(3, 9) is None
+            cache.put(3, 9, 12.5)
+            assert cache.get(3, 9) == 12.5
+            assert cache.get(9, 3) == 12.5  # normalised key: symmetric
+            cache.put(1, 2, math.inf)  # disconnected pairs are cacheable
+            assert cache.get(1, 2) == math.inf
+
+    def test_vector_put_get(self):
+        pairs = np.array([[0, 1], [5, 2], [7, 7], [0, 1]], dtype=np.int64)
+        values = np.array([1.0, 2.0, 0.0, 1.0])
+        with SharedPairCache.create(128) as cache:
+            cache.put_many(pairs, values)
+            got, found = cache.get_many(pairs)
+            assert found.all()
+            assert got.tolist() == values.tolist()
+            # unknown keys stay misses
+            _, found = cache.get_many(np.array([[100, 200]], dtype=np.int64))
+            assert not found.any()
+
+    def test_zero_distance_is_a_hit_not_an_empty_slot(self):
+        with SharedPairCache.create(32) as cache:
+            cache.put(4, 4, 0.0)
+            assert cache.get(4, 4) == 0.0
+
+    def test_duplicate_publish_is_skipped(self):
+        with SharedPairCache.create(32, counter_rows=1) as cache:
+            owner = SharedPairCache.attach(cache.name, counter_row=0)
+            try:
+                owner.put(1, 2, 3.0)
+                owner.put(1, 2, 3.0)  # same key: already-published slot wins
+                assert owner.counter_row_dict(0)["fills"] == 1
+            finally:
+                owner.close()
+
+    def test_eviction_keeps_survivors_exact(self):
+        """Overfilling a tiny cache evicts, and every surviving entry
+        still answers with its exact value."""
+        num_keys = 64
+        keys = _stress_keys(num_keys)
+        values = np.array([_key_value(int(u), int(v)) for u, v in keys])
+        cache = SharedPairCache.create(16, counter_rows=1)
+        writer = SharedPairCache.attach(cache.name, counter_row=0)
+        try:
+            writer.put_many(keys, values)
+            assert writer.counter_row_dict(0)["evictions"] > 0
+            got, found = writer.get_many(keys)
+            assert found.any()  # something survived
+            assert np.array_equal(got[found], values[found])
+        finally:
+            writer.close()
+            cache.close()
+
+    def test_validation_rejects_bool_and_non_int(self):
+        with pytest.raises(ValueError, match="slots"):
+            SharedPairCache.create(True)
+        with pytest.raises(ValueError, match="slots"):
+            SharedPairCache.create("64")
+        with pytest.raises(ValueError, match="slots"):
+            SharedPairCache.create(0)
+        with pytest.raises(ValueError, match="counter_rows"):
+            SharedPairCache.create(8, counter_rows=0)
+        with pytest.raises(ValueError, match="name"):
+            SharedPairCache.attach("")
+        with SharedPairCache.create(8, counter_rows=2) as cache:
+            with pytest.raises(ValueError, match="counter_row"):
+                SharedPairCache.attach(cache.name, counter_row=2)
+            with pytest.raises(ValueError, match="pair array"):
+                cache.get_many(np.zeros((3, 3), dtype=np.int64))
+            with pytest.raises(ValueError, match="values"):
+                cache.put_many(np.zeros((2, 2), dtype=np.int64), np.zeros(3))
+
+    def test_closed_cache_refuses(self):
+        cache = SharedPairCache.create(8)
+        cache.close()
+        cache.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            cache.get(0, 1)
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=1024)
+        try:
+            with pytest.raises(ValueError, match="not a SharedPairCache"):
+                SharedPairCache.attach(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+class TestCounters:
+    def test_per_row_counters_aggregate(self):
+        cache = SharedPairCache.create(64, counter_rows=2)
+        w0 = SharedPairCache.attach(cache.name, counter_row=0)
+        w1 = SharedPairCache.attach(cache.name, counter_row=1)
+        try:
+            w0.put(1, 2, 5.0)
+            assert w0.get(1, 2) == 5.0
+            assert w1.get(1, 2) == 5.0  # cross-attachment visibility
+            assert w1.get(8, 9) is None
+            assert w0.counter_row_dict(0) == {
+                "hits": 1, "misses": 0, "fills": 1, "evictions": 0, "hit_rate": 1.0,
+            }
+            assert w1.counter_row_dict(1)["hits"] == 1
+            assert w1.counter_row_dict(1)["misses"] == 1
+            totals = cache.counters_dict()
+            assert totals["hits"] == 2
+            assert totals["misses"] == 1
+            assert totals["fills"] == 1
+            assert totals["slots"] == 64
+            cache.reset_counters()
+            assert cache.counters_dict()["hits"] == 0
+        finally:
+            w0.close()
+            w1.close()
+            cache.close()
+
+    def test_counterless_attachment_does_not_count(self):
+        cache = SharedPairCache.create(32, counter_rows=1)
+        reader = SharedPairCache.attach(cache.name)
+        try:
+            reader.put(0, 1, 2.0)
+            reader.get(0, 1)
+            assert cache.counters_dict()["hits"] == 0
+            assert cache.counters_dict()["fills"] == 0
+        finally:
+            reader.close()
+            cache.close()
+
+
+class TestCachedDistances:
+    class _CountingOracle:
+        """Deterministic stand-in oracle recording every batch it sees."""
+
+        def __init__(self):
+            self.calls = []
+
+        def distances(self, pairs):
+            pairs = np.asarray(pairs)
+            self.calls.append(pairs.copy())
+            return np.array([_key_value(int(u), int(v)) for u, v in pairs])
+
+    def test_misses_dedup_and_publish(self):
+        oracle = self._CountingOracle()
+        pairs = np.array([[5, 3], [3, 5], [1, 2], [5, 3]], dtype=np.int64)
+        with SharedPairCache.create(64) as cache:
+            values = cache.cached_distances(oracle, pairs)
+            expected = [_key_value(int(u), int(v)) for u, v in pairs]
+            assert values.tolist() == expected
+            # 4 rows collapse to 2 unique normalised keys in one call
+            assert len(oracle.calls) == 1
+            assert len(oracle.calls[0]) == 2
+            # second pass: all hits, the oracle is never consulted
+            values = cache.cached_distances(oracle, pairs)
+            assert values.tolist() == expected
+            assert len(oracle.calls) == 1
+
+    def test_bit_identical_to_real_oracle(self, small_graph):
+        """Against a real HC2L index: cached answers are ``==`` to the
+        engine's, cold and warm, including unordered pairs."""
+        from repro.core.index import HC2LIndex
+
+        index = HC2LIndex.build(small_graph)
+        rng = np.random.default_rng(7)
+        pairs = rng.integers(0, small_graph.num_vertices, size=(200, 2))
+        baseline = index.distances(pairs)
+        with SharedPairCache.create(4096) as cache:
+            assert cache.cached_distances(index, pairs).tolist() == baseline.tolist()
+            assert cache.cached_distances(index, pairs).tolist() == baseline.tolist()
+
+
+class TestCrashSafety:
+    def test_wedged_odd_slot_is_a_miss_then_reclaimed(self):
+        """Slots whose writer died mid-publish (odd seqlock) read as
+        misses - no hang, no garbage - and, once the probe window has no
+        empty slot left, the next publish reclaims a stuck one.  Slot
+        fields are always accessed through fresh ``cache._slots``
+        expressions: a retained view would block ``close()``."""
+        with SharedPairCache.create(16) as cache:
+            cache.put(1, 2, 7.0)
+            # every slot mid-write, as a fleet-wide crash would leave them
+            cache._slots["seq"][:] = 1
+            assert cache.get(1, 2) is None
+            cache.put(1, 2, 7.0)  # no empty slot anywhere: reclaims a stuck one
+            assert cache.get(1, 2) == 7.0
+            # exactly one slot was reclaimed to even; the rest stay odd
+            assert int((~(cache._slots["seq"] & 1).astype(bool)).sum()) == 1
+
+    def test_checksum_rejects_cross_slot_corruption(self):
+        """A slot whose fields were torn across two publishes (same even
+        seq, mixed key/value bytes) fails the checksum and misses."""
+        with SharedPairCache.create(16) as cache:
+            cache.put(1, 2, 7.0)
+            row = int(np.nonzero(cache._slots["seq"] != 0)[0][0])
+            # value no longer matches the checksum
+            cache._slots["dist"][row] = 9.0
+            assert cache.get(1, 2) is None
+
+    def test_killed_writer_never_wedges_readers(self):
+        """Hard-killing a writer process mid-hammer must leave the cache
+        fully readable and writable: lookups stay wait-free and correct,
+        and publishes reclaim whatever the corpse left behind."""
+        num_keys = 256
+        keys = _stress_keys(num_keys)
+        values = np.array([_key_value(int(u), int(v)) for u, v in keys])
+        cache = SharedPairCache.create(512)
+        try:
+            writer = _MP.Process(
+                target=_endless_writer, args=(cache.name, num_keys), daemon=True
+            )
+            writer.start()
+            time.sleep(0.4)  # let it publish mid-flight
+            writer.kill()
+            writer.join(timeout=10)
+            assert writer.exitcode is not None
+            # readers: bounded work, every hit exact
+            start = time.perf_counter()
+            got, found = cache.get_many(keys)
+            assert time.perf_counter() - start < 5.0
+            assert np.array_equal(got[found], values[found])
+            # writers: a full republish makes every key readable again
+            cache.put_many(keys, values)
+            got, found = cache.get_many(keys)
+            assert np.array_equal(got[found], values[found])
+            assert found.sum() > 0
+        finally:
+            cache.close()
+
+    def test_concurrent_writer_torn_read_stress(self):
+        """A writer hammering republishes while this process reads: every
+        hit must carry the key's exact deterministic value - seqlock plus
+        checksum make torn reads misses, never wrong answers."""
+        num_keys = 128
+        keys = _stress_keys(num_keys)
+        values = np.array([_key_value(int(u), int(v)) for u, v in keys])
+        cache = SharedPairCache.create(256, counter_rows=1)
+        try:
+            writer = _MP.Process(
+                target=_hammer_writer, args=(cache.name, num_keys, 1.5, 99), daemon=True
+            )
+            writer.start()
+            deadline = time.perf_counter() + 1.2
+            lookups = 0
+            hits = 0
+            while time.perf_counter() < deadline:
+                got, found = cache.get_many(keys)
+                assert np.array_equal(got[found], values[found])
+                lookups += len(keys)
+                hits += int(found.sum())
+            writer.join(timeout=30)
+            assert writer.exitcode == 0
+            assert hits > 0, f"no hits in {lookups} stressed lookups"
+            # after the dust settles every published key reads exact
+            got, found = cache.get_many(keys)
+            assert np.array_equal(got[found], values[found])
+        finally:
+            cache.close()
+
+
+class TestLayout:
+    def test_slot_layout_is_stable(self):
+        """The on-wire/in-shm slot layout is a compatibility surface."""
+        assert SLOT_DTYPE.itemsize == 40
+        assert [name for name in SLOT_DTYPE.names] == ["seq", "u", "v", "dist", "check"]
+        assert PROBE_WINDOW == 8
