@@ -40,6 +40,7 @@ from repro.serving.fleet.pool import WorkerPool
 from repro.serving.fleet.protocol import (
     KIND_REQUEST,
     KIND_RESPONSE,
+    MAX_FRAME_BYTES,
     BinaryMessage,
     encode_binary_frame,
     encode_frame,
@@ -54,6 +55,12 @@ INF = float("inf")
 
 #: wire modes a fleet endpoint can speak (see protocol module docs)
 WIRE_MODES = ("json", "binary")
+
+#: most pairs one worker pipe message may carry: a distances request is
+#: 16 bytes per pair (the reply only 8) plus a small header, so the
+#: request side hits the frame cap first - batches above this are
+#: chunked in the front door, never refused at the pipe
+_PIPE_PAIR_CHUNK = (MAX_FRAME_BYTES - 1024) // 16
 
 
 def _validate_wire(wire) -> str:
@@ -396,13 +403,10 @@ class FleetServer:
             self._batches += 1
             if plan.whole is not None:
                 self._whole_batches += 1
-                result = await self.pool.submit(
-                    plan.whole, {"op": "distances", "pairs": pair_array}
-                )
-                return np.asarray(result, dtype=np.float64)
+                return await self._submit_distances(plan.whole, pair_array)
             self._split_batches += 1
             futures = [
-                self.pool.submit(worker, {"op": "distances", "pairs": pair_array[rows]})
+                self._submit_distances(worker, pair_array[rows])
                 for worker, rows in plan.parts
             ]
             parts = await asyncio.gather(*futures)
@@ -414,6 +418,27 @@ class FleetServer:
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.set()
+
+    async def _submit_distances(self, worker: int, pair_array: np.ndarray) -> np.ndarray:
+        """Ship one placed batch to its worker, chunked under the pipe cap.
+
+        The chunks queue back to back on the worker's dispatcher, so a
+        giant ``many_to_many`` grid degrades to a few pipe round trips
+        instead of a frame-cap error.
+        """
+        if len(pair_array) <= _PIPE_PAIR_CHUNK:
+            result = await self.pool.submit(
+                worker, {"op": "distances", "pairs": pair_array}
+            )
+            return np.asarray(result, dtype=np.float64)
+        futures = [
+            self.pool.submit(
+                worker, {"op": "distances", "pairs": pair_array[at : at + _PIPE_PAIR_CHUNK]}
+            )
+            for at in range(0, len(pair_array), _PIPE_PAIR_CHUNK)
+        ]
+        parts = await asyncio.gather(*futures)
+        return np.concatenate([np.asarray(part, dtype=np.float64) for part in parts])
 
     # ------------------------------------------------------------------ #
     # validation
@@ -530,16 +555,34 @@ class FleetServer:
         write_lock: asyncio.Lock,
     ) -> None:
         if isinstance(request, BinaryMessage):
-            frame = await self._serve_binary(request)
+            request_id = request.request_id
         else:
             request_id = request.get("id")
-            try:
-                value = await self._apply(request)
-            except BaseException as error:  # noqa: BLE001 - shipped to the peer
-                reply = {"id": request_id, "ok": False, "error": error_to_wire(error)}
+        try:
+            if isinstance(request, BinaryMessage):
+                frame = await self._serve_binary(request)
             else:
-                reply = {"id": request_id, "ok": True, "value": value}
-            frame = encode_frame(reply)
+                try:
+                    value = await self._apply(request)
+                    # the ok-reply encode sits *inside* this try: a value
+                    # over the frame cap must come back as an error frame,
+                    # not strand the peer's pending future
+                    frame = encode_frame({"id": request_id, "ok": True, "value": value})
+                except BaseException as error:  # noqa: BLE001 - shipped to the peer
+                    frame = encode_frame(
+                        {"id": request_id, "ok": False, "error": error_to_wire(error)}
+                    )
+        except BaseException as error:  # noqa: BLE001 - last resort
+            # a fire-and-forget task must never swallow a request: if even
+            # the error reply can't be encoded, drop the connection so the
+            # client fails its pending futures instead of hanging
+            try:
+                frame = encode_frame(
+                    {"id": request_id, "ok": False, "error": error_to_wire(error)}
+                )
+            except Exception:
+                writer.close()
+                return
         try:
             async with write_lock:
                 writer.write(frame)
@@ -552,23 +595,25 @@ class FleetServer:
 
         In ``wire="binary"`` mode the ok-reply is a binary frame viewing
         the result buffer; in ``wire="json"`` mode (the negotiated
-        fallback) the same request gets an ordinary JSON reply.
+        fallback) the same request gets an ordinary JSON reply.  Reply
+        encoding happens inside the same try as the query, so a result
+        over the frame cap answers with a JSON error frame.
         """
         try:
             if request.kind != KIND_REQUEST:
                 raise ValueError("expected a binary request frame, got a response kind")
             value = await self._apply_binary(request)
+            if self.wire == "binary":
+                return encode_binary_frame(
+                    KIND_RESPONSE, request.op, request.request_id, [value]
+                )
+            return encode_frame(
+                {"id": request.request_id, "ok": True, "value": value.tolist()}
+            )
         except BaseException as error:  # noqa: BLE001 - shipped to the peer
             return encode_frame(
                 {"id": request.request_id, "ok": False, "error": error_to_wire(error)}
             )
-        if self.wire == "binary":
-            return encode_binary_frame(
-                KIND_RESPONSE, request.op, request.request_id, [value]
-            )
-        return encode_frame(
-            {"id": request.request_id, "ok": True, "value": value.tolist()}
-        )
 
     async def _apply_binary(self, request: BinaryMessage) -> np.ndarray:
         """Execute one binary request; returns the raw ndarray result."""

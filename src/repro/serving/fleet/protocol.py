@@ -180,6 +180,12 @@ def encode_binary_payload(
     for arr in wire_arrays:
         if arr.ndim > _MAX_NDIM:
             raise ValueError(f"binary arrays are limited to {_MAX_NDIM} dims, got {arr.ndim}")
+        for dim in arr.shape:
+            # a dim can exceed u32 while total bytes stay tiny, e.g. (2**32, 0)
+            if dim >= 1 << 32:
+                raise ValueError(
+                    f"binary array dim {dim} does not fit the u32 shape field"
+                )
         total += _ARRAY_HEAD.size + 4 * arr.ndim + arr.nbytes
     check_frame_length(total)
     parts = [

@@ -131,7 +131,12 @@ def worker_main(
                     {"ok": False, "error": RuntimeError(f"{type(error).__name__}: {error}")}
                 )
         else:
-            send({"ok": True, "value": value})
+            try:
+                send({"ok": True, "value": value})
+            except ValueError as error:
+                # the result itself broke the pipe codec (e.g. an ndarray
+                # over the frame cap): fail the request, keep the worker
+                send({"ok": False, "error": error})
     conn.close()
     if cache is not None:
         cache.close()
@@ -294,8 +299,16 @@ class WorkerHandle:
         """
         while True:
             try:
-                self.conn.send_bytes(encode_pipe_message(item.request))
-                reply = decode_pipe_message(self.conn.recv_bytes())
+                payload = encode_pipe_message(item.request)
+            except ValueError as error:
+                # the request can't be encoded (e.g. a pair batch over the
+                # frame cap): the worker is fine, only this request fails -
+                # never let a codec error kill the dispatcher thread
+                self._resolve(item, exception=error)
+                return
+            try:
+                self.conn.send_bytes(payload)
+                reply_bytes = self.conn.recv_bytes()
             except (EOFError, OSError, BrokenPipeError) as error:
                 with self._lock:
                     self.stats.restarts += 1
@@ -311,6 +324,13 @@ class WorkerHandle:
                     f"(max_retries={self.max_retries}): {error!r}"
                 )
                 self._resolve(item, exception=crash)
+                return
+            try:
+                reply = decode_pipe_message(reply_bytes)
+            except ValueError as error:
+                # a corrupt reply frame; the pipe itself framed the message,
+                # so the stream is still in sync - fail only this request
+                self._resolve(item, exception=error)
                 return
             with self._lock:
                 self.stats.requests += 1
@@ -336,7 +356,7 @@ class WorkerHandle:
         try:
             self.conn.send_bytes(encode_pipe_message({"op": "shutdown"}))
             decode_pipe_message(self.conn.recv_bytes())
-        except (EOFError, OSError, BrokenPipeError):
+        except (EOFError, OSError, BrokenPipeError, ValueError):
             pass  # already dead; close() reaps the process
         if self.process is not None:
             self.process.join(timeout=5.0)

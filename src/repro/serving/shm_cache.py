@@ -138,13 +138,16 @@ class SharedPairCache:
         self._capacity = capacity
         self._counter_rows = counter_rows
         if counter_row is not None:
-            counter_row = _validate_count("counter_row", counter_row, minimum=0)
-            if counter_row >= self._counter_rows:
-                shm.close()
-                raise ValueError(
-                    f"counter_row {counter_row} out of range for "
-                    f"{self._counter_rows} counter rows"
-                )
+            try:
+                counter_row = _validate_count("counter_row", counter_row, minimum=0)
+                if counter_row >= self._counter_rows:
+                    raise ValueError(
+                        f"counter_row {counter_row} out of range for "
+                        f"{self._counter_rows} counter rows"
+                    )
+            except ValueError:
+                shm.close()  # every rejection path must release the mapping
+                raise
         self._counter_row = counter_row
         offset = _HEADER_WORDS * _HEADER_DTYPE.itemsize
         self._counters = np.frombuffer(
@@ -352,7 +355,14 @@ class SharedPairCache:
                         stuck = k
                     continue
                 if slots["u"][k] == ui and slots["v"][k] == vi:
-                    duplicate = True
+                    if slots["dist"][k] == dist[i] and slots["check"][k] == checks[i]:
+                        duplicate = True
+                    else:
+                        # a cross-key writer race left mixed fields that
+                        # happen to match this key: readers reject the
+                        # slot by checksum, so rewrite it instead of
+                        # skipping the 'duplicate' forever
+                        target = k
                     break
             if duplicate:
                 continue

@@ -540,3 +540,154 @@ class TestWireAndSharedCache:
 
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=name)
+
+
+# --------------------------------------------------------------------- #
+# codec failure paths (pipe + TCP reply encoding)
+# --------------------------------------------------------------------- #
+class TestCodecFailurePaths:
+    """A codec error must fail exactly one request - never a hung future,
+    a dead dispatcher thread, or a spurious worker restart."""
+
+    def test_dispatcher_survives_pipe_encode_error(
+        self, fleet, fleet_index, workload, monkeypatch
+    ):
+        """A request over the pipe frame cap resolves with ValueError and
+        the dispatcher keeps serving on the same worker (no restart)."""
+        from repro.serving.fleet import protocol as protocol_module
+
+        baseline = fleet_index.distances(workload)
+        restarts_before = fleet.stats()["restarts"]
+        monkeypatch.setattr(protocol_module, "MAX_FRAME_BYTES", 256)
+        big = np.zeros((1024, 2), dtype=np.int64)  # encodes to 16KB > 256
+
+        async def submit_big():
+            return await fleet.server.pool.submit(
+                0, {"op": "distances", "pairs": big}
+            )
+
+        with pytest.raises(ValueError, match="byte limit"):
+            fleet._run(submit_big())
+        monkeypatch.undo()
+        # the same dispatcher thread still answers, and nothing restarted
+        assert fleet.distances(workload).tolist() == baseline.tolist()
+        assert fleet.stats()["restarts"] == restarts_before
+
+    def test_worker_reply_encode_error_answers_not_dies(
+        self, fleet_layout, monkeypatch
+    ):
+        """A worker whose *reply* breaks the codec ships the error back
+        instead of dying (runs worker_main in-process on a fake pipe)."""
+        from repro.serving.fleet import protocol as protocol_module
+        from repro.serving.fleet.worker import worker_main
+
+        pairs = np.zeros((64, 2), dtype=np.int64)
+        request = protocol_module.encode_pipe_message(
+            {"op": "distances", "pairs": pairs}
+        )
+
+        class FakeConn:
+            def __init__(self, requests):
+                self.requests = list(requests)
+                self.sent = []
+
+            def recv_bytes(self):
+                if self.requests:
+                    return self.requests.pop(0)
+                raise EOFError
+
+            def send_bytes(self, data):
+                self.sent.append(data)
+
+            def close(self):
+                pass
+
+        conn = FakeConn([request, protocol_module.encode_pipe_message({"op": "ping"})])
+        # the request above was encoded under the real cap; the 512-byte
+        # ndarray reply now exceeds the shrunken one
+        monkeypatch.setattr(protocol_module, "MAX_FRAME_BYTES", 128)
+        worker_main(str(fleet_layout), 0, conn, owned_shards=[0])
+        monkeypatch.undo()
+        assert len(conn.sent) == 2
+        reply = protocol_module.decode_pipe_message(conn.sent[0])
+        assert reply["ok"] is False
+        assert isinstance(reply["error"], ValueError)
+        assert "byte limit" in str(reply["error"])
+        # the worker survived the failed reply and served the next request
+        follow_up = protocol_module.decode_pipe_message(conn.sent[1])
+        assert follow_up["ok"] is True
+
+    def test_large_batches_chunk_under_the_pipe_cap(
+        self, fleet, fleet_index, workload, monkeypatch
+    ):
+        """Batches above the per-message pair budget split into pipe-sized
+        chunks and reassemble bit-identically (so a many_to_many grid over
+        the frame cap degrades to extra round trips, not an error)."""
+        from repro.serving.fleet import frontdoor as frontdoor_module
+
+        monkeypatch.setattr(frontdoor_module, "_PIPE_PAIR_CHUNK", 7)
+        baseline = fleet_index.distances(workload)
+        assert fleet.distances(workload).tolist() == baseline.tolist()
+        matrix = fleet.many_to_many(range(9), range(11))
+        assert matrix.tolist() == fleet_index.many_to_many(
+            range(9), range(11)
+        ).tolist()
+
+    def test_binary_reply_encode_failure_answers_json_error(
+        self, fleet, fleet_index, monkeypatch
+    ):
+        """When the binary ok-reply cannot be encoded (e.g. over the frame
+        cap) the client gets a JSON error frame, not a hung future, and
+        the connection keeps serving."""
+        from repro.serving.fleet import frontdoor as frontdoor_module
+
+        host, port = _tcp_endpoint(fleet)
+
+        def refuse_encode(*args, **kwargs):
+            raise ValueError("synthetic: reply over the frame byte limit")
+
+        async def drive():
+            async with await FleetClient.connect(host, port, wire="binary") as client:
+                monkeypatch.setattr(
+                    frontdoor_module, "encode_binary_frame", refuse_encode
+                )
+                try:
+                    with pytest.raises(ValueError, match="byte limit"):
+                        await client.distances([(0, 10)])
+                finally:
+                    monkeypatch.undo()
+                # same connection, reply encoding healthy again
+                value = await client.distances([(0, 10)])
+                assert value.tolist() == [fleet_index.distance(0, 10)]
+
+        fleet._run(drive())
+
+    def test_json_reply_encode_failure_answers_json_error(
+        self, fleet, fleet_index, monkeypatch
+    ):
+        """Same contract on the JSON path: an ok-reply that fails to
+        encode becomes an error frame for that request id."""
+        from repro.serving.fleet import frontdoor as frontdoor_module
+
+        host, port = _tcp_endpoint(fleet)
+        real_encode = frontdoor_module.encode_frame
+
+        def refuse_ok_replies(message):
+            if message.get("ok") is True:
+                raise ValueError("synthetic: reply over the frame byte limit")
+            return real_encode(message)
+
+        async def drive():
+            async with await FleetClient.connect(host, port, wire="json") as client:
+                monkeypatch.setattr(
+                    frontdoor_module, "encode_frame", refuse_ok_replies
+                )
+                try:
+                    with pytest.raises(ValueError, match="byte limit"):
+                        await client.distances([(0, 10)])
+                finally:
+                    monkeypatch.undo()
+                value = await client.distances([(0, 10)])
+                assert value.tolist() == [fleet_index.distance(0, 10)]
+
+        fleet._run(drive())

@@ -269,6 +269,38 @@ class TestCrashSafety:
             cache._slots["dist"][row] = 9.0
             assert cache.get(1, 2) is None
 
+    def test_corrupt_even_duplicate_slot_is_rewritten_not_skipped(self):
+        """An even slot whose key matches but whose checksum does not
+        (cross-key writer race leaving mixed fields) must be rewritten by
+        the next publish of that key - otherwise readers reject it forever
+        while writers keep skipping it as a 'duplicate'."""
+        with SharedPairCache.create(16) as cache:
+            cache.put(1, 2, 7.0)
+            row = int(np.nonzero(cache._slots["seq"] != 0)[0][0])
+            cache._slots["dist"][row] = 9.0  # seq stays even, checksum broken
+            assert cache.get(1, 2) is None  # readers reject it
+            cache.put(1, 2, 7.0)  # the publisher must repair, not skip
+            assert cache.get(1, 2) == 7.0
+
+    def test_bad_counter_row_closes_the_mapping(self):
+        """Every constructor rejection path releases the shm mapping,
+        including a counter_row that fails type validation."""
+        from multiprocessing import shared_memory
+
+        with SharedPairCache.create(8, counter_rows=1) as cache:
+            shm = shared_memory.SharedMemory(name=cache.name)
+            closes = []
+            original_close = shm.close
+
+            def tracking_close():
+                closes.append(True)
+                original_close()
+
+            shm.close = tracking_close
+            with pytest.raises(ValueError, match="counter_row"):
+                SharedPairCache(shm, owner=False, counter_row=True)
+            assert closes, "rejection path leaked the shm mapping"
+
     def test_killed_writer_never_wedges_readers(self):
         """Hard-killing a writer process mid-hammer must leave the cache
         fully readable and writable: lookups stay wait-free and correct,
@@ -312,6 +344,12 @@ class TestCrashSafety:
                 target=_hammer_writer, args=(cache.name, num_keys, 1.5, 99), daemon=True
             )
             writer.start()
+            # spawn startup (interpreter + imports) can eat a fixed window:
+            # clock the read stress from the writer's first visible publish
+            spawn_deadline = time.perf_counter() + 30.0
+            while not (cache._slots["seq"] != 0).any():
+                assert time.perf_counter() < spawn_deadline, "writer never published"
+                time.sleep(0.01)
             deadline = time.perf_counter() + 1.2
             lookups = 0
             hits = 0

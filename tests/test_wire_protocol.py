@@ -124,6 +124,12 @@ class TestBinaryRoundTrip:
             encode_binary_payload(
                 KIND_REQUEST, "distances", 0, [np.zeros((1,) * 9, dtype=np.int64)]
             )
+        with pytest.raises(ValueError, match="u32"):
+            # zero total bytes, so the size cap passes - the dim itself
+            # must be refused before struct.pack overflows
+            encode_binary_payload(
+                KIND_REQUEST, "distances", 0, [np.zeros((2**32, 0), dtype=np.int64)]
+            )
 
 
 class TestBinaryFuzz:
