@@ -16,7 +16,11 @@ road-like graph and times the same random query workload through
   clients replaying locality batches and dispatch-style distance
   matrices, one row per (worker count, wire mode) with p50/p99 latency
   and the majority-placement hit rate, plus Zipf rows comparing the
-  cross-worker shared cache on vs off (cold and hot passes).
+  cross-worker shared cache on vs off (cold and hot passes), and a
+  dynamic-update replay - clustered weight changes scoped-relabelled,
+  written as a new index generation and hot-swapped into the live fleet
+  under concurrent clients, one row per epoch plus a scoped-vs-full
+  relabel speedup row.
 
 Scalar/batch results are verified identical before anything is written,
 and a sweep method that raises aborts the whole run (no partial record is
@@ -52,6 +56,7 @@ from repro.baselines import (
     PrunedHighwayLabelling,
     PrunedLandmarkLabelling,
 )
+from repro.experiments.dynamic import update_latency_rows
 from repro.experiments.fleet import fleet_latency_rows
 from repro.experiments.sharding import boundary_locality_rows, router_overhead_rows
 from repro.experiments.workloads import neighborhood_pairs, skewed_pairs
@@ -168,6 +173,7 @@ def run_benchmark(
     oracles: List[str] | None = None,
     shard_counts: List[int] | None = None,
     fleet_workers: List[int] | None = None,
+    dynamic_updates: bool = True,
 ) -> dict:
     """Build every selected oracle, sweep the workload, return the record."""
     selected = oracles or DEFAULT_ORACLES
@@ -246,6 +252,18 @@ def run_benchmark(
                                 seed=seed,
                             )
                         )
+                if dynamic_updates:
+                    print("  HC2L+fleet: dynamic-update replay (generation hot-swap) ...")
+                    with tempfile.TemporaryDirectory() as workdir:
+                        rows.extend(
+                            update_latency_rows(
+                                hc2l_index,
+                                graph,
+                                workdir,
+                                num_workers=2,
+                                seed=seed,
+                            )
+                        )
         except Exception as error:
             raise SystemExit(
                 f"HC2L serving-path sweep failed ({error!r}); "
@@ -293,6 +311,11 @@ def main() -> None:
         help="comma separated worker counts for the fleet sweep (empty disables it)",
     )
     parser.add_argument(
+        "--no-dynamic-updates",
+        action="store_true",
+        help="skip the dynamic-update replay (generation hot-swap) rows",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_query.json",
@@ -302,7 +325,15 @@ def main() -> None:
     names = [name.strip() for name in args.oracles.split(",") if name.strip()]
     counts = [int(c) for c in args.shard_counts.split(",") if c.strip()]
     workers = [int(w) for w in args.fleet_workers.split(",") if w.strip()]
-    record = run_benchmark(args.vertices, args.queries, args.seed, names, counts, workers)
+    record = run_benchmark(
+        args.vertices,
+        args.queries,
+        args.seed,
+        names,
+        counts,
+        workers,
+        dynamic_updates=not args.no_dynamic_updates,
+    )
     # write-then-rename so an interrupted run never leaves a torn record
     payload = json.dumps(record, indent=2) + "\n"
     tmp = args.output.with_name(args.output.name + ".tmp")

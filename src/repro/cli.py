@@ -25,6 +25,10 @@ Five subcommands cover the typical workflow of a downstream user:
     Run the closed-loop fleet benchmark (p50/p99 latency and
     majority-placement hit rate per worker count and wire mode, plus a
     shared-cache on/off comparison) on a saved index.
+``reload``
+    Ask a running fleet (``repro serve``) to hot-swap onto the index
+    generation currently on disk - write the new generation with
+    ``HC2LIndex.save_sharded`` first, then ``repro reload --port N``.
 ``generate``
     Write a synthetic road network to a DIMACS ``.gr`` file so it can be
     used with external tools.
@@ -229,6 +233,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--allow-pickle",
         action="store_true",
         help="also accept legacy pickle index files (runs arbitrary code; trusted files only)",
+    )
+
+    reload_parser = subparsers.add_parser(
+        "reload",
+        help="hot-swap a running fleet onto the index generation currently on disk",
+    )
+    reload_parser.add_argument("--host", default="127.0.0.1", help="fleet host (default 127.0.0.1)")
+    reload_parser.add_argument("--port", type=int, required=True, help="fleet TCP port")
+    reload_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for the drain + swap (default 120)",
     )
 
     generate = subparsers.add_parser("generate", help="write a synthetic road network as DIMACS")
@@ -445,6 +462,28 @@ def _cmd_fleet_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reload(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serving.fleet import FleetClient
+
+    async def run() -> dict:
+        client = await FleetClient.connect(args.host, args.port)
+        try:
+            return await asyncio.wait_for(client.reload(), timeout=args.timeout)
+        finally:
+            await client.aclose()
+
+    try:
+        reply = asyncio.run(run())
+    except (ConnectionError, OSError, asyncio.TimeoutError) as error:
+        print(f"reload failed: {error!r}", file=sys.stderr)
+        return 1
+    print(json.dumps(reply, indent=2))
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     network = synthetic_road_network(
         RoadNetworkSpec("generated", num_vertices=args.vertices, seed=args.seed)
@@ -466,6 +505,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "serve": _cmd_serve,
         "fleet-bench": _cmd_fleet_bench,
+        "reload": _cmd_reload,
         "generate": _cmd_generate,
     }
     return handlers[args.command](args)

@@ -470,18 +470,23 @@ class HC2LIndex:
         path: Union[str, Path],
         num_shards: int = 2,
         boundaries: Union[str, Sequence[int], None] = None,
+        generation: Optional[int] = None,
     ) -> Path:
         """Write the index as a sharded layout under ``<path>.shards/``.
 
         The label buffers are partitioned by core vertex range into
         self-contained shard archives next to a label-free ``base.npz``;
         serve the layout with :class:`repro.serving.ShardRouter` (or
-        ``repro query --shards``).  Returns the layout directory; see
+        ``repro query --shards``).  ``generation`` versions the layout for
+        hot-swap serving (``None`` bumps any existing manifest's counter).
+        Returns the layout directory; see
         :func:`repro.core.persistence.save_index_sharded`.
         """
         from repro.core.persistence import save_index_sharded
 
-        return save_index_sharded(self, path, num_shards=num_shards, boundaries=boundaries)
+        return save_index_sharded(
+            self, path, num_shards=num_shards, boundaries=boundaries, generation=generation
+        )
 
     @classmethod
     def load(

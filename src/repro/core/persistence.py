@@ -593,6 +593,7 @@ def save_index_sharded(
     path: Union[str, Path],
     num_shards: int = 2,
     boundaries: Union[str, Sequence[int], None] = None,
+    generation: Optional[int] = None,
 ) -> Path:
     """Write ``index`` as a sharded layout under ``<path>.shards/``.
 
@@ -612,8 +613,29 @@ def save_index_sharded(
       subtree-local query traffic stays inside one shard;
     * an explicit edge sequence ``[0, ..., core_num_vertices]`` over core
       ids.
+
+    ``generation`` is a monotonically increasing version counter recorded
+    in the manifest for hot-swap serving
+    (:meth:`repro.serving.shards.ShardRouter.reload_generation`).  With
+    ``generation=None`` the writer bumps the generation of any manifest
+    already present at the layout (a fresh layout starts at 0); the
+    manifest's atomic tmp+rename means readers see either the old complete
+    generation or the new one, never a torn mix.
     """
     from repro.hierarchy.tree import derive_shard_boundaries
+
+    if generation is None:
+        generation = 0
+        existing = shard_directory(path) / MANIFEST_FILENAME
+        if existing.exists():
+            try:
+                previous = json.loads(existing.read_text(encoding="utf-8"))
+                generation = int(previous.get("generation", 0)) + 1
+            except (ValueError, TypeError, json.JSONDecodeError):
+                pass  # corrupt manifest: restart the counter at 0
+    generation = int(generation)
+    if generation < 0:
+        raise ValueError(f"generation must be non-negative, got {generation}")
 
     flat = index.flat_labelling()
     vertex_order = "identity"
@@ -661,6 +683,7 @@ def save_index_sharded(
         "format": SHARDED_FORMAT_NAME,
         "version": SHARDED_FORMAT_VERSION,
         "base": BASE_FILENAME,
+        "generation": generation,
         "core_num_vertices": flat.num_vertices,
         "num_original": index.contraction.num_original,
         # boundaries are positions in `vertex_order` space: core ids for
@@ -719,6 +742,13 @@ def load_manifest(path: Union[str, Path]) -> Tuple[Path, dict]:
         raise ValueError(
             f"{manifest_path} has vertex_order {manifest['vertex_order']!r}; "
             f"this build reads {list(VERTEX_ORDERS)}"
+        )
+    # pre-generation manifests load as generation 0
+    generation = manifest.setdefault("generation", 0)
+    if not isinstance(generation, int) or generation < 0:
+        raise ValueError(
+            f"{manifest_path} has generation {generation!r}; "
+            f"expected a non-negative integer"
         )
     edges = manifest.get("boundaries", [])
     if len(edges) != len(manifest.get("shards", [])) + 1:

@@ -1,0 +1,423 @@
+"""Dynamic-update serving benchmark (generation hot-swap experiment).
+
+The paper's Section 5.4 observation - the hierarchy is weight-independent,
+so traffic changes only refresh labels - becomes a serving capability in
+three steps: a scoped :func:`repro.core.dynamic.relabel` over the touched
+subtrees, a new index *generation* written next to the old one
+(:meth:`repro.core.index.HC2LIndex.save_sharded`), and a fleet-wide
+hot-swap (``reload``) that drains in-flight batches and flips every
+worker atomically.  This workload measures the whole pipeline under a
+time-of-day weight-change replay:
+
+* each **epoch** congests one road neighbourhood (a clustered set of
+  edges around a random centre gets its weights scaled by that epoch's
+  rush-hour factor), the scoped relabel refreshes the labels, the new
+  generation is written, and a live fleet is reloaded **while
+  concurrent TCP clients keep querying** - every answer during the swap
+  must be bit-identical to either the old or the new generation
+  (never a mix, never an error, never a drop);
+* after each swap a probe batch is verified bit-identical to a fresh
+  ``HC2LIndex.build`` on the new weights - the staleness wall;
+* one extra row times the scoped relabel against the full relabel on
+  the same change set, recording the speedup the scoping buys.
+
+The staleness wall compares *distances* across two independently built
+indexes, so the workload keeps every path sum float-exact: edge weights
+are rounded to integers up front and the per-epoch factors are dyadic
+rationals (2.5, 0.5, ...).  A fresh build is free to pick different
+balanced cuts than the served index (Algorithm 1 seeds its partitions
+from distances, so cut tie-breaking is weight-sensitive), and with
+inexact sums two correct indexes can disagree in the last ULP simply by
+splitting a shortest path at different hubs.  Exact sums make
+bit-identity hierarchy-independent - any correct index must produce the
+same bits.
+
+Rows land in ``BENCH_query.json`` under the ``dynamic-updates`` and
+``relabel-scoped-vs-full`` workloads; CI fails the smoke run when they
+are missing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.dynamic import relabel
+from repro.core.index import HC2LIndex
+from repro.experiments.workloads import make_rng, neighborhood_batches
+from repro.graph.graph import Graph
+from repro.serving.fleet import FleetClient, FleetOracle
+
+QueryPair = Tuple[int, int]
+
+#: per-epoch weight multipliers - a miniature rush-hour cycle (morning
+#: congestion, midday relief, evening peak, overnight recovery); all
+#: dyadic rationals so products and path sums over integer base weights
+#: stay float-exact across the whole replay
+EPOCH_FACTORS = (2.5, 0.5, 3.0, 1.25)
+
+
+def integerised(graph: Graph) -> Graph:
+    """``graph`` with every weight rounded to a positive integer.
+
+    The dynamic bench verifies post-swap answers bit-identical to a
+    fresh build; integer weights (scaled by dyadic epoch factors) keep
+    every path sum exact in float64, which is what makes that check
+    independent of the cut tie-breaking of the comparison build.
+    """
+    return graph.reweighted(
+        {(u, v): max(1.0, float(round(w))) for u, v, w in graph.edges()}
+    )
+
+
+def clustered_edge_changes(
+    graph: Graph,
+    num_edges: int,
+    factor: float,
+    seed=None,
+) -> Dict[Tuple[int, int], float]:
+    """A clustered weight-change set: ``num_edges`` edges around one centre.
+
+    Grows a BFS ball from a random centre until it encloses at least
+    ``num_edges`` edges, then scales the first ``num_edges`` of them (in
+    deterministic sorted order) by ``factor``.  Clustered changes model
+    congestion - a neighbourhood slows down together - and are what the
+    scoped relabel is built for: the touched edges share a few hierarchy
+    subtrees.  Raises ``ValueError`` when the graph cannot supply enough
+    edges, so an empty change set can never look like a measured one.
+    """
+    if num_edges < 1:
+        raise ValueError(f"num_edges must be >= 1, got {num_edges}")
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    rng = make_rng(seed)
+    for _ in range(50):
+        centre = rng.randrange(graph.num_vertices)
+        ball = {centre}
+        frontier = [centre]
+        edges: set = set()
+        while frontier and len(edges) < num_edges:
+            next_frontier: List[int] = []
+            for v in frontier:
+                for w in graph.neighbor_ids(v):
+                    if w not in ball:
+                        ball.add(w)
+                        next_frontier.append(w)
+                    edges.add((min(v, w), max(v, w)))
+            frontier = next_frontier
+        if len(edges) >= num_edges:
+            chosen = sorted(edges)[:num_edges]
+            return {(u, v): graph.edge_weight(u, v) * factor for u, v in chosen}
+    raise ValueError(
+        f"could not find a neighbourhood with {num_edges} edges in "
+        f"{graph.num_vertices} vertices; the graph is too small or disconnected"
+    )
+
+
+def update_latency_rows(
+    index: HC2LIndex,
+    graph: Graph,
+    workdir: Union[str, Path],
+    num_workers: int = 2,
+    num_shards: int = 4,
+    num_clients: int = 4,
+    edges_per_epoch: int = 10,
+    epoch_factors: Sequence[float] = EPOCH_FACTORS,
+    batch_size: int = 32,
+    num_batches: int = 12,
+    seed: int = 29,
+    shared_cache_slots: int = 4096,
+) -> List[Dict[str, object]]:
+    """Replay a time-of-day weight-change workload against a live fleet.
+
+    Shards ``index`` as generation 0 under ``workdir`` and starts a
+    ``num_workers`` fleet over TCP.  Per epoch: congest one neighbourhood
+    (:func:`clustered_edge_changes`), scoped-relabel, write the next
+    generation, then hot-swap the fleet while ``num_clients`` concurrent
+    TCP clients replay locality batches in closed loop.  The swap must
+    lose nothing: every in-swap answer is verified bit-identical to the
+    old or the new generation (an error, a drop or a mixed batch raises),
+    and a post-swap probe is verified bit-identical to a fresh build on
+    the new weights.  The first epoch's change set is additionally timed
+    through the *full* relabel to record the scoped speedup.
+
+    Returns one ``dynamic-updates`` row per epoch plus one
+    ``relabel-scoped-vs-full`` row.
+    """
+    if not epoch_factors:
+        raise ValueError("epoch_factors must name at least one epoch")
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    # integer weights + dyadic factors keep path sums exact, so the
+    # bit-identity walls below are well-posed (see the module docstring)
+    graph = integerised(graph)
+    index = relabel(index, graph)
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    path = workdir / "dynamic-bench.npz"
+    index.save_sharded(path, num_shards=num_shards, boundaries="hierarchy")
+
+    batches = neighborhood_batches(graph, num_batches, batch_size, seed=seed)
+    if len(batches) < num_batches:
+        raise ValueError(
+            f"workload generation produced {len(batches)}/{num_batches} "
+            f"batches; the graph is too small for the dynamic bench"
+        )
+
+    rows: List[Dict[str, object]] = []
+    current_graph = graph
+    current_index = index
+    with FleetOracle(
+        path,
+        num_workers=num_workers,
+        shared_cache_slots=shared_cache_slots,
+    ) as fleet:
+        host, port = fleet.start_tcp()
+        # warm the shared cache on generation 0 so the swap also proves
+        # the epoch bump: a stale cached distance surviving the reload
+        # would fail the post-swap bit-identity wall below
+        fleet.distances([pair for batch in batches for pair in batch])
+
+        for epoch, factor in enumerate(epoch_factors):
+            changed = clustered_edge_changes(
+                current_graph, edges_per_epoch, factor, seed=seed + 100 + epoch
+            )
+            new_graph = current_graph.reweighted(changed)
+
+            relabel_start = time.perf_counter()
+            new_index = relabel(current_index, new_graph, changed_edges=changed)
+            relabel_seconds = time.perf_counter() - relabel_start
+            scoped = bool(getattr(new_index, "_extra", {}).get("relabel_scoped"))
+
+            if epoch == 0:
+                rows.append(
+                    _scoped_vs_full_row(
+                        current_index, new_graph, changed, edges_per_epoch
+                    )
+                )
+
+            save_start = time.perf_counter()
+            new_index.save_sharded(path, num_shards=num_shards, boundaries="hierarchy")
+            save_seconds = time.perf_counter() - save_start
+
+            # the locality batches rarely cross the congested neighbourhood,
+            # so add one batch of pairs whose distance provably differs
+            # between the generations - without it every in-swap answer is
+            # generation-ambiguous and the post-swap wall never exercises
+            affected = _affected_batch(
+                current_index, new_index, changed, batches, batch_size
+            )
+            epoch_batches = list(batches) + [affected]
+            old_expect = [current_index.distances(batch) for batch in epoch_batches]
+            new_expect = [new_index.distances(batch) for batch in epoch_batches]
+            reload_seconds, swap_counts = asyncio.run(
+                _swap_under_load(
+                    host, port, epoch_batches, old_expect, new_expect, num_clients
+                )
+            )
+            if swap_counts["errors"]:
+                raise AssertionError(
+                    f"epoch {epoch}: {swap_counts['errors']} requests errored "
+                    f"during the generation swap"
+                )
+
+            # staleness wall: the live fleet must now answer bit-identically
+            # to a fresh build on the new weights
+            fresh = HC2LIndex.build(new_graph, parameters=index.parameters)
+            probe = [pair for batch in batches for pair in batch]
+            served = fleet.distances(probe)
+            expected = fresh.distances(probe)
+            if served.tolist() != expected.tolist():
+                raise AssertionError(
+                    f"epoch {epoch}: post-swap fleet answers diverged from a "
+                    f"fresh build on the new weights"
+                )
+
+            rows.append(
+                {
+                    "oracle": f"HC2L+fleet(workers={num_workers})",
+                    "workload": "dynamic-updates",
+                    "epoch": epoch,
+                    "epoch_factor": factor,
+                    "num_changed_edges": len(changed),
+                    "num_workers": num_workers,
+                    "num_shards": num_shards,
+                    "num_clients": num_clients,
+                    "generation": fleet.generation,
+                    "scoped_relabel": scoped,
+                    "relabel_seconds": round(relabel_seconds, 4),
+                    "save_seconds": round(save_seconds, 4),
+                    "reload_seconds": round(reload_seconds, 4),
+                    "update_to_serving_seconds": round(
+                        relabel_seconds + save_seconds + reload_seconds, 4
+                    ),
+                    "requests_during_swap": swap_counts["requests"],
+                    "pre_swap_answers": swap_counts["pre"],
+                    "post_swap_answers": swap_counts["post"],
+                    "generation_ambiguous_answers": swap_counts["unchanged"],
+                    "errors_during_swap": swap_counts["errors"],
+                    "post_swap_bit_identical": True,
+                }
+            )
+            current_graph = new_graph
+            current_index = new_index
+    return rows
+
+
+def _scoped_vs_full_row(
+    index: HC2LIndex,
+    new_graph: Graph,
+    changed: Dict[Tuple[int, int], float],
+    edges_per_epoch: int,
+) -> Dict[str, object]:
+    """Time the scoped relabel against the full pass on one change set.
+
+    Uses the minimum of two repeats per side (the label arrays are a few
+    MB, so a page-cache hiccup on a single run would dominate the ratio)
+    and verifies both produce bit-identical labellings.
+    """
+    scoped_seconds = float("inf")
+    scoped_index = None
+    for _ in range(2):
+        start = time.perf_counter()
+        scoped_index = relabel(index, new_graph, changed_edges=changed)
+        scoped_seconds = min(scoped_seconds, time.perf_counter() - start)
+    extra = getattr(scoped_index, "_extra", {})
+    if not extra.get("relabel_scoped"):
+        raise AssertionError(
+            "the clustered change set fell back to the full relabel; the "
+            "scoped-vs-full row would be meaningless"
+        )
+
+    full_seconds = float("inf")
+    full_index = None
+    for _ in range(2):
+        start = time.perf_counter()
+        full_index = relabel(index, new_graph)
+        full_seconds = min(full_seconds, time.perf_counter() - start)
+
+    if scoped_index.flat_labelling() != full_index.flat_labelling():
+        raise AssertionError("scoped relabel diverged from the full relabel")
+    return {
+        "oracle": "HC2L",
+        "workload": "relabel-scoped-vs-full",
+        "num_changed_edges": len(changed),
+        "edges_per_epoch": edges_per_epoch,
+        "scoped_seconds": round(scoped_seconds, 4),
+        "full_seconds": round(full_seconds, 4),
+        "speedup": round(full_seconds / scoped_seconds, 2),
+        "nodes_recomputed": int(extra.get("relabel_nodes_recomputed", 0)),
+        "nodes_spliced": int(extra.get("relabel_nodes_spliced", 0)),
+    }
+
+
+def _affected_batch(
+    old_index: HC2LIndex,
+    new_index: HC2LIndex,
+    changed: Dict[Tuple[int, int], float],
+    batches: Sequence[Sequence[QueryPair]],
+    batch_size: int,
+) -> List[QueryPair]:
+    """A batch of pairs whose distances differ between the generations.
+
+    Candidates pair the changed edges' endpoints with the workload's
+    query vertices; the weight change must shift at least one of them or
+    the epoch cannot distinguish old answers from new ones.
+    """
+    endpoints = sorted({vertex for edge in changed for vertex in edge})
+    targets = sorted({t for batch in batches for _, t in batch})
+    candidates = [(s, t) for s in endpoints for t in targets if s != t]
+    if not candidates:
+        raise ValueError("no candidate pairs touch the changed neighbourhood")
+    old_values = old_index.distances(candidates)
+    new_values = new_index.distances(candidates)
+    affected = [
+        pair
+        for pair, old, new in zip(candidates, old_values, new_values)
+        if old != new
+    ][:batch_size]
+    if not affected:
+        raise AssertionError(
+            f"reweighting {len(changed)} edges changed no candidate distance; "
+            f"the epoch would not distinguish the generations"
+        )
+    return affected
+
+
+async def _swap_under_load(
+    host: str,
+    port: int,
+    batches: Sequence[Sequence[QueryPair]],
+    old_expect: Sequence[np.ndarray],
+    new_expect: Sequence[np.ndarray],
+    num_clients: int,
+) -> Tuple[float, Dict[str, int]]:
+    """Trigger one reload while clients hammer the fleet in closed loop.
+
+    Every answer must be bit-identical to the old or the new generation
+    (the swap drains whole batches, so a mixed answer means the drain is
+    broken).  Batches whose expected values coincide across generations
+    tally as ``unchanged`` - they prove no loss but cannot date the swap.
+    Returns the reload round-trip latency and the request tallies; any
+    client exception propagates and fails the bench.
+    """
+    counts = {"requests": 0, "pre": 0, "post": 0, "unchanged": 0, "errors": 0}
+    stop = asyncio.Event()
+    clients = [await FleetClient.connect(host, port) for _ in range(num_clients)]
+    control = await FleetClient.connect(host, port)
+
+    async def run_client(client_id: int, client: FleetClient) -> None:
+        i = client_id
+        while not stop.is_set():
+            batch_id = i % len(batches)
+            answers = (await client.distances(batches[batch_id])).tolist()
+            old_values = old_expect[batch_id].tolist()
+            new_values = new_expect[batch_id].tolist()
+            if old_values == new_values and answers == old_values:
+                counts["unchanged"] += 1
+            elif answers == old_values:
+                counts["pre"] += 1
+            elif answers == new_values:
+                counts["post"] += 1
+            else:
+                counts["errors"] += 1
+                raise AssertionError(
+                    f"in-swap answer matched neither generation on batch {batch_id}"
+                )
+            counts["requests"] += 1
+            i += num_clients
+
+    tasks = [
+        asyncio.ensure_future(run_client(c, client))
+        for c, client in enumerate(clients)
+    ]
+    try:
+        await asyncio.sleep(0.05)  # establish steady-state load pre-swap
+        reload_start = time.perf_counter()
+        await control.reload()
+        reload_seconds = time.perf_counter() - reload_start
+        # keep the load running until every client has answered from the
+        # new generation - a fixed sleep can observe zero post-swap
+        # batches on larger graphs, leaving the in-swap wall unexercised
+        deadline = time.perf_counter() + 30.0
+        while counts["post"] < num_clients and not any(t.done() for t in tasks):
+            if time.perf_counter() > deadline:
+                raise AssertionError(
+                    "clients saw no post-swap answers within 30s of the reload"
+                )
+            await asyncio.sleep(0.005)
+    finally:
+        stop.set()
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        for client in clients:
+            await client.aclose()
+        await control.aclose()
+    for result in results:
+        if isinstance(result, BaseException):
+            counts["errors"] += 1
+            raise result
+    return reload_seconds, counts

@@ -240,11 +240,26 @@ class Graph:
         """Return a copy where every edge takes its weight from ``weights``.
 
         ``weights`` is keyed by ``(min(u, v), max(u, v))``; edges missing
-        from the mapping keep their current weight.
+        from the mapping keep their current weight.  Every key must match
+        an existing edge in normalised form - a typo'd or un-normalised
+        ``(v, u)`` key raises instead of silently reweighting nothing.
         """
         other = Graph(self.num_vertices)
-        for u, v, w in self.edges():
-            other.add_edge(u, v, weights.get((u, v), w))
+        other._adj = [dict(neighbors) for neighbors in self._adj]
+        other._num_edges = self._num_edges
+        bad = []
+        for (u, v), w in weights.items():
+            if not (0 <= u < v < self.num_vertices) or v not in self._adj[u]:
+                bad.append((u, v))
+                continue
+            w = check_non_negative_weight(w)
+            other._adj[u][v] = w
+            other._adj[v][u] = w
+        if bad:
+            raise ValueError(
+                f"reweighted got {len(bad)} key(s) matching no edge "
+                f"(keys must be (min(u, v), max(u, v)) of an existing edge): {sorted(bad)[:5]}"
+            )
         return other
 
     def adjacency_dict(self, vertices: Optional[Iterable[int]] = None) -> Dict[int, Dict[int, float]]:

@@ -91,6 +91,8 @@ class FleetStats:
         return {
             "num_workers": server.pool.num_workers,
             "wire": server.wire,
+            "generation": server.generation,
+            "reloads": server._reloads,
             "shared_cache": shared_cache,
             "batches": batches,
             "whole_batches": server._whole_batches,
@@ -226,6 +228,13 @@ class FleetServer:
         self._inflight = 0
         self._idle = asyncio.Event()
         self._idle.set()
+        # generation hot-swap: reload() closes the gate, drains _inflight
+        # to zero, fans the swap to the workers, then reopens the gate -
+        # queries arriving mid-swap queue behind the gate, never error
+        self._reload_lock = asyncio.Lock()
+        self._reload_gate = asyncio.Event()
+        self._reload_gate.set()
+        self._reloads = 0
         self._closed = False
         self._started = False
         self._tcp_server: Optional[asyncio.AbstractServer] = None
@@ -379,6 +388,7 @@ class FleetServer:
         self._validate_vertex(s, "s")
         self._validate_vertex(t, "t")
         worker = int(self.placer.owner_workers(np.asarray([int(s)], dtype=np.int64))[0])
+        await self._reload_gate.wait()
         self._inflight += 1
         self._idle.clear()
         try:
@@ -396,6 +406,7 @@ class FleetServer:
     # ------------------------------------------------------------------ #
     async def _dispatch_batch(self, pair_array: np.ndarray) -> np.ndarray:
         """Place one validated batch and return its distances in order."""
+        await self._reload_gate.wait()
         self._inflight += 1
         self._idle.clear()
         try:
@@ -466,6 +477,67 @@ class FleetServer:
     # ------------------------------------------------------------------ #
     # fleet management
     # ------------------------------------------------------------------ #
+    @property
+    def generation(self) -> int:
+        """Index generation the fleet is currently serving."""
+        return int(self.manifest.get("generation", 0))
+
+    async def reload(self, timeout: float = 120.0) -> Dict[str, object]:
+        """Hot-swap the whole fleet onto the generation currently on disk.
+
+        The zero-downtime sequence: close the admission gate (new queries
+        queue, none are refused), drain in-flight batches, fan a
+        ``reload`` to every worker (each drains and remaps its own
+        router), bump the shared pair cache epoch so no stale cached
+        distance survives, refresh the front door's placement state, then
+        reopen the gate.  Returns the new generation and per-worker
+        replies.  Concurrent reload calls serialise.
+        """
+        self._check_open()
+        async with self._reload_lock:
+            self._reload_gate.clear()
+            try:
+                # parked scalars are safe: their flusher dispatches through
+                # _dispatch_batch, which queues behind the gate and gets
+                # post-swap answers
+                await self._idle.wait()  # drain in-flight placed batches
+                replies = await self.pool.reload_all(timeout=timeout)
+                if self.shared_cache is not None:
+                    self.shared_cache.advance_epoch()
+                components, manifest, _ = load_sharded_components(self.path)
+                if len(manifest["boundaries"]) - 1 != len(self.pool.worker_of_shard):
+                    raise RuntimeError(
+                        f"{self.path} was re-sharded to "
+                        f"{len(manifest['boundaries']) - 1} shards; the pool "
+                        f"owns {len(self.pool.worker_of_shard)} - restart the "
+                        f"fleet instead of reloading"
+                    )
+                self.manifest = manifest
+                self.graph = components["graph"]
+                self.parameters = components["parameters"]
+                self.contraction = components["contraction"]
+                self.hierarchy = components["hierarchy"]
+                self.construction_seconds = components["construction_seconds"]
+                self.num_original = self.contraction.num_original
+                owner_shard = owner_shard_by_original(
+                    self.contraction,
+                    self.hierarchy,
+                    manifest["boundaries"],
+                    manifest.get("vertex_order", "identity"),
+                )
+                self.placer = BatchPlacer(
+                    owner_shard,
+                    self.pool.worker_of_shard,
+                    majority_threshold=self.placer.majority_threshold,
+                )
+                self._reloads += 1
+            finally:
+                self._reload_gate.set()
+        return {
+            "generation": self.generation,
+            "workers": [dict(reply) for reply in replies],
+        }
+
     async def health(
         self, timeout: float = 5.0, restart_unhealthy: bool = False
     ) -> Dict[str, List[int]]:
@@ -658,6 +730,8 @@ class FleetServer:
             return [value, hubs]
         if op == "stats":
             return self.stats.as_dict()
+        if op == "reload":
+            return await self.reload()
         if op == "health":
             return await self.health(
                 restart_unhealthy=bool(request.get("restart_unhealthy", False))
@@ -812,6 +886,10 @@ class FleetClient:
 
     async def stats(self) -> Dict[str, object]:
         return await self.request("stats")
+
+    async def reload(self) -> Dict[str, object]:
+        """Ask the fleet to hot-swap onto the generation currently on disk."""
+        return await self.request("reload")
 
     async def ping(self) -> Dict[str, object]:
         return await self.request("ping")

@@ -118,6 +118,20 @@ class FleetOracle:
             self.server.health(timeout=timeout, restart_unhealthy=restart_unhealthy)
         )
 
+    @property
+    def generation(self) -> int:
+        """Index generation the fleet is currently serving."""
+        return self.server.generation
+
+    def reload(self, timeout: float = 120.0) -> Dict[str, object]:
+        """Hot-swap every worker onto the generation currently on disk.
+
+        Blocks until the drain + swap completes; concurrent queries from
+        other threads queue behind the swap instead of erroring.  Returns
+        the new generation and the per-worker replies.
+        """
+        return self._run(self.server.reload(timeout=timeout))
+
     def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
         """Expose the fleet's TCP plane; returns the bound ``(host, port)``."""
         return self._run(self.server.start_tcp(host, port))

@@ -129,6 +129,22 @@ class WorkerPool:
         )
         return list(replies)
 
+    async def reload_all(self, timeout: float = 120.0) -> List[dict]:
+        """Fan a generation reload out to every worker.
+
+        Each worker hot-swaps its router onto the manifest currently on
+        disk and re-pins its owned shards; the caller (the front door's
+        :meth:`~repro.serving.fleet.frontdoor.FleetServer.reload`) is
+        responsible for draining the query plane first.
+        """
+        replies = await asyncio.wait_for(
+            asyncio.gather(
+                *(self.submit(w, {"op": "reload"}) for w in range(self.num_workers))
+            ),
+            timeout=timeout,
+        )
+        return list(replies)
+
     # ------------------------------------------------------------------ #
     # stats
     # ------------------------------------------------------------------ #

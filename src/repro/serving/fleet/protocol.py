@@ -18,7 +18,8 @@ it without importing this package:
   little-endian ndarray bytes, so numeric batches move as
   ``np.frombuffer`` views with no per-float boxing.  Only the
   array-valued ops (``distances``, ``one_to_many``, ``many_to_many``)
-  have a binary form; control ops (``ping``, ``stats``, ``health``) and
+  have a binary form; control ops (``ping``, ``stats``, ``health``,
+  ``reload``) and
   every error reply stay JSON, and a server may always answer a binary
   request with a JSON frame (the negotiated fallback), so JSON-only
   clients keep working unchanged.
@@ -46,8 +47,10 @@ simply carry the IEEE-754 ``inf`` bit pattern.
 
 The ops mirror the :class:`~repro.core.oracle.DistanceOracle` surface:
 ``distance``, ``distances``, ``one_to_many``, ``many_to_many``,
-``hub_count`` plus the fleet-management ops ``stats``, ``health`` and
-``ping``.  Errors re-raise client-side as the same builtin exception
+``hub_count`` plus the fleet-management ops ``stats``, ``health``,
+``ping`` and ``reload`` (hot-swap every worker onto the index generation
+currently on disk; always JSON, answers with the new generation and the
+per-worker replies).  Errors re-raise client-side as the same builtin exception
 type where possible (``ValueError`` for a bad vertex id stays a
 ``ValueError``), so a remote fleet behaves like an in-process oracle.
 

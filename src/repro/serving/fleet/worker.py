@@ -2,13 +2,15 @@
 
 One worker = one long-lived process running :func:`worker_main`: it opens
 a :class:`~repro.serving.shards.ShardRouter` over the sharded layout
-(lazy read-only mmaps - co-located workers share label pages through the
-page cache), preloads the shards it *owns*, and then answers a simple
-request/response loop over a ``multiprocessing`` pipe.  Ownership is a
-placement concept, not a correctness one: the router lazily maps any
-foreign shard a cross-worker pair touches, so every worker can answer
-every query bit-identically - locality-aware placement just makes that
-the rare path.
+(read-only mmaps - co-located workers share label pages through the
+page cache), pins every shard of the adopted generation, and then
+answers a simple request/response loop over a ``multiprocessing`` pipe.
+Ownership is a placement concept, not a correctness one: every worker
+maps all shards and can answer every query bit-identically -
+locality-aware placement just makes the cross-worker path the rare one.
+Pinning all shards up front also keeps the adopted generation fully
+servable while a newer generation is being written to disk (a lazy load
+would refuse to mix generations).
 
 The pipe speaks the fleet's pipe codec
 (:func:`repro.serving.fleet.protocol.encode_pipe_message`): a
@@ -50,6 +52,7 @@ WORKER_OPS = (
     "hub_count",
     "ping",
     "stats",
+    "reload",
     "shutdown",
     "__crash__",
 )
@@ -70,7 +73,7 @@ def worker_main(
     """Entry point of one worker process.
 
     Opens the router (and the shared pair cache, when the front door
-    created one), preloads the owned shards, then serves requests until
+    created one), pins every shard, then serves requests until
     the pipe closes or a ``shutdown`` op arrives.  Every exception
     raised by the router is caught and shipped back to the parent as an
     error reply - the worker never dies because a *query* was bad, only
@@ -82,8 +85,14 @@ def worker_main(
         if cache_name
         else None
     )
-    for shard_id in owned_shards:
-        router._shard(int(shard_id))
+    # Pin every shard, not just the owned ones (mmap cost: file handles,
+    # not resident pages).  Owned shards are where this worker's batches
+    # land, but a split batch can target any shard, and lazily loading
+    # one after a newer generation was written to disk would (correctly)
+    # refuse to mix generations - the adopted generation must stay fully
+    # servable until the reload lands.
+    for shard_id in range(router.num_shards):
+        router._shard(shard_id)
 
     def send(reply: dict) -> None:
         conn.send_bytes(encode_pipe_message(reply))
@@ -120,6 +129,14 @@ def worker_main(
                 }
             elif op == "stats":
                 value = router.stats.as_dict()
+            elif op == "reload":
+                # hot-swap onto the generation currently on disk, then
+                # re-pin every shard so no post-swap query pays the mmap
+                # cost or races the next generation's disk write
+                generation = router.reload_generation()
+                for shard_id in range(router.num_shards):
+                    router._shard(shard_id)
+                value = {"worker_id": worker_id, "generation": generation}
             else:
                 raise ValueError(f"unknown worker op {op!r}; expected one of {WORKER_OPS}")
         except BaseException as error:  # noqa: BLE001 - shipped to the caller

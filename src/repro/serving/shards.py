@@ -53,6 +53,7 @@ class RouterStats:
     cross_shard_pairs: int = 0
     fanout_calls: int = 0
     shard_loads: int = 0
+    reloads: int = 0
     pairs_per_shard: Dict[int, int] = field(default_factory=dict)
 
     def cross_shard_fraction(self) -> float:
@@ -74,6 +75,7 @@ class RouterStats:
             "cross_shard_fraction": round(self.cross_shard_fraction(), 4),
             "fanout_calls": self.fanout_calls,
             "shard_loads": self.shard_loads,
+            "reloads": self.reloads,
         }
 
 
@@ -98,6 +100,30 @@ class ShardRouter(BatchMixin):
     ) -> None:
         components, manifest, shard_dir = load_sharded_components(path)
         self.path = shard_dir
+        self._mmap = mmap
+        self.stats = RouterStats()
+        # guards lazy shard loading and the stats counters: the router is
+        # documented to sit under the thread-based CoalescingServer, so
+        # concurrent distances() calls must not double-load a shard or
+        # lose counter increments (the numpy reads themselves are safe)
+        self._lock = threading.Lock()
+        # hot-swap coordination: queries register in _active between
+        # _begin_query/_end_query; reload_generation raises _reloading,
+        # waits on _swap for the in-flight count to drain, flips every
+        # generation-dependent field, then wakes the queries queued behind
+        # the swap - no request is ever dropped, only briefly delayed
+        self._swap = threading.Condition(self._lock)
+        self._active = 0
+        self._reloading = False
+        self._closed = False
+        self._adopt(components, manifest)
+        if preload:
+            for shard_id in range(self.num_shards):
+                self._shard(shard_id)
+
+    def _adopt(self, components: dict, manifest: dict) -> None:
+        """Point the router at one generation's components (caller holds the
+        lock when swapping a live router; construction runs unlocked)."""
         self.manifest = manifest
         self.graph = components["graph"]
         self.parameters = components["parameters"]
@@ -105,7 +131,6 @@ class ShardRouter(BatchMixin):
         self.hierarchy = components["hierarchy"]
         self.construction_seconds = components["construction_seconds"]
         self.resolver = BatchResolver(self.contraction, self.hierarchy)
-        self._mmap = mmap
         #: how label rows are ordered on disk: "identity" (classic core-id
         #: ranges) or "hierarchy" (DFS subtree ranges)
         self.vertex_order: str = manifest.get("vertex_order", "identity")
@@ -121,16 +146,6 @@ class ShardRouter(BatchMixin):
         #: shard edge sequence over storage positions ([0, b1, ..., m])
         self._edges = np.asarray(manifest["boundaries"], dtype=np.int64)
         self._shards: List[Optional[FlatLabelling]] = [None] * (len(self._edges) - 1)
-        self.stats = RouterStats()
-        # guards lazy shard loading and the stats counters: the router is
-        # documented to sit under the thread-based CoalescingServer, so
-        # concurrent distances() calls must not double-load a shard or
-        # lose counter increments (the numpy reads themselves are safe)
-        self._lock = threading.Lock()
-        self._closed = False
-        if preload:
-            for shard_id in range(self.num_shards):
-                self._shard(shard_id)
 
     # ------------------------------------------------------------------ #
     # shard management
@@ -144,6 +159,62 @@ class ShardRouter(BatchMixin):
     def loaded_shard_ids(self) -> List[int]:
         """Ids of the shards this router has loaded so far."""
         return [k for k, shard in enumerate(self._shards) if shard is not None]
+
+    @property
+    def generation(self) -> int:
+        """Generation of the layout this router is currently serving."""
+        return int(self.manifest.get("generation", 0))
+
+    def reload_generation(self) -> int:
+        """Hot-swap onto the generation currently on disk; returns it.
+
+        Reads the new manifest and base components *outside* the router
+        lock (the slow part), then drains in-flight batches off the old
+        mmaps and flips every generation-dependent field - graph,
+        contraction, hierarchy, resolver, boundaries, shard table -
+        atomically behind the lock.  Queries arriving during the flip
+        queue behind it instead of erroring; the old shard mappings are
+        closed only after the swap, so the drained batches finished on a
+        consistent snapshot.  Concurrent reloads serialise; a reload that
+        lost the race to a newer generation is a no-op.
+        """
+        components, manifest, _ = load_sharded_components(self.path)
+        with self._swap:
+            while self._reloading:
+                self._swap.wait()
+            if self._closed:
+                raise RuntimeError(f"ShardRouter over {self.path} is closed")
+            if int(manifest.get("generation", 0)) < self.generation:
+                return self.generation  # raced with a newer reload
+            old_shards: List[Optional[FlatLabelling]] = []
+            self._reloading = True
+            try:
+                while self._active > 0:  # drain in-flight batches
+                    self._swap.wait()
+                old_shards = self._shards
+                self._adopt(components, manifest)
+                self.stats.reloads += 1
+            finally:
+                self._reloading = False
+                self._swap.notify_all()
+        for shard in old_shards:
+            if shard is not None:
+                shard.close()
+        return self.generation
+
+    def _begin_query(self) -> None:
+        with self._swap:
+            while self._reloading:
+                self._swap.wait()
+            if self._closed:
+                raise RuntimeError(f"ShardRouter over {self.path} is closed")
+            self._active += 1
+
+    def _end_query(self) -> None:
+        with self._swap:
+            self._active -= 1
+            if self._active == 0:
+                self._swap.notify_all()
 
     def close(self) -> None:
         """Release every loaded shard, closing mmap handles deterministically.
@@ -177,16 +248,24 @@ class ShardRouter(BatchMixin):
                 shard = self._shards[shard_id]
                 if shard is not None:  # lost the race; another thread loaded it
                     return shard
-                # the router's local-id arithmetic is pinned to the
-                # boundaries read at construction; if the layout was
-                # re-sharded since, lazily loading a rewritten shard would
-                # silently mix the two partitions - fail loudly instead
+                # the router's local-id arithmetic and label snapshot are
+                # pinned to the manifest read at construction (or the last
+                # reload); if the layout was re-sharded or a new generation
+                # was written since, lazily loading a rewritten shard would
+                # silently mix two generations - fail loudly instead
                 _, manifest = load_manifest(self.path)
                 if manifest["boundaries"] != self.manifest["boundaries"]:
                     raise RuntimeError(
                         f"{self.path} was re-sharded (boundaries "
                         f"{manifest['boundaries']} != {self.manifest['boundaries']}) "
                         f"since this router opened; re-open the ShardRouter"
+                    )
+                if int(manifest.get("generation", 0)) != self.generation:
+                    raise RuntimeError(
+                        f"{self.path} moved to generation "
+                        f"{manifest.get('generation', 0)} since this router "
+                        f"adopted generation {self.generation}; call "
+                        f"reload_generation() to hot-swap"
                     )
                 shard = load_shard(self.path, shard_id, mmap=self._mmap)
                 self._shards[shard_id] = shard
@@ -242,26 +321,32 @@ class ShardRouter(BatchMixin):
     # ------------------------------------------------------------------ #
     def distance(self, s: int, t: int) -> float:
         """Exact distance between ``s`` and ``t`` (original ids)."""
-        if self._closed:
-            raise RuntimeError(f"ShardRouter over {self.path} is closed")
-        n = self.contraction.num_original
-        check_vertex(s, n, "s")
-        check_vertex(t, n, "t")
-        resolved, core_s, core_t, offset = self.contraction.resolve_query(s, t)
-        if resolved is not None:
-            return resolved
-        return offset + self._core_scalar(core_s, core_t)[0]
+        self._begin_query()
+        try:
+            n = self.contraction.num_original
+            check_vertex(s, n, "s")
+            check_vertex(t, n, "t")
+            resolved, core_s, core_t, offset = self.contraction.resolve_query(s, t)
+            if resolved is not None:
+                return resolved
+            return offset + self._core_scalar(core_s, core_t)[0]
+        finally:
+            self._end_query()
 
     def distance_with_hub_count(self, s: int, t: int) -> Tuple[float, int]:
         """Distance plus the number of label entries inspected."""
-        n = self.contraction.num_original
-        check_vertex(s, n, "s")
-        check_vertex(t, n, "t")
-        resolved, core_s, core_t, offset = self.contraction.resolve_query(s, t)
-        if resolved is not None:
-            return resolved, 0
-        value, hubs = self._core_scalar(core_s, core_t)
-        return offset + value, hubs
+        self._begin_query()
+        try:
+            n = self.contraction.num_original
+            check_vertex(s, n, "s")
+            check_vertex(t, n, "t")
+            resolved, core_s, core_t, offset = self.contraction.resolve_query(s, t)
+            if resolved is not None:
+                return resolved, 0
+            value, hubs = self._core_scalar(core_s, core_t)
+            return offset + value, hubs
+        finally:
+            self._end_query()
 
     def _core_scalar(self, core_s: int, core_t: int) -> Tuple[float, int]:
         """Min-plus over the (possibly distinct) shards of two core vertices."""
@@ -284,20 +369,22 @@ class ShardRouter(BatchMixin):
         the shard owning each source vertex and re-assembled in input
         order; bit-identical to the monolithic engine.
         """
-        if self._closed:
-            raise RuntimeError(f"ShardRouter over {self.path} is closed")
-        pair_array = as_pair_array(pairs)
-        if pair_array.size == 0:
-            return np.empty(0, dtype=np.float64)
-        s = np.ascontiguousarray(pair_array[:, 0])
-        t = np.ascontiguousarray(pair_array[:, 1])
-        self.resolver.validate_vertices(s, t)
-        out, core_mask, cs, ct, offsets = self.resolver.resolve(s, t)
-        with self._lock:
-            self.stats.batches += 1
-        if core_mask.any():
-            out[core_mask] = offsets + self._core_distances(cs, ct)
-        return out
+        self._begin_query()
+        try:
+            pair_array = as_pair_array(pairs)
+            if pair_array.size == 0:
+                return np.empty(0, dtype=np.float64)
+            s = np.ascontiguousarray(pair_array[:, 0])
+            t = np.ascontiguousarray(pair_array[:, 1])
+            self.resolver.validate_vertices(s, t)
+            out, core_mask, cs, ct, offsets = self.resolver.resolve(s, t)
+            with self._lock:
+                self.stats.batches += 1
+            if core_mask.any():
+                out[core_mask] = offsets + self._core_distances(cs, ct)
+            return out
+        finally:
+            self._end_query()
 
     def one_to_many(self, s: int, targets: Sequence[int]) -> np.ndarray:
         """Distances from ``s`` to every vertex of ``targets`` (one source

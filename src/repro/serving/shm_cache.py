@@ -67,10 +67,12 @@ SLOT_DTYPE = np.dtype(
 PROBE_WINDOW = 8
 
 _HEADER_DTYPE = np.dtype("<u8")
-_HEADER_WORDS = 4  # magic, version, capacity, counter_rows
+_HEADER_WORDS = 5  # magic, version, capacity, counter_rows, epoch
 _COUNTER_WORDS = 4  # hits, misses, fills, evictions
 _MAGIC = 0x48433243_50414952  # "HC2C PAIR"
-_VERSION = 1
+#: version 2 added the epoch header word (generation hot-swap: bumping it
+#: invalidates every published entry at once, see :meth:`advance_epoch`)
+_VERSION = 2
 
 _U64 = np.uint64
 _ONE = _U64(1)
@@ -92,10 +94,22 @@ def _pair_hash(u: np.ndarray, v: np.ndarray) -> np.ndarray:
     return _mix(a * _U64(0xFF51AFD7ED558CCD) ^ _mix(b))
 
 
-def _slot_checksum(u: np.ndarray, v: np.ndarray, dist: np.ndarray) -> np.ndarray:
-    """Checksum binding key and value bits within one slot."""
+def _epoch_salt(epoch: int) -> np.uint64:
+    """Mix the cache epoch into a checksum salt.
+
+    Salting the per-slot checksum with the epoch invalidates every
+    published entry the instant the epoch advances: old-epoch slots fail
+    the checksum and read as misses, with no need to zero the table.
+    """
+    return _mix(np.asarray([epoch], dtype=_U64) + _U64(0x9E3779B97F4A7C15))[0]
+
+
+def _slot_checksum(
+    u: np.ndarray, v: np.ndarray, dist: np.ndarray, salt: np.uint64 = _U64(0)
+) -> np.ndarray:
+    """Checksum binding key, value bits and cache epoch within one slot."""
     bits = np.ascontiguousarray(dist, dtype="<f8").view(_U64)
-    return _mix(_pair_hash(u, v) ^ bits)
+    return _mix(_pair_hash(u, v) ^ bits ^ salt)
 
 
 def _validate_count(name: str, value, minimum: int = 1) -> int:
@@ -125,7 +139,7 @@ class SharedPairCache:
         # read the header through a scoped view: a still-referenced numpy
         # view would make shm.close() on the error paths raise BufferError
         header = np.frombuffer(shm.buf, dtype=_HEADER_DTYPE, count=_HEADER_WORDS)
-        magic, version, capacity, counter_rows = (int(x) for x in header)
+        magic, version, capacity, counter_rows = (int(x) for x in header[:4])
         del header
         if magic != _MAGIC:
             shm.close()
@@ -149,6 +163,11 @@ class SharedPairCache:
                 shm.close()  # every rejection path must release the mapping
                 raise
         self._counter_row = counter_row
+        # persistent single-word view of the epoch header slot; written
+        # only by advance_epoch (front door, while the fleet is drained)
+        self._epoch_view = np.frombuffer(
+            shm.buf, dtype=_HEADER_DTYPE, count=1, offset=4 * _HEADER_DTYPE.itemsize
+        )
         offset = _HEADER_WORDS * _HEADER_DTYPE.itemsize
         self._counters = np.frombuffer(
             shm.buf,
@@ -213,11 +232,31 @@ class SharedPairCache:
     def counter_rows(self) -> int:
         return self._counter_rows
 
+    @property
+    def epoch(self) -> int:
+        """Current cache epoch (bumped on every index generation swap)."""
+        self._check_open()
+        return int(self._epoch_view[0])
+
+    def advance_epoch(self) -> int:
+        """Invalidate every cached entry by bumping the epoch; returns it.
+
+        Entries published under earlier epochs fail their (epoch-salted)
+        checksum and read as misses from then on; their slots are
+        reclaimed by the next writer that probes them.  Call from the
+        segment owner while the fleet is drained (the front door does this
+        during a generation swap) so no lookup races the bump.
+        """
+        self._check_open()
+        self._epoch_view[0] += _ONE
+        return int(self._epoch_view[0])
+
     def _release_views(self) -> None:
         # numpy views keep the shm buffer exported; drop them before close()
         self._header = None
         self._counters = None
         self._slots = None
+        self._epoch_view = None
 
     def close(self) -> None:
         """Detach; the owning side also unlinks the segment."""
@@ -272,6 +311,7 @@ class SharedPairCache:
         if n == 0 or self._capacity == 0:
             return values, found
         idx = self._probe_indices(_pair_hash(u, v))
+        salt = _epoch_salt(int(self._epoch_view[0]))
         slots = self._slots
         for _ in range(4):
             seq_before = slots["seq"][idx]
@@ -289,7 +329,7 @@ class SharedPairCache:
                 stable
                 & (slot_u == u[:, None])
                 & (slot_v == v[:, None])
-                & (slot_check == _slot_checksum(slot_u, slot_v, slot_dist))
+                & (slot_check == _slot_checksum(slot_u, slot_v, slot_dist, salt))
             )
             hit = match.any(axis=1)
             first = np.argmax(match, axis=1)
@@ -335,7 +375,7 @@ class SharedPairCache:
         if len(u) == 0:
             return
         idx = self._probe_indices(_pair_hash(u, v))
-        checks = _slot_checksum(u, v, dist)
+        checks = _slot_checksum(u, v, dist, _epoch_salt(int(self._epoch_view[0])))
         slots = self._slots
         fills = 0
         evictions = 0
