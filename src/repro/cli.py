@@ -79,14 +79,28 @@ def build_parser() -> argparse.ArgumentParser:
             "(self-contained subtree work units on a process pool)"
         ),
     )
+    from repro.core.backends import BACKEND_NAMES
+    from repro.flow.vertex_cut import FLOW_METHOD_CHOICES
+
     build.add_argument(
         "--backend",
-        choices=["auto", "heap", "csr"],
+        choices=list(BACKEND_NAMES),
         default="auto",
         help=(
             "shortest-path backend for the construction searches: heap "
             "(pure-Python Dijkstra), csr (batched scipy/numpy searches), "
+            "dial (bucket-queue searches for integer-scalable weights), "
             "or auto (csr when scipy is available; the default)"
+        ),
+    )
+    build.add_argument(
+        "--flow-method",
+        choices=list(FLOW_METHOD_CHOICES),
+        default="auto",
+        help=(
+            "max-flow solver for the hierarchy phase's minimum vertex "
+            "cuts (cuts are bit-identical across solvers): auto defers "
+            "to the backend (the default)"
         ),
     )
     build.add_argument(
@@ -294,6 +308,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         parallel_mode=args.parallel_mode,
         backend=args.backend,
+        flow_method=args.flow_method,
     )
     index.save(args.output, tree_sidecar=args.tree_sidecar)
     summary = index.describe()

@@ -9,11 +9,21 @@ interpreted binary-heap Dijkstra of :mod:`repro.core.pruned_dijkstra` /
 :meth:`~repro.core.flat.FlatWorkingGraph.dijkstra`.
 
 :class:`ShortestPathBackend` is the seam between those passes and the
-search implementation.  Two backends ship:
+search implementation.  Three backends ship:
 
 ``heap``
     The existing pure-Python binary-heap searches, unchanged.  Always
     available; the reference for bit-identical comparisons.
+
+``dial``
+    Heap-free monotone bucket-queue (Dial) searches for snapshots whose
+    weights are integers after an exact power-of-two scaling.  Because
+    float64 addition of such dyadic weights is exact while sums stay
+    under ``2**53``, the bucket distances reproduce the heap Dijkstra's
+    float sums *bit-identically*; non-eligible snapshots fall back to
+    the ``csr`` searches (or ``heap`` without scipy).  Algorithm 4
+    pruneability flags are recovered by the same shortest-path-DAG pass
+    the ``csr`` backend uses.
 
 ``csr``
     Heap-free searches over the CSR snapshot: distances come from one
@@ -31,18 +41,22 @@ search implementation.  Two backends ship:
     backend-equivalence tests).
 
 Tiny subgraphs (the bulk of the recursion's nodes by count, not by cost)
-are delegated to the heap searches even under ``csr``: below a few dozen
-vertices the per-call overhead of building a scipy matrix outweighs the
-heap loop.  Since both produce identical results, mixing is safe.
+are delegated away from the matrix machinery even under ``csr``: below a
+few dozen vertices the per-call overhead of building a scipy matrix
+outweighs the scalar loops.  Those delegated snapshots run the Dial
+bucket queue when their weights are integer-scalable and the binary heap
+otherwise.  Since all backends produce identical results, mixing is safe.
 
-``resolve_backend`` maps the ``"auto"`` / ``"heap"`` / ``"csr"`` names
-used by :class:`~repro.core.index.HC2LParameters` and the CLI's
-``repro build --backend`` to backend instances; ``auto`` picks ``csr``
-when scipy is importable and ``heap`` otherwise.
+``resolve_backend`` maps the ``"auto"`` / ``"heap"`` / ``"csr"`` /
+``"dial"`` names used by :class:`~repro.core.index.HC2LParameters` and
+the CLI's ``repro build --backend`` to backend instances; ``auto`` picks
+``csr`` when scipy is importable and ``dial`` (whose non-integer
+fallback is the heap) otherwise.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -52,7 +66,7 @@ from repro.core.pruned_dijkstra import dist_and_prune_dense, prune_flags_from_di
 
 INF = float("inf")
 
-BACKEND_NAMES = ("auto", "heap", "csr")
+BACKEND_NAMES = ("auto", "heap", "csr", "dial")
 
 try:  # pragma: no cover - exercised via whichever env runs the suite
     from scipy.sparse import csr_matrix as _scipy_csr_matrix
@@ -82,15 +96,46 @@ class ShortestPathBackend:
     name: str = "abstract"
 
     #: max-flow implementation the partition layer's balanced cuts should
-    #: use: ``"dinitz"`` (the reference pure-Python solver) or ``"matrix"``
-    #: (scipy ``maximum_flow`` / numpy Edmonds-Karp over edge arrays).  The
-    #: canonical minimum vertex cuts are unique across all maximum flows,
-    #: so the choice never changes a cut - only how fast it is found.
-    flow_method: str = "dinitz"
+    #: use when the build does not pin one explicitly - a name from
+    #: :data:`repro.flow.vertex_cut.FLOW_METHODS`.  The canonical minimum
+    #: vertex cuts are unique across all maximum flows, so the choice
+    #: never changes a cut - only how fast it is found.  The early-exit
+    #: Edmonds-Karp roughly halves the hierarchy phase versus the Dinitz
+    #: reference on the bench region population (attachment sets keep the
+    #: source-sink BFS distance tiny, so one BFS per unit of flow is
+    #: near-optimal), hence the dependency-free default; ``dinitz`` stays
+    #: available as the reference via an explicit ``flow_method``.  An
+    #: explicit ``HC2LParameters.flow_method`` other than ``"auto"``
+    #: overrides this per-backend default.
+    flow_method: str = "python_ek"
 
     def sssp_many(self, flat: FlatWorkingGraph, sources: Sequence[int]) -> List[Sequence[float]]:
         """Single-source distance rows for a batch of sources."""
         raise NotImplementedError
+
+    def sssp_array(self, flat: FlatWorkingGraph, source: int) -> np.ndarray:
+        """One distance row as a float64 numpy array.
+
+        Convenience for numpy-side callers (the partition layer's seed
+        searches do arithmetic on whole rows); same values as
+        ``sssp_many`` bit for bit, implementations merely skip a
+        list round-trip when they already hold the row as an array.
+        """
+        return np.asarray(self.sssp_many(flat, [source])[0], dtype=np.float64)
+
+    def components_masked(
+        self, flat: FlatWorkingGraph, keep: np.ndarray
+    ) -> List[List[int]]:
+        """Connected components of the snapshot restricted to ``keep``.
+
+        ``keep`` is a boolean mask over dense ids; the result is in the
+        same canonical form as :meth:`components` (sorted members,
+        components ordered by smallest member).  The default walks the
+        parent CSR lists directly, skipping excluded vertices - no
+        induced snapshot; array-native backends override it with a
+        vectorised carve for large leftovers.
+        """
+        return _components_python_masked(flat, keep)
 
     def components(self, flat: FlatWorkingGraph) -> List[List[int]]:
         """Connected components of a snapshot, in canonical form.
@@ -142,6 +187,148 @@ class HeapBackend(ShortestPathBackend):
         return dists, prunes
 
 
+class DialBackend(ShortestPathBackend):
+    """Monotone bucket-queue (Dial) searches for integer-scalable weights.
+
+    A snapshot is *eligible* when every edge weight is strictly positive,
+    finite, and an integer after multiplication by a single power of two
+    ``2**exp`` (``exp <= max_scale_exp``) with the scaled weights bounded
+    by ``max_scaled_weight``.  Dyadic weights make every float64 addition
+    the heap Dijkstra performs exact (each partial sum is an integer
+    multiple of ``2**-exp`` below ``2**53``), so integer bucket distances
+    converted back through ``math.ldexp`` equal the heap's float
+    distances **bit for bit** - asserted by the differential fuzz and
+    partition-backend suites.
+
+    Non-eligible snapshots (and snapshots above ``max_vertices``, where
+    the batched C-speed scipy searches win regardless of weight shape)
+    run on the fallback backend: ``csr`` when scipy is importable,
+    ``heap`` otherwise, both bit-identical anyway.  Algorithm 4
+    pruneability flags come from the same finished-distance DAG pass the
+    ``csr`` backend uses, so no flag logic is duplicated.
+
+    The eligibility verdict (and the scaled integer weights) is cached on
+    the snapshot under :data:`_SCALE_CACHE`; the builder touches each
+    node's snapshot many times, the detection sweep runs once.
+    """
+
+    name = "dial"
+    #: the compact Edmonds-Karp is the fastest dependency-free flow
+    #: solver on the bench region population, matching this backend's
+    #: pure-python character
+    flow_method = "python_ek"
+
+    _SCALE_CACHE = "dial_scale"
+
+    def __init__(
+        self,
+        fallback: Optional[ShortestPathBackend] = None,
+        max_scaled_weight: int = 4096,
+        max_scale_exp: int = 20,
+        max_vertices: int = 4096,
+    ) -> None:
+        self.max_scaled_weight = max_scaled_weight
+        self.max_scale_exp = max_scale_exp
+        self.max_vertices = max_vertices
+        self._fallback = fallback
+
+    @property
+    def fallback(self) -> ShortestPathBackend:
+        """Backend for non-eligible snapshots (lazy to avoid ctor cycles)."""
+        if self._fallback is None:
+            self._fallback = CSRBackend() if scipy_available() else HeapBackend()
+        return self._fallback
+
+    # ------------------------------------------------------------------ #
+    def sssp_many(self, flat: FlatWorkingGraph, sources: Sequence[int]) -> List[Sequence[float]]:
+        scale = self._scale(flat)
+        if scale is None:
+            return self.fallback.sssp_many(flat, sources)
+        return [self._sssp(flat, scale, int(source)) for source in sources]
+
+    def dist_and_prune_many(
+        self,
+        flat: FlatWorkingGraph,
+        roots: Sequence[int],
+        prune_sets: Sequence[Sequence[int]],
+    ) -> Tuple[List[Sequence[float]], List[Sequence[bool]]]:
+        scale = self._scale(flat)
+        if scale is None:
+            return self.fallback.dist_and_prune_many(flat, roots, prune_sets)
+        dists: List[Sequence[float]] = []
+        prunes: List[Sequence[bool]] = []
+        for root, prune_ids in zip(roots, prune_sets):
+            dist = self._sssp(flat, scale, int(root))
+            dists.append(dist)
+            # eligibility guarantees strictly positive weights, so the
+            # DAG flag-recovery pass applies
+            prunes.append(prune_flags_from_distances(flat, root, prune_ids, dist))
+        return dists, prunes
+
+    # ------------------------------------------------------------------ #
+    def _scale(self, flat: FlatWorkingGraph) -> Optional[Tuple[int, int, List[int]]]:
+        """``(exp, max_scaled_weight, scaled_int_weights)`` or ``None``."""
+        if self._SCALE_CACHE in flat.cache:
+            return flat.cache[self._SCALE_CACHE]
+        result: Optional[Tuple[int, int, List[int]]] = None
+        n = len(flat.vertices)
+        if 0 < n <= self.max_vertices:
+            _, _, weights = flat.csr_arrays()
+            if weights.size == 0:
+                result = (0, 0, [])
+            elif float(weights.min()) > 0.0 and np.isfinite(weights.max()):
+                for exp in range(self.max_scale_exp + 1):
+                    scaled = np.ldexp(weights, exp)
+                    if float(scaled.max()) > self.max_scaled_weight:
+                        break
+                    if np.array_equal(scaled, np.floor(scaled)):
+                        longest = (n - 1) * int(scaled.max())
+                        if longest < (1 << 52):  # every float sum exact
+                            result = (exp, int(scaled.max()), scaled.astype(np.int64).tolist())
+                        break
+        flat.cache[self._SCALE_CACHE] = result
+        return result
+
+    def _sssp(
+        self, flat: FlatWorkingGraph, scale: Tuple[int, int, List[int]], source: int
+    ) -> List[float]:
+        """One Dial search; returns the float distance row (heap-identical)."""
+        exp, bound, int_weights = scale
+        indptr = flat.indptr
+        indices = flat.indices
+        n = len(flat.vertices)
+        big = 1 << 62
+        dist = [big] * n
+        # ring of bound + 1 buckets: a tentative distance never exceeds
+        # the current settled distance by more than the largest weight,
+        # so slots can be reused modulo the ring size (Dial's invariant)
+        size = bound + 1
+        ring: List[List[int]] = [[] for _ in range(size)]
+        dist[source] = 0
+        ring[0].append(source)
+        pending = 1
+        d = 0
+        while pending:
+            bucket = ring[d % size]
+            while bucket:
+                v = bucket.pop()
+                pending -= 1
+                if dist[v] != d:
+                    continue  # superseded by a shorter entry
+                for i in range(indptr[v], indptr[v + 1]):
+                    w = indices[i]
+                    nd = d + int_weights[i]
+                    if nd < dist[w]:
+                        dist[w] = nd
+                        ring[nd % size].append(w)
+                        pending += 1
+            d += 1
+        inf = INF
+        # ldexp is exact, so scaled-integer distances map onto the very
+        # float64 values the heap Dijkstra accumulated
+        return [math.ldexp(x, -exp) if x < big else inf for x in dist]
+
+
 class CSRBackend(ShortestPathBackend):
     """Heap-free searches over the CSR snapshot (scipy or numpy).
 
@@ -158,22 +345,56 @@ class CSRBackend(ShortestPathBackend):
     flow_method = "matrix"
 
     _DIST_CACHE = "csr_dist_rows"
+    _ARRAY_CACHE = "csr_dist_arrays"
     _MATRIX_CACHE = "csr_matrix"
 
-    def __init__(self, min_vertices: int = 32, components_min_vertices: int = 2048) -> None:
+    def __init__(
+        self,
+        min_vertices: int = 32,
+        components_min_vertices: int = 64,
+        masked_min_vertices: int = 1024,
+    ) -> None:
         self.min_vertices = min_vertices
-        # the component scan crosses over much later than the distance
-        # searches: one O(E) python BFS beats a scipy matrix round-trip
-        # until the snapshot is a few thousand vertices
+        # below this, one O(E) python BFS beats the sparse-constructor
+        # cost of the scipy scan; above it the weighted matrix is built
+        # eagerly and cached for the seed searches - see components()
         self.components_min_vertices = components_min_vertices
+        # components_masked carves a fresh (never reused) matrix, so its
+        # python-walk crossover sits much higher than components()'s
+        self.masked_min_vertices = masked_min_vertices
         self._heap = HeapBackend()
+        # delegated tiny snapshots run the Dial bucket queue when their
+        # weights are integer-scalable (no binary heap at all) and the
+        # heap otherwise; both are bit-identical to the batched searches
+        self._small = DialBackend(fallback=self._heap)
 
     # ------------------------------------------------------------------ #
     def sssp_many(self, flat: FlatWorkingGraph, sources: Sequence[int]) -> List[Sequence[float]]:
         if self._delegate(flat):
-            return self._heap.sssp_many(flat, sources)
+            return self._small.sssp_many(flat, sources)
         rows = self._distance_rows(flat, sources)
         return [rows[source] for source in sources]
+
+    def sssp_array(self, flat: FlatWorkingGraph, source: int) -> np.ndarray:
+        if self._delegate(flat):
+            return super().sssp_array(flat, source)
+        source = int(source)
+        cache: Dict[int, np.ndarray] = flat.cache.setdefault(self._ARRAY_CACHE, {})  # type: ignore[assignment]
+        row = cache.get(source)
+        if row is None:
+            listed = flat.cache.get(self._DIST_CACHE, {}).get(source)  # type: ignore[union-attr]
+            if listed is not None:
+                row = np.asarray(listed, dtype=np.float64)
+            elif _scipy_dijkstra is not None:
+                matrix = self._snapshot_matrix(flat)
+                row = np.asarray(
+                    _scipy_dijkstra(matrix, directed=True, indices=[source]),
+                    dtype=np.float64,
+                ).ravel()
+            else:
+                row = _numpy_multi_source(flat, [source])[0]
+            cache[source] = row
+        return row
 
     def dist_and_prune_many(
         self,
@@ -182,7 +403,7 @@ class CSRBackend(ShortestPathBackend):
         prune_sets: Sequence[Sequence[int]],
     ) -> Tuple[List[Sequence[float]], List[Sequence[bool]]]:
         if self._delegate(flat):
-            return self._heap.dist_and_prune_many(flat, roots, prune_sets)
+            return self._small.dist_and_prune_many(flat, roots, prune_sets)
         rows = self._distance_rows(flat, roots)
         dists: List[Sequence[float]] = []
         prunes: List[Sequence[bool]] = []
@@ -193,43 +414,102 @@ class CSRBackend(ShortestPathBackend):
         return dists, prunes
 
     def components(self, flat: FlatWorkingGraph) -> List[List[int]]:
-        if (
-            _scipy_components is None
-            or _scipy_csr_matrix is None
-            or len(flat.vertices) < self.components_min_vertices
-        ):
+        if _scipy_components is None or _scipy_csr_matrix is None:
             return _components_python(flat)
-        indptr, indices, weights = flat.csr_arrays()
+        matrix = flat.cache.get(self._MATRIX_CACHE)
+        if matrix is None:
+            # delegated (tiny or zero-weight) snapshots never build a
+            # matrix; just below that, one O(E) python walk still beats
+            # the sparse-constructor cost even though the matrix would be
+            # reused by the seed searches that follow
+            if self._delegate(flat) or len(flat.vertices) < self.components_min_vertices:
+                return _components_python(flat)
+            # build (and cache) the weighted matrix the seed searches use:
+            # weights play no role in connectivity, and sharing one matrix
+            # means whichever of components()/seed SSSP runs first pays
+            matrix = self._snapshot_matrix(flat)
+        _, labels = _scipy_components(matrix, directed=False)
+        return self._label_groups(flat.vertices, labels)
+
+    def components_masked(
+        self, flat: FlatWorkingGraph, keep: np.ndarray
+    ) -> List[List[int]]:
+        if _scipy_components is None or _scipy_csr_matrix is None:
+            return super().components_masked(flat, keep)
+        keep = np.asarray(keep, dtype=bool)
+        sub_dense = np.nonzero(keep)[0]
+        m = len(sub_dense)
+        if m == 0:
+            return []
+        if m < self.masked_min_vertices:
+            # the sparse constructor + C scan only amortise on large
+            # leftovers; the masked python walk wins below (measured
+            # crossover ~1k on the bench's region population)
+            return _components_python_masked(flat, keep)
+        # carve the kept subgraph straight out of the parent CSR arrays
+        # (connectivity ignores weights, so int8 ones sidestep the
+        # explicit-zero dropping that forces weighted matrices to the
+        # python walk) - no induced snapshot, no dict rebuild
+        indptr, indices, _ = flat.csr_arrays()
         n = len(flat.vertices)
-        # weights play no role in connectivity; a ones data array also
-        # sidesteps scipy's explicit-zero == missing-edge convention
+        new_id = np.full(n, -1, dtype=np.int64)
+        new_id[sub_dense] = np.arange(m, dtype=np.int64)
+        tails = flat.tails()
+        edge_keep = keep[tails] & keep[indices]
+        new_tails = new_id[tails[edge_keep]]
+        new_indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(np.bincount(new_tails, minlength=m), out=new_indptr[1:])
+        new_indices = new_id[indices[edge_keep]]
         matrix = _scipy_csr_matrix(
-            (np.ones(len(indices), dtype=np.int8), indices, indptr), shape=(n, n)
+            (np.ones(len(new_indices), dtype=np.int8), new_indices, new_indptr),
+            shape=(m, m),
         )
         _, labels = _scipy_components(matrix, directed=False)
-        order = np.argsort(labels, kind="stable")  # dense ids ascending per label
-        boundaries = np.nonzero(np.diff(labels[order]))[0] + 1
         vertices = flat.vertices
+        members = [vertices[i] for i in sub_dense.tolist()]
+        return self._label_groups(members, labels)
+
+    @staticmethod
+    def _label_groups(vertices: Sequence[int], labels: np.ndarray) -> List[List[int]]:
+        """Scipy component labels -> the canonical grouped form."""
+        order = np.argsort(labels, kind="stable")  # ascending ids per label
+        boundaries = np.nonzero(np.diff(labels[order]))[0] + 1
         groups = [
             [vertices[i] for i in block.tolist()]
             for block in np.split(order, boundaries)
         ]
         # canonical: each group is already sorted (stable sort over
-        # ascending dense ids); order groups by their smallest member
+        # ascending ids); order groups by their smallest member
         groups.sort(key=lambda component: component[0])
         return groups
 
     # ------------------------------------------------------------------ #
     def _delegate(self, flat: FlatWorkingGraph) -> bool:
-        """Whether this snapshot should run on the heap searches instead."""
+        """Whether this snapshot should run on the scalar searches instead."""
         if len(flat.vertices) < self.min_vertices:
             return True
         # scipy's sparse matrices treat explicit zeros as missing edges;
-        # zero-weight edges are legal in Graph, so route them to the heap
+        # zero-weight edges are legal in Graph, so route them to the
+        # scalar searches (dial rejects them too and lands on the heap)
+        return self._zero_weight(flat)
+
+    @staticmethod
+    def _zero_weight(flat: FlatWorkingGraph) -> bool:
+        """Cached "does this snapshot carry a zero-weight edge" check."""
         if "has_zero_weight" not in flat.cache:
             weights = flat.weights
             flat.cache["has_zero_weight"] = bool(weights) and min(weights) == 0.0
         return bool(flat.cache["has_zero_weight"])
+
+    def _snapshot_matrix(self, flat: FlatWorkingGraph):
+        """The snapshot's weighted scipy CSR matrix, cached on the snapshot."""
+        matrix = flat.cache.get(self._MATRIX_CACHE)
+        if matrix is None:
+            indptr, indices, weights = flat.csr_arrays()
+            n = len(flat.vertices)
+            matrix = _scipy_csr_matrix((weights, indices, indptr), shape=(n, n))
+            flat.cache[self._MATRIX_CACHE] = matrix
+        return matrix
 
     def _distance_rows(
         self, flat: FlatWorkingGraph, sources: Sequence[int]
@@ -243,13 +523,15 @@ class CSRBackend(ShortestPathBackend):
         cache: Dict[int, List[float]] = flat.cache.setdefault(self._DIST_CACHE, {})  # type: ignore[assignment]
         missing = sorted({int(s) for s in sources if s not in cache})
         if missing:
+            # rows the seed searches already hold as arrays just convert
+            array_rows: Dict[int, np.ndarray] = flat.cache.get(self._ARRAY_CACHE, {})  # type: ignore[assignment]
+            if array_rows:
+                for source in [s for s in missing if s in array_rows]:
+                    cache[source] = array_rows[source].tolist()
+                missing = [s for s in missing if s not in cache]
+        if missing:
             if _scipy_dijkstra is not None:
-                matrix = flat.cache.get(self._MATRIX_CACHE)
-                if matrix is None:
-                    indptr, indices, weights = flat.csr_arrays()
-                    n = len(flat.vertices)
-                    matrix = _scipy_csr_matrix((weights, indices, indptr), shape=(n, n))
-                    flat.cache[self._MATRIX_CACHE] = matrix
+                matrix = self._snapshot_matrix(flat)
                 # the snapshot already stores both directions of every
                 # undirected edge, so treat it as a (symmetric) digraph
                 block = _scipy_dijkstra(matrix, directed=True, indices=missing)
@@ -262,6 +544,39 @@ class CSRBackend(ShortestPathBackend):
                 # lists than on numpy scalars
                 cache[source] = row.tolist()
         return cache
+
+
+def _components_python_masked(
+    flat: FlatWorkingGraph, keep: np.ndarray
+) -> List[List[int]]:
+    """Masked reference component walk over the parent CSR lists.
+
+    Same canonical output as ``_components_python`` over the induced
+    subgraph, computed without building it: excluded vertices are simply
+    never visited.
+    """
+    indptr, indices = flat.indptr, flat.indices
+    vertices = flat.vertices
+    open_ = np.asarray(keep, dtype=bool).tolist()
+    n = len(vertices)
+    components: List[List[int]] = []
+    for start in range(n):  # ascending dense id == ascending original id
+        if not open_[start]:
+            continue
+        open_[start] = False
+        stack = [start]
+        component = [start]
+        while stack:
+            v = stack.pop()
+            for i in range(indptr[v], indptr[v + 1]):
+                w = indices[i]
+                if open_[w]:
+                    open_[w] = False
+                    component.append(w)
+                    stack.append(w)
+        component.sort()
+        components.append([vertices[i] for i in component])
+    return components
 
 
 def _components_python(flat: FlatWorkingGraph) -> List[List[int]]:
@@ -321,28 +636,49 @@ _INSTANCES: Dict[str, ShortestPathBackend] = {}
 BackendSpec = Union[str, ShortestPathBackend, None]
 
 
+_BACKEND_FACTORIES = {
+    "heap": HeapBackend,
+    "csr": CSRBackend,
+    "dial": DialBackend,
+}
+
+
 def resolve_backend(spec: BackendSpec = "auto") -> ShortestPathBackend:
     """Map a backend name (or instance, or ``None``) to a backend instance.
 
     ``"auto"`` (and ``None``) pick ``csr`` when scipy is importable and
-    ``heap`` otherwise; explicit ``"csr"`` works without scipy through the
-    numpy fallback.  Instances pass through untouched, so callers can
-    inject a tuned :class:`CSRBackend` directly.
+    ``dial`` (integer-scalable snapshots on the bucket queue, everything
+    else on its heap fallback) otherwise; explicit ``"csr"`` works
+    without scipy through the numpy fallback.  Instances pass through
+    untouched, so callers can inject a tuned :class:`CSRBackend`
+    directly.  Anything that is not a name, an instance, or ``None``
+    raises a :class:`TypeError` - a boolean or a number is always a
+    caller bug, not a backend choice.
     """
     if isinstance(spec, ShortestPathBackend):
         return spec
-    name = check_backend_name("auto" if spec is None else str(spec))
+    name = check_backend_name("auto" if spec is None else spec)
     if name == "auto":
-        name = "csr" if scipy_available() else "heap"
+        name = "csr" if scipy_available() else "dial"
     instance = _INSTANCES.get(name)
     if instance is None:
-        instance = HeapBackend() if name == "heap" else CSRBackend()
+        instance = _BACKEND_FACTORIES[name]()
         _INSTANCES[name] = instance
     return instance
 
 
 def check_backend_name(name: str) -> str:
-    """Validate a backend name without instantiating it (parameter checks)."""
+    """Validate a backend name without instantiating it (parameter checks).
+
+    Non-string specs (``True``, ``0``, a class, ...) raise a
+    :class:`TypeError` naming the offending type instead of falling
+    through to the generic unknown-name message.
+    """
+    if not isinstance(name, str):
+        raise TypeError(
+            f"shortest-path backend spec must be a string backend name, "
+            f"got {type(name).__name__}: {name!r}"
+        )
     if name not in BACKEND_NAMES:
         raise ValueError(f"unknown shortest-path backend {name!r}; expected one of {BACKEND_NAMES}")
     return name

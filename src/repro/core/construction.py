@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.backends import BackendSpec, ShortestPathBackend, resolve_backend
+from repro.flow.vertex_cut import check_flow_method
 from repro.core.flat import FlatWorkingGraph
 from repro.core.labelling import HC2LLabelling, node_distance_arrays
 from repro.core.ranking import CutRanking, rank_cut_vertices
@@ -66,10 +67,12 @@ class ConstructionStats:
     #: work units handed to a worker pool (0 for sequential builds and for
     #: process-mode builds that fell back to the serial path)
     num_tasks: int = 0
-    #: per-node ``(depth, num_vertices, seconds)`` records, where seconds
-    #: covers the node's own cut + ranking + labelling + child-derivation
-    #: work (recursion excluded); feeds the bench's construction-skew view
-    node_timings: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: per-node ``(depth, num_vertices, seconds, seconds_cut)`` records,
+    #: where seconds covers the node's own cut + ranking + labelling +
+    #: child-derivation work (recursion excluded) and seconds_cut is the
+    #: balanced-cut share of it (0.0 for leaves, which compute no cut);
+    #: feeds the bench's construction-skew view and its cut-vs-label split
+    node_timings: List[Tuple[int, int, float, float]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten to a plain dict for reporting."""
@@ -105,9 +108,15 @@ class HC2LBuilder:
         safety net for adversarial inputs.
     backend:
         The :class:`~repro.core.backends.ShortestPathBackend` running the
-        construction searches (``"auto"``, ``"heap"``, ``"csr"``, or an
-        instance); ``"auto"`` picks the CSR backend when scipy is
-        available.  Labels are bit-identical across backends.
+        construction searches (``"auto"``, ``"heap"``, ``"csr"``,
+        ``"dial"``, or an instance); ``"auto"`` picks the CSR backend
+        when scipy is available.  Labels are bit-identical across
+        backends.
+    flow_method:
+        Max-flow solver for the balanced cuts - a name from
+        :data:`repro.flow.vertex_cut.FLOW_METHODS`, or ``"auto"`` to use
+        the backend's default.  Cuts (and therefore labels) are
+        bit-identical across methods.
     """
 
     def __init__(
@@ -117,6 +126,7 @@ class HC2LBuilder:
         tail_pruning: bool = True,
         max_depth: int = 60,
         backend: BackendSpec = "auto",
+        flow_method: str = "auto",
     ) -> None:
         self.beta = check_balance_parameter(beta)
         if leaf_size < 1:
@@ -125,6 +135,7 @@ class HC2LBuilder:
         self.tail_pruning = tail_pruning
         self.max_depth = max_depth
         self.backend: ShortestPathBackend = resolve_backend(backend)
+        self.flow_method = check_flow_method(flow_method)
 
     # ------------------------------------------------------------------ #
     def build(self, graph: Graph) -> Tuple[BalancedTreeHierarchy, HC2LLabelling, ConstructionStats]:
@@ -183,8 +194,15 @@ class HC2LBuilder:
             # (which also share the csr backend's distance-row cache)
             with stats.timer.measure("snapshot"):
                 flat = FlatWorkingGraph(adjacency)
+            cut_started = time.perf_counter()
             with stats.timer.measure("hierarchy"):
-                cut_result = balanced_cut(beta=self.beta, flat=flat, backend=self.backend)
+                cut_result = balanced_cut(
+                    beta=self.beta,
+                    flat=flat,
+                    backend=self.backend,
+                    flow_method=self.flow_method,
+                )
+            seconds_cut = time.perf_counter() - cut_started
             if not cut_result.part_a or not cut_result.part_b:
                 force_leaf = True
 
@@ -230,7 +248,7 @@ class HC2LBuilder:
                 child = child_adjacency(adjacency, child_vertices, shortcuts)
             stats.num_shortcuts += len(shortcuts)
             pending.append((child, child_side, child_bit))
-        stats.node_timings.append((depth, n, time.perf_counter() - node_started))
+        stats.node_timings.append((depth, n, time.perf_counter() - node_started, seconds_cut))
         for child, child_side, child_bit in pending:
             self._build_node(
                 child,
@@ -273,5 +291,5 @@ class HC2LBuilder:
         stats.num_leaves += 1
         for v in vertices:
             labelling.append_level(v, arrays[v])
-        stats.node_timings.append((depth, len(vertices), time.perf_counter() - node_started))
+        stats.node_timings.append((depth, len(vertices), time.perf_counter() - node_started, 0.0))
         return node.index

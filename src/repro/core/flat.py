@@ -574,12 +574,11 @@ class FlatWorkingGraph:
         new_id = np.full(n, -1, dtype=np.int64)
         new_id[member_dense] = np.arange(len(member_dense), dtype=np.int64)
 
-        tails = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        tails = self.tails()
         edge_keep = keep[tails] & keep[indices]
         new_tails = new_id[tails[edge_keep]]
         new_indptr = np.zeros(len(member_dense) + 1, dtype=np.int64)
-        np.add.at(new_indptr[1:], new_tails, 1)
-        np.cumsum(new_indptr, out=new_indptr)
+        np.cumsum(np.bincount(new_tails, minlength=len(member_dense)), out=new_indptr[1:])
         new_indices = new_id[indices[edge_keep]]
         new_weights = weights[edge_keep]
         vertex_list = [self.vertices[i] for i in member_dense.tolist()]
@@ -684,6 +683,23 @@ class FlatWorkingGraph:
         """Dense ids of a sequence of original vertex ids."""
         dense_id = self.dense_id
         return [dense_id[v] for v in vertices]
+
+    def tails(self) -> np.ndarray:
+        """Dense tail id of every CSR edge, cached on the snapshot.
+
+        Pairs with ``indices`` (the heads) to give the snapshot's edge
+        list in CSR order; the partition layer's vectorised edge scans
+        (border masks, flow-region carving, component masking) all need
+        it, so one ``np.repeat`` per snapshot serves them all.
+        """
+        tails = self.cache.get("csr_tails")
+        if tails is None:
+            indptr, _, _ = self.csr_arrays()
+            tails = np.repeat(
+                np.arange(len(self.vertices), dtype=np.int64), np.diff(indptr)
+            )
+            self.cache["csr_tails"] = tails
+        return tails
 
     def dijkstra(self, source: int) -> List[float]:
         """Single-source distances over the CSR arrays (dense ids).

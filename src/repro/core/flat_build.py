@@ -59,6 +59,9 @@ class NodeStep:
     arrays: Dict[int, List[float]]
     is_leaf: bool
     children: List[Tuple[FlatWorkingGraph, str, int, int]]
+    #: wall-clock seconds the balanced cut took (0.0 for leaves); feeds
+    #: the per-node cut-vs-label timing split in ConstructionStats
+    seconds_cut: float = 0.0
 
 
 def node_step(
@@ -71,6 +74,7 @@ def node_step(
     max_depth: int,
     backend: ShortestPathBackend,
     timer: Timer,
+    flow_method: str = "auto",
 ) -> NodeStep:
     """Run one node of the interleaved construction over a CSR snapshot.
 
@@ -82,9 +86,14 @@ def node_step(
     n = len(flat.vertices)
     force_leaf = n <= leaf_size or depth >= max_depth
     cut_result = None
+    seconds_cut = 0.0
     if not force_leaf:
+        cut_started = time.perf_counter()
         with timer.measure("hierarchy"):
-            cut_result = balanced_cut(beta=beta, flat=flat, backend=backend)
+            cut_result = balanced_cut(
+                beta=beta, flat=flat, backend=backend, flow_method=flow_method
+            )
+        seconds_cut = time.perf_counter() - cut_started
         if not cut_result.part_a or not cut_result.part_b:
             force_leaf = True
 
@@ -96,7 +105,13 @@ def node_step(
             arrays, _ = node_distance_arrays(
                 None, ranking, tail_pruning, flat=flat, backend=backend
             )
-        return NodeStep(ranking=ranking, arrays=arrays, is_leaf=True, children=[])
+        return NodeStep(
+            ranking=ranking,
+            arrays=arrays,
+            is_leaf=True,
+            children=[],
+            seconds_cut=seconds_cut,
+        )
 
     assert cut_result is not None
     with timer.measure("labelling"):
@@ -126,7 +141,13 @@ def node_step(
         with timer.measure("snapshot"):
             child = within.overlay_shortcuts(shortcuts)
         children.append((child, side, bit, len(shortcuts)))
-    return NodeStep(ranking=ranking, arrays=arrays, is_leaf=False, children=children)
+    return NodeStep(
+        ranking=ranking,
+        arrays=arrays,
+        is_leaf=False,
+        children=children,
+        seconds_cut=seconds_cut,
+    )
 
 
 def fragment_from_levels(levels_per_vertex: Sequence[List[List[float]]]) -> FlatLabelling:
@@ -182,7 +203,7 @@ class SubtreeResult:
     num_shortcuts: int
     max_depth: int
     durations: Dict[str, float]
-    node_timings: List[Tuple[int, int, float]]
+    node_timings: List[Tuple[int, int, float, float]]
 
     def fragment(self) -> FlatLabelling:
         """The label fragment over ``dfs_vertices`` order."""
@@ -201,6 +222,7 @@ def build_subtree(
     tail_pruning: bool,
     max_depth: int,
     backend: BackendSpec = None,
+    flow_method: str = "auto",
 ) -> SubtreeResult:
     """Build the whole hierarchy subtree rooted at ``flat`` (dict-free).
 
@@ -219,7 +241,7 @@ def build_subtree(
         "num_shortcuts": 0,
         "max_depth": depth,
     }
-    node_timings: List[Tuple[int, int, float]] = []
+    node_timings: List[Tuple[int, int, float, float]] = []
 
     def _build(
         flat: FlatWorkingGraph, depth: int, bits: int, parent: int, side: Optional[str]
@@ -238,6 +260,7 @@ def build_subtree(
             max_depth=max_depth,
             backend=search,
             timer=timer,
+            flow_method=flow_method,
         )
         local = len(records)
         records.append((depth, bits, parent, side, step.is_leaf, n, step.ranking.ordered))
@@ -248,7 +271,9 @@ def build_subtree(
         for v in flat.vertices:
             labels[v].append(step.arrays[v])
         counters["num_shortcuts"] += sum(child[3] for child in step.children)
-        node_timings.append((depth, n, time.perf_counter() - node_started))
+        node_timings.append(
+            (depth, n, time.perf_counter() - node_started, step.seconds_cut)
+        )
         for child_flat, child_side, child_bit, _ in step.children:
             _build(child_flat, depth + 1, (bits << 1) | child_bit, local, child_side)
 
@@ -308,4 +333,6 @@ def build_subtree_payload(payload: Dict[str, object]) -> SubtreeResult:
         tail_pruning=bool(payload["tail_pruning"]),
         max_depth=int(payload["max_depth"]),
         backend=payload["backend"],
+        # absent in payloads from older coordinators -> backend default
+        flow_method=str(payload.get("flow_method", "auto")),
     )

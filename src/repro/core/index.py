@@ -72,8 +72,14 @@ class HC2LParameters:
     backend:
         Shortest-path backend for the construction searches: ``"heap"``
         (pure-Python binary heap), ``"csr"`` (batched scipy / numpy
-        searches over the CSR snapshot), or ``"auto"`` (csr when scipy is
-        importable).  Labels are bit-identical across backends.
+        searches over the CSR snapshot), ``"dial"`` (bucket-queue
+        searches for integer-scalable weights), or ``"auto"`` (csr when
+        scipy is importable).  Labels are bit-identical across backends.
+    flow_method:
+        Max-flow solver for the hierarchy phase's minimum vertex cuts -
+        one of :data:`repro.flow.vertex_cut.FLOW_METHODS`, or ``"auto"``
+        to let the backend pick.  Canonical cuts are unique across all
+        maximum flows, so labels are bit-identical across methods.
     """
 
     beta: float = 0.2
@@ -83,10 +89,12 @@ class HC2LParameters:
     num_workers: int = 1
     parallel_mode: str = "thread"
     backend: str = "auto"
+    flow_method: str = "auto"
 
     def __post_init__(self) -> None:
         from repro.core.backends import check_backend_name
         from repro.core.construction import check_parallel_mode
+        from repro.flow.vertex_cut import check_flow_method
 
         check_balance_parameter(self.beta)
         if self.leaf_size < 1:
@@ -95,6 +103,7 @@ class HC2LParameters:
             raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
         check_parallel_mode(self.parallel_mode)
         check_backend_name(self.backend)
+        check_flow_method(self.flow_method)
 
 
 def _identity_contraction(graph: Graph) -> ContractedGraph:
@@ -207,6 +216,7 @@ class HC2LIndex:
                 num_workers=parameters.num_workers,
                 backend=parameters.backend,
                 parallel_mode=parameters.parallel_mode,
+                flow_method=parameters.flow_method,
             )
         else:
             builder = HC2LBuilder(
@@ -214,6 +224,7 @@ class HC2LIndex:
                 leaf_size=parameters.leaf_size,
                 tail_pruning=parameters.tail_pruning,
                 backend=parameters.backend,
+                flow_method=parameters.flow_method,
             )
         hierarchy, labelling, stats = builder.build(core)
         elapsed = time.perf_counter() - start

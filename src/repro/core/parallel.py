@@ -87,6 +87,7 @@ class ParallelHC2LBuilder(HC2LBuilder):
         parallel_threshold: int = 64,
         backend: BackendSpec = "auto",
         parallel_mode: str = "thread",
+        flow_method: str = "auto",
     ) -> None:
         super().__init__(
             beta=beta,
@@ -94,6 +95,7 @@ class ParallelHC2LBuilder(HC2LBuilder):
             tail_pruning=tail_pruning,
             max_depth=max_depth,
             backend=backend,
+            flow_method=flow_method,
         )
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -191,8 +193,15 @@ class ParallelHC2LBuilder(HC2LBuilder):
         if not force_leaf:
             with self._timed(stats, "snapshot"):
                 flat = FlatWorkingGraph(adjacency)
+            cut_started = time.perf_counter()
             with self._timed(stats, "hierarchy"):
-                cut_result = balanced_cut(beta=self.beta, flat=flat, backend=self.backend)
+                cut_result = balanced_cut(
+                    beta=self.beta,
+                    flat=flat,
+                    backend=self.backend,
+                    flow_method=self.flow_method,
+                )
+            seconds_cut = time.perf_counter() - cut_started
             if not cut_result.part_a or not cut_result.part_b:
                 force_leaf = True
 
@@ -208,7 +217,7 @@ class ParallelHC2LBuilder(HC2LBuilder):
                 hierarchy.set_subtree_size(node.index, n)
                 stats.num_nodes += 1
                 stats.num_leaves += 1
-                stats.node_timings.append((depth, n, time.perf_counter() - node_started))
+                stats.node_timings.append((depth, n, time.perf_counter() - node_started, 0.0))
             for v in vertices:
                 labelling.append_level(v, arrays[v])
             return node.index
@@ -247,7 +256,7 @@ class ParallelHC2LBuilder(HC2LBuilder):
                 stats.num_shortcuts += len(shortcuts)
             pending.append((child, child_side, child_bit, len(child_vertices)))
         with self._lock:
-            stats.node_timings.append((depth, n, time.perf_counter() - node_started))
+            stats.node_timings.append((depth, n, time.perf_counter() - node_started, seconds_cut))
         for child, child_side, child_bit, child_n in pending:
             args = (
                 child,
@@ -401,6 +410,7 @@ class ParallelHC2LBuilder(HC2LBuilder):
             max_depth=self.max_depth,
             backend=self.backend,
             timer=stats.timer,
+            flow_method=self.flow_method,
         )
         event_index = len(events)
         ordered = step.ranking.ordered
@@ -423,14 +433,18 @@ class ParallelHC2LBuilder(HC2LBuilder):
             )
         events.append(("node", depth, bits, ordered, parent_event, side, step.is_leaf, n))
         if step.is_leaf:
-            stats.node_timings.append((depth, n, time.perf_counter() - node_started))
+            stats.node_timings.append(
+                (depth, n, time.perf_counter() - node_started, step.seconds_cut)
+            )
             return
         cut_set = set(ordered)
         for v in flat.vertices:
             if v not in cut_set:
                 prefix.setdefault(v, []).append(step.arrays[v])
         stats.num_shortcuts += sum(child[3] for child in step.children)
-        stats.node_timings.append((depth, n, time.perf_counter() - node_started))
+        stats.node_timings.append(
+            (depth, n, time.perf_counter() - node_started, step.seconds_cut)
+        )
         for child_flat, child_side, child_bit, _ in step.children:
             self._expand(
                 child_flat,
@@ -480,6 +494,7 @@ class ParallelHC2LBuilder(HC2LBuilder):
                 "max_depth": self.max_depth,
                 # ship by name: instances don't cross process boundaries
                 "backend": self.backend.name,
+                "flow_method": self.flow_method,
             }
             handle = executor.submit(build_subtree_payload, payload)
             stats.num_tasks += 1
@@ -495,6 +510,7 @@ class ParallelHC2LBuilder(HC2LBuilder):
                 tail_pruning=self.tail_pruning,
                 max_depth=self.max_depth,
                 backend=self.backend,
+                flow_method=self.flow_method,
             )
         events.append(("unit", slot, handle, prefix_frag, unit_vertices, parent_event, side))
 

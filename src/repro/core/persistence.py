@@ -98,6 +98,9 @@ def _index_header(index: "HC2LIndex", label_layout: str) -> dict:
             # absent in pre-backend archives; HC2LParameters defaults them
             "backend": getattr(parameters, "backend", "auto"),
             "parallel_mode": getattr(parameters, "parallel_mode", "thread"),
+            # absent before the flow-method switch existed; "auto" keeps
+            # legacy archives on the backend-selected solver
+            "flow_method": getattr(parameters, "flow_method", "auto"),
         },
         "construction_seconds": index.construction_seconds,
         "extra": dict(index._extra),

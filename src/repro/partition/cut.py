@@ -15,9 +15,10 @@ attachment sets are computed with vectorised edge-mask scans, the flow
 region is carved out of the CSR arrays without materialising a dict, and
 the component re-assignment uses the
 :class:`~repro.core.backends.ShortestPathBackend` component scan.  The
-backend also selects the max-flow solver (``dinitz`` reference vs the
-scipy/numpy ``matrix`` path); the canonical cuts are unique across all
-maximum flows, so every backend produces bit-identical cuts.
+backend also selects the max-flow solver (the compact Edmonds-Karp for
+the pure-python backends vs the scipy/numpy ``matrix`` path under csr);
+the canonical cuts are unique across all maximum flows, so every backend
+produces bit-identical cuts.
 """
 
 from __future__ import annotations
@@ -29,7 +30,7 @@ import numpy as np
 
 from repro.core.backends import BackendSpec, ShortestPathBackend, resolve_backend
 from repro.core.flat import FlatWorkingGraph
-from repro.flow.vertex_cut import minimum_vertex_cut_region
+from repro.flow.vertex_cut import check_flow_method, minimum_vertex_cut_region
 from repro.partition.partition import balanced_partition
 from repro.partition.working_graph import WorkingAdjacency
 from repro.utils.validation import check_balance_parameter
@@ -63,6 +64,7 @@ def balanced_cut(
     beta: float = 0.2,
     flat: Optional[FlatWorkingGraph] = None,
     backend: BackendSpec = None,
+    flow_method: Optional[str] = None,
 ) -> BalancedCutResult:
     """Compute a balanced vertex cut of a working subgraph (Algorithm 2).
 
@@ -70,9 +72,13 @@ def balanced_cut(
     as ``flat`` (the hierarchy builder shares one snapshot per node with
     the ranking and labelling passes); ``backend`` selects the
     :class:`~repro.core.backends.ShortestPathBackend` running the seed
-    searches, component scans and the max-flow solver.  ``beta`` must lie
-    in ``(0, 0.5]`` (Definition 4.1) - validated here so an invalid
-    balance parameter fails loudly before any search runs.
+    searches, component scans and the max-flow solver.  ``flow_method``
+    pins the max-flow solver to one of
+    :data:`repro.flow.vertex_cut.FLOW_METHODS`; ``None`` (or ``"auto"``)
+    defers to the backend's per-backend default - either way the cuts
+    are bit-identical, only the speed differs.  ``beta`` must lie in
+    ``(0, 0.5]`` (Definition 4.1) - validated here so an invalid balance
+    parameter fails loudly before any search runs.
     """
     check_balance_parameter(beta)
     if flat is None:
@@ -80,6 +86,10 @@ def balanced_cut(
             raise ValueError("provide the subgraph as 'adjacency' or 'flat'")
         flat = FlatWorkingGraph(adjacency)
     search = resolve_backend(backend)
+    if flow_method is None or flow_method == "auto":
+        flow_method = search.flow_method
+    else:
+        check_flow_method(flow_method, allow_auto=False)
 
     partition = balanced_partition(beta=beta, flat=flat, backend=search)
     initial_a, cut_region, initial_b = (
@@ -95,7 +105,7 @@ def balanced_cut(
 
     n = len(flat.vertices)
     indptr, indices, _ = flat.csr_arrays()
-    tails = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    tails = flat.tails()
 
     # side of each dense vertex: 0 = P'_A, 1 = P'_B, 2 = cut region C
     side = np.full(n, 2, dtype=np.int8)
@@ -140,7 +150,7 @@ def balanced_cut(
         local[indices[edge_keep]],
         local[np.nonzero(attach_s)[0]],
         local[np.nonzero(attach_t)[0]],
-        method=search.flow_method,
+        method=flow_method,
     )
 
     # Lines 13-15 for each canonical cut, then keep the more balanced one.
@@ -167,8 +177,9 @@ def _assign_components(
     assigned purely by balance, as in the paper's pseudo-code.
     """
     cut_set = set(cut)
-    remaining = [v for v in flat.vertices if v not in cut_set]
-    components = search.components(flat.induce(remaining))
+    keep = np.ones(len(flat.vertices), dtype=bool)
+    keep[flat.dense_ids(cut)] = False
+    components = search.components_masked(flat, keep)
     components.sort(key=lambda c: (-len(c), c[0]))
 
     part_a: List[int] = []

@@ -112,11 +112,6 @@ def balanced_partition(
     if n == 1:
         return BalancedPartitionResult([], list(vertices), [])
 
-    components = search.components(flat)
-    if len(components) > 1:
-        return _partition_disconnected(flat, components, beta, n, _depth, search)
-
-    # --- connected case ----------------------------------------------- #
     # Lines 11-12: pick seeds as far apart as possible.  Distance rows are
     # memoised by source so the third search can reuse the first one when
     # the farthest vertex from v_A turns out to be the arbitrary start.
@@ -125,10 +120,18 @@ def balanced_partition(
     def distance_row(source: int) -> np.ndarray:
         row = rows.get(source)
         if row is None:
-            row = np.asarray(search.sssp_many(flat, [source])[0], dtype=np.float64)
+            row = search.sssp_array(flat, source)
             rows[source] = row
         return row
 
+    # connectivity falls out of the first seed search for free (every
+    # vertex reached from the arbitrary start == one component), so the
+    # common connected case never pays for a separate component scan
+    if np.isinf(distance_row(0).max()):
+        components = search.components(flat)
+        return _partition_disconnected(flat, components, beta, n, _depth, search)
+
+    # --- connected case ----------------------------------------------- #
     seed_a = _farthest_dense(distance_row(0), 0)
     dist_a = distance_row(seed_a)
     seed_b = _farthest_dense(dist_a, seed_a)

@@ -134,7 +134,8 @@ class TestBackendSelection:
     def test_resolve_names(self):
         assert resolve_backend("heap").name == "heap"
         assert resolve_backend("csr").name == "csr"
-        expected_auto = "csr" if scipy_available() else "heap"
+        assert resolve_backend("dial").name == "dial"
+        expected_auto = "csr" if scipy_available() else "dial"
         assert resolve_backend("auto").name == expected_auto
         assert resolve_backend(None).name == expected_auto
         instance = CSRBackend(min_vertices=7)
@@ -143,10 +144,21 @@ class TestBackendSelection:
     def test_unknown_names_rejected(self):
         with pytest.raises(ValueError, match="unknown shortest-path backend"):
             resolve_backend("bogus")
-        with pytest.raises(ValueError, match="unknown shortest-path backend"):
-            check_backend_name("dial")
+        # "dial" is a first-class name, not a typo
+        assert check_backend_name("dial") == "dial"
         with pytest.raises(ValueError, match="unknown shortest-path backend"):
             HC2LParameters(backend="bogus")
+
+    def test_non_string_specs_rejected_with_typed_error(self):
+        # bools/numbers/None-likes must not fall through to the generic
+        # unknown-name ValueError: they are caller bugs, named as such
+        for spec in (True, False, 0, 1.5, object(), b"csr", ["csr"]):
+            with pytest.raises(TypeError, match="must be a string"):
+                resolve_backend(spec)
+            with pytest.raises(TypeError, match="must be a string"):
+                check_backend_name(spec)
+        # None stays the documented "pick for me" spelling
+        assert resolve_backend(None).name in ("csr", "dial")
 
     def test_parameters_round_trip_through_archive(self, tmp_path):
         graph = _random_graph(9, n_lo=12, n_hi=20)

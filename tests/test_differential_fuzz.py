@@ -175,6 +175,53 @@ class TestDifferentialFuzz:
 
 
 @pytest.mark.parametrize("case", FUZZ_CASES)
+class TestFlowMethodFuzz:
+    """Every max-flow solver builds bit-identical labels, end to end.
+
+    The canonical minimum cuts are unique across all maximum flows, so
+    swapping the solver behind the balanced cuts must never change a
+    single label - across caterpillar, tree-heavy, sparse and
+    disconnected topologies, not just the conformance graphs.
+    """
+
+    def test_flow_methods_build_identical_labels(self, case):
+        from repro.core.construction import HC2LBuilder
+        from repro.core.flat import FlatLabelling
+        from repro.flow.vertex_cut import FLOW_METHODS
+
+        graph = _fuzz_graph(case, seed=1)
+        reference = None
+        for method in FLOW_METHODS:
+            _, labelling, _ = HC2LBuilder(leaf_size=4, flow_method=method).build(graph)
+            flat = FlatLabelling.from_labelling(labelling)
+            if reference is None:
+                reference = flat
+            else:
+                assert flat == reference, f"flow_method={method!r} changed the labels"
+
+
+@pytest.mark.parametrize("case", FUZZ_CASES)
+@pytest.mark.parametrize("seed", [0, 2])
+class TestDialBackendFuzz:
+    """Dial bucket-queue construction against the heap reference.
+
+    All fuzz weights are small integers, so every snapshot is
+    Dial-eligible and the comparisons assert ``==`` - the bucket queue
+    must reproduce the heap Dijkstra bit for bit, at the label level and
+    at the query level.
+    """
+
+    def test_dial_build_and_queries_match_heap(self, case, seed):
+        graph = _fuzz_graph(case, seed)
+        reference = HC2LIndex.build(graph, leaf_size=4, backend="heap")
+        dial = HC2LIndex.build(graph, leaf_size=4, backend="dial")
+        pairs = _query_pairs(graph, reference, seed)
+        assert dial.distances(pairs).tolist() == reference.distances(pairs).tolist()
+        # exact oracle equality too: integer weights make path sums exact
+        assert dial.distances(pairs).tolist() == _reference(graph, pairs)
+
+
+@pytest.mark.parametrize("case", FUZZ_CASES)
 class TestProcessParallelFuzz:
     """Process-mode construction is bit-identical across graph families."""
 

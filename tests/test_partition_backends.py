@@ -22,9 +22,9 @@ import random
 import pytest
 
 import repro.flow.vertex_cut as vertex_cut_module
-from repro.core.backends import CSRBackend, HeapBackend
+from repro.core.backends import CSRBackend, DialBackend, HeapBackend
 from repro.core.flat import FlatWorkingGraph
-from repro.flow.vertex_cut import minimum_st_vertex_cut
+from repro.flow.vertex_cut import FLOW_METHODS, minimum_st_vertex_cut
 from repro.graph.builders import graph_from_edges
 from repro.partition.cut import balanced_cut, separates
 from repro.partition.partition import balanced_partition
@@ -138,6 +138,133 @@ class TestFlowSolverEquality:
         adjacency = _seeded_adjacency(1, n_lo=10, n_hi=11)
         with pytest.raises(ValueError, match="flow method"):
             minimum_st_vertex_cut(adjacency, {0}, {1}, method="bogus")
+
+    def test_registry_matches_solver_table(self):
+        """Every registered method has a solver and vice versa - a new
+        kernel cannot be wired into one table and forgotten in the other."""
+        assert set(FLOW_METHODS) == set(vertex_cut_module._SOLVERS)
+
+
+class TestCrossSolverFuzz:
+    """Both canonical cuts bit-identical across every registered solver.
+
+    The registry methods differ in algorithm (Dinitz, Edmonds-Karp,
+    scipy max-flow, FIFO push-relabel) but the canonical cuts depend only
+    on residual reachability, which is unique across all maximum flows.
+    ``force_kernels`` drops the small-region thresholds to zero so the
+    large-region kernels (scipy matrix path, push-relabel proper) run
+    even on these deliberately small fuzz instances instead of quietly
+    delegating to the shared Edmonds-Karp loop.
+    """
+
+    def _assert_methods_agree(self, adjacency, attach_s, attach_t):
+        reference = minimum_st_vertex_cut(adjacency, attach_s, attach_t, method="dinitz")
+        for method in FLOW_METHODS:
+            result = minimum_st_vertex_cut(adjacency, attach_s, attach_t, method=method)
+            assert result.cut_size == reference.cut_size, method
+            assert result.cut_closest_to_source == reference.cut_closest_to_source, method
+            assert result.cut_closest_to_sink == reference.cut_closest_to_sink, method
+        return reference
+
+    def _force_kernels(self, monkeypatch):
+        monkeypatch.setattr(vertex_cut_module, "_MATRIX_SMALL_REGION", 0)
+        monkeypatch.setattr(vertex_cut_module, "_PUSH_RELABEL_SMALL_REGION", 0)
+
+    @pytest.mark.parametrize("force_kernels", [False, True])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seeded_random_graphs(self, seed, force_kernels, monkeypatch):
+        if force_kernels:
+            self._force_kernels(monkeypatch)
+        rng = random.Random(1000 + seed)
+        adjacency = _seeded_adjacency(seed, n_lo=15, n_hi=70)
+        vertices = sorted(adjacency)
+        k = len(vertices)
+        attach_s = {vertices[i] for i in range(0, k, rng.randrange(3, 6))}
+        attach_t = {vertices[i] for i in range(1, k, rng.randrange(4, 8))} - attach_s
+        if not attach_s or not attach_t:
+            pytest.skip("degenerate terminal sets")
+        self._assert_methods_agree(adjacency, attach_s, attach_t)
+
+    @pytest.mark.parametrize("force_kernels", [False, True])
+    def test_caterpillar(self, force_kernels, monkeypatch):
+        from repro.graph.builders import caterpillar_graph
+
+        if force_kernels:
+            self._force_kernels(monkeypatch)
+        graph = caterpillar_graph(spine=9, legs=2, weight=3.0)
+        adjacency = working_graph_from(graph)
+        spine = list(range(9))  # vertices 0..spine-1 form the spine path
+        result = self._assert_methods_agree(adjacency, {spine[0]}, {spine[-1]})
+        # a path-shaped spine separates with one vertex
+        assert result.cut_size == 1
+
+    @pytest.mark.parametrize("force_kernels", [False, True])
+    def test_disconnected_terminals(self, force_kernels, monkeypatch):
+        """Terminals in different components: max flow 0, both cuts empty."""
+        if force_kernels:
+            self._force_kernels(monkeypatch)
+        a = _seeded_adjacency(5, n_lo=12, n_hi=20)
+        b = _seeded_adjacency(6, n_lo=12, n_hi=20)
+        offset = max(a) + 1
+        merged = {v: dict(nbrs) for v, nbrs in a.items()}
+        for v, nbrs in b.items():
+            merged[v + offset] = {w + offset: weight for w, weight in nbrs.items()}
+        result = self._assert_methods_agree(merged, {min(a)}, {min(b) + offset})
+        assert result.cut_size == 0
+        assert result.cut_closest_to_source == []
+        assert result.cut_closest_to_sink == []
+
+
+class _FallbackForbidden(HeapBackend):
+    """Fallback that fails the test if the Dial eligibility path bails."""
+
+    def sssp_many(self, flat, sources):
+        raise AssertionError("DialBackend fell back on an eligible snapshot")
+
+    def dist_and_prune_many(self, flat, roots, prune_sets):
+        raise AssertionError("DialBackend fell back on an eligible snapshot")
+
+
+class TestDialBackendEquality:
+    """Bucket-queue SSSP is exactly - not approximately - the heap Dijkstra.
+
+    ``_seeded_adjacency`` draws small integer weights, so every snapshot
+    in the recursion is Dial-eligible; the forbidden fallback proves the
+    bucket queue (and not a silent delegate) produced the results.
+    """
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dial_and_heap_cuts_are_identical(self, seed):
+        adjacency = _seeded_adjacency(seed)
+        reference = balanced_cut(adjacency, backend=HeapBackend())
+        dial = balanced_cut(
+            adjacency, backend=DialBackend(fallback=_FallbackForbidden())
+        )
+        assert (reference.part_a, reference.cut, reference.part_b) == (
+            dial.part_a,
+            dial.cut,
+            dial.part_b,
+        )
+        assert separates(adjacency, dial)
+
+    @pytest.mark.parametrize("seed", [1, 8])
+    def test_dial_rows_bit_identical_on_dyadic_weights(self, seed):
+        """Quarter-integer weights scale by 2**2: still exact float64."""
+        rng = random.Random(seed)
+        n = 60
+        edges = []
+        for v in range(1, n):
+            edges.append((rng.randrange(v), v, rng.randrange(1, 40) * 0.25))
+        for _ in range(2 * n):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.append((u, v, rng.randrange(1, 40) * 0.25))
+        adjacency = working_graph_from(graph_from_edges(edges, num_vertices=n))
+        flat = FlatWorkingGraph(adjacency)
+        sources = list(range(0, n, 7))
+        heap_rows = HeapBackend().sssp_many(flat, sources)
+        dial_rows = DialBackend(fallback=_FallbackForbidden()).sssp_many(flat, sources)
+        assert [list(row) for row in dial_rows] == [list(row) for row in heap_rows]
 
 
 class TestValidationAndDedupe:

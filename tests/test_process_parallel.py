@@ -219,7 +219,9 @@ class TestStreamingAssembly:
         _, _, stats = HC2LBuilder(leaf_size=8).build(small_graph)
         assert stats.node_timings
         assert stats.num_nodes == len(stats.node_timings)
-        for depth, vertices, seconds in stats.node_timings:
+        for depth, vertices, seconds, seconds_cut in stats.node_timings:
             assert depth >= 0
             assert vertices > 0
             assert seconds >= 0.0
+            # the cut is part of the node's own work, never more than it
+            assert 0.0 <= seconds_cut <= seconds
